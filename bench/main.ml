@@ -1,0 +1,166 @@
+(* Benchmark / reproduction harness.
+
+   Regenerates every figure of the paper's evaluation (Section 4) and runs
+   Bechamel micro-benchmarks of the simulation engine.
+
+   Usage:
+     dune exec bench/main.exe                 -- everything
+     dune exec bench/main.exe fig3 fig5b     -- selected figures/panels
+     dune exec bench/main.exe perf           -- engine micro-benchmarks only
+     ITUA_BENCH_REPS=500 dune exec bench/main.exe   -- cheaper runs
+
+   Panel CSVs are written to results/ for external plotting. *)
+
+let reps_from_env () =
+  match Sys.getenv_opt "ITUA_BENCH_REPS" with
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some n when n > 0 -> n
+      | Some _ | None ->
+          prerr_endline "ITUA_BENCH_REPS must be a positive integer";
+          exit 2)
+  | None -> Itua.Study.default_config.Itua.Study.reps
+
+let config () =
+  { Itua.Study.default_config with Itua.Study.reps = reps_from_env () }
+
+let ensure_results_dir () =
+  if not (Sys.file_exists "results") then Sys.mkdir "results" 0o755
+
+let print_panels panels =
+  ensure_results_dir ();
+  List.iter
+    (fun (id, table) ->
+      Format.printf "@.%a" Report.pp_text table;
+      let path = Filename.concat "results" (id ^ ".csv") in
+      Report.write_csv path table;
+      Format.printf "  [csv: %s]@." path)
+    panels;
+  let checks = Itua.Study.shape_checks panels in
+  if checks <> [] then begin
+    Format.printf "@.Shape checks against the paper:@.";
+    List.iter
+      (fun (label, ok) ->
+        Format.printf "  [%s] %s@." (if ok then "PASS" else "FAIL") label)
+      checks
+  end
+
+(* --- Bechamel micro-benchmarks of the engine --- *)
+
+let bench_two_state () =
+  let b = San.Model.Builder.create "two_state" in
+  let up = San.Model.Builder.int_place b ~init:1 "up" in
+  San.Model.Builder.timed_exp b ~name:"fail"
+    ~rate:(fun _ -> 1.0)
+    ~enabled:(fun m -> San.Marking.get m up = 1)
+    ~reads:[ San.Place.P up ]
+    (fun _ m -> San.Marking.set m up 0);
+  San.Model.Builder.timed_exp b ~name:"repair"
+    ~rate:(fun _ -> 10.0)
+    ~enabled:(fun m -> San.Marking.get m up = 0)
+    ~reads:[ San.Place.P up ]
+    (fun _ m -> San.Marking.set m up 1);
+  San.Model.Builder.build b
+
+let perf_tests () =
+  let two_state = bench_two_state () in
+  let ts_cfg = Sim.Executor.config ~horizon:100.0 () in
+  let itua_handles = Itua.Model.build Itua.Params.default in
+  let itua_cfg = Sim.Executor.config ~horizon:10.0 () in
+  let counter = ref 0 in
+  let next_stream () =
+    incr counter;
+    Prng.Stream.create ~seed:(Int64.of_int !counter)
+  in
+  [
+    Bechamel.Test.make ~name:"executor: two-state, 100h horizon"
+      (Bechamel.Staged.stage (fun () ->
+           ignore
+             (Sim.Executor.run ~model:two_state ~config:ts_cfg
+                ~stream:(next_stream ()) ~observer:Sim.Observer.nop)));
+    Bechamel.Test.make ~name:"executor: ITUA 10x3/4 apps, 10h replication"
+      (Bechamel.Staged.stage (fun () ->
+           ignore
+             (Sim.Executor.run ~model:itua_handles.Itua.Model.model
+                ~config:itua_cfg ~stream:(next_stream ())
+                ~observer:Sim.Observer.nop)));
+    Bechamel.Test.make ~name:"model build: ITUA 10x3/4 apps"
+      (Bechamel.Staged.stage (fun () ->
+           ignore (Itua.Model.build Itua.Params.default)));
+  ]
+
+let run_perf () =
+  let open Bechamel in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~kde:(Some 100) ()
+  in
+  let raw =
+    List.map
+      (fun test -> Benchmark.all cfg instances test)
+      (List.map (fun t -> Test.make_grouped ~name:"engine" [ t ]) (perf_tests ()))
+  in
+  Format.printf "@.Engine micro-benchmarks (monotonic clock):@.";
+  List.iter
+    (fun results ->
+      Hashtbl.iter
+        (fun name raw_results ->
+          let ols =
+            Analyze.ols ~bootstrap:0 ~r_square:false
+              ~predictors:[| Measure.run |]
+          in
+          let est =
+            Analyze.one ols Toolkit.Instance.monotonic_clock raw_results
+          in
+          match Analyze.OLS.estimates est with
+          | Some [ ns_per_run ] ->
+              Format.printf "  %-45s %12.0f ns/run@." name ns_per_run
+          | Some _ | None -> Format.printf "  %-45s (no estimate)@." name)
+        results)
+    raw
+
+(* --- main --- *)
+
+let usage () =
+  print_endline
+    "usage: main.exe [fig3|fig4|fig5|fig3a..fig5d|all|sens|ablate|traj|perf]...\n\
+     default: all figures followed by perf";
+  exit 2
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let cfg = config () in
+  Format.printf
+    "ITUA reproduction harness: %d replications per point, seed %Ld, %d \
+     domains@."
+    cfg.Itua.Study.reps cfg.Itua.Study.seed cfg.Itua.Study.domains;
+  let known_panels =
+    [ "fig3a"; "fig3b"; "fig3c"; "fig3d"; "fig4a"; "fig4b"; "fig4c"; "fig4d";
+      "fig5a"; "fig5b"; "fig5c"; "fig5d" ]
+  in
+  let valid =
+    [ "all"; "perf"; "fig3"; "fig4"; "fig5"; "sens"; "ablate"; "traj" ] @ known_panels
+  in
+  List.iter (fun a -> if not (List.mem a valid) then usage ()) args;
+  let args = if args = [] then [ "all"; "perf" ] else args in
+  let wants_figure fig = List.exists (fun a ->
+      a = "all" || a = fig
+      || (String.length a > 4 && String.sub a 0 4 = fig)) args
+  in
+  let panels = ref [] in
+  if wants_figure "fig3" then panels := !panels @ Itua.Study.fig3 ~config:cfg ();
+  if wants_figure "fig4" then panels := !panels @ Itua.Study.fig4 ~config:cfg ();
+  if wants_figure "fig5" then panels := !panels @ Itua.Study.fig5 ~config:cfg ();
+  let selected =
+    List.filter
+      (fun (id, _) ->
+        List.exists
+          (fun a -> a = "all" || a = id || a = String.sub id 0 4)
+          args)
+      !panels
+  in
+  if selected <> [] then print_panels selected;
+  if List.mem "sens" args then print_panels (Itua.Study.sensitivity ~config:cfg ());
+  if List.mem "traj" args then print_panels (Itua.Study.trajectory ~config:cfg ());
+  if List.mem "ablate" args then print_panels (Itua.Study.ablation ~config:cfg ());
+  if List.mem "perf" args then run_perf ()

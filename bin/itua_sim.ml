@@ -1,0 +1,253 @@
+(* itua-sim: command-line interface to the ITUA reproduction.
+
+   Subcommands:
+     run        simulate one configuration and print the measures
+     study      regenerate the paper's figures (tables + CSV)
+     structure  show the composed-model structure, optionally DOT export *)
+
+open Cmdliner
+
+(* --- shared parameter flags --- *)
+
+let domains_arg =
+  Arg.(value & opt int 10 & info [ "domains" ] ~docv:"N"
+         ~doc:"Number of security domains.")
+
+let hosts_arg =
+  Arg.(value & opt int 3 & info [ "hosts-per-domain" ] ~docv:"N"
+         ~doc:"Hosts in each security domain.")
+
+let apps_arg =
+  Arg.(value & opt int 4 & info [ "apps" ] ~docv:"N"
+         ~doc:"Number of replicated applications.")
+
+let reps_per_app_arg =
+  Arg.(value & opt int 7 & info [ "replicas" ] ~docv:"N"
+         ~doc:"Replicas per application.")
+
+let policy_arg =
+  let policy_conv =
+    Arg.enum
+      [ ("domain", Itua.Params.Domain_exclusion);
+        ("host", Itua.Params.Host_exclusion) ]
+  in
+  Arg.(value & opt policy_conv Itua.Params.Domain_exclusion
+       & info [ "policy" ] ~docv:"domain|host"
+           ~doc:"Exclusion policy on detection of a corruption.")
+
+let multiplier_arg =
+  Arg.(value & opt float 2.0 & info [ "multiplier" ] ~docv:"M"
+         ~doc:"Vulnerability multiplier for replicas/managers on corrupt \
+               hosts.")
+
+let spread_arg =
+  Arg.(value & opt float 1.0 & info [ "spread" ] ~docv:"RATE"
+         ~doc:"Within-domain attack spread rate (and spread effect).")
+
+let scale_arg =
+  Arg.(value & opt float 0.4 & info [ "rate-scale" ] ~docv:"S"
+         ~doc:"Calibration factor on the derived per-entity rates; 1.0 is \
+               the literal reading of the paper's cumulative rates.")
+
+let horizon_arg =
+  Arg.(value & opt float 10.0 & info [ "horizon" ] ~docv:"HOURS"
+         ~doc:"Length of the observed interval.")
+
+let n_reps_arg =
+  Arg.(value & opt int 2000 & info [ "reps" ] ~docv:"N"
+         ~doc:"Independent simulation replications.")
+
+let seed_arg =
+  Arg.(value & opt int64 20030622L & info [ "seed" ] ~docv:"SEED"
+         ~doc:"Random seed; replication i always uses substream i.")
+
+let cores_arg =
+  Arg.(value & opt int (Sim.Runner.default_domains ())
+       & info [ "cores" ] ~docv:"N"
+           ~doc:"OCaml domains used to parallelize replications.")
+
+let params_of domains hosts apps replicas policy multiplier spread scale =
+  let p =
+    {
+      Itua.Params.default with
+      Itua.Params.num_domains = domains;
+      hosts_per_domain = hosts;
+      num_apps = apps;
+      num_reps = replicas;
+      policy;
+      corruption_multiplier = multiplier;
+      spread_rate_domain = spread;
+      spread_effect_domain = spread;
+      rate_scale = scale;
+    }
+  in
+  match Itua.Params.validate p with
+  | Ok () -> p
+  | Error msg ->
+      Format.eprintf "invalid parameters: %s@." msg;
+      exit 2
+
+(* --- run --- *)
+
+let run_cmd =
+  let run domains hosts apps replicas policy multiplier spread scale horizon
+      reps seed cores =
+    let p = params_of domains hosts apps replicas policy multiplier spread scale in
+    let h = Itua.Model.build p in
+    Format.printf "%a@.@." Itua.Params.pp p;
+    let spec =
+      Sim.Runner.spec ~model:h.Itua.Model.model ~horizon
+        [
+          Itua.Measures.unavailability h ~until:horizon;
+          Itua.Measures.unreliability h ~until:horizon;
+          Itua.Measures.fraction_corrupt_in_excluded h;
+          Itua.Measures.fraction_domains_excluded h ~at:horizon;
+          Itua.Measures.replicas_running h ~at:horizon;
+          Itua.Measures.load_per_host h ~at:horizon;
+        ]
+    in
+    let results = Sim.Runner.run ~domains:cores ~seed ~reps spec in
+    Format.printf "Measures over [0, %g] hours (%d replications):@." horizon
+      reps;
+    List.iter
+      (fun (r : Sim.Runner.result) ->
+        Format.printf "  %-34s %a  (defined %d/%d)@." r.name Stats.Ci.pp r.ci
+          r.n_defined r.n_runs)
+      results
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Simulate one ITUA configuration")
+    Term.(
+      const run $ domains_arg $ hosts_arg $ apps_arg $ reps_per_app_arg
+      $ policy_arg $ multiplier_arg $ spread_arg $ scale_arg $ horizon_arg
+      $ n_reps_arg $ seed_arg $ cores_arg)
+
+(* --- study --- *)
+
+let study_cmd =
+  let figure_arg =
+    Arg.(required & pos 0 (some (enum
+      [ ("fig3", `Fig3); ("fig4", `Fig4); ("fig5", `Fig5); ("all", `All) ]))
+      None
+      & info [] ~docv:"fig3|fig4|fig5|all")
+  in
+  let csv_dir_arg =
+    Arg.(value & opt (some string) None & info [ "csv-dir" ] ~docv:"DIR"
+           ~doc:"Also write one CSV per panel into $(docv).")
+  in
+  let run figure reps seed cores csv_dir =
+    let config = { Itua.Study.reps; seed; domains = cores } in
+    let panels =
+      match figure with
+      | `Fig3 -> Itua.Study.fig3 ~config ()
+      | `Fig4 -> Itua.Study.fig4 ~config ()
+      | `Fig5 -> Itua.Study.fig5 ~config ()
+      | `All -> Itua.Study.all ~config ()
+    in
+    List.iter
+      (fun (id, table) ->
+        Format.printf "@.%a" Report.pp_text table;
+        match csv_dir with
+        | None -> ()
+        | Some dir ->
+            if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+            let path = Filename.concat dir (id ^ ".csv") in
+            Report.write_csv path table;
+            Format.printf "  [csv: %s]@." path)
+      panels;
+    Format.printf "@.Shape checks against the paper:@.";
+    List.iter
+      (fun (label, ok) ->
+        Format.printf "  [%s] %s@." (if ok then "PASS" else "FAIL") label)
+      (Itua.Study.shape_checks panels)
+  in
+  Cmd.v
+    (Cmd.info "study" ~doc:"Regenerate the paper's design studies (Section 4)")
+    Term.(const run $ figure_arg $ n_reps_arg $ seed_arg $ cores_arg
+          $ csv_dir_arg)
+
+(* --- lint --- *)
+
+let lint_cmd =
+  let run domains hosts apps replicas policy multiplier spread scale =
+    let p = params_of domains hosts apps replicas policy multiplier spread scale in
+    let h = Itua.Model.build p in
+    match Sim.Lint.undeclared_reads h.Itua.Model.model with
+    | [] ->
+        Format.printf
+          "no undeclared reads detected (dynamic check over sampled markings)@."
+    | vs ->
+        List.iter (fun v -> Format.printf "%a@." Sim.Lint.pp_violation v) vs;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Check the model's declared activity read sets dynamically")
+    Term.(
+      const run $ domains_arg $ hosts_arg $ apps_arg $ reps_per_app_arg
+      $ policy_arg $ multiplier_arg $ spread_arg $ scale_arg)
+
+(* --- mtta (exact, tiny configurations) --- *)
+
+let mtta_cmd =
+  let run multiplier scale =
+    (* Only forced-choice configurations are analytically explorable. *)
+    let p =
+      params_of 1 1 1 1 Itua.Params.Domain_exclusion multiplier 1.0 scale
+    in
+    let h = Itua.Model.build p in
+    Format.printf
+      "Exact CTMC analysis of the 1-domain/1-host/1-app/1-replica system@.";
+    (match Ctmc.Explore.explore h.Itua.Model.model with
+    | c ->
+        Format.printf "  states: %d@." (Ctmc.Explore.n_states c);
+        Format.printf "  mean time to full degradation: %.4f hours@."
+          (Ctmc.Absorb.mean_time_to_absorption c);
+        List.iter
+          (fun t ->
+            Format.printf "  unreliability [0,%g]: %.6f@." t
+              (Ctmc.Measure.ever c ~until:t (fun m ->
+                   Itua.Model.improper h 0 m)))
+          [ 5.0; 10.0; 24.0 ]
+    | exception Ctmc.Explore.Non_markovian msg ->
+        Format.eprintf "model is not Markovian: %s@." msg;
+        exit 1)
+  in
+  Cmd.v
+    (Cmd.info "mtta"
+       ~doc:"Exact mean time to full degradation of the minimal system")
+    Term.(const run $ multiplier_arg $ scale_arg)
+
+(* --- structure --- *)
+
+let structure_cmd =
+  let dot_arg =
+    Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE"
+           ~doc:"Write a GraphViz rendering of the flattened SAN to $(docv).")
+  in
+  let run domains hosts apps replicas policy multiplier spread scale dot =
+    let p = params_of domains hosts apps replicas policy multiplier spread scale in
+    let h = Itua.Model.build p in
+    Format.printf "%a@.@." Itua.Params.pp p;
+    Format.printf "Composition tree:@.%s@." h.Itua.Model.structure;
+    Format.printf "%a@." San.Model.pp_summary h.Itua.Model.model;
+    match dot with
+    | None -> ()
+    | Some path ->
+        San.Dot.write_file path h.Itua.Model.model;
+        Format.printf "DOT written to %s@." path
+  in
+  Cmd.v
+    (Cmd.info "structure" ~doc:"Show the composed model's structure")
+    Term.(
+      const run $ domains_arg $ hosts_arg $ apps_arg $ reps_per_app_arg
+      $ policy_arg $ multiplier_arg $ spread_arg $ scale_arg $ dot_arg)
+
+let () =
+  let doc =
+    "probabilistic validation of the ITUA intrusion-tolerant replication \
+     system (Singh, Cukier & Sanders, DSN 2003)"
+  in
+  let info = Cmd.info "itua-sim" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info [ run_cmd; study_cmd; structure_cmd; lint_cmd; mtta_cmd ]))

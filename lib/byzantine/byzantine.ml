@@ -1,0 +1,160 @@
+type value = Attack | Retreat
+
+let default_value = Retreat
+
+let pp_value ppf = function
+  | Attack -> Format.pp_print_string ppf "attack"
+  | Retreat -> Format.pp_print_string ppf "retreat"
+
+type strategy = path:int list -> receiver:int -> value -> value
+
+let loyal_strategy ~path:_ ~receiver:_ v = v
+let inverting_strategy ~path:_ ~receiver:_ = function
+  | Attack -> Retreat
+  | Retreat -> Attack
+
+let split_strategy ~path:_ ~receiver v =
+  ignore v;
+  if receiver mod 2 = 0 then Attack else Retreat
+
+let random_strategy stream ~path:_ ~receiver:_ v =
+  ignore v;
+  if Prng.Stream.bool stream then Attack else Retreat
+
+let majority votes =
+  let attack = List.length (List.filter (fun v -> v = Attack) votes) in
+  let retreat = List.length votes - attack in
+  if attack > retreat then Attack
+  else if retreat > attack then Retreat
+  else default_value
+
+module Om = struct
+  (* [om] returns each lieutenant's adopted value for the sub-protocol in
+     which [commander] broadcasts [value] to [lieutenants]; [path] is the
+     relay chain above the commander (for the traitor strategy). *)
+  let rec om ~traitors ~strategy ~rounds ~commander ~lieutenants ~path ~value =
+    let path = path @ [ commander ] in
+    (* Evaluate each send exactly once: a strategy may be stateful (e.g.
+       coin-flipping), but a given message has one value — the lieutenant
+       relays exactly what it received. *)
+    let received =
+      List.map
+        (fun receiver ->
+          let v =
+            if traitors.(commander) then strategy ~path ~receiver value
+            else value
+          in
+          (receiver, v))
+        lieutenants
+    in
+    let sent receiver = List.assoc receiver received in
+    if rounds = 0 then sent
+    else begin
+      (* Step 2: every lieutenant relays its received value to the others
+         through OM(rounds - 1). *)
+      let relays =
+        List.map
+          (fun j ->
+            let others = List.filter (fun l -> l <> j) lieutenants in
+            ( j,
+              om ~traitors ~strategy ~rounds:(rounds - 1) ~commander:j
+                ~lieutenants:others ~path ~value:(sent j) ))
+          lieutenants
+      in
+      (* Step 3: lieutenant l takes the majority of its own received value
+         and the relayed values. *)
+      fun l ->
+        let votes =
+          List.map (fun (j, relay) -> if j = l then sent l else relay l) relays
+        in
+        majority votes
+    end
+
+  let decide ~n ~rounds ~traitors ~strategy ~commander_value =
+    if n < 2 then invalid_arg "Byzantine.Om.decide: n must be >= 2";
+    if rounds < 0 then invalid_arg "Byzantine.Om.decide: rounds must be >= 0";
+    if Array.length traitors <> n then
+      invalid_arg "Byzantine.Om.decide: traitors array must have length n";
+    let lieutenants = List.init (n - 1) (fun i -> i + 1) in
+    let adopted =
+      om ~traitors ~strategy ~rounds ~commander:0 ~lieutenants ~path:[]
+        ~value:commander_value
+    in
+    Array.init n (fun i -> if i = 0 then commander_value else adopted i)
+
+  let interactive_consistency ~decisions ~traitors ~commander_value =
+    let loyal_lieutenants =
+      List.filter
+        (fun i -> not traitors.(i))
+        (List.init (Array.length decisions - 1) (fun i -> i + 1))
+    in
+    match loyal_lieutenants with
+    | [] -> true
+    | first :: rest ->
+        let v = decisions.(first) in
+        let ic1 = List.for_all (fun i -> decisions.(i) = v) rest in
+        let ic2 = traitors.(0) || v = commander_value in
+        ic1 && ic2
+end
+
+module Sm = struct
+  (* A message is a value plus its (unforgeable) signature chain; the
+     first signer is the commander, so a value is bound to its chain. *)
+  type message = { v : value; chain : int list }
+
+  let decide ~n ~rounds ~traitors ~strategy ~commander_value =
+    if n < 2 then invalid_arg "Byzantine.Sm.decide: n must be >= 2";
+    if rounds < 0 then invalid_arg "Byzantine.Sm.decide: rounds must be >= 0";
+    if Array.length traitors <> n then
+      invalid_arg "Byzantine.Sm.decide: traitors array must have length n";
+    (* Accepted value sets and the frontier of fresh messages per process. *)
+    let accepted = Array.make n [] in
+    let fresh = Array.make n [] in
+    let accept i msg =
+      if not (List.mem msg.v accepted.(i)) then
+        accepted.(i) <- msg.v :: accepted.(i);
+      fresh.(i) <- msg :: fresh.(i)
+    in
+    (* Round 0: the commander signs and sends.  A traitorous commander may
+       sign different orders for different receivers. *)
+    for i = 1 to n - 1 do
+      let v =
+        if traitors.(0) then strategy ~path:[ 0 ] ~receiver:i commander_value
+        else commander_value
+      in
+      accept i { v; chain = [ 0 ] }
+    done;
+    (* Rounds 1..rounds: relay fresh messages with one more signature.
+       Loyal processes relay faithfully; a traitor relays selectively (it
+       cannot alter a signed value, only withhold it). *)
+    for _ = 1 to rounds do
+      let outgoing = Array.map (fun msgs -> msgs) fresh in
+      Array.iteri (fun i _ -> fresh.(i) <- []) fresh;
+      Array.iteri
+        (fun sender msgs ->
+          if sender > 0 then
+            List.iter
+              (fun msg ->
+                let chain = msg.chain @ [ sender ] in
+                for receiver = 1 to n - 1 do
+                  if (not (List.mem receiver chain)) && receiver <> sender then begin
+                    let forward =
+                      if traitors.(sender) then
+                        (* Selective forwarding: the strategy agreeing with
+                           the signed value means "forward". *)
+                        strategy ~path:chain ~receiver msg.v = msg.v
+                      else true
+                    in
+                    if forward then accept receiver { msg with chain }
+                  end
+                done)
+              msgs)
+        outgoing
+    done;
+    Array.init n (fun i ->
+        if i = 0 then commander_value
+        else
+          match List.sort_uniq compare accepted.(i) with
+          | [ v ] -> v
+          | [] | _ :: _ -> default_value)
+end

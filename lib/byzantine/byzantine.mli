@@ -1,0 +1,88 @@
+(** Byzantine agreement substrate.
+
+    The ITUA model assumes "Byzantine fault tolerance using authenticated
+    Byzantine agreement": a group reaches consensus whenever fewer than a
+    third of its currently active members are corrupt, which is the
+    [3·corrupt < running] predicate appearing in the replication-group and
+    manager-group logic. This library implements the two classical
+    Lamport–Shostak–Pease algorithms that justify that abstraction:
+
+    {ul
+    {- {!Om}: the oral-messages algorithm OM(m), which satisfies the
+       interactive-consistency conditions exactly when [n > 3m] — the
+       origin of the one-third threshold;}
+    {- {!Sm}: the signed-messages algorithm SM(m), which tolerates any
+       number of traitors — the "authenticated" strengthening the ITUA
+       middleware relies on to always convict misbehaving replicas whose
+       messages carry valid signatures.}}
+
+    Processes are numbered [0 .. n-1]; process 0 is the commander. A
+    {e traitor strategy} decides what a corrupt process sends in place of
+    each relayed value, as a function of the message path; loyal processes
+    follow the protocol. The implementations favour clarity over message
+    complexity (OM(m) is inherently exponential). *)
+
+type value = Attack | Retreat
+
+val default_value : value
+(** The fallback order, [Retreat] (the paper's "default" value). *)
+
+val pp_value : Format.formatter -> value -> unit
+
+type strategy = path:int list -> receiver:int -> value -> value
+(** What a traitor sends: given the chain of relayers so far ([path],
+    commander first), the receiver, and the value a loyal process would
+    have sent, produce the value actually sent. Loyal processes ignore
+    the strategy. *)
+
+val loyal_strategy : strategy
+(** Sends what the protocol dictates (used for loyal processes). *)
+
+val inverting_strategy : strategy
+(** Always sends the opposite value. *)
+
+val split_strategy : strategy
+(** Sends [Attack] to even receivers, [Retreat] to odd — the classic
+    three-generals counterexample strategy. *)
+
+val random_strategy : Prng.Stream.t -> strategy
+(** Flips a fair coin per message. *)
+
+(** Oral messages: OM(m). *)
+module Om : sig
+  val decide :
+    n:int ->
+    rounds:int ->
+    traitors:bool array ->
+    strategy:strategy ->
+    commander_value:value ->
+    value array
+  (** [decide ~n ~rounds ~traitors ~strategy ~commander_value] runs
+      OM(rounds) among [n] processes ([traitors.(i)] marks process [i]
+      corrupt) and returns each process's decision. Entries of traitors
+      are their own (meaningless) decisions; read only loyal entries.
+      Requires [n >= 2], [rounds >= 0], [Array.length traitors = n]. *)
+
+  val interactive_consistency :
+    decisions:value array -> traitors:bool array ->
+    commander_value:value -> bool
+  (** Checks IC1 (all loyal lieutenants agree) and IC2 (if the commander
+      is loyal, they agree on its value). *)
+end
+
+(** Signed messages: SM(m). Signatures are unforgeable by construction —
+    a traitor can extend a signature chain only with its own id. *)
+module Sm : sig
+  val decide :
+    n:int ->
+    rounds:int ->
+    traitors:bool array ->
+    strategy:strategy ->
+    commander_value:value ->
+    value array
+  (** [decide ~n ~rounds ...] runs SM(rounds). With [rounds >= number of
+      traitors], IC1 and IC2 hold for {e any} number of traitors. A
+      traitorous commander may sign both orders; loyal processes that see
+      two differently-signed orders fall back to {!default_value} —
+      together. *)
+end

@@ -1,0 +1,88 @@
+type node = {
+  label : string;
+  kind : kind;
+  mutable children : node list;  (* reversed *)
+}
+
+and kind = Root | Rep of int | Join_branch
+
+module Ctx = struct
+  type t = { b : San.Model.Builder.t; path : string list; node : node }
+
+  let root b name = { b; path = []; node = { label = name; kind = Root; children = [] } }
+
+  let builder ctx = ctx.b
+
+  let path ctx = String.concat "." (List.rev ctx.path)
+
+  let qualify ctx s =
+    match ctx.path with [] -> s | _ -> path ctx ^ "." ^ s
+
+  let int_place ctx ?init s =
+    San.Model.Builder.int_place ctx.b ?init (qualify ctx s)
+
+  let float_place ctx ?init s =
+    San.Model.Builder.float_place ctx.b ?init (qualify ctx s)
+
+  let timed ctx ~name ?policy ~dist ~enabled ~reads cases =
+    San.Model.Builder.timed ctx.b ~name:(qualify ctx name) ?policy ~dist
+      ~enabled ~reads cases
+
+  let timed_exp ctx ~name ?policy ~rate ~enabled ~reads effect =
+    San.Model.Builder.timed_exp ctx.b ~name:(qualify ctx name) ?policy ~rate
+      ~enabled ~reads effect
+
+  let timed_exp_cases ctx ~name ?policy ~rate ~enabled ~reads cases =
+    San.Model.Builder.timed_exp_cases ctx.b ~name:(qualify ctx name) ?policy
+      ~rate ~enabled ~reads cases
+
+  let instantaneous ctx ~name ~enabled ~reads effect =
+    San.Model.Builder.instantaneous ctx.b ~name:(qualify ctx name) ~enabled
+      ~reads effect
+
+  let child ctx label kind =
+    let node = { label; kind; children = [] } in
+    ctx.node.children <- node :: ctx.node.children;
+    { b = ctx.b; path = label :: ctx.path; node }
+end
+
+let replicate ctx label ~n build =
+  if n <= 0 then invalid_arg "Compose.replicate: n must be >= 1";
+  Array.init n (fun i ->
+      let child = Ctx.child ctx (Printf.sprintf "%s[%d]" label i) (Rep n) in
+      build child i)
+
+let join ctx label build = build (Ctx.child ctx label Join_branch)
+
+let structure ctx =
+  let buf = Buffer.create 256 in
+  let rec render indent node =
+    let prefix = String.make indent ' ' in
+    let suffix =
+      match node.kind with
+      | Root -> ""
+      | Rep n -> Printf.sprintf " (Rep, %d copies)" n
+      | Join_branch -> " (Join branch)"
+    in
+    Buffer.add_string buf (prefix ^ node.label ^ suffix ^ "\n");
+    (* Collapse structurally identical Rep siblings: print the first copy
+       of each label family and note the count. *)
+    let children = List.rev node.children in
+    let seen = Hashtbl.create 8 in
+    List.iter
+      (fun c ->
+        let family =
+          match String.index_opt c.label '[' with
+          | Some i -> String.sub c.label 0 i
+          | None -> c.label
+        in
+        match c.kind with
+        | Rep _ when Hashtbl.mem seen family -> ()
+        | Rep _ ->
+            Hashtbl.add seen family ();
+            render (indent + 2) c
+        | Root | Join_branch -> render (indent + 2) c)
+      children
+  in
+  render 0 ctx.Ctx.node;
+  Buffer.contents buf

@@ -1,0 +1,97 @@
+(** Möbius-style composed models: Replicate and Join over atomic SANs.
+
+    In Möbius, a composed model is a tree whose leaves are atomic SANs and
+    whose internal nodes are [Rep] (n structurally identical copies of a
+    submodel) and [Join] (distinct submodels side by side); submodels
+    communicate exclusively through {e shared places} held at an ancestor
+    node. This module provides the same discipline on top of
+    {!San.Model.Builder}:
+
+    {ul
+    {- a {!Ctx.t} carries the position in the composition tree and
+       namespaces every place and activity it creates
+       (["app[2].replica[3].corrupt"]), so generated names never collide;}
+    {- places created at a node are {e shared} by every submodel built
+       beneath it — sharing is expressed by ordinary lexical capture: build
+       the place at the ancestor, pass it to the children;}
+    {- {!replicate} and {!join} build the tree and record its shape, which
+       {!structure} renders for inspection (mirroring the paper's
+       Figure 2(a)).}}
+
+    All submodels end up in one flat {!San.Model.t}, exactly like Möbius
+    flattens a composed model before solution. *)
+
+module Ctx : sig
+  type t
+
+  val root : San.Model.Builder.t -> string -> t
+  (** [root builder name] is the composition-tree root. *)
+
+  val builder : t -> San.Model.Builder.t
+  val path : t -> string
+  (** Dotted path of this node, e.g. ["itua.app[1].replica[4]"] (without
+      the root name). *)
+
+  val qualify : t -> string -> string
+  (** [qualify ctx s] prefixes [s] with the node path. *)
+
+  val int_place : t -> ?init:int -> string -> San.Place.t
+  (** Creates a namespaced int place owned by this node. A place created on
+      a node is shared by (visible to) everything built below that node. *)
+
+  val float_place : t -> ?init:float -> string -> San.Place.fl
+
+  val timed :
+    t ->
+    name:string ->
+    ?policy:San.Activity.policy ->
+    dist:(San.Marking.t -> Dist.t) ->
+    enabled:(San.Marking.t -> bool) ->
+    reads:San.Place.any list ->
+    San.Activity.case list ->
+    unit
+
+  val timed_exp :
+    t ->
+    name:string ->
+    ?policy:San.Activity.policy ->
+    rate:(San.Marking.t -> float) ->
+    enabled:(San.Marking.t -> bool) ->
+    reads:San.Place.any list ->
+    (San.Activity.ctx -> San.Marking.t -> unit) ->
+    unit
+
+  val timed_exp_cases :
+    t ->
+    name:string ->
+    ?policy:San.Activity.policy ->
+    rate:(San.Marking.t -> float) ->
+    enabled:(San.Marking.t -> bool) ->
+    reads:San.Place.any list ->
+    (float * (San.Activity.ctx -> San.Marking.t -> unit)) list ->
+    unit
+
+  val instantaneous :
+    t ->
+    name:string ->
+    enabled:(San.Marking.t -> bool) ->
+    reads:San.Place.any list ->
+    (San.Activity.ctx -> San.Marking.t -> unit) ->
+    unit
+end
+
+val replicate : Ctx.t -> string -> n:int -> (Ctx.t -> int -> 'a) -> 'a array
+(** [replicate ctx label ~n build] creates [n] child contexts
+    [label[0] .. label[n-1]] and applies [build] to each: the Rep node.
+    Places the children create are local to each copy; places from [ctx]
+    (or above) that [build] captures are the Rep node's shared places. *)
+
+val join : Ctx.t -> string -> (Ctx.t -> 'a) -> 'a
+(** [join ctx label build] creates one named child context: a branch of a
+    Join node. Distinct branches of a Join are expressed as successive
+    [join] calls on the same parent. *)
+
+val structure : Ctx.t -> string
+(** Rendering of the composition tree rooted at this node (indented, one
+    node per line, with Rep cardinalities), computed from the
+    [replicate]/[join] calls performed so far. *)

@@ -1,0 +1,215 @@
+exception Non_markovian of string
+exception Vanishing_loop of string
+exception Too_many_states of int
+
+type key = int array * float array
+
+type t = {
+  model : San.Model.t;
+  states : key array;
+  initial_dist : (int * float) list;
+  transitions : (int * float) list array;
+  exit_rates : float array;
+}
+
+let ctx = { San.Activity.time = 0.0; stream = None }
+
+let key_of_marking m = (San.Marking.int_snapshot m, San.Marking.float_snapshot m)
+
+let restore model ((ints, floats) : key) =
+  let m = San.Model.initial_marking model in
+  Array.iteri (fun i p -> San.Marking.set m p ints.(i)) (San.Model.places model);
+  Array.iteri
+    (fun i p -> San.Marking.fset m p floats.(i))
+    (San.Model.float_places model);
+  San.Marking.clear_journal m;
+  m
+
+let enabled_instantaneous model m =
+  Array.fold_left
+    (fun acc (a : San.Activity.t) ->
+      if San.Activity.is_instantaneous a && a.enabled m then a :: acc else acc)
+    []
+    (San.Model.activities model)
+  |> List.rev
+
+let normalized_weights (a : San.Activity.t) m =
+  let w = Array.map (fun c -> c.San.Activity.case_weight m) a.cases in
+  let total = Array.fold_left ( +. ) 0.0 w in
+  if not (total > 0.0) then
+    raise
+      (Non_markovian
+         (Printf.sprintf "activity %s: case weights sum to %g" a.name total));
+  Array.map (fun x -> x /. total) w
+
+(* Resolve a marking into its stable-marking distribution by eliminating
+   chains of instantaneous firings: uniform choice among the enabled
+   instantaneous activities, case probabilities within each.  A cycle of
+   vanishing markings shows up as unbounded recursion depth. *)
+let resolve_vanishing model m0 =
+  let acc = Hashtbl.create 8 in
+  let max_depth = 10_000 in
+  let rec go m prob depth =
+    if depth > max_depth then
+      raise
+        (Vanishing_loop
+           "instantaneous activities did not stabilize (cycle suspected)");
+    match enabled_instantaneous model m with
+    | [] ->
+        let k = key_of_marking m in
+        let prev = Option.value ~default:0.0 (Hashtbl.find_opt acc k) in
+        Hashtbl.replace acc k (prev +. prob)
+    | enabled ->
+        let p_act = prob /. float_of_int (List.length enabled) in
+        List.iter
+          (fun (a : San.Activity.t) ->
+            let weights = normalized_weights a m in
+            Array.iteri
+              (fun case w ->
+                if w > 0.0 then begin
+                  let m' = San.Marking.copy m in
+                  a.cases.(case).San.Activity.effect ctx m';
+                  go m' (p_act *. w) (depth + 1)
+                end)
+              weights
+          )
+          enabled
+  in
+  go m0 1.0 0;
+  Hashtbl.fold (fun k p l -> (k, p) :: l) acc []
+
+(* Growable array of state keys. *)
+module Pool = struct
+  type nonrec t = {
+    mutable arr : key array;
+    mutable size : int;
+    index : (key, int) Hashtbl.t;
+  }
+
+  let dummy_key : key = ([||], [||])
+
+  let create () =
+    { arr = Array.make 256 dummy_key; size = 0; index = Hashtbl.create 1024 }
+
+  (* Returns (id, freshly created?). *)
+  let intern p ~max_states k =
+    match Hashtbl.find_opt p.index k with
+    | Some i -> (i, false)
+    | None ->
+        if p.size >= max_states then raise (Too_many_states max_states);
+        if p.size = Array.length p.arr then begin
+          let arr = Array.make (2 * p.size) dummy_key in
+          Array.blit p.arr 0 arr 0 p.size;
+          p.arr <- arr
+        end;
+        let i = p.size in
+        p.arr.(i) <- k;
+        p.size <- p.size + 1;
+        Hashtbl.add p.index k i;
+        (i, true)
+end
+
+let explore ?(max_states = 200_000) model =
+  let pool = Pool.create () in
+  let frontier = Queue.create () in
+  let intern k =
+    let i, fresh = Pool.intern pool ~max_states k in
+    if fresh then Queue.add i frontier;
+    i
+  in
+  let initial_dist =
+    resolve_vanishing model (San.Model.initial_marking model)
+    |> List.map (fun (k, p) -> (intern k, p))
+  in
+  let transitions = ref [] (* (source, target, rate), reversed *) in
+  while not (Queue.is_empty frontier) do
+    let i = Queue.pop frontier in
+    let m = restore model pool.Pool.arr.(i) in
+    Array.iter
+      (fun (a : San.Activity.t) ->
+        match a.San.Activity.timing with
+        | San.Activity.Instantaneous -> ()
+        | San.Activity.Timed { dist; _ } ->
+            if a.enabled m then begin
+              let rate =
+                match Dist.rate_of_exponential (dist m) with
+                | Some r -> r
+                | None ->
+                    raise
+                      (Non_markovian
+                         (Printf.sprintf
+                            "activity %s has non-exponential distribution %s"
+                            a.name
+                            (Format.asprintf "%a" Dist.pp (dist m))))
+              in
+              if rate > 0.0 then begin
+                let weights = normalized_weights a m in
+                Array.iteri
+                  (fun case w ->
+                    if w > 0.0 then begin
+                      let m' = San.Marking.copy m in
+                      a.cases.(case).San.Activity.effect ctx m';
+                      List.iter
+                        (fun (k, p) ->
+                          let j = intern k in
+                          if j <> i then
+                            transitions :=
+                              (i, j, rate *. w *. p) :: !transitions)
+                        (resolve_vanishing model m')
+                    end)
+                  weights
+              end
+            end)
+      (San.Model.activities model)
+  done;
+  let n = pool.Pool.size in
+  let merged = Array.make n [] in
+  (* Merge parallel transitions (same source and target). *)
+  let per_source = Array.make n [] in
+  List.iter
+    (fun (i, j, r) -> per_source.(i) <- (j, r) :: per_source.(i))
+    !transitions;
+  for i = 0 to n - 1 do
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun (j, r) ->
+        let prev = Option.value ~default:0.0 (Hashtbl.find_opt tbl j) in
+        Hashtbl.replace tbl j (prev +. r))
+      per_source.(i);
+    merged.(i) <-
+      Hashtbl.fold (fun j r acc -> (j, r) :: acc) tbl []
+      |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  done;
+  let exit_rates =
+    Array.map (List.fold_left (fun acc (_, r) -> acc +. r) 0.0) merged
+  in
+  {
+    model;
+    states = Array.sub pool.Pool.arr 0 n;
+    initial_dist;
+    transitions = merged;
+    exit_rates;
+  }
+
+let n_states c = Array.length c.states
+let initial_dist c = c.initial_dist
+let transitions c i = c.transitions.(i)
+let exit_rate c i = c.exit_rates.(i)
+let marking c i = restore c.model c.states.(i)
+
+let eval c f = Array.init (n_states c) (fun i -> f (marking c i))
+
+let max_exit_rate c = Array.fold_left Float.max 0.0 c.exit_rates
+
+let make_absorbing c is_absorbing =
+  {
+    c with
+    transitions =
+      Array.mapi
+        (fun i ts -> if is_absorbing i then [] else ts)
+        c.transitions;
+    exit_rates =
+      Array.mapi
+        (fun i r -> if is_absorbing i then 0.0 else r)
+        c.exit_rates;
+  }

@@ -1,0 +1,55 @@
+(** State-space generation: SAN → continuous-time Markov chain.
+
+    Reproduces Möbius's analytical path: starting from the initial
+    marking, instantaneous activities are eliminated on the fly
+    ({e vanishing-marking elimination}: each vanishing marking is resolved
+    into a probability distribution over the stable markings reached
+    through chains of instantaneous firings), and every timed activity
+    must be exponentially distributed in every explored marking.
+
+    Limits: effects must be deterministic given the marking (an effect
+    that draws from the random stream raises through
+    {!San.Activity.stream_exn}), and the reachable stable state space must
+    be finite (bounded by [max_states]). *)
+
+exception Non_markovian of string
+(** A timed activity had a non-exponential distribution in some reachable
+    marking. *)
+
+exception Vanishing_loop of string
+(** A chain of instantaneous firings did not terminate. *)
+
+exception Too_many_states of int
+(** Exploration exceeded [max_states]. *)
+
+type t
+
+val explore : ?max_states:int -> San.Model.t -> t
+(** Builds the CTMC. Default [max_states] is 200_000. *)
+
+val n_states : t -> int
+
+val initial_dist : t -> (int * float) list
+(** Distribution over states at t = 0 (the initial marking can resolve
+    through random instantaneous choices into several stable states). *)
+
+val transitions : t -> int -> (int * float) list
+(** [transitions c i] lists [(j, rate)] with merged parallel transitions
+    and no self-loops. *)
+
+val exit_rate : t -> int -> float
+(** Total outgoing rate of state [i]. *)
+
+val marking : t -> int -> San.Marking.t
+(** The stable marking of state [i] (a shared read-only instance per call;
+    do not mutate). *)
+
+val eval : t -> (San.Marking.t -> float) -> float array
+(** [eval c f] applies a marking function to every state. *)
+
+val max_exit_rate : t -> float
+
+val make_absorbing : t -> (int -> bool) -> t
+(** [make_absorbing c is_absorbing] is the chain with every outgoing
+    transition of the selected states removed — the standard first-passage
+    transformation (see {!Measure.ever}). *)

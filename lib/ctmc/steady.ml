@@ -1,0 +1,32 @@
+let distribution ?(tol = 1e-12) ?(max_iter = 1_000_000) c =
+  let lambda = Float.max (Explore.max_exit_rate c) 1e-9 *. 1.05 in
+  let n = Explore.n_states c in
+  let v = ref (Array.make n 0.0) in
+  List.iter (fun (i, p) -> !v.(i) <- !v.(i) +. p) (Explore.initial_dist c);
+  let delta = ref infinity in
+  let iter = ref 0 in
+  while !delta > tol && !iter < max_iter do
+    incr iter;
+    let w = Array.make n 0.0 in
+    for i = 0 to n - 1 do
+      let vi = !v.(i) in
+      if vi <> 0.0 then begin
+        let out = Explore.exit_rate c i in
+        w.(i) <- w.(i) +. (vi *. (1.0 -. (out /. lambda)));
+        List.iter
+          (fun (j, r) -> w.(j) <- w.(j) +. (vi *. r /. lambda))
+          (Explore.transitions c i)
+      end
+    done;
+    let d = ref 0.0 in
+    for i = 0 to n - 1 do
+      d := !d +. Float.abs (w.(i) -. !v.(i))
+    done;
+    delta := !d;
+    v := w
+  done;
+  if !delta > tol then
+    failwith
+      (Printf.sprintf "Ctmc.Steady: no convergence after %d iterations \
+                       (delta %g)" max_iter !delta);
+  !v

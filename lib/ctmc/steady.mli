@@ -1,0 +1,13 @@
+(** Long-run (steady-state) solution of a CTMC.
+
+    Power iteration on the uniformized DTMC. For an irreducible chain this
+    converges to the stationary distribution; for an absorbing chain it
+    converges to the long-run absorption distribution (from the initial
+    distribution), which is the relevant notion for the ITUA model, whose
+    exclusion dynamics are absorbing. *)
+
+val distribution :
+  ?tol:float -> ?max_iter:int -> Explore.t -> float array
+(** [distribution c] iterates until the L1 change per step falls below
+    [tol] (default 1e-12) or [max_iter] (default 1_000_000) steps.
+    Raises [Failure] if not converged. *)

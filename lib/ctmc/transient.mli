@@ -1,0 +1,14 @@
+(** Transient solution of a CTMC by uniformization (Jensen's method).
+
+    The chain is uniformized at rate Λ ≥ max exit rate into a DTMC
+    P = I + Q/Λ, and π(t) = Σ_k pois(Λt, k) · π₀Pᵏ with the Poisson
+    weights computed in log space (stable for large Λt) and truncated at a
+    configurable mass tolerance. *)
+
+val probabilities : ?epsilon:float -> Explore.t -> t:float -> float array
+(** [probabilities c ~t] is the state-probability vector at time [t].
+    [epsilon] (default 1e-12) bounds the truncated Poisson mass. *)
+
+val accumulated : ?epsilon:float -> Explore.t -> t:float -> float array
+(** [accumulated c ~t] is the expected total time spent in each state over
+    [\[0, t\]] (entries sum to [t]). *)

@@ -1,0 +1,200 @@
+type t =
+  | Exponential of { rate : float }
+  | Deterministic of { value : float }
+  | Uniform of { lo : float; hi : float }
+  | Erlang of { k : int; rate : float }
+  | Gamma of { shape : float; rate : float }
+  | Weibull of { shape : float; scale : float }
+  | Lognormal of { mu : float; sigma : float }
+  | Normal of { mean : float; stddev : float }
+
+let validate = function
+  | Exponential { rate } ->
+      if rate > 0.0 then Ok () else Error "Exponential: rate must be > 0"
+  | Deterministic { value } ->
+      if value >= 0.0 then Ok () else Error "Deterministic: value must be >= 0"
+  | Uniform { lo; hi } ->
+      if lo <= hi then Ok () else Error "Uniform: requires lo <= hi"
+  | Erlang { k; rate } ->
+      if k <= 0 then Error "Erlang: k must be >= 1"
+      else if rate > 0.0 then Ok ()
+      else Error "Erlang: rate must be > 0"
+  | Gamma { shape; rate } ->
+      if shape > 0.0 && rate > 0.0 then Ok ()
+      else Error "Gamma: shape and rate must be > 0"
+  | Weibull { shape; scale } ->
+      if shape > 0.0 && scale > 0.0 then Ok ()
+      else Error "Weibull: shape and scale must be > 0"
+  | Lognormal { mu = _; sigma } ->
+      if sigma > 0.0 then Ok () else Error "Lognormal: sigma must be > 0"
+  | Normal { mean = _; stddev } ->
+      if stddev > 0.0 then Ok () else Error "Normal: stddev must be > 0"
+
+let check d =
+  match validate d with Ok () -> d | Error msg -> invalid_arg ("Dist: " ^ msg)
+
+let sample_exponential rate s = -.log (Prng.Stream.float_pos s) /. rate
+
+(* Polar (Marsaglia) method; consumes a variable number of draws. *)
+let rec sample_std_normal s =
+  let u = Prng.Stream.float_range s (-1.0) 1.0 in
+  let v = Prng.Stream.float_range s (-1.0) 1.0 in
+  let r2 = (u *. u) +. (v *. v) in
+  if r2 >= 1.0 || r2 = 0.0 then sample_std_normal s
+  else u *. sqrt (-2.0 *. log r2 /. r2)
+
+(* Marsaglia & Tsang (2000) for shape >= 1; boosting for shape < 1. *)
+let rec sample_gamma shape rate s =
+  if shape < 1.0 then begin
+    let boost = Prng.Stream.float_pos s ** (1.0 /. shape) in
+    boost *. sample_gamma (shape +. 1.0) rate s
+  end
+  else begin
+    let d = shape -. (1.0 /. 3.0) in
+    let c = 1.0 /. sqrt (9.0 *. d) in
+    let rec draw () =
+      let x = sample_std_normal s in
+      let v = 1.0 +. (c *. x) in
+      if v <= 0.0 then draw ()
+      else begin
+        let v3 = v *. v *. v in
+        let u = Prng.Stream.float_pos s in
+        let x2 = x *. x in
+        if u < 1.0 -. (0.0331 *. x2 *. x2) then d *. v3
+        else if log u < (0.5 *. x2) +. (d *. (1.0 -. v3 +. log v3)) then
+          d *. v3
+        else draw ()
+      end
+    in
+    draw () /. rate
+  end
+
+let sample d s =
+  match check d with
+  | Exponential { rate } -> sample_exponential rate s
+  | Deterministic { value } -> value
+  | Uniform { lo; hi } -> Prng.Stream.float_range s lo hi
+  | Erlang { k; rate } ->
+      let acc = ref 0.0 in
+      for _ = 1 to k do
+        acc := !acc +. sample_exponential rate s
+      done;
+      !acc
+  | Gamma { shape; rate } -> sample_gamma shape rate s
+  | Weibull { shape; scale } ->
+      scale *. ((-.log (Prng.Stream.float_pos s)) ** (1.0 /. shape))
+  | Lognormal { mu; sigma } -> exp (mu +. (sigma *. sample_std_normal s))
+  | Normal { mean; stddev } -> mean +. (stddev *. sample_std_normal s)
+
+let mean d =
+  match check d with
+  | Exponential { rate } -> 1.0 /. rate
+  | Deterministic { value } -> value
+  | Uniform { lo; hi } -> (lo +. hi) /. 2.0
+  | Erlang { k; rate } -> float_of_int k /. rate
+  | Gamma { shape; rate } -> shape /. rate
+  | Weibull { shape; scale } ->
+      scale *. exp (Stats.Specfun.log_gamma (1.0 +. (1.0 /. shape)))
+  | Lognormal { mu; sigma } -> exp (mu +. (sigma *. sigma /. 2.0))
+  | Normal { mean; stddev = _ } -> mean
+
+let variance d =
+  match check d with
+  | Exponential { rate } -> 1.0 /. (rate *. rate)
+  | Deterministic _ -> 0.0
+  | Uniform { lo; hi } ->
+      let w = hi -. lo in
+      w *. w /. 12.0
+  | Erlang { k; rate } -> float_of_int k /. (rate *. rate)
+  | Gamma { shape; rate } -> shape /. (rate *. rate)
+  | Weibull { shape; scale } ->
+      let g1 = exp (Stats.Specfun.log_gamma (1.0 +. (1.0 /. shape))) in
+      let g2 = exp (Stats.Specfun.log_gamma (1.0 +. (2.0 /. shape))) in
+      scale *. scale *. (g2 -. (g1 *. g1))
+  | Lognormal { mu; sigma } ->
+      let s2 = sigma *. sigma in
+      (exp s2 -. 1.0) *. exp ((2.0 *. mu) +. s2)
+  | Normal { mean = _; stddev } -> stddev *. stddev
+
+let cdf d x =
+  match check d with
+  | Exponential { rate } -> if x <= 0.0 then 0.0 else 1.0 -. exp (-.rate *. x)
+  | Deterministic { value } -> if x >= value then 1.0 else 0.0
+  | Uniform { lo; hi } ->
+      if x <= lo then 0.0
+      else if x >= hi then 1.0
+      else if hi = lo then 1.0
+      else (x -. lo) /. (hi -. lo)
+  | Erlang { k; rate } ->
+      if x <= 0.0 then 0.0 else Stats.Specfun.gamma_p (float_of_int k) (rate *. x)
+  | Gamma { shape; rate } ->
+      if x <= 0.0 then 0.0 else Stats.Specfun.gamma_p shape (rate *. x)
+  | Weibull { shape; scale } ->
+      if x <= 0.0 then 0.0 else 1.0 -. exp (-.((x /. scale) ** shape))
+  | Lognormal { mu; sigma } ->
+      if x <= 0.0 then 0.0
+      else Stats.Specfun.std_normal_cdf ((log x -. mu) /. sigma)
+  | Normal { mean; stddev } ->
+      Stats.Specfun.std_normal_cdf ((x -. mean) /. stddev)
+
+(* Monotone root solve of cdf(x) = p on [0, inf) for distributions with
+   positive support and no closed-form inverse (Erlang, Gamma). *)
+let quantile_by_search d p =
+  let lo = ref 0.0 in
+  let hi = ref (Float.max (mean d) 1e-9) in
+  while cdf d !hi < p do
+    hi := !hi *. 2.0
+  done;
+  for _ = 1 to 200 do
+    let mid = 0.5 *. (!lo +. !hi) in
+    if cdf d mid < p then lo := mid else hi := mid
+  done;
+  0.5 *. (!lo +. !hi)
+
+let quantile d p =
+  if not (0.0 < p && p < 1.0) then
+    invalid_arg "Dist.quantile: requires 0 < p < 1";
+  match check d with
+  | Exponential { rate } -> -.log (1.0 -. p) /. rate
+  | Deterministic { value } -> value
+  | Uniform { lo; hi } -> lo +. (p *. (hi -. lo))
+  | Weibull { shape; scale } -> scale *. ((-.log (1.0 -. p)) ** (1.0 /. shape))
+  | Lognormal { mu; sigma } ->
+      exp (mu +. (sigma *. Stats.Specfun.std_normal_quantile p))
+  | Normal { mean; stddev } ->
+      mean +. (stddev *. Stats.Specfun.std_normal_quantile p)
+  | Erlang _ | Gamma _ -> quantile_by_search d p
+
+let is_exponential = function Exponential _ -> true | _ -> false
+
+let rate_of_exponential = function
+  | Exponential { rate } -> Some rate
+  | Deterministic _ | Uniform _ | Erlang _ | Gamma _ | Weibull _ | Lognormal _
+  | Normal _ ->
+      None
+
+let scale d c =
+  if c <= 0.0 then invalid_arg "Dist.scale: factor must be > 0";
+  match check d with
+  | Exponential { rate } -> Exponential { rate = rate /. c }
+  | Deterministic { value } -> Deterministic { value = value *. c }
+  | Uniform { lo; hi } -> Uniform { lo = lo *. c; hi = hi *. c }
+  | Erlang { k; rate } -> Erlang { k; rate = rate /. c }
+  | Gamma { shape; rate } -> Gamma { shape; rate = rate /. c }
+  | Weibull { shape; scale } -> Weibull { shape; scale = scale *. c }
+  | Lognormal { mu; sigma } -> Lognormal { mu = mu +. log c; sigma }
+  | Normal { mean; stddev } -> Normal { mean = mean *. c; stddev = stddev *. c }
+
+let pp ppf = function
+  | Exponential { rate } -> Format.fprintf ppf "Exp(rate=%g)" rate
+  | Deterministic { value } -> Format.fprintf ppf "Det(%g)" value
+  | Uniform { lo; hi } -> Format.fprintf ppf "Unif[%g,%g)" lo hi
+  | Erlang { k; rate } -> Format.fprintf ppf "Erlang(k=%d,rate=%g)" k rate
+  | Gamma { shape; rate } -> Format.fprintf ppf "Gamma(a=%g,rate=%g)" shape rate
+  | Weibull { shape; scale } ->
+      Format.fprintf ppf "Weibull(k=%g,scale=%g)" shape scale
+  | Lognormal { mu; sigma } ->
+      Format.fprintf ppf "Lognormal(mu=%g,sigma=%g)" mu sigma
+  | Normal { mean; stddev } -> Format.fprintf ppf "N(%g,%g)" mean stddev
+
+let equal a b = a = b

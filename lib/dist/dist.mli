@@ -1,0 +1,66 @@
+(** Probability distributions for activity firing times.
+
+    Stochastic activity networks attach a (possibly marking-dependent)
+    firing-time distribution to every timed activity. Möbius supports a
+    catalogue of standard distributions; this module provides the ones the
+    ITUA study and the test models need, each with a sampler, moments and
+    (where it exists in closed or special-function form) a CDF.
+
+    All distributions here describe non-negative durations except
+    {!constructor-Normal}, which is provided for completeness of the
+    statistics tests; using it as a firing time requires the caller to
+    guarantee positivity (e.g. by truncation). *)
+
+type t =
+  | Exponential of { rate : float }
+      (** Memoryless; mean [1/rate]. The only distribution the analytical
+          CTMC path accepts. *)
+  | Deterministic of { value : float }  (** A fixed delay. *)
+  | Uniform of { lo : float; hi : float }
+  | Erlang of { k : int; rate : float }
+      (** Sum of [k] independent exponentials of the given rate. *)
+  | Gamma of { shape : float; rate : float }
+  | Weibull of { shape : float; scale : float }
+  | Lognormal of { mu : float; sigma : float }
+      (** [exp (mu + sigma·Z)] for standard normal Z. *)
+  | Normal of { mean : float; stddev : float }
+
+val validate : t -> (unit, string) result
+(** [validate d] checks parameter constraints (positive rates and shapes,
+    ordered uniform bounds, ...). *)
+
+val check : t -> t
+(** [check d] is [d] if valid, otherwise raises [Invalid_argument] with the
+    message from {!validate}. *)
+
+val sample : t -> Prng.Stream.t -> float
+(** [sample d s] draws one value, consuming randomness from [s]. Raises
+    [Invalid_argument] for invalid parameters. *)
+
+val mean : t -> float
+val variance : t -> float
+
+val cdf : t -> float -> float
+(** [cdf d x] is P(X <= x). *)
+
+val quantile : t -> float -> float
+(** [quantile d p] is the smallest [x] with [cdf d x >= p], for
+    [0 < p < 1]. Closed form where available (exponential, uniform,
+    Weibull, deterministic, lognormal, normal), bisection + Newton on
+    {!cdf} otherwise. Satisfies [cdf d (quantile d p) = p] up to 1e-9 for
+    continuous distributions. *)
+
+val is_exponential : t -> bool
+
+val rate_of_exponential : t -> float option
+(** [Some rate] for [Exponential], [None] otherwise. Used by the CTMC
+    generator to reject non-Markovian models. *)
+
+val scale : t -> float -> t
+(** [scale d c] multiplies the distribution by [c > 0]: the distribution of
+    [c·X]. Exponential and Weibull rescale their rate/scale parameters;
+    others rescale their natural parameters. *)
+
+val pp : Format.formatter -> t -> unit
+
+val equal : t -> t -> bool

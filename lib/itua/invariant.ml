@@ -1,0 +1,151 @@
+module M = San.Marking
+
+exception Violation of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Violation s)) fmt
+
+let check_now (h : Model.handles) m =
+  let p = h.Model.params in
+  let nd = p.Params.num_domains and nh = p.Params.hosts_per_domain in
+  let na = p.Params.num_apps in
+  (* Per-slot consistency and per-app counters. *)
+  Array.iteri
+    (fun a (ap : Model.app_places) ->
+      let running = ref 0 and corrupt = ref 0 in
+      Array.iteri
+        (fun r (sl : Model.slot_places) ->
+          let is_running = M.get m sl.Model.running = 1 in
+          let is_corrupt = M.get m sl.Model.corrupt = 1 in
+          let on_host = M.get m sl.Model.on_host in
+          if is_running then begin
+            incr running;
+            if is_corrupt then incr corrupt;
+            if on_host = 0 then fail "app %d slot %d: running but no host" a r;
+            let g = on_host - 1 in
+            if g >= Model.num_hosts h then
+              fail "app %d slot %d: host id %d out of range" a r g;
+            if M.get m (Model.host_of h g).Model.alive <> 1 then
+              fail "app %d slot %d: running on dead host %d" a r g
+          end
+          else begin
+            if is_corrupt then fail "app %d slot %d: corrupt but not running" a r;
+            if M.get m sl.Model.convicted = 1 then
+              fail "app %d slot %d: convicted but not running" a r;
+            if on_host <> 0 then
+              fail "app %d slot %d: not running but on host" a r
+          end)
+        ap.Model.slots;
+      if M.get m ap.Model.replicas_running <> !running then
+        fail "app %d: replicas_running=%d but %d slots running" a
+          (M.get m ap.Model.replicas_running)
+          !running;
+      if M.get m ap.Model.rep_corr_undetected <> !corrupt then
+        fail "app %d: rep_corr_undetected=%d but %d corrupt slots" a
+          (M.get m ap.Model.rep_corr_undetected)
+          !corrupt;
+      (* Conservation: every replica is running, waiting for recovery, or
+         waiting for placement. *)
+      let accounted =
+        !running + M.get m ap.Model.need_recovery + M.get m ap.Model.to_start
+      in
+      if accounted <> p.Params.num_reps then
+        fail "app %d: %d replicas accounted for (want %d)" a accounted
+          p.Params.num_reps)
+    h.Model.apps;
+  (* Per-domain manager counts, exclusion state and per-host load. *)
+  let mgrs_total = ref 0 and undetected_total = ref 0 in
+  Array.iteri
+    (fun d (dp : Model.domain_places) ->
+      let running = ref 0 and corrupt = ref 0 in
+      Array.iteri
+        (fun hh (hp : Model.host_places) ->
+          let g = (d * nh) + hh in
+          let alive = M.get m hp.Model.alive = 1 in
+          if M.get m hp.Model.mgr_running = 1 then begin
+            if not alive then fail "host %d: manager running on dead host" g;
+            incr running;
+            if M.get m hp.Model.mgr_corrupt = 1 then incr corrupt
+          end
+          else if M.get m hp.Model.mgr_corrupt = 1 then
+            fail "host %d: corrupt manager not running" g;
+          if alive && M.get m hp.Model.mgr_running = 0 then
+            fail "host %d: alive host without manager" g;
+          (* Count the replicas that claim to run on this host. *)
+          let here = ref 0 in
+          Array.iter
+            (fun (ap : Model.app_places) ->
+              Array.iter
+                (fun (sl : Model.slot_places) ->
+                  if M.get m sl.Model.running = 1
+                     && M.get m sl.Model.on_host = g + 1
+                  then incr here)
+                ap.Model.slots)
+            h.Model.apps;
+          if M.get m hp.Model.num_replicas <> !here then
+            fail "host %d: num_replicas=%d but %d slots claim it" g
+              (M.get m hp.Model.num_replicas)
+              !here;
+          if (not alive) && !here > 0 then
+            fail "host %d: dead host with replicas" g)
+        dp.Model.hosts;
+      if M.get m dp.Model.dom_mgrs_running <> !running then
+        fail "domain %d: dom_mgrs_running=%d, actual %d" d
+          (M.get m dp.Model.dom_mgrs_running)
+          !running;
+      if M.get m dp.Model.dom_mgrs_corrupt <> !corrupt then
+        fail "domain %d: dom_mgrs_corrupt=%d, actual %d" d
+          (M.get m dp.Model.dom_mgrs_corrupt)
+          !corrupt;
+      mgrs_total := !mgrs_total + !running;
+      undetected_total := !undetected_total + !corrupt;
+      (* Exclusion implies every host is dead (under domain exclusion a
+         domain dies only as a whole). *)
+      if M.get m dp.Model.excluded = 1 then
+        Array.iteri
+          (fun hh hp ->
+            if M.get m hp.Model.alive = 1 then
+              fail "domain %d: excluded but host %d alive" d hh)
+          dp.Model.hosts;
+      (* has_app agrees with actual placement. *)
+      for a = 0 to na - 1 do
+        let placed = ref 0 in
+        Array.iter
+          (fun (sl : Model.slot_places) ->
+            let oh = M.get m sl.Model.on_host in
+            if M.get m sl.Model.running = 1 && oh > 0 && (oh - 1) / nh = d then
+              incr placed)
+          h.Model.apps.(a).Model.slots;
+        if !placed > 1 then
+          fail "domain %d: %d replicas of app %d (constraint is one)" d !placed
+            a;
+        if M.get m dp.Model.has_app.(a) <> !placed then
+          fail "domain %d app %d: has_app=%d but %d placed" d a
+            (M.get m dp.Model.has_app.(a))
+            !placed
+      done)
+    h.Model.domains;
+  if M.get m h.Model.mgrs_running <> !mgrs_total then
+    fail "mgrs_running=%d, actual %d" (M.get m h.Model.mgrs_running) !mgrs_total;
+  if M.get m h.Model.undetected_corr_mgrs <> !undetected_total then
+    fail "undetected_corr_mgrs=%d, actual %d"
+      (M.get m h.Model.undetected_corr_mgrs)
+      !undetected_total;
+  (* Measure accumulators stay within their trivial bounds. *)
+  if M.get m h.Model.excl_domains > nd then fail "excluded_domains > num_domains";
+  if M.get m h.Model.excl_corrupt_hosts > M.get m h.Model.excl_hosts then
+    fail "excluded corrupt hosts exceed excluded hosts"
+
+let observer h () =
+  let monotone = ref (-1) in
+  let check _t m =
+    check_now h m;
+    let e = M.get m h.Model.excl_domains in
+    if e < !monotone then fail "excluded_domains decreased";
+    monotone := e
+  in
+  {
+    Sim.Observer.nop with
+    on_init = check;
+    on_fire = (fun t _ _ m -> check t m);
+    on_finish = check;
+  }

@@ -1,0 +1,17 @@
+(** Runtime invariant checking for the ITUA model.
+
+    The checker is an observer that re-derives every shared counter from
+    the per-slot / per-host ground truth after each firing and raises
+    {!Violation} on any inconsistency. It is O(model size) per event, so
+    it is meant for the test suite and for debugging model changes, not
+    for production benchmark runs. *)
+
+exception Violation of string
+
+val check_now : Model.handles -> San.Marking.t -> unit
+(** One-shot check of a marking. *)
+
+val observer : Model.handles -> unit -> Sim.Observer.t
+(** Per-replication observer that checks after initialization, after every
+    firing, and at the end of the run — pass to
+    {!Sim.Runner.spec}'s [extra_observers]. *)

@@ -1,0 +1,84 @@
+module M = San.Marking
+
+let mean_over_apps h f m =
+  let na = Array.length h.Model.apps in
+  let acc = ref 0.0 in
+  for a = 0 to na - 1 do
+    acc := !acc +. f a m
+  done;
+  !acc /. float_of_int na
+
+let unavailability h ~until =
+  Sim.Reward.time_average ~name:(Printf.sprintf "unavailability[0,%g]" until)
+    ~until
+    (mean_over_apps h (fun a m -> if Model.unavailable h a m then 1.0 else 0.0))
+
+(* Per-application "ever improper" latches, averaged at the end. *)
+let unreliability h ~until =
+  let na = Array.length h.Model.apps in
+  Sim.Reward.custom
+    ~name:(Printf.sprintf "unreliability[0,%g]" until)
+    ~window:until
+    (fun () ->
+      let hit = Array.make na false in
+      let check t m =
+        if t <= until then
+          for a = 0 to na - 1 do
+            if (not hit.(a)) && Model.improper h a m then hit.(a) <- true
+          done
+      in
+      let observer =
+        {
+          Sim.Observer.nop with
+          on_init = check;
+          on_fire = (fun t _ _ m -> check t m);
+        }
+      in
+      let value () =
+        let n = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 hit in
+        float_of_int n /. float_of_int na
+      in
+      (observer, value))
+
+let replicas_running h ~at =
+  Sim.Reward.instant ~name:(Printf.sprintf "replicas_running@%g" at) ~at
+    (mean_over_apps h (fun a m ->
+         float_of_int (M.get m h.Model.apps.(a).Model.replicas_running)))
+
+let load_per_host h ~at =
+  Sim.Reward.instant ~name:(Printf.sprintf "load_per_host@%g" at) ~at (fun m ->
+      let alive = ref 0 and replicas = ref 0 in
+      Array.iter
+        (fun dp ->
+          Array.iter
+            (fun hp ->
+              if M.get m hp.Model.alive = 1 then begin
+                incr alive;
+                replicas := !replicas + M.get m hp.Model.num_replicas
+              end)
+            dp.Model.hosts)
+        h.Model.domains;
+      if !alive = 0 then nan
+      else float_of_int !replicas /. float_of_int !alive)
+
+let fraction_corrupt_in_excluded h =
+  Sim.Reward.final ~name:"fraction_corrupt_in_excluded" (fun m ->
+      let n = M.get m h.Model.excl_domains in
+      if n = 0 then nan
+      else M.fget m h.Model.excl_frac_sum /. float_of_int n)
+
+let fraction_domains_excluded h ~at =
+  let nd = float_of_int h.Model.params.Params.num_domains in
+  Sim.Reward.instant
+    ~name:(Printf.sprintf "fraction_domains_excluded@%g" at)
+    ~at
+    (fun m -> float_of_int (M.get m h.Model.excl_domains) /. nd)
+
+let all h ~until =
+  [
+    unavailability h ~until;
+    unreliability h ~until;
+    fraction_corrupt_in_excluded h;
+    fraction_domains_excluded h ~at:until;
+    replicas_running h ~at:until;
+  ]

@@ -1,0 +1,41 @@
+(** The intrusion-tolerance measures defined on the ITUA model
+    (paper Section 4), as simulator reward variables.
+
+    Unavailability integrates {!Model.unavailable} (Byzantine fault or no
+    replicas left); unreliability is the first-passage probability of
+    {!Model.improper} (the Byzantine-fault latch — a starved application
+    is unavailable but cannot become unreliable, which is what produces
+    the Figure 3(b) peak). Per-application measures are averaged over all
+    applications within each replication — applications are exchangeable,
+    so this estimates the same quantity as observing one application with
+    lower variance. *)
+
+val unavailability : Model.handles -> until:float -> Sim.Reward.spec
+(** Fraction of [\[0, until\]] during which service was not properly
+    delivered (averaged over applications). *)
+
+val unreliability : Model.handles -> until:float -> Sim.Reward.spec
+(** Probability that service was improper at least once in [\[0, until\]]
+    (per-application indicators averaged over applications). *)
+
+val replicas_running : Model.handles -> at:float -> Sim.Reward.spec
+(** Number of replicas of an application still running at [at] (averaged
+    over applications). *)
+
+val load_per_host : Model.handles -> at:float -> Sim.Reward.spec
+(** Mean number of replicas per live host at [at]; undefined ([nan]) when
+    no host is alive. *)
+
+val fraction_corrupt_in_excluded : Model.handles -> Sim.Reward.spec
+(** Mean over this replication's domain exclusions of the fraction of the
+    domain's hosts that were corrupt when it was excluded; undefined when
+    no domain was excluded. (Only meaningful under domain exclusion.) *)
+
+val fraction_domains_excluded : Model.handles -> at:float -> Sim.Reward.spec
+(** Fraction of security domains excluded by time [at]. *)
+
+val all :
+  Model.handles -> until:float -> Sim.Reward.spec list
+(** The standard bundle used by the studies: unavailability, unreliability,
+    fraction of corrupt hosts in an excluded domain, fraction of domains
+    excluded at [until], and replicas running at [until]. *)

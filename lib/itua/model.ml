@@ -1,0 +1,767 @@
+module P = San.Place
+module M = San.Marking
+module B = San.Model.Builder
+
+type slot_places = {
+  running : P.t;
+  corrupt : P.t;
+  convicted : P.t;
+  convicted_by_ids : P.t;
+  id_missed : P.t;
+  on_host : P.t;
+}
+
+type app_places = {
+  replicas_running : P.t;
+  rep_corr_undetected : P.t;
+  rep_grp_failure : P.t;
+  need_recovery : P.t;
+  to_start : P.t;
+  slots : slot_places array;
+}
+
+type host_places = {
+  alive : P.t;
+  attacked : P.t;
+  ever_attacked : P.t;
+  host_id_missed : P.t;
+  host_detected : P.t;
+  mgr_running : P.t;
+  mgr_corrupt : P.t;
+  mgr_id_missed : P.t;
+  mgr_detected : P.t;
+  num_replicas : P.t;
+  prop_dom_done : P.t;
+  prop_sys_done : P.t;
+}
+
+type domain_places = {
+  excluded : P.t;
+  spread : P.fl;
+  dom_mgrs_running : P.t;
+  dom_mgrs_corrupt : P.t;
+  has_app : P.t array;
+  hosts : host_places array;
+}
+
+type handles = {
+  params : Params.t;
+  model : San.Model.t;
+  apps : app_places array;
+  domains : domain_places array;
+  mgrs_running : P.t;
+  undetected_corr_mgrs : P.t;
+  spread_system : P.fl;
+  excl_domains : P.t;
+  excl_hosts : P.t;
+  excl_corrupt_hosts : P.t;
+  excl_frac_sum : P.fl;
+  structure : string;
+}
+
+(* The handles minus the built model, used while declaring activities. *)
+type skeleton = {
+  p : Params.t;
+  s_apps : app_places array;
+  s_domains : domain_places array;
+  s_mgrs_running : P.t;
+  s_undetected : P.t;
+  s_spread_sys : P.fl;
+  s_excl_domains : P.t;
+  s_excl_hosts : P.t;
+  s_excl_corrupt : P.t;
+  s_excl_frac : P.fl;
+}
+
+let nh sk = sk.p.Params.hosts_per_domain
+let host_places_of sk g = sk.s_domains.(g / nh sk).hosts.(g mod nh sk)
+let domain_idx sk g = g / nh sk
+
+(* --- state predicates --- *)
+
+let dom_group_ok sk d m =
+  let dp = sk.s_domains.(d) in
+  3 * M.get m dp.dom_mgrs_corrupt < M.get m dp.dom_mgrs_running
+
+let quorum_ok sk m =
+  3 * M.get m sk.s_undetected < M.get m sk.s_mgrs_running
+
+let app_improper sk a m =
+  let ap = sk.s_apps.(a) in
+  let corrupt = M.get m ap.rep_corr_undetected in
+  corrupt > 0 && 3 * corrupt >= M.get m ap.replicas_running
+
+(* --- effect helpers (the exclusion cascade) --- *)
+
+let check_byzantine sk a m =
+  if app_improper sk a m then M.set m sk.s_apps.(a).rep_grp_failure 1
+
+let kill_replica sk a r m =
+  let ap = sk.s_apps.(a) in
+  let sl = ap.slots.(r) in
+  let g = M.get m sl.on_host - 1 in
+  assert (g >= 0);
+  M.set m sl.running 0;
+  M.add m ap.replicas_running (-1);
+  if M.get m sl.corrupt = 1 then begin
+    M.set m sl.corrupt 0;
+    M.add m ap.rep_corr_undetected (-1)
+  end;
+  M.set m sl.convicted 0;
+  M.set m sl.convicted_by_ids 0;
+  M.set m sl.id_missed 0;
+  M.set m sl.on_host 0;
+  M.add m (host_places_of sk g).num_replicas (-1);
+  M.set m sk.s_domains.(domain_idx sk g).has_app.(a) 0;
+  M.add m ap.need_recovery 1;
+  check_byzantine sk a m
+
+let host_is_corrupt sk g m =
+  let hp = host_places_of sk g in
+  M.get m hp.attacked > 0
+  || M.get m hp.mgr_corrupt = 1
+  || M.get m hp.mgr_detected = 1
+
+let kill_host sk g m =
+  let hp = host_places_of sk g in
+  let d = domain_idx sk g in
+  (* Kill every replica running on this host. *)
+  Array.iteri
+    (fun a ap ->
+      Array.iteri
+        (fun r sl ->
+          if M.get m sl.running = 1 && M.get m sl.on_host = g + 1 then
+            kill_replica sk a r m)
+        ap.slots)
+    sk.s_apps;
+  (* Remove the manager from both group counts. *)
+  if M.get m hp.mgr_running = 1 then begin
+    M.add m sk.s_mgrs_running (-1);
+    M.add m sk.s_domains.(d).dom_mgrs_running (-1);
+    if M.get m hp.mgr_corrupt = 1 then begin
+      M.add m sk.s_undetected (-1);
+      M.add m sk.s_domains.(d).dom_mgrs_corrupt (-1)
+    end;
+    M.set m hp.mgr_running 0
+  end;
+  M.set m hp.alive 0;
+  M.set m hp.attacked 0;
+  M.set m hp.mgr_corrupt 0;
+  M.set m hp.host_detected 0;
+  M.set m hp.host_id_missed 0;
+  M.set m hp.mgr_detected 0;
+  M.set m hp.mgr_id_missed 0
+
+let exclude_domain sk d m =
+  let dp = sk.s_domains.(d) in
+  if M.get m dp.excluded = 0 then begin
+    (* Measure accounting first: fraction of corrupt hosts at exclusion. *)
+    let alive_count = ref 0 and corrupt_count = ref 0 in
+    Array.iteri
+      (fun h hp ->
+        if M.get m hp.alive = 1 then begin
+          incr alive_count;
+          let g = (d * nh sk) + h in
+          if host_is_corrupt sk g m then incr corrupt_count
+        end)
+      dp.hosts;
+    M.add m sk.s_excl_domains 1;
+    M.add m sk.s_excl_hosts !alive_count;
+    M.add m sk.s_excl_corrupt !corrupt_count;
+    if !alive_count > 0 then
+      M.fadd m sk.s_excl_frac
+        (float_of_int !corrupt_count /. float_of_int !alive_count);
+    Array.iteri
+      (fun h hp ->
+        if M.get m hp.alive = 1 then kill_host sk ((d * nh sk) + h) m)
+      dp.hosts;
+    M.set m dp.excluded 1
+  end
+
+let exclude_host sk g m =
+  let hp = host_places_of sk g in
+  if M.get m hp.alive = 1 then begin
+    M.add m sk.s_excl_hosts 1;
+    if host_is_corrupt sk g m then M.add m sk.s_excl_corrupt 1;
+    kill_host sk g m
+  end
+
+(* Management response to a detection concerning host [g]. *)
+let respond sk g m =
+  match sk.p.Params.policy with
+  | Params.Domain_exclusion -> exclude_domain sk (domain_idx sk g) m
+  | Params.Host_exclusion -> exclude_host sk g m
+
+(* Start one replica of application [a] on host [g], choosing a free slot
+   uniformly at random (slots are exchangeable; the paper's enable_rep
+   race does the same).  [pick] chooses uniformly from a non-empty list,
+   consuming randomness only when there is an actual choice. *)
+let start_replica sk a g pick m =
+  let ap = sk.s_apps.(a) in
+  let free = ref [] in
+  Array.iteri
+    (fun r sl -> if M.get m sl.running = 0 then free := r :: !free)
+    ap.slots;
+  let r = pick (List.rev !free) in
+  let sl = ap.slots.(r) in
+  M.set m sl.running 1;
+  M.set m sl.on_host (g + 1);
+  M.add m ap.replicas_running 1;
+  M.add m (host_places_of sk g).num_replicas 1;
+  M.set m sk.s_domains.(domain_idx sk g).has_app.(a) 1;
+  M.add m ap.to_start (-1)
+
+(* --- model construction --- *)
+
+let build params =
+  let p = Params.check params in
+  let nd = p.Params.num_domains in
+  let nhosts = p.Params.hosts_per_domain in
+  let na = p.Params.num_apps in
+  let nr = p.Params.num_reps in
+  let b = B.create "itua" in
+  let root = Compose.Ctx.root b "itua" in
+
+  (* System-wide shared places. *)
+  let mgrs_running =
+    Compose.Ctx.int_place root ~init:(nd * nhosts) "mgrs_running"
+  in
+  let undetected = Compose.Ctx.int_place root "undetected_corr_mgrs" in
+  let spread_sys = Compose.Ctx.float_place root "attack_spread_system" in
+  let excl_domains = Compose.Ctx.int_place root "excluded_domains" in
+  let excl_hosts = Compose.Ctx.int_place root "excluded_hosts" in
+  let excl_corrupt = Compose.Ctx.int_place root "excluded_corrupt_hosts" in
+  let excl_frac = Compose.Ctx.float_place root "excluded_corrupt_fraction_sum" in
+
+  (* Composition tree, phase 1: places.  Activities are added afterwards
+     because Replica and Host submodels read each other's shared state. *)
+  let apps =
+    Compose.join root "apps" (fun apps_ctx ->
+        Compose.replicate apps_ctx "app" ~n:na (fun app_ctx _a ->
+            let replicas_running =
+              Compose.Ctx.int_place app_ctx "replicas_running"
+            in
+            let rep_corr_undetected =
+              Compose.Ctx.int_place app_ctx "rep_corr_undetected"
+            in
+            let rep_grp_failure =
+              Compose.Ctx.int_place app_ctx "rep_grp_failure"
+            in
+            let need_recovery = Compose.Ctx.int_place app_ctx "need_recovery" in
+            let to_start = Compose.Ctx.int_place app_ctx ~init:nr "to_start" in
+            let slots =
+              Compose.replicate app_ctx "replica" ~n:nr (fun r_ctx _r ->
+                  {
+                    running = Compose.Ctx.int_place r_ctx "running";
+                    corrupt = Compose.Ctx.int_place r_ctx "corrupt";
+                    convicted = Compose.Ctx.int_place r_ctx "convicted";
+                    convicted_by_ids =
+                      Compose.Ctx.int_place r_ctx "convicted_by_ids";
+                    id_missed = Compose.Ctx.int_place r_ctx "id_missed";
+                    on_host = Compose.Ctx.int_place r_ctx "on_host";
+                  })
+            in
+            {
+              replicas_running;
+              rep_corr_undetected;
+              rep_grp_failure;
+              need_recovery;
+              to_start;
+              slots;
+            }))
+  in
+  let domains =
+    Compose.join root "security_domains" (fun doms_ctx ->
+        Compose.replicate doms_ctx "domain" ~n:nd (fun d_ctx _d ->
+            let excluded = Compose.Ctx.int_place d_ctx "excluded" in
+            let spread = Compose.Ctx.float_place d_ctx "attack_spread_domain" in
+            let dom_mgrs_running =
+              Compose.Ctx.int_place d_ctx ~init:nhosts "dom_mgrs_running"
+            in
+            let dom_mgrs_corrupt =
+              Compose.Ctx.int_place d_ctx "dom_mgrs_corrupt"
+            in
+            let has_app =
+              Array.init na (fun a ->
+                  Compose.Ctx.int_place d_ctx (Printf.sprintf "has_app[%d]" a))
+            in
+            let hosts =
+              Compose.replicate d_ctx "host" ~n:nhosts (fun h_ctx _h ->
+                  {
+                    alive = Compose.Ctx.int_place h_ctx ~init:1 "alive";
+                    attacked = Compose.Ctx.int_place h_ctx "attacked";
+                    ever_attacked =
+                      Compose.Ctx.int_place h_ctx "ever_attacked";
+                    host_id_missed =
+                      Compose.Ctx.int_place h_ctx "host_id_missed";
+                    host_detected = Compose.Ctx.int_place h_ctx "host_detected";
+                    mgr_running =
+                      Compose.Ctx.int_place h_ctx ~init:1 "mgr_running";
+                    mgr_corrupt = Compose.Ctx.int_place h_ctx "mgr_corrupt";
+                    mgr_id_missed = Compose.Ctx.int_place h_ctx "mgr_id_missed";
+                    mgr_detected = Compose.Ctx.int_place h_ctx "mgr_detected";
+                    num_replicas = Compose.Ctx.int_place h_ctx "num_replicas";
+                    prop_dom_done = Compose.Ctx.int_place h_ctx "prop_dom_done";
+                    prop_sys_done = Compose.Ctx.int_place h_ctx "prop_sys_done";
+                  })
+            in
+            {
+              excluded;
+              spread;
+              dom_mgrs_running;
+              dom_mgrs_corrupt;
+              has_app;
+              hosts;
+            }))
+  in
+  let structure = Compose.structure root in
+  let sk =
+    {
+      p;
+      s_apps = apps;
+      s_domains = domains;
+      s_mgrs_running = mgrs_running;
+      s_undetected = undetected;
+      s_spread_sys = spread_sys;
+      s_excl_domains = excl_domains;
+      s_excl_hosts = excl_hosts;
+      s_excl_corrupt = excl_corrupt;
+      s_excl_frac = excl_frac;
+    }
+  in
+
+  (* Dependency lists shared by many activities. *)
+  let all_attacked =
+    List.concat_map
+      (fun dp -> Array.to_list (Array.map (fun hp -> P.P hp.attacked) dp.hosts))
+      (Array.to_list domains)
+  in
+  let mgr_group_reads =
+    P.P mgrs_running :: P.P undetected
+    :: List.concat_map
+         (fun dp -> [ P.P dp.dom_mgrs_running; P.P dp.dom_mgrs_corrupt ])
+         (Array.to_list domains)
+  in
+  let placement_reads =
+    List.concat
+      [
+        List.concat_map
+          (fun ap -> [ P.P ap.to_start ])
+          (Array.to_list apps);
+        List.concat_map
+          (fun dp ->
+            P.P dp.excluded
+            :: (Array.to_list (Array.map (fun pl -> P.P pl) dp.has_app)
+               @ Array.to_list (Array.map (fun hp -> P.P hp.alive) dp.hosts)))
+          (Array.to_list domains);
+      ]
+  in
+
+  (* IDS decision latency: Erlang with the configured stage count and
+     mean 1/ids_decision_rate (exponential when stages = 1). *)
+  let ids_latency_dist =
+    if p.Params.ids_latency_stages = 1 then
+      Dist.Exponential { rate = p.Params.ids_decision_rate }
+    else
+      Dist.Erlang
+        {
+          k = p.Params.ids_latency_stages;
+          rate = float_of_int p.Params.ids_latency_stages
+                 *. p.Params.ids_decision_rate;
+        }
+  in
+  let ids_cases b ~name ~enabled ~reads cases =
+    B.timed b ~name ~dist:(fun _ -> ids_latency_dist) ~enabled ~reads
+      (List.map
+         (fun (w, effect) ->
+           { San.Activity.case_weight = (fun _ -> w); effect })
+         cases)
+  in
+  let slot_host_corrupt sl m =
+    (* Is the replica's host corrupt?  Only meaningful while running. *)
+    let g = M.get m sl.on_host - 1 in
+    g >= 0 && M.get m (host_places_of sk g).attacked > 0
+  in
+
+  (* [by_ids] records whether the conviction came from the host's IDS
+     (an infiltration detected on the host itself) or from the replication
+     group; under host exclusion only the former takes the host down. *)
+  let convict ~by_ids a sl m =
+    M.set m sl.convicted 1;
+    if by_ids then M.set m sl.convicted_by_ids 1;
+    if M.get m sl.corrupt = 1 then begin
+      M.set m sl.corrupt 0;
+      M.add m apps.(a).rep_corr_undetected (-1)
+    end
+  in
+
+  (* --- Replica submodel activities --- *)
+  let replica_name a r s = Printf.sprintf "app[%d].replica[%d].%s" a r s in
+  Array.iteri
+    (fun a ap ->
+      Array.iteri
+        (fun r sl ->
+          let slot_reads =
+            [ P.P sl.running; P.P sl.corrupt; P.P sl.convicted; P.P sl.on_host ]
+          in
+          (* attack_rep: successful attack on the replica; faster when its
+             host is corrupt. *)
+          B.timed_exp b
+            ~name:(replica_name a r "attack_rep")
+            ~rate:(fun m ->
+              Params.replica_attack_rate p
+              *.
+              if slot_host_corrupt sl m then p.Params.corruption_multiplier
+              else 1.0)
+            ~enabled:(fun m ->
+              M.get m sl.running = 1
+              && M.get m sl.corrupt = 0
+              && M.get m sl.convicted = 0)
+            ~reads:(slot_reads @ all_attacked)
+            (fun _ m ->
+              M.set m sl.corrupt 1;
+              M.add m ap.rep_corr_undetected 1;
+              check_byzantine sk a m);
+          (* valid_ID: the host IDS decides; a miss is final. *)
+          ids_cases b
+            ~name:(replica_name a r "valid_ID")
+            ~enabled:(fun m ->
+              M.get m sl.corrupt = 1
+              && M.get m sl.convicted = 0
+              && M.get m sl.id_missed = 0)
+            ~reads:[ P.P sl.corrupt; P.P sl.convicted; P.P sl.id_missed ]
+            [
+              (p.Params.p_detect_replica, fun _ m -> convict ~by_ids:true a sl m);
+              ( 1.0 -. p.Params.p_detect_replica,
+                fun _ m ->
+                  if p.Params.ids_misses_sticky then M.set m sl.id_missed 1 );
+            ];
+          (* rep_misbehave: anomalous behaviour during group communication
+             is always caught while the group can reach agreement. *)
+          if p.Params.misbehave_rate > 0.0 then
+            B.timed_exp b
+              ~name:(replica_name a r "rep_misbehave")
+              ~rate:(fun _ -> p.Params.misbehave_rate)
+              ~enabled:(fun m ->
+                M.get m sl.corrupt = 1
+                && M.get m sl.convicted = 0
+                && 3 * M.get m ap.rep_corr_undetected
+                   < M.get m ap.replicas_running)
+              ~reads:
+                [
+                  P.P sl.corrupt; P.P sl.convicted;
+                  P.P ap.rep_corr_undetected; P.P ap.replicas_running;
+                ]
+              (fun _ m -> convict ~by_ids:false a sl m);
+          (* false_ID: per the paper this activity is enabled only once
+             the replica has been intruded — an additional, unconditional
+             IDS flagging channel for corrupt replicas (it can catch one
+             that valid_ID missed).  Host-level false alarms, by contrast,
+             really do hit clean hosts; see false_ID on the Host SAN. *)
+          if Params.replica_false_alarm_rate p > 0.0 then
+            B.timed_exp b
+              ~name:(replica_name a r "false_ID")
+              ~rate:(fun _ -> Params.replica_false_alarm_rate p)
+              ~enabled:(fun m ->
+                M.get m sl.corrupt = 1 && M.get m sl.convicted = 0)
+              ~reads:[ P.P sl.corrupt; P.P sl.convicted ]
+              (fun _ m -> convict ~by_ids:true a sl m);
+          (* The managers respond to the conviction once enough of them are
+             trustworthy, excluding the domain (or host). *)
+          (* Response to a conviction.  Domain exclusion always convicts
+             the domain that had the corrupt replica; host exclusion takes
+             the host down only when the infiltration was detected on it
+             (IDS conviction) and otherwise just kills and replaces the
+             convicted replica. *)
+          B.instantaneous b
+            ~name:(replica_name a r "respond_conviction")
+            ~enabled:(fun m ->
+              M.get m sl.convicted = 1
+              && M.get m sl.running = 1
+              &&
+              let d = domain_idx sk (M.get m sl.on_host - 1) in
+              dom_group_ok sk d m || quorum_ok sk m)
+            ~reads:(slot_reads @ mgr_group_reads)
+            (fun _ m ->
+              let g = M.get m sl.on_host - 1 in
+              match p.Params.policy with
+              | Params.Domain_exclusion -> exclude_domain sk (domain_idx sk g) m
+              | Params.Host_exclusion ->
+                  if M.get m sl.convicted_by_ids = 1 then exclude_host sk g m
+                  else kill_replica sk a r m))
+        ap.slots)
+    apps;
+
+  (* --- Management submodel activities (one per application) --- *)
+  Array.iteri
+    (fun a ap ->
+      B.timed_exp b
+        ~name:(Printf.sprintf "app[%d].management.recovery" a)
+        ~rate:(fun _ -> p.Params.recovery_rate)
+        ~enabled:(fun m ->
+          M.get m ap.need_recovery > 0
+          && ((not p.Params.quorum_gates_recovery) || quorum_ok sk m))
+        ~reads:(P.P ap.need_recovery :: mgr_group_reads)
+        (fun _ m ->
+          M.add m ap.need_recovery (-1);
+          M.add m ap.to_start 1))
+    apps;
+
+  (* --- Replica placement (the Host SANs' start_replica race) --- *)
+  let domain_qualifies m d a =
+    let dp = domains.(d) in
+    M.get m dp.excluded = 0
+    && M.get m dp.has_app.(a) = 0
+    && Array.exists (fun hp -> M.get m hp.alive = 1) dp.hosts
+  in
+  B.instantaneous b ~name:"place_replicas"
+    ~enabled:(fun m ->
+      Array.exists
+        (fun a ->
+          M.get m apps.(a).to_start > 0
+          && Array.exists (fun d -> domain_qualifies m d a) (Array.init nd Fun.id))
+        (Array.init na Fun.id))
+    ~reads:placement_reads
+    (fun ctx m ->
+      (* Sampling is avoided when a choice is forced, so configurations
+         whose placement is deterministic (e.g. one domain with one host)
+         remain explorable by the analytical CTMC path. *)
+      let pick = function
+        | [ only ] -> only
+        | choices -> Prng.Stream.choose_list (San.Activity.stream_exn ctx) choices
+      in
+      let pending =
+        List.filter
+          (fun a -> M.get m apps.(a).to_start > 0)
+          (List.init na Fun.id)
+      in
+      let qualifying =
+        List.filter
+          (fun d -> List.exists (fun a -> domain_qualifies m d a) pending)
+          (List.init nd Fun.id)
+      in
+      let d = pick qualifying in
+      let live_hosts =
+        List.filter
+          (fun h -> M.get m domains.(d).hosts.(h).alive = 1)
+          (List.init nhosts Fun.id)
+      in
+      let h = pick live_hosts in
+      let g = (d * nhosts) + h in
+      List.iter
+        (fun a -> if domain_qualifies m d a then start_replica sk a g pick m)
+        pending);
+
+  (* --- Host submodel activities --- *)
+  let host_name g s = Printf.sprintf "domain[%d].host[%d].%s" (g / nhosts) (g mod nhosts) s in
+  for g = 0 to (nd * nhosts) - 1 do
+    let d = domain_idx sk g in
+    let dp = domains.(d) in
+    let hp = host_places_of sk g in
+    (* attack_host: three attack classes; the rate grows linearly with the
+       accumulated intra-domain and system-wide spread. *)
+    B.timed_exp_cases b
+      ~name:(host_name g "attack_host")
+      ~rate:(fun m ->
+        Params.host_attack_rate p
+        +. Params.host_spread_slope p
+           *. (M.fget m dp.spread +. M.fget m spread_sys))
+      ~enabled:(fun m -> M.get m hp.alive = 1 && M.get m hp.attacked = 0)
+      ~reads:[ P.P hp.alive; P.P hp.attacked; P.F dp.spread; P.F spread_sys ]
+      (let corrupt_as cls _ m =
+         M.set m hp.attacked cls;
+         M.set m hp.ever_attacked 1
+       in
+       [
+         (p.Params.frac_script, corrupt_as 1);
+         (p.Params.frac_exploratory, corrupt_as 2);
+         (p.Params.frac_innovative, corrupt_as 3);
+       ]);
+    (* Attack spread, exactly once per corrupted host.  Keyed on
+       [ever_attacked], not on the host's survival: what spreads is the
+       attacker's knowledge gained from the successful intrusion, which
+       excluding the compromised host does not erase. *)
+    if p.Params.spread_rate_domain > 0.0 then
+      B.timed_exp b
+        ~name:(host_name g "propagate_domain")
+        ~rate:(fun _ -> p.Params.spread_rate_domain)
+        ~enabled:(fun m ->
+          M.get m hp.ever_attacked = 1
+          && M.get m hp.prop_dom_done = 0
+          && (p.Params.spread_outlives_host || M.get m hp.alive = 1))
+        ~reads:[ P.P hp.ever_attacked; P.P hp.prop_dom_done; P.P hp.alive ]
+        (fun _ m ->
+          M.fadd m dp.spread p.Params.spread_effect_domain;
+          M.set m hp.prop_dom_done 1);
+    if p.Params.spread_rate_system > 0.0 then
+      B.timed_exp b
+        ~name:(host_name g "propagate_sys")
+        ~rate:(fun _ -> p.Params.spread_rate_system)
+        ~enabled:(fun m ->
+          M.get m hp.ever_attacked = 1
+          && M.get m hp.prop_sys_done = 0
+          && (p.Params.spread_outlives_host || M.get m hp.alive = 1))
+        ~reads:[ P.P hp.ever_attacked; P.P hp.prop_sys_done; P.P hp.alive ]
+        (fun _ m ->
+          M.fadd m spread_sys p.Params.spread_effect_system;
+          M.set m hp.prop_sys_done 1);
+    (* Host-level IDS, one activity per attack class. *)
+    List.iter
+      (fun (suffix, cls, prob) ->
+        ids_cases b
+          ~name:(host_name g suffix)
+          ~enabled:(fun m ->
+            M.get m hp.alive = 1
+            && M.get m hp.attacked = cls
+            && M.get m hp.host_id_missed = 0
+            && M.get m hp.host_detected = 0)
+          ~reads:
+            [
+              P.P hp.alive; P.P hp.attacked; P.P hp.host_id_missed;
+              P.P hp.host_detected;
+            ]
+          [
+            (prob, fun _ m -> M.set m hp.host_detected 1);
+            ( 1.0 -. prob,
+              fun _ m ->
+                if p.Params.ids_misses_sticky then
+                  M.set m hp.host_id_missed 1 );
+          ])
+      [
+        ("valid_ID_scp", 1, p.Params.p_detect_script);
+        ("valid_ID_exp", 2, p.Params.p_detect_exploratory);
+        ("valid_ID_inv", 3, p.Params.p_detect_innovative);
+      ];
+    (* False alarms of host/manager infiltration. *)
+    if Params.host_false_alarm_rate p > 0.0 then
+      B.timed_exp b
+        ~name:(host_name g "false_ID")
+        ~rate:(fun _ -> Params.host_false_alarm_rate p)
+        ~enabled:(fun m ->
+          M.get m hp.alive = 1
+          && M.get m hp.attacked = 0
+          && M.get m hp.mgr_corrupt = 0
+          && M.get m hp.host_detected = 0)
+        ~reads:
+          [
+            P.P hp.alive; P.P hp.attacked; P.P hp.mgr_corrupt;
+            P.P hp.host_detected;
+          ]
+        (fun _ m -> M.set m hp.host_detected 1);
+    (* Response to a host-level detection requires a trustworthy local
+       manager and domain manager group (Section 3.4). *)
+    B.instantaneous b
+      ~name:(host_name g "respond_host_detect")
+      ~enabled:(fun m ->
+        M.get m hp.host_detected = 1
+        && M.get m hp.alive = 1
+        && M.get m hp.mgr_corrupt = 0
+        && dom_group_ok sk d m)
+      ~reads:
+        ([ P.P hp.host_detected; P.P hp.alive; P.P hp.mgr_corrupt ]
+        @ mgr_group_reads)
+      (fun _ m -> respond sk g m);
+    (* attack_mgmt: attacks against the manager on this host. *)
+    B.timed_exp b
+      ~name:(host_name g "attack_mgmt")
+      ~rate:(fun m ->
+        Params.manager_attack_rate p
+        *.
+        if M.get m hp.attacked > 0 then p.Params.corruption_multiplier
+        else 1.0)
+      ~enabled:(fun m ->
+        M.get m hp.alive = 1
+        && M.get m hp.mgr_running = 1
+        && M.get m hp.mgr_corrupt = 0
+        && M.get m hp.mgr_detected = 0)
+      ~reads:
+        [
+          P.P hp.alive; P.P hp.attacked; P.P hp.mgr_running;
+          P.P hp.mgr_corrupt; P.P hp.mgr_detected;
+        ]
+      (fun _ m ->
+        M.set m hp.mgr_corrupt 1;
+        M.add m undetected 1;
+        M.add m dp.dom_mgrs_corrupt 1);
+    (* valid_ID_mgr: IDS detection of manager infiltration. *)
+    ids_cases b
+      ~name:(host_name g "valid_ID_mgr")
+      ~enabled:(fun m ->
+        M.get m hp.alive = 1
+        && M.get m hp.mgr_corrupt = 1
+        && M.get m hp.mgr_id_missed = 0
+        && M.get m hp.mgr_detected = 0)
+      ~reads:
+        [
+          P.P hp.alive; P.P hp.mgr_corrupt; P.P hp.mgr_id_missed;
+          P.P hp.mgr_detected;
+        ]
+      [
+        ( p.Params.p_detect_manager,
+          fun _ m ->
+            M.set m hp.mgr_detected 1;
+            M.set m hp.mgr_corrupt 0;
+            M.add m undetected (-1);
+            M.add m dp.dom_mgrs_corrupt (-1) );
+        ( 1.0 -. p.Params.p_detect_manager,
+          fun _ m ->
+            if p.Params.ids_misses_sticky then M.set m hp.mgr_id_missed 1 );
+      ];
+    (* Response to a detected corrupt manager: the replication/management
+       groups know, so the domain group or the global quorum suffices. *)
+    B.instantaneous b
+      ~name:(host_name g "respond_mgr_detect")
+      ~enabled:(fun m ->
+        M.get m hp.mgr_detected = 1
+        && M.get m hp.alive = 1
+        && (dom_group_ok sk d m || quorum_ok sk m))
+      ~reads:([ P.P hp.mgr_detected; P.P hp.alive ] @ mgr_group_reads)
+      (fun _ m -> respond sk g m)
+  done;
+
+  let model = B.build b in
+  {
+    params = p;
+    model;
+    apps;
+    domains;
+    mgrs_running;
+    undetected_corr_mgrs = undetected;
+    spread_system = spread_sys;
+    excl_domains;
+    excl_hosts;
+    excl_corrupt_hosts = excl_corrupt;
+    excl_frac_sum = excl_frac;
+    structure;
+  }
+
+(* --- public predicates on handles --- *)
+
+let skeleton_of h =
+  {
+    p = h.params;
+    s_apps = h.apps;
+    s_domains = h.domains;
+    s_mgrs_running = h.mgrs_running;
+    s_undetected = h.undetected_corr_mgrs;
+    s_spread_sys = h.spread_system;
+    s_excl_domains = h.excl_domains;
+    s_excl_hosts = h.excl_hosts;
+    s_excl_corrupt = h.excl_corrupt_hosts;
+    s_excl_frac = h.excl_frac_sum;
+  }
+
+let improper h a m = app_improper (skeleton_of h) a m
+
+let starved h a m = M.get m h.apps.(a).replicas_running = 0
+
+let unavailable h a m = improper h a m || starved h a m
+
+let host_of h g =
+  h.domains.(g / h.params.Params.hosts_per_domain).hosts.(g mod h.params.Params.hosts_per_domain)
+
+let domain_of_host h g = g / h.params.Params.hosts_per_domain
+let num_hosts h = h.params.Params.num_domains * h.params.Params.hosts_per_domain
+
+let global_quorum_ok h m = quorum_ok (skeleton_of h) m
+let domain_group_ok h d m = dom_group_ok (skeleton_of h) d m

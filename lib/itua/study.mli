@@ -1,0 +1,78 @@
+(** The paper's design studies (Section 4): one function per figure,
+    each returning one result table per panel.
+
+    Runner defaults: 2000 replications, seed 20030622, one OCaml domain
+    per available core (capped at 8). Every panel of a figure is computed
+    from the same set of simulation runs (one run measures all its
+    windows), like the paper's Möbius studies.
+
+    Calibration: studies 1 and 2 (Figures 3 and 4) run at the default
+    {!Params.t.rate_scale} of 0.4; study 3 (Figure 5) runs at the literal
+    reading [rate_scale = 1.0] — the regime where the host-exclusion
+    scheme's spread sensitivity and the long-run unreliability crossover
+    match the paper. EXPERIMENTS.md discusses the sensitivity of each
+    panel to this factor. *)
+
+type config = {
+  reps : int;
+  seed : int64;
+  domains : int;  (** OCaml domains for parallel replications *)
+}
+
+val default_config : config
+
+val quick_config : config
+(** 300 replications — for tests and smoke runs. *)
+
+val fig3 : ?config:config -> unit -> (string * Report.table) list
+(** Study 4.1: 12 hosts distributed into 1, 2, 3, 4, 6 or 12 domains;
+    2/4/6/8 applications × 7 replicas; domain exclusion; first 5 hours.
+    Panels [fig3a] unavailability, [fig3b] unreliability, [fig3c] fraction
+    of corrupt hosts in an excluded domain, [fig3d] fraction of domains
+    excluded at t = 5. X-axis: hosts per domain. *)
+
+val fig4 : ?config:config -> unit -> (string * Report.table) list
+(** Study 4.2: 10 domains × 1..4 hosts; 4 applications × 7 replicas.
+    Panels [fig4a] unavailability and [fig4b] unreliability for [0,5] and
+    [0,10], [fig4c] long-run fraction of corrupt hosts in excluded domains
+    (measured at t = 10), [fig4d] fraction of domains excluded at t = 5
+    and t = 10. *)
+
+val fig5 : ?config:config -> unit -> (string * Report.table) list
+(** Study 4.3: 10 domains × 3 hosts, 4 applications × 7 replicas, ×5
+    corruption multiplier, within-domain spread rate swept over
+    0..10, host- vs domain-exclusion. Panels [fig5a]/[fig5b]
+    unavailability for [0,5]/[0,10], [fig5c]/[fig5d] unreliability for
+    [0,5]/[0,10]. *)
+
+val all : ?config:config -> unit -> (string * Report.table) list
+(** Every panel of every figure, in paper order. *)
+
+val sensitivity : ?config:config -> unit -> (string * Report.table) list
+(** Parameter-sensitivity sweeps on the Section 4.2 baseline, in the
+    spirit of the paper's "we have also tried to explore the system's
+    sensitivity to variations in these parameters": host detection
+    probability (scaling the three class probabilities together),
+    recovery rate, misbehaviour-detection rate, and the corruption
+    multiplier — each against unavailability and unreliability over
+    [0,10]. *)
+
+val ablation : ?config:config -> unit -> (string * Report.table) list
+(** Modeling-choice ablations on the study-4.3 high-spread host-exclusion
+    configuration: sticky vs retrying IDS misses, persistent vs quenched
+    attack spread, quorum-gated vs ungated recovery (rows in that order,
+    after the baseline). *)
+
+val trajectory : ?config:config -> unit -> (string * Report.table) list
+(** Time evolution of the key measures on the Section 4.2 baseline over
+    [0, 10] hours, one panel per exclusion policy ([traj_domain] /
+    [traj_host]): fraction of domains excluded, replicas still running
+    (per application), and cumulative unavailability [0,t] at each hour.
+    The paper reports only end-of-interval values; these tables show the
+    dynamics behind them. *)
+
+val shape_checks : (string * Report.table) list -> (string * bool) list
+(** Qualitative acceptance checks on computed panels (monotonicities, the
+    Figure 3(b) peak at 4 hosts/domain, Figure 5's spread sensitivity and
+    long-run crossover). Returns a labelled pass/fail list; panels absent
+    from the input are skipped. *)

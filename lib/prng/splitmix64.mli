@@ -1,0 +1,22 @@
+(** SplitMix64 pseudo-random number generator (Steele, Lea & Flood 2014).
+
+    A tiny, fast generator with a 64-bit state and period 2^64. It is not
+    used as the main simulation generator; its role is to expand user seeds
+    into well-mixed state for {!Xoshiro256}, and to derive independent
+    substream seeds. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int64 -> t
+(** [create seed] builds a generator from an arbitrary 64-bit seed. Every
+    seed, including [0L], is valid. *)
+
+val next : t -> int64
+(** [next g] advances the state and returns the next 64-bit output. *)
+
+val mix : int64 -> int64
+(** [mix z] is the stateless SplitMix64 finalizer: a bijective mixing
+    function on 64-bit integers. [mix] of sequential integers has good
+    equidistribution properties, which makes it suitable for hashing stream
+    indices into seeds. *)

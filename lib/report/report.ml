@@ -1,0 +1,86 @@
+type cell = Stats.Ci.t option
+
+type table = {
+  title : string;
+  x_label : string;
+  series : string list;
+  mutable rows : (float * cell list) list;  (* reversed *)
+}
+
+let create ~title ~x_label ~series =
+  if series = [] then invalid_arg "Report.create: no series";
+  { title; x_label; series; rows = [] }
+
+let add_row t ~x cells =
+  if List.length cells <> List.length t.series then
+    invalid_arg "Report.add_row: cell count does not match series";
+  t.rows <- (x, cells) :: t.rows
+
+let title t = t.title
+
+let rows t = List.rev t.rows
+
+let x_values t = List.map fst (rows t)
+
+let value t ~x ~series =
+  let cells = List.assoc x (rows t) in
+  let rec find names cells =
+    match (names, cells) with
+    | n :: _, c :: _ when n = series -> c
+    | _ :: names, _ :: cells -> find names cells
+    | _ -> raise Not_found
+  in
+  find t.series cells
+
+let pp_cell ppf = function
+  | None -> Format.fprintf ppf "%14s" "-"
+  | Some (ci : Stats.Ci.t) ->
+      Format.fprintf ppf "%8.5f±%-5.3f" ci.Stats.Ci.mean ci.Stats.Ci.half_width
+
+let pp_text ppf t =
+  Format.fprintf ppf "%s@." t.title;
+  Format.fprintf ppf "%10s" t.x_label;
+  List.iter (fun s -> Format.fprintf ppf " %14s" s) t.series;
+  Format.fprintf ppf "@.";
+  List.iter
+    (fun (x, cells) ->
+      Format.fprintf ppf "%10g" x;
+      List.iter (fun c -> Format.fprintf ppf " %a" pp_cell c) cells;
+      Format.fprintf ppf "@.")
+    (rows t)
+
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let pp_csv ppf t =
+  Format.fprintf ppf "%s" (csv_escape t.x_label);
+  List.iter
+    (fun s ->
+      Format.fprintf ppf ",%s,%s_halfwidth" (csv_escape s) (csv_escape s))
+    t.series;
+  Format.fprintf ppf "@.";
+  List.iter
+    (fun (x, cells) ->
+      Format.fprintf ppf "%g" x;
+      List.iter
+        (fun c ->
+          match c with
+          | None -> Format.fprintf ppf ",,"
+          | Some (ci : Stats.Ci.t) ->
+              Format.fprintf ppf ",%.8g,%.8g" ci.Stats.Ci.mean
+                ci.Stats.Ci.half_width)
+        cells;
+      Format.fprintf ppf "@.")
+    (rows t)
+
+let write_csv path t =
+  let oc = open_out path in
+  let ppf = Format.formatter_of_out_channel oc in
+  (try pp_csv ppf t
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  Format.pp_print_flush ppf ();
+  close_out oc

@@ -1,0 +1,35 @@
+(** Result tables for the experiment harness.
+
+    A {!table} is a labelled grid: one row per x-value of a parameter
+    sweep, one column per data series (e.g. one per application count in
+    Figure 3, or one per exclusion policy in Figure 5). Cells hold
+    confidence intervals. Tables render as aligned text (the form the
+    bench harness prints) or CSV (for external plotting). *)
+
+type cell = Stats.Ci.t option
+(** [None] when the measure was undefined in every replication. *)
+
+type table
+
+val create :
+  title:string -> x_label:string -> series:string list -> table
+(** Column layout; rows are appended with {!add_row}. *)
+
+val add_row : table -> x:float -> cell list -> unit
+(** Appends a row. The number of cells must match the series count. *)
+
+val title : table -> string
+
+val x_values : table -> float list
+
+val value : table -> x:float -> series:string -> cell
+(** Lookup a cell; raises [Not_found] for unknown coordinates. *)
+
+val pp_text : Format.formatter -> table -> unit
+(** Aligned, human-readable rendering with ± half-widths. *)
+
+val pp_csv : Format.formatter -> table -> unit
+(** CSV: header [x,<series>,<series>_hw,...], one row per x. *)
+
+val write_csv : string -> table -> unit
+(** [write_csv path t] saves {!pp_csv} output to [path]. *)

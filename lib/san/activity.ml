@@ -1,0 +1,36 @@
+type ctx = { time : float; stream : Prng.Stream.t option }
+
+let stream_exn ctx =
+  match ctx.stream with
+  | Some s -> s
+  | None ->
+      failwith
+        "Activity.stream_exn: effect requires randomness; this model cannot \
+         be explored analytically"
+
+type policy = Keep | Resample
+
+type timing =
+  | Instantaneous
+  | Timed of { dist : Marking.t -> Dist.t; policy : policy }
+
+type case = {
+  case_weight : Marking.t -> float;
+  effect : ctx -> Marking.t -> unit;
+}
+
+type t = {
+  id : int;
+  name : string;
+  timing : timing;
+  enabled : Marking.t -> bool;
+  reads : Place.any list;
+  cases : case array;
+}
+
+let is_instantaneous a =
+  match a.timing with Instantaneous -> true | Timed _ -> false
+
+let pp ppf a =
+  Format.fprintf ppf "%s(%s)" a.name
+    (if is_instantaneous a then "inst" else "timed")

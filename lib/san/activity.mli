@@ -1,0 +1,67 @@
+(** Activities of a stochastic activity network.
+
+    An activity fires when its enabling predicate (the conjunction of its
+    input-gate predicates in SAN terms) holds. {e Timed} activities fire
+    after a random delay drawn from a marking-dependent distribution;
+    {e instantaneous} activities fire in zero time and have priority over
+    all timed activities. An activity completes through one of its
+    {e cases}, chosen with marking-dependent weights; the case's effect
+    function (input + output gate functions) transforms the marking.
+
+    Semantics implemented by the executor, stated here because the model
+    author must know them:
+
+    {ul
+    {- An enabled timed activity keeps its sampled completion time while it
+       remains enabled, unless its reactivation {!policy} says otherwise.}
+    {- [Resample] re-draws the completion time whenever a place in
+       {!reads} changes while the activity stays enabled. For exponential
+       distributions this yields exact competing-risk semantics under
+       marking-dependent rates, and is the right default for models (like
+       ITUA) whose rates depend on the marking.}
+    {- An activity disabled by a marking change is aborted; if re-enabled
+       later it samples a fresh delay (no age memory).}
+    {- When several instantaneous activities are enabled, the executor
+       picks one uniformly at random, matching the "equally likely to fire
+       first" convention used throughout the ITUA paper.}} *)
+
+type ctx = { time : float; stream : Prng.Stream.t option }
+(** Firing context passed to effect functions: current simulation time and,
+    in simulation mode, the replication's random stream. Analytical
+    (CTMC) exploration passes [None]; an effect that needs randomness must
+    obtain it via {!stream_exn}, which makes non-enumerable models fail
+    loudly rather than silently linearize. *)
+
+val stream_exn : ctx -> Prng.Stream.t
+(** The context's random stream; raises [Failure] in analytical mode. *)
+
+type policy =
+  | Keep  (** hold the sampled time while continuously enabled *)
+  | Resample  (** re-draw whenever a dependency changes (see above) *)
+
+type timing =
+  | Instantaneous
+  | Timed of { dist : Marking.t -> Dist.t; policy : policy }
+
+type case = {
+  case_weight : Marking.t -> float;
+      (** Non-negative, marking-dependent; normalized over the activity's
+          cases at firing time. *)
+  effect : ctx -> Marking.t -> unit;
+}
+
+type t = {
+  id : int;
+  name : string;
+  timing : timing;
+  enabled : Marking.t -> bool;
+  reads : Place.any list;
+      (** Every place whose marking can influence [enabled], the firing
+          distribution, or the case weights. Omissions make the executor
+          miss wake-ups; the model linter ({!Model.lint}) can check this
+          dynamically. *)
+  cases : case array;
+}
+
+val is_instantaneous : t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,45 @@
+let escape s = String.concat "\\\"" (String.split_on_char '"' s)
+
+let to_dot ppf model =
+  Format.fprintf ppf "digraph %S {@." (Model.name model);
+  Format.fprintf ppf "  rankdir=LR;@.";
+  Array.iter
+    (fun p ->
+      Format.fprintf ppf "  \"p_%s\" [label=\"%s\" shape=ellipse];@."
+        (escape (Place.name p))
+        (escape (Place.name p)))
+    (Model.places model);
+  Array.iter
+    (fun p ->
+      Format.fprintf ppf
+        "  \"p_%s\" [label=\"%s\" shape=ellipse style=dashed];@."
+        (escape (Place.fname p))
+        (escape (Place.fname p)))
+    (Model.float_places model);
+  Array.iter
+    (fun (a : Activity.t) ->
+      let style =
+        if Activity.is_instantaneous a then
+          "shape=box style=filled fillcolor=black fontcolor=white height=0.1"
+        else "shape=box"
+      in
+      Format.fprintf ppf "  \"a_%s\" [label=\"%s\" %s];@." (escape a.name)
+        (escape a.name) style;
+      List.iter
+        (fun pl ->
+          Format.fprintf ppf "  \"p_%s\" -> \"a_%s\";@."
+            (escape (Place.any_name pl))
+            (escape a.name))
+        a.reads)
+    (Model.activities model);
+  Format.fprintf ppf "}@."
+
+let write_file path model =
+  let oc = open_out path in
+  let ppf = Format.formatter_of_out_channel oc in
+  (try to_dot ppf model
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  Format.pp_print_flush ppf ();
+  close_out oc

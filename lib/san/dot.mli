@@ -1,0 +1,15 @@
+(** GraphViz export of a SAN's structure.
+
+    Since gates are opaque OCaml functions, the exported edges are the
+    declared dependency arcs ([reads] lists), which correspond to the
+    input-arc structure of the net. Useful for eyeballing generated
+    models, e.g. a small ITUA configuration. *)
+
+val to_dot : Format.formatter -> Model.t -> unit
+(** Writes a [digraph]: places as ellipses (extended places as dashed
+    ellipses), timed activities as hollow boxes, instantaneous activities
+    as filled boxes, and an edge from each place to each activity that
+    reads it. *)
+
+val write_file : string -> Model.t -> unit
+(** [write_file path model] writes {!to_dot} output to [path]. *)

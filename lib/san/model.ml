@@ -1,0 +1,215 @@
+type t = {
+  name : string;
+  int_places : Place.t array;
+  float_places : Place.fl array;
+  initial_ints : int array;
+  initial_floats : float array;
+  activities : Activity.t array;
+  by_place_name : (string, Place.any) Hashtbl.t;
+  by_activity_name : (string, Activity.t) Hashtbl.t;
+  dependents : int array array;  (* place uid -> activity ids *)
+}
+
+module Builder = struct
+  type _model = t
+
+  type t = {
+    bname : string;
+    mutable ints : (Place.t * int) list;  (* reversed *)
+    mutable floats : (Place.fl * float) list;
+    mutable acts : Activity.t list;
+    names : (string, unit) Hashtbl.t;
+    act_names : (string, unit) Hashtbl.t;
+    mutable next_uid : int;
+    mutable built : bool;
+  }
+
+  let create bname =
+    {
+      bname;
+      ints = [];
+      floats = [];
+      acts = [];
+      names = Hashtbl.create 64;
+      act_names = Hashtbl.create 64;
+      next_uid = 0;
+      built = false;
+    }
+
+  let check_fresh b what tbl name =
+    if b.built then invalid_arg "Model.Builder: builder already built";
+    if Hashtbl.mem tbl name then
+      invalid_arg (Printf.sprintf "Model.Builder: duplicate %s %S" what name);
+    Hashtbl.add tbl name ()
+
+  let int_place b ?(init = 0) name =
+    check_fresh b "place" b.names name;
+    if init < 0 then
+      invalid_arg
+        (Printf.sprintf "Model.Builder: place %S initial marking < 0" name);
+    let p = Place.make_int ~name ~index:(List.length b.ints) ~uid:b.next_uid in
+    b.next_uid <- b.next_uid + 1;
+    b.ints <- (p, init) :: b.ints;
+    p
+
+  let float_place b ?(init = 0.0) name =
+    check_fresh b "place" b.names name;
+    let p =
+      Place.make_float ~name ~index:(List.length b.floats) ~uid:b.next_uid
+    in
+    b.next_uid <- b.next_uid + 1;
+    b.floats <- (p, init) :: b.floats;
+    p
+
+  let activity b ~name ~timing ~enabled ~reads cases =
+    check_fresh b "activity" b.act_names name;
+    if cases = [] then
+      invalid_arg
+        (Printf.sprintf "Model.Builder: activity %S needs at least one case"
+           name);
+    let act =
+      {
+        Activity.id = List.length b.acts;
+        name;
+        timing;
+        enabled;
+        reads;
+        cases = Array.of_list cases;
+      }
+    in
+    b.acts <- act :: b.acts
+
+  let timed b ~name ?(policy = Activity.Resample) ~dist ~enabled ~reads cases
+      =
+    activity b ~name ~timing:(Activity.Timed { dist; policy }) ~enabled ~reads
+      cases
+
+  let one_case effect =
+    [ { Activity.case_weight = (fun _ -> 1.0); effect } ]
+
+  let timed_exp b ~name ?policy ~rate ~enabled ~reads effect =
+    timed b ~name ?policy
+      ~dist:(fun m -> Dist.Exponential { rate = rate m })
+      ~enabled ~reads (one_case effect)
+
+  let timed_exp_cases b ~name ?policy ~rate ~enabled ~reads cases =
+    let cases =
+      List.map
+        (fun (w, effect) ->
+          if w < 0.0 then
+            invalid_arg
+              (Printf.sprintf "Model.Builder: activity %S has negative case \
+                               probability" name);
+          { Activity.case_weight = (fun _ -> w); effect })
+        cases
+    in
+    timed b ~name ?policy
+      ~dist:(fun m -> Dist.Exponential { rate = rate m })
+      ~enabled ~reads cases
+
+  let instantaneous b ~name ~enabled ~reads effect =
+    activity b ~name ~timing:Activity.Instantaneous ~enabled ~reads
+      (one_case effect)
+
+  let build b =
+    if b.built then invalid_arg "Model.Builder.build: already built";
+    b.built <- true;
+    let ints = Array.of_list (List.rev b.ints) in
+    let floats = Array.of_list (List.rev b.floats) in
+    let activities = Array.of_list (List.rev b.acts) in
+    let by_place_name = Hashtbl.create (Array.length ints) in
+    Array.iter
+      (fun (p, _) -> Hashtbl.replace by_place_name (Place.name p) (Place.P p))
+      ints;
+    Array.iter
+      (fun (p, _) -> Hashtbl.replace by_place_name (Place.fname p) (Place.F p))
+      floats;
+    let by_activity_name = Hashtbl.create (Array.length activities) in
+    Array.iter
+      (fun (a : Activity.t) -> Hashtbl.replace by_activity_name a.name a)
+      activities;
+    let n_uids = b.next_uid in
+    let deps = Array.make n_uids [] in
+    Array.iter
+      (fun (a : Activity.t) ->
+        List.iter
+          (fun pl ->
+            let uid = Place.any_uid pl in
+            deps.(uid) <- a.Activity.id :: deps.(uid))
+          a.Activity.reads)
+      activities;
+    {
+      name = b.bname;
+      int_places = Array.map fst ints;
+      float_places = Array.map fst floats;
+      initial_ints = Array.map snd ints;
+      initial_floats = Array.map snd floats;
+      activities;
+      by_place_name;
+      by_activity_name;
+      dependents = Array.map (fun l -> Array.of_list (List.rev l)) deps;
+    }
+end
+
+let name m = m.name
+let places m = m.int_places
+let float_places m = m.float_places
+let activities m = m.activities
+let n_places m = Array.length m.int_places + Array.length m.float_places
+
+let find_place_opt m s =
+  match Hashtbl.find_opt m.by_place_name s with
+  | Some (Place.P p) -> Some p
+  | Some (Place.F _) | None -> None
+
+let find_float_place_opt m s =
+  match Hashtbl.find_opt m.by_place_name s with
+  | Some (Place.F p) -> Some p
+  | Some (Place.P _) | None -> None
+
+let find_place m s =
+  match find_place_opt m s with Some p -> p | None -> raise Not_found
+
+let find_activity m s =
+  match Hashtbl.find_opt m.by_activity_name s with
+  | Some a -> a
+  | None -> raise Not_found
+
+let initial_marking m =
+  let mk =
+    Marking.create
+      ~ints:(Array.length m.int_places)
+      ~floats:(Array.length m.float_places)
+  in
+  Array.iteri (fun i p -> Marking.set mk p m.initial_ints.(i)) m.int_places;
+  Array.iteri (fun i p -> Marking.fset mk p m.initial_floats.(i)) m.float_places;
+  Marking.clear_journal mk;
+  mk
+
+let dependents m uid =
+  if uid < 0 || uid >= Array.length m.dependents then []
+  else
+    Array.to_list (Array.map (fun id -> m.activities.(id)) m.dependents.(uid))
+
+let all_exponential m =
+  let mk = initial_marking m in
+  Array.for_all
+    (fun (a : Activity.t) ->
+      match a.timing with
+      | Activity.Instantaneous -> true
+      | Activity.Timed { dist; _ } -> Dist.is_exponential (dist mk))
+    m.activities
+
+let pp_summary ppf m =
+  let inst =
+    Array.fold_left
+      (fun acc a -> if Activity.is_instantaneous a then acc + 1 else acc)
+      0 m.activities
+  in
+  Format.fprintf ppf
+    "model %S: %d int places, %d float places, %d activities (%d inst.)"
+    m.name
+    (Array.length m.int_places)
+    (Array.length m.float_places)
+    (Array.length m.activities)
+    inst

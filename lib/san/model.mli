@@ -1,0 +1,117 @@
+(** SAN models and their builder.
+
+    A model is an immutable collection of places and activities together
+    with an initial marking. Models are built once through {!Builder} and
+    can then be simulated ({!Sim.Executor} in the [sim] library) or
+    converted to a CTMC ([ctmc] library) any number of times, including
+    concurrently from several domains: nothing in a built model is
+    mutated by execution. *)
+
+type t
+
+(** Imperative model construction. *)
+module Builder : sig
+  type model := t
+  type t
+
+  val create : string -> t
+  (** [create name] starts an empty model. *)
+
+  val int_place : t -> ?init:int -> string -> Place.t
+  (** Declares an int place with initial marking [init] (default 0). Place
+      names must be unique within the model; [Invalid_argument]
+      otherwise. *)
+
+  val float_place : t -> ?init:float -> string -> Place.fl
+
+  val activity :
+    t ->
+    name:string ->
+    timing:Activity.timing ->
+    enabled:(Marking.t -> bool) ->
+    reads:Place.any list ->
+    Activity.case list ->
+    unit
+  (** Declares an activity. At least one case is required; activity names
+      must be unique. *)
+
+  val timed :
+    t ->
+    name:string ->
+    ?policy:Activity.policy ->
+    dist:(Marking.t -> Dist.t) ->
+    enabled:(Marking.t -> bool) ->
+    reads:Place.any list ->
+    Activity.case list ->
+    unit
+  (** Timed activity; [policy] defaults to {!Activity.Resample} (see
+      {!Activity.policy} for why that is the safe default under
+      marking-dependent rates). *)
+
+  val timed_exp :
+    t ->
+    name:string ->
+    ?policy:Activity.policy ->
+    rate:(Marking.t -> float) ->
+    enabled:(Marking.t -> bool) ->
+    reads:Place.any list ->
+    (Activity.ctx -> Marking.t -> unit) ->
+    unit
+  (** Single-case exponential activity, the most common shape. *)
+
+  val timed_exp_cases :
+    t ->
+    name:string ->
+    ?policy:Activity.policy ->
+    rate:(Marking.t -> float) ->
+    enabled:(Marking.t -> bool) ->
+    reads:Place.any list ->
+    (float * (Activity.ctx -> Marking.t -> unit)) list ->
+    unit
+  (** Exponential activity with constant-probability cases, e.g. the
+      three-way attack-class split of [attack_host]. *)
+
+  val instantaneous :
+    t ->
+    name:string ->
+    enabled:(Marking.t -> bool) ->
+    reads:Place.any list ->
+    (Activity.ctx -> Marking.t -> unit) ->
+    unit
+  (** Single-case instantaneous activity. *)
+
+  val build : t -> model
+  (** Freezes the builder. The builder must not be reused afterwards. *)
+end
+
+val name : t -> string
+val places : t -> Place.t array
+val float_places : t -> Place.fl array
+val activities : t -> Activity.t array
+
+val n_places : t -> int
+(** Total number of places (both kinds). *)
+
+val find_place : t -> string -> Place.t
+(** Lookup by exact name; raises [Not_found]. *)
+
+val find_place_opt : t -> string -> Place.t option
+val find_float_place_opt : t -> string -> Place.fl option
+
+val find_activity : t -> string -> Activity.t
+(** Lookup by exact name; raises [Not_found]. *)
+
+val initial_marking : t -> Marking.t
+(** A fresh marking set to the model's initial state. *)
+
+val dependents : t -> int -> Activity.t list
+(** [dependents model uid] lists the activities that declared the place
+    with uid [uid] in their [reads]. *)
+
+val all_exponential : t -> bool
+(** True when every timed activity's distribution is exponential in every
+    reachable marking the caller has checked — practically: evaluated on
+    the initial marking. The CTMC generator re-checks per state. *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** One-line summary: name, place count, activity count. *)

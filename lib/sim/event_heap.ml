@@ -1,0 +1,85 @@
+type entry = { time : float; seq : int; act : int; version : int }
+
+type t = {
+  mutable arr : entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let dummy = { time = 0.0; seq = 0; act = -1; version = -1 }
+
+let create () = { arr = Array.make 64 dummy; size = 0; next_seq = 0 }
+
+let lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow h =
+  let arr = Array.make (2 * Array.length h.arr) dummy in
+  Array.blit h.arr 0 arr 0 h.size;
+  h.arr <- arr
+
+let push h ~time ~act ~version =
+  if not (Float.is_finite time) || time < 0.0 then
+    invalid_arg (Printf.sprintf "Event_heap.push: bad time %g" time);
+  if h.size = Array.length h.arr then grow h;
+  let e = { time; seq = h.next_seq; act; version } in
+  h.next_seq <- h.next_seq + 1;
+  (* Sift up. *)
+  let i = ref h.size in
+  h.size <- h.size + 1;
+  h.arr.(!i) <- e;
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if lt e h.arr.(parent) then begin
+      h.arr.(!i) <- h.arr.(parent);
+      h.arr.(parent) <- e;
+      i := parent
+    end
+    else continue := false
+  done
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let top = h.arr.(0) in
+    h.size <- h.size - 1;
+    let last = h.arr.(h.size) in
+    h.arr.(h.size) <- dummy;
+    if h.size > 0 then begin
+      (* Sift down. *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        let candidate j =
+          if j < h.size then begin
+            let against =
+              if !smallest = !i then last else h.arr.(!smallest)
+            in
+            if lt h.arr.(j) against then smallest := j
+          end
+        in
+        candidate l;
+        candidate r;
+        if !smallest = !i then begin
+          h.arr.(!i) <- last;
+          continue := false
+        end
+        else begin
+          h.arr.(!i) <- h.arr.(!smallest);
+          i := !smallest
+        end
+      done
+    end;
+    Some top
+  end
+
+let peek_time h = if h.size = 0 then None else Some h.arr.(0).time
+
+let size h = h.size
+
+let clear h =
+  Array.fill h.arr 0 h.size dummy;
+  h.size <- 0;
+  h.next_seq <- 0

@@ -1,0 +1,28 @@
+(** Pending-event set of the simulator: a binary min-heap of scheduled
+    activity completions ordered by time, with FIFO tie-breaking on equal
+    times (insertion sequence) so runs are deterministic.
+
+    Entries carry the scheduling {e version} of their activity; the
+    executor bumps an activity's version to cancel its pending entry
+    (lazy deletion), so [pop] can return stale entries, which the caller
+    must detect by comparing versions. *)
+
+type entry = { time : float; seq : int; act : int; version : int }
+
+type t
+
+val create : unit -> t
+
+val push : t -> time:float -> act:int -> version:int -> unit
+(** Schedules activity [act] at [time]. [time] must be finite and
+    non-negative. *)
+
+val pop : t -> entry option
+(** Removes and returns the earliest entry, or [None] when empty. *)
+
+val peek_time : t -> float option
+
+val size : t -> int
+(** Number of entries, including stale ones. *)
+
+val clear : t -> unit

@@ -1,0 +1,226 @@
+exception Stabilization_diverged of string
+
+type config = {
+  horizon : float;
+  max_events : int;
+  max_inst_chain : int;
+  stop : (San.Marking.t -> bool) option;
+}
+
+let config ?(max_events = 1_000_000_000) ?(max_inst_chain = 1_000_000) ?stop
+    ~horizon () =
+  if not (horizon > 0.0) then invalid_arg "Executor.config: horizon must be > 0";
+  { horizon; max_events; max_inst_chain; stop }
+
+type outcome = {
+  end_time : float;
+  events : int;
+  stopped_early : bool;
+  final : San.Marking.t;
+}
+
+type state = {
+  model : San.Model.t;
+  cfg : config;
+  stream : Prng.Stream.t;
+  marking : San.Marking.t;
+  heap : Event_heap.t;
+  versions : int array;  (* per activity: current scheduling version *)
+  scheduled : bool array;  (* per activity: has a live heap entry *)
+  inst_ids : int array;  (* ids of instantaneous activities *)
+  acts : San.Activity.t array;
+  mutable now : float;
+  mutable events : int;
+}
+
+let sample_delay st (a : San.Activity.t) =
+  match a.timing with
+  | San.Activity.Instantaneous -> assert false
+  | San.Activity.Timed { dist; _ } -> Dist.sample (dist st.marking) st.stream
+
+let schedule st (a : San.Activity.t) =
+  let delay = sample_delay st a in
+  Event_heap.push st.heap ~time:(st.now +. delay) ~act:a.id
+    ~version:st.versions.(a.id);
+  st.scheduled.(a.id) <- true
+
+let cancel st id =
+  st.versions.(id) <- st.versions.(id) + 1;
+  st.scheduled.(id) <- false
+
+(* Re-evaluate one timed activity after a marking change it depends on. *)
+let reevaluate st (a : San.Activity.t) =
+  match a.timing with
+  | San.Activity.Instantaneous -> ()
+  | San.Activity.Timed { policy; _ } ->
+      if a.enabled st.marking then begin
+        if not st.scheduled.(a.id) then schedule st a
+        else
+          match policy with
+          | San.Activity.Keep -> ()
+          | San.Activity.Resample ->
+              cancel st a.id;
+              schedule st a
+      end
+      else if st.scheduled.(a.id) then cancel st a.id
+
+let select_case st (a : San.Activity.t) =
+  if Array.length a.cases = 1 then 0
+  else begin
+    let weights =
+      Array.map (fun c -> c.San.Activity.case_weight st.marking) a.cases
+    in
+    Prng.Stream.categorical st.stream weights
+  end
+
+(* Fire [a] through case [c]; returns the list of changed place uids. *)
+let fire st (a : San.Activity.t) case =
+  San.Marking.clear_journal st.marking;
+  let ctx = { San.Activity.time = st.now; stream = Some st.stream } in
+  a.cases.(case).San.Activity.effect ctx st.marking;
+  San.Marking.journal st.marking
+
+(* Propagate a marking change: re-evaluate the fired activity and every
+   activity that reads a changed place. *)
+let propagate st (fired : San.Activity.t option) changed =
+  let seen = Hashtbl.create 16 in
+  (match fired with
+  | Some a ->
+      Hashtbl.replace seen a.San.Activity.id ();
+      reevaluate st a
+  | None -> ());
+  List.iter
+    (fun uid ->
+      List.iter
+        (fun (a : San.Activity.t) ->
+          if not (Hashtbl.mem seen a.id) then begin
+            Hashtbl.replace seen a.id ();
+            reevaluate st a
+          end)
+        (San.Model.dependents st.model uid))
+    changed
+
+let enabled_instantaneous st =
+  Array.fold_left
+    (fun acc id ->
+      let a = st.acts.(id) in
+      if a.San.Activity.enabled st.marking then a :: acc else acc)
+    [] st.inst_ids
+  |> List.rev
+
+(* Fire enabled instantaneous activities until none remain, choosing
+   uniformly among the enabled set at each step.  [notify] is None during
+   t = 0 setup (observers do not see setup firings). *)
+let stabilize st ~notify =
+  let steps = ref 0 in
+  let rec loop () =
+    match enabled_instantaneous st with
+    | [] -> ()
+    | enabled ->
+        incr steps;
+        if !steps > st.cfg.max_inst_chain then
+          raise
+            (Stabilization_diverged
+               (Printf.sprintf
+                  "more than %d consecutive instantaneous firings at t=%g"
+                  st.cfg.max_inst_chain st.now));
+        let a = Prng.Stream.choose_list st.stream enabled in
+        let case = select_case st a in
+        let changed = fire st a case in
+        propagate st None changed;
+        (match notify with
+        | Some (observer : Observer.t) ->
+            st.events <- st.events + 1;
+            observer.on_fire st.now a case st.marking
+        | None -> ());
+        loop ()
+  in
+  loop ()
+
+let run ~model ~config:cfg ~stream ~observer =
+  let acts = San.Model.activities model in
+  let n = Array.length acts in
+  let inst_ids =
+    Array.of_list
+      (Array.to_list acts
+      |> List.filter San.Activity.is_instantaneous
+      |> List.map (fun (a : San.Activity.t) -> a.id))
+  in
+  let st =
+    {
+      model;
+      cfg;
+      stream;
+      marking = San.Model.initial_marking model;
+      heap = Event_heap.create ();
+      versions = Array.make n 0;
+      scheduled = Array.make n false;
+      inst_ids;
+      acts;
+      now = 0.0;
+      events = 0;
+    }
+  in
+  (* t = 0 setup: stabilize instantaneous activities silently, then
+     schedule every enabled timed activity that the stabilization's own
+     propagation has not already scheduled (scheduling it twice would
+     leave two live completions racing — a doubled rate). *)
+  stabilize st ~notify:None;
+  Array.iter
+    (fun (a : San.Activity.t) ->
+      if
+        (not (San.Activity.is_instantaneous a))
+        && (not st.scheduled.(a.id))
+        && a.enabled st.marking
+      then schedule st a)
+    acts;
+  observer.Observer.on_init 0.0 st.marking;
+  let stopped = ref false in
+  let check_stop () =
+    match cfg.stop with
+    | Some pred when pred st.marking -> stopped := true
+    | Some _ | None -> ()
+  in
+  check_stop ();
+  let finished = ref !stopped in
+  let last_event_time = ref 0.0 in
+  while not !finished do
+    match Event_heap.pop st.heap with
+    | None -> finished := true
+    | Some entry ->
+        if entry.Event_heap.version = st.versions.(entry.act) then begin
+          if entry.time > cfg.horizon then begin
+            (* Past the horizon: the popped completion is discarded; the
+               marking holds through the end of the window. *)
+            finished := true
+          end
+          else begin
+            let a = st.acts.(entry.act) in
+            if entry.time > st.now then
+              observer.Observer.on_advance st.now entry.time st.marking;
+            st.now <- entry.time;
+            last_event_time := entry.time;
+            st.scheduled.(a.id) <- false;
+            st.versions.(a.id) <- st.versions.(a.id) + 1;
+            let case = select_case st a in
+            let changed = fire st a case in
+            propagate st (Some a) changed;
+            st.events <- st.events + 1;
+            observer.Observer.on_fire st.now a case st.marking;
+            check_stop ();
+            if not !stopped then stabilize st ~notify:(Some observer);
+            check_stop ();
+            if !stopped then finished := true;
+            if st.events >= cfg.max_events then finished := true
+          end
+        end
+  done;
+  if cfg.horizon > st.now then
+    observer.Observer.on_advance st.now cfg.horizon st.marking;
+  observer.Observer.on_finish cfg.horizon st.marking;
+  {
+    end_time = !last_event_time;
+    events = st.events;
+    stopped_early = !stopped;
+    final = st.marking;
+  }

@@ -1,0 +1,43 @@
+(** The discrete-event executor for SAN models.
+
+    Implements the activity semantics documented in {!San.Activity}:
+    instantaneous activities complete before any time passes (one chosen
+    uniformly at random when several are enabled), timed activities hold or
+    resample their sampled completion times according to their reactivation
+    policy, and activities disabled by a marking change are aborted.
+
+    One call to {!run} is one replication: it allocates a fresh marking,
+    so a model can be executed repeatedly (and concurrently from multiple
+    domains). *)
+
+exception Stabilization_diverged of string
+(** Raised when a chain of instantaneous firings exceeds the configured
+    bound — almost always a modeling error (an instantaneous activity that
+    stays enabled after firing). *)
+
+type config = {
+  horizon : float;  (** end of observed time; must be > 0 *)
+  max_events : int;  (** guard on total firings; default 10^9 *)
+  max_inst_chain : int;
+      (** guard on consecutive instantaneous firings; default 10^6 *)
+  stop : (San.Marking.t -> bool) option;
+      (** optional early-stop predicate, checked after every firing; the
+          final marking is still reported as persisting to the horizon *)
+}
+
+val config : ?max_events:int -> ?max_inst_chain:int ->
+  ?stop:(San.Marking.t -> bool) -> horizon:float -> unit -> config
+
+type outcome = {
+  end_time : float;  (** time of the last firing (or 0 if none) *)
+  events : int;  (** number of firings, excluding t = 0 setup *)
+  stopped_early : bool;  (** the stop predicate halted the run *)
+  final : San.Marking.t;  (** marking at the horizon *)
+}
+
+val run :
+  model:San.Model.t ->
+  config:config ->
+  stream:Prng.Stream.t ->
+  observer:Observer.t ->
+  outcome

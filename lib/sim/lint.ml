@@ -1,0 +1,87 @@
+type violation = { activity : string; place : string; via : string }
+
+let pp_violation ppf v =
+  Format.fprintf ppf "activity %s: %s reads undeclared place %s" v.activity
+    v.via v.place
+
+(* Collect up to [max_markings] distinct markings visited by a few runs. *)
+let sample_markings ~runs ~horizon ~max_markings ~seed model =
+  let seen = Hashtbl.create 256 in
+  let samples = ref [] in
+  let count = ref 0 in
+  let consider m =
+    if !count < max_markings then begin
+      let key = (San.Marking.int_snapshot m, San.Marking.float_snapshot m) in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.add seen key ();
+        samples := San.Marking.copy m :: !samples;
+        incr count
+      end
+    end
+  in
+  let root = Prng.Stream.create ~seed in
+  for i = 0 to runs - 1 do
+    let observer =
+      {
+        Observer.nop with
+        on_init = (fun _ m -> consider m);
+        on_fire = (fun _ _ _ m -> consider m);
+        on_finish = (fun _ m -> consider m);
+      }
+    in
+    let cfg = Executor.config ~horizon () in
+    ignore
+      (Executor.run ~model ~config:cfg
+         ~stream:(Prng.Stream.substream root i)
+         ~observer)
+  done;
+  !samples
+
+let place_name_of_uid model uid =
+  let found = ref None in
+  Array.iter
+    (fun p -> if San.Place.uid p = uid then found := Some (San.Place.name p))
+    (San.Model.places model);
+  Array.iter
+    (fun p -> if San.Place.fuid p = uid then found := Some (San.Place.fname p))
+    (San.Model.float_places model);
+  Option.value ~default:(Printf.sprintf "<uid %d>" uid) !found
+
+let undeclared_reads ?(runs = 3) ?(horizon = 10.0) ?(max_markings = 500)
+    ?(seed = 7L) model =
+  let markings = sample_markings ~runs ~horizon ~max_markings ~seed model in
+  let violations = Hashtbl.create 16 in
+  let check (a : San.Activity.t) m via f =
+    let declared = List.map San.Place.any_uid a.San.Activity.reads in
+    let (_ : unit), reads = San.Marking.trace_reads m (fun () -> ignore (f ())) in
+    List.iter
+      (fun uid ->
+        if not (List.mem uid declared) then
+          let v =
+            {
+              activity = a.San.Activity.name;
+              place = place_name_of_uid model uid;
+              via;
+            }
+          in
+          Hashtbl.replace violations v ())
+      reads
+  in
+  List.iter
+    (fun m ->
+      Array.iter
+        (fun (a : San.Activity.t) ->
+          check a m "enabled" (fun () -> a.San.Activity.enabled m);
+          (match a.San.Activity.timing with
+          | San.Activity.Instantaneous -> ()
+          | San.Activity.Timed { dist; _ } ->
+              check a m "dist" (fun () -> dist m));
+          if Array.length a.San.Activity.cases > 1 then
+            Array.iter
+              (fun c ->
+                check a m "weight" (fun () -> c.San.Activity.case_weight m))
+              a.San.Activity.cases)
+        (San.Model.activities model))
+    markings;
+  Hashtbl.fold (fun v () acc -> v :: acc) violations []
+  |> List.sort_uniq compare

@@ -1,0 +1,34 @@
+(** Dynamic model linter.
+
+    The executor wakes a timed activity up only when a place in its
+    declared [reads] list changes, so an enabling predicate, firing-rate
+    function, or case weight that consults an {e undeclared} place is a
+    silent correctness bug: the activity can stay scheduled (or dormant)
+    on stale information. This linter runs the model, samples visited
+    markings, re-evaluates every activity's marking-dependent functions
+    under read tracing ({!San.Marking.trace_reads}), and reports every
+    undeclared place an activity was observed to read.
+
+    The check is sound but not complete: it only sees the markings the
+    sampled runs visit — like any dynamic analysis, a clean report is
+    evidence, not proof. Run it in tests with a few seeds. *)
+
+type violation = {
+  activity : string;
+  place : string;
+  via : string;  (** which function read it: "enabled", "dist" or "weight" *)
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val undeclared_reads :
+  ?runs:int ->
+  ?horizon:float ->
+  ?max_markings:int ->
+  ?seed:int64 ->
+  San.Model.t ->
+  violation list
+(** [undeclared_reads model] simulates [runs] (default 3) replications to
+    [horizon] (default 10.0), collects up to [max_markings] (default 500)
+    distinct visited markings (including the initial one), and checks
+    every activity against each. Violations are deduplicated. *)

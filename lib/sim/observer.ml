@@ -1,0 +1,22 @@
+type t = {
+  on_init : float -> San.Marking.t -> unit;
+  on_advance : float -> float -> San.Marking.t -> unit;
+  on_fire : float -> San.Activity.t -> int -> San.Marking.t -> unit;
+  on_finish : float -> San.Marking.t -> unit;
+}
+
+let nop =
+  {
+    on_init = (fun _ _ -> ());
+    on_advance = (fun _ _ _ -> ());
+    on_fire = (fun _ _ _ _ -> ());
+    on_finish = (fun _ _ -> ());
+  }
+
+let combine obs =
+  {
+    on_init = (fun t m -> List.iter (fun o -> o.on_init t m) obs);
+    on_advance = (fun t0 t1 m -> List.iter (fun o -> o.on_advance t0 t1 m) obs);
+    on_fire = (fun t a c m -> List.iter (fun o -> o.on_fire t a c m) obs);
+    on_finish = (fun t m -> List.iter (fun o -> o.on_finish t m) obs);
+  }

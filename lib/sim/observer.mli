@@ -1,0 +1,31 @@
+(** Observation hooks into a simulation run.
+
+    Observers are how reward variables, traces, and invariant checkers see
+    a run. The executor guarantees the calling discipline:
+
+    {ol
+    {- [on_init t0 m] once, after initial instantaneous stabilization (the
+       model's t = 0 setup firings are not reported individually);}
+    {- then, in time order: [on_advance t0 t1 m] for every maximal interval
+       [\[t0, t1)] with [t0 < t1] over which the marking [m] is constant,
+       and [on_fire t act case m] for every timed or instantaneous firing,
+       where [m] is the marking {e after} the effect;}
+    {- finally [on_finish t_end m] once, at the horizon (the marking is
+       advanced to the horizon even if the event list empties or a stop
+       predicate halts the run early — an absorbed marking persists).}}
+
+    Markings passed to observers are live views; observers must not
+    mutate them. *)
+
+type t = {
+  on_init : float -> San.Marking.t -> unit;
+  on_advance : float -> float -> San.Marking.t -> unit;
+  on_fire : float -> San.Activity.t -> int -> San.Marking.t -> unit;
+  on_finish : float -> San.Marking.t -> unit;
+}
+
+val nop : t
+(** Does nothing on every hook; override fields with [{ nop with ... }]. *)
+
+val combine : t list -> t
+(** Calls each observer's hooks in list order. *)

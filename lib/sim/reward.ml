@@ -1,0 +1,147 @@
+type spec = { name : string; kind : kind }
+
+and kind =
+  | Time_average of {
+      f : San.Marking.t -> float;
+      from_ : float;
+      until : float;
+    }
+  | Integral of { f : San.Marking.t -> float; from_ : float; until : float }
+  | Instant of { f : San.Marking.t -> float; at : float }
+  | Ever of { pred : San.Marking.t -> bool; until : float }
+  | First_passage of { pred : San.Marking.t -> bool }
+  | Impulse of {
+      f : San.Activity.t -> int -> San.Marking.t -> float;
+      from_ : float;
+      until : float;
+    }
+  | Final of { f : San.Marking.t -> float }
+  | Custom of { make : unit -> Observer.t * (unit -> float); window : float }
+
+let check_window ~name ~from_ ~until =
+  if not (0.0 <= from_ && from_ < until) then
+    invalid_arg
+      (Printf.sprintf "Reward %S: window [%g, %g] invalid" name from_ until)
+
+let time_average ~name ?(from_ = 0.0) ~until f =
+  check_window ~name ~from_ ~until;
+  { name; kind = Time_average { f; from_; until } }
+
+let probability_in_interval ~name ?from_ ~until pred =
+  time_average ~name ?from_ ~until (fun m -> if pred m then 1.0 else 0.0)
+
+let instant ~name ~at f =
+  if at < 0.0 then invalid_arg (Printf.sprintf "Reward %S: at < 0" name);
+  { name; kind = Instant { f; at } }
+
+let ever ~name ~until pred =
+  if not (until > 0.0) then
+    invalid_arg (Printf.sprintf "Reward %S: until must be > 0" name);
+  { name; kind = Ever { pred; until } }
+
+let first_passage ~name pred = { name; kind = First_passage { pred } }
+let final ~name f = { name; kind = Final { f } }
+
+let impulse ~name ?(from_ = 0.0) ~until f =
+  check_window ~name ~from_ ~until;
+  { name; kind = Impulse { f; from_; until } }
+
+let custom ~name ~window make =
+  if window < 0.0 then
+    invalid_arg (Printf.sprintf "Reward %S: negative window" name);
+  { name; kind = Custom { make; window } }
+
+let latest_time spec =
+  match spec.kind with
+  | Time_average { until; _ } | Integral { until; _ } | Ever { until; _ }
+  | Impulse { until; _ } ->
+      until
+  | Instant { at; _ } -> at
+  | Custom { window; _ } -> window
+  | First_passage _ | Final _ -> 0.0
+
+type instance = { observer : Observer.t; value : unit -> float }
+
+let instantiate spec =
+  match spec.kind with
+  | Time_average { f; from_; until } | Integral { f; from_; until } ->
+      let acc = ref 0.0 in
+      let weigh t0 t1 m =
+        let lo = Float.max t0 from_ and hi = Float.min t1 until in
+        if hi > lo then acc := !acc +. (f m *. (hi -. lo))
+      in
+      let normalize =
+        match spec.kind with
+        | Time_average _ -> until -. from_
+        | _ -> 1.0
+      in
+      {
+        observer = { Observer.nop with on_advance = weigh };
+        value = (fun () -> !acc /. normalize);
+      }
+  | Instant { f; at } ->
+      let result = ref nan in
+      let captured = ref false in
+      let capture_if t0 t1 m =
+        if (not !captured) && t0 <= at && at < t1 then begin
+          captured := true;
+          result := f m
+        end
+      in
+      let finish t m =
+        if (not !captured) && at <= t then begin
+          captured := true;
+          result := f m
+        end
+      in
+      {
+        observer =
+          { Observer.nop with on_advance = capture_if; on_finish = finish };
+        value = (fun () -> !result);
+      }
+  | Ever { pred; until } ->
+      let hit = ref false in
+      let check t m = if (not !hit) && t <= until && pred m then hit := true in
+      {
+        observer =
+          {
+            Observer.nop with
+            on_init = check;
+            on_fire = (fun t _ _ m -> check t m);
+          };
+        value = (fun () -> if !hit then 1.0 else 0.0);
+      }
+  | First_passage { pred } ->
+      let at = ref nan in
+      let check t m = if Float.is_nan !at && pred m then at := t in
+      {
+        observer =
+          {
+            Observer.nop with
+            on_init = check;
+            on_fire = (fun t _ _ m -> check t m);
+          };
+        value = (fun () -> !at);
+      }
+  | Impulse { f; from_; until } ->
+      let acc = ref 0.0 in
+      let earn t a case m =
+        if from_ <= t && t <= until then acc := !acc +. f a case m
+      in
+      {
+        observer = { Observer.nop with on_fire = earn };
+        value = (fun () -> !acc);
+      }
+  | Final { f } ->
+      let result = ref nan in
+      {
+        observer =
+          { Observer.nop with on_finish = (fun _ m -> result := f m) };
+        value = (fun () -> !result);
+      }
+  | Custom { make; window = _ } ->
+      let observer, value = make () in
+      { observer; value }
+
+let observer inst = inst.observer
+let value inst = inst.value ()

@@ -1,0 +1,171 @@
+type spec = {
+  model : San.Model.t;
+  horizon : float;
+  rewards : Reward.spec list;
+  extra_observers : (unit -> Observer.t) list;
+  stop : (San.Marking.t -> bool) option;
+  max_events : int;
+}
+
+let spec ?(extra_observers = []) ?stop ?(max_events = 1_000_000_000) ~model
+    ~horizon rewards =
+  if rewards = [] then invalid_arg "Runner.spec: no rewards given";
+  List.iter
+    (fun r ->
+      let latest = Reward.latest_time r in
+      if latest > horizon then
+        invalid_arg
+          (Printf.sprintf
+             "Runner.spec: reward %S observes until t=%g beyond horizon %g"
+             r.Reward.name latest horizon))
+    rewards;
+  { model; horizon; rewards; extra_observers; stop; max_events }
+
+type result = {
+  name : string;
+  ci : Stats.Ci.t;
+  welford : Stats.Welford.t;
+  n_defined : int;
+  n_runs : int;
+}
+
+let run_one s stream =
+  let instances = List.map Reward.instantiate s.rewards in
+  let observers =
+    List.map Reward.observer instances
+    @ List.map (fun make -> make ()) s.extra_observers
+  in
+  let cfg =
+    Executor.config ~max_events:s.max_events ?stop:s.stop ~horizon:s.horizon ()
+  in
+  let (_ : Executor.outcome) =
+    Executor.run ~model:s.model ~config:cfg ~stream
+      ~observer:(Observer.combine observers)
+  in
+  Array.of_list (List.map Reward.value instances)
+
+(* Run replications [first, first+count) accumulating Welford state and
+   defined-counts per reward. *)
+let run_block s ~root ~first ~count =
+  let n_rewards = List.length s.rewards in
+  let accs = Array.init n_rewards (fun _ -> Stats.Welford.create ()) in
+  let defined = Array.make n_rewards 0 in
+  (* [base] stays pristine (never drawn from), so replication [first + i]
+     always runs on exactly substream [first + i] of the seed, regardless
+     of how replications are split into blocks. *)
+  let base = ref (Prng.Stream.substream root first) in
+  for i = 0 to count - 1 do
+    if i > 0 then base := Prng.Stream.successor !base;
+    let values = run_one s (Prng.Stream.substream !base 0) in
+    Array.iteri
+      (fun j v ->
+        if not (Float.is_nan v) then begin
+          Stats.Welford.add accs.(j) v;
+          defined.(j) <- defined.(j) + 1
+        end)
+      values
+  done;
+  (accs, defined)
+
+let default_domains () =
+  Int.max 1 (Int.min 8 (Domain.recommended_domain_count ()))
+
+(* Contiguous near-equal blocks covering [first, first + count). *)
+let blocks_of ~domains ~first ~count =
+  let base = count / domains and extra = count mod domains in
+  List.init domains (fun d ->
+      let c = base + if d < extra then 1 else 0 in
+      let f = first + (d * base) + Int.min d extra in
+      (f, c))
+
+let run_blocks s ~root ~domains blocks =
+  if domains = 1 then
+    List.map (fun (first, count) -> run_block s ~root ~first ~count) blocks
+  else begin
+    let handles =
+      List.map
+        (fun (first, count) ->
+          Domain.spawn (fun () -> run_block s ~root ~first ~count))
+        blocks
+    in
+    List.map Domain.join handles
+  end
+
+let run ?(domains = 1) ?(confidence = 0.95) ~seed ~reps s =
+  if reps <= 0 then invalid_arg "Runner.run: reps must be >= 1";
+  if domains <= 0 then invalid_arg "Runner.run: domains must be >= 1";
+  let root = Prng.Stream.create ~seed in
+  let domains = Int.min domains reps in
+  let blocks = blocks_of ~domains ~first:0 ~count:reps in
+  let results = run_blocks s ~root ~domains blocks in
+  let n_rewards = List.length s.rewards in
+  let merged_accs =
+    Array.init n_rewards (fun j ->
+        List.fold_left
+          (fun acc (accs, _) -> Stats.Welford.merge acc accs.(j))
+          (Stats.Welford.create ()) results)
+  in
+  let merged_defined =
+    Array.init n_rewards (fun j ->
+        List.fold_left (fun acc (_, defined) -> acc + defined.(j)) 0 results)
+  in
+  List.mapi
+    (fun j r ->
+      {
+        name = r.Reward.name;
+        ci = Stats.Ci.of_welford ~confidence merged_accs.(j);
+        welford = merged_accs.(j);
+        n_defined = merged_defined.(j);
+        n_runs = reps;
+      })
+    s.rewards
+
+let run_until ?(domains = 1) ?(confidence = 0.95) ?(batch = 500)
+    ?(max_reps = 100_000) ~rel_precision ~seed s =
+  if not (rel_precision > 0.0) then
+    invalid_arg "Runner.run_until: rel_precision must be > 0";
+  if batch <= 0 then invalid_arg "Runner.run_until: batch must be > 0";
+  let root = Prng.Stream.create ~seed in
+  let n_rewards = List.length s.rewards in
+  let accs = Array.init n_rewards (fun _ -> Stats.Welford.create ()) in
+  let defined = Array.make n_rewards 0 in
+  let total = ref 0 in
+  let precise_enough () =
+    !total >= 2
+    && Array.for_all
+         (fun acc ->
+           let ci = Stats.Ci.of_welford ~confidence acc in
+           (not (Float.is_nan ci.Stats.Ci.half_width))
+           &&
+           if ci.Stats.Ci.mean = 0.0 then
+             ci.Stats.Ci.half_width <= rel_precision
+           else Stats.Ci.relative_half_width ci <= rel_precision)
+         accs
+  in
+  while (not (precise_enough ())) && !total < max_reps do
+    let count = Int.min batch (max_reps - !total) in
+    let d = Int.max 1 (Int.min domains count) in
+    let results =
+      run_blocks s ~root ~domains:d (blocks_of ~domains:d ~first:!total ~count)
+    in
+    List.iter
+      (fun (batch_accs, batch_defined) ->
+        Array.iteri
+          (fun j acc ->
+            accs.(j) <- Stats.Welford.merge accs.(j) acc;
+            defined.(j) <- defined.(j) + batch_defined.(j);
+            ignore acc)
+          batch_accs)
+      results;
+    total := !total + count
+  done;
+  List.mapi
+    (fun j r ->
+      {
+        name = r.Reward.name;
+        ci = Stats.Ci.of_welford ~confidence accs.(j);
+        welford = accs.(j);
+        n_defined = defined.(j);
+        n_runs = !total;
+      })
+    s.rewards

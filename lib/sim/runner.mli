@@ -1,0 +1,73 @@
+(** Replication runner: estimates reward variables over many independent
+    terminating simulation runs, with confidence intervals.
+
+    Replication [i] always uses random substream [i] of the given seed, so
+    estimates are reproducible and independent of how replications are
+    spread across domains (up to floating-point summation order when
+    merging per-domain accumulators). *)
+
+type spec = private {
+  model : San.Model.t;
+  horizon : float;
+  rewards : Reward.spec list;
+  extra_observers : (unit -> Observer.t) list;
+  stop : (San.Marking.t -> bool) option;
+  max_events : int;
+}
+
+val spec :
+  ?extra_observers:(unit -> Observer.t) list ->
+  ?stop:(San.Marking.t -> bool) ->
+  ?max_events:int ->
+  model:San.Model.t ->
+  horizon:float ->
+  Reward.spec list ->
+  spec
+(** Validates that [horizon] covers every reward window
+    ([Invalid_argument] otherwise) and that at least one reward is
+    given. [extra_observers] are fresh-per-replication hooks (invariant
+    checkers, traces). *)
+
+type result = {
+  name : string;  (** reward name *)
+  ci : Stats.Ci.t;
+  welford : Stats.Welford.t;
+      (** accumulator over the defined (non-nan) replication values *)
+  n_defined : int;  (** replications where the reward was defined *)
+  n_runs : int;  (** total replications *)
+}
+
+val run_one : spec -> Prng.Stream.t -> float array
+(** One replication; returns the reward values in spec order. *)
+
+val run :
+  ?domains:int ->
+  ?confidence:float ->
+  seed:int64 ->
+  reps:int ->
+  spec ->
+  result list
+(** [run ~seed ~reps spec] executes [reps] replications and aggregates.
+    [domains] > 1 spreads replications over that many OCaml domains
+    (default 1). Results come back in spec order. *)
+
+val run_until :
+  ?domains:int ->
+  ?confidence:float ->
+  ?batch:int ->
+  ?max_reps:int ->
+  rel_precision:float ->
+  seed:int64 ->
+  spec ->
+  result list
+(** Sequential stopping, à la Möbius: run replications in batches (default
+    500) until {e every} reward's interval satisfies
+    [half_width <= rel_precision · |mean|] (rewards whose mean is 0 after a
+    batch are judged by absolute half-width against [rel_precision]), or
+    [max_reps] (default 100_000) is reached. Replication [i] still uses
+    substream [i], so a [run_until] result is a deterministic function of
+    the seed and the batch/precision parameters. *)
+
+val default_domains : unit -> int
+(** A sensible domain count for this machine (recommended count capped at
+    8, at least 1). *)

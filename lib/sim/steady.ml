@@ -1,0 +1,51 @@
+type result = {
+  ci : Stats.Ci.t;
+  batch_means : float array;
+  warmup_mean : float;
+}
+
+let estimate ?(confidence = 0.95) ~model ~f ~warmup ~batch_length ~batches
+    ~stream () =
+  if batches < 2 then invalid_arg "Steady.estimate: batches must be >= 2";
+  if batch_length <= 0.0 then
+    invalid_arg "Steady.estimate: batch_length must be > 0";
+  if warmup < 0.0 then invalid_arg "Steady.estimate: warmup must be >= 0";
+  let horizon = warmup +. (float_of_int batches *. batch_length) in
+  let integrals = Array.make batches 0.0 in
+  let warmup_integral = ref 0.0 in
+  (* Accumulate f's time integral, splitting each constant-marking
+     interval across the batch boundaries it spans. *)
+  let accumulate t0 t1 m =
+    let v = f m in
+    if v <> 0.0 then begin
+      (* Warmup part. *)
+      let w_hi = Float.min t1 warmup in
+      if w_hi > t0 then warmup_integral := !warmup_integral +. (v *. (w_hi -. t0));
+      (* Batch parts. *)
+      let lo = Float.max t0 warmup and hi = Float.min t1 horizon in
+      if hi > lo then begin
+        let first = int_of_float ((lo -. warmup) /. batch_length) in
+        let first = Int.min first (batches - 1) in
+        let rec fill b lo =
+          if b < batches && lo < hi then begin
+            let b_end = warmup +. (float_of_int (b + 1) *. batch_length) in
+            let seg_hi = Float.min hi b_end in
+            integrals.(b) <- integrals.(b) +. (v *. (seg_hi -. lo));
+            fill (b + 1) seg_hi
+          end
+        in
+        fill first lo
+      end
+    end
+  in
+  let observer = { Observer.nop with on_advance = accumulate } in
+  let cfg = Executor.config ~horizon () in
+  let (_ : Executor.outcome) = Executor.run ~model ~config:cfg ~stream ~observer in
+  let batch_means = Array.map (fun x -> x /. batch_length) integrals in
+  let acc = Stats.Welford.create () in
+  Array.iter (Stats.Welford.add acc) batch_means;
+  {
+    ci = Stats.Ci.of_welford ~confidence acc;
+    batch_means;
+    warmup_mean = (if warmup > 0.0 then !warmup_integral /. warmup else nan);
+  }

@@ -1,0 +1,31 @@
+(** Steady-state estimation by the method of batch means.
+
+    Terminating measures use {!Runner} (independent replications); for
+    long-run measures — like the paper's "steady state" fraction of
+    corrupt hosts in excluded domains, or queueing stationary quantities —
+    one long run is split into batches after a warmup, the time-average of
+    the reward is computed per batch, and a Student-t interval is formed
+    over the batch means. With enough batches of sufficient length the
+    batch means are approximately independent and the interval is
+    honest. *)
+
+type result = {
+  ci : Stats.Ci.t;
+  batch_means : float array;
+  warmup_mean : float;  (** time-average over the discarded warmup *)
+}
+
+val estimate :
+  ?confidence:float ->
+  model:San.Model.t ->
+  f:(San.Marking.t -> float) ->
+  warmup:float ->
+  batch_length:float ->
+  batches:int ->
+  stream:Prng.Stream.t ->
+  unit ->
+  result
+(** [estimate ~model ~f ~warmup ~batch_length ~batches ~stream ()] runs
+    one replication to [warmup + batches · batch_length] and returns the
+    batch-means interval for the long-run average of [f]. Requires
+    [batches >= 2] and positive lengths. *)

@@ -1,0 +1,29 @@
+let dump_marking model ppf m =
+  Array.iter
+    (fun p ->
+      let v = San.Marking.get m p in
+      if v <> 0 then Format.fprintf ppf "    %s = %d@." (San.Place.name p) v)
+    (San.Model.places model);
+  Array.iter
+    (fun p ->
+      let v = San.Marking.fget m p in
+      if v <> 0.0 then
+        Format.fprintf ppf "    %s = %g@." (San.Place.fname p) v)
+    (San.Model.float_places model)
+
+let observer ?(show_marking = false) ~model ppf =
+  {
+    Observer.nop with
+    on_init =
+      (fun t m ->
+        Format.fprintf ppf "t=%-10.4f init@." t;
+        if show_marking then dump_marking model ppf m);
+    on_fire =
+      (fun t a case m ->
+        Format.fprintf ppf "t=%-10.4f fire %s%s@." t a.San.Activity.name
+          (if Array.length a.San.Activity.cases > 1 then
+             Printf.sprintf " case %d" case
+           else "");
+        if show_marking then dump_marking model ppf m);
+    on_finish = (fun t _ -> Format.fprintf ppf "t=%-10.4f end@." t);
+  }

@@ -1,0 +1,32 @@
+type t = { mean : float; half_width : float; confidence : float; n : int }
+
+let of_welford ?(confidence = 0.95) acc =
+  let n = Welford.count acc in
+  let mean = Welford.mean acc in
+  let half_width =
+    if n < 2 then nan
+    else
+      let tstar =
+        Student_t.critical ~df:(float_of_int (n - 1)) ~confidence
+      in
+      tstar *. Welford.sem acc
+  in
+  { mean; half_width; confidence; n }
+
+let of_samples ?confidence samples =
+  let acc = Welford.create () in
+  Array.iter (Welford.add acc) samples;
+  of_welford ?confidence acc
+
+let lower ci = ci.mean -. ci.half_width
+let upper ci = ci.mean +. ci.half_width
+
+let contains ci x =
+  (not (Float.is_nan ci.half_width)) && lower ci <= x && x <= upper ci
+
+let relative_half_width ci =
+  if ci.mean = 0.0 then infinity else Float.abs (ci.half_width /. ci.mean)
+
+let pp ppf ci =
+  Format.fprintf ppf "%.6g ±%.2g (%g%%, n=%d)" ci.mean ci.half_width
+    (100.0 *. ci.confidence) ci.n

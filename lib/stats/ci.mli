@@ -1,0 +1,31 @@
+(** Confidence intervals for simulation output (independent replications).
+
+    Intervals use the Student-t critical value for the accumulated sample
+    size, the standard approach for terminating-simulation estimators. *)
+
+type t = {
+  mean : float;
+  half_width : float;  (** half of the interval width; [nan] if n < 2 *)
+  confidence : float;  (** e.g. 0.95 *)
+  n : int;  (** number of replications *)
+}
+
+val of_welford : ?confidence:float -> Welford.t -> t
+(** [of_welford ~confidence acc] builds the interval
+    mean ± t*(n-1) · s/√n. Default confidence 0.95. *)
+
+val of_samples : ?confidence:float -> float array -> t
+(** Convenience over {!of_welford}. *)
+
+val lower : t -> float
+val upper : t -> float
+
+val contains : t -> float -> bool
+(** [contains ci x] is true when [x] lies within the interval. False when
+    the half width is [nan]. *)
+
+val relative_half_width : t -> float
+(** [half_width /. |mean|]; [infinity] when the mean is zero. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as ["0.1234 ±0.0021 (95%, n=2000)"]. *)

@@ -1,0 +1,67 @@
+type t = {
+  lo : float;
+  hi : float;
+  width : float;
+  counts : int array;
+  mutable under : int;
+  mutable over : int;
+  mutable total : int;
+}
+
+let create ~lo ~hi ~bins =
+  if not (lo < hi) then invalid_arg "Histogram.create: requires lo < hi";
+  if bins <= 0 then invalid_arg "Histogram.create: requires bins > 0";
+  {
+    lo;
+    hi;
+    width = (hi -. lo) /. float_of_int bins;
+    counts = Array.make bins 0;
+    under = 0;
+    over = 0;
+    total = 0;
+  }
+
+let add h x =
+  h.total <- h.total + 1;
+  if x < h.lo then h.under <- h.under + 1
+  else if x >= h.hi then h.over <- h.over + 1
+  else begin
+    let i = int_of_float ((x -. h.lo) /. h.width) in
+    let i = if i >= Array.length h.counts then Array.length h.counts - 1 else i in
+    h.counts.(i) <- h.counts.(i) + 1
+  end
+
+let count h = h.total
+let bin_count h i = h.counts.(i)
+let underflow h = h.under
+let overflow h = h.over
+
+let bin_bounds h i =
+  let lo = h.lo +. (float_of_int i *. h.width) in
+  (lo, lo +. h.width)
+
+let fraction_below h x =
+  if h.total = 0 then nan
+  else begin
+    let below = ref (float_of_int h.under) in
+    Array.iteri
+      (fun i c ->
+        let blo, bhi = bin_bounds h i in
+        if bhi <= x then below := !below +. float_of_int c
+        else if blo < x then
+          below := !below +. (float_of_int c *. ((x -. blo) /. h.width)))
+      h.counts;
+    !below /. float_of_int h.total
+  end
+
+let pp ppf h =
+  let max_count = Array.fold_left max 1 h.counts in
+  Array.iteri
+    (fun i c ->
+      let blo, bhi = bin_bounds h i in
+      let bar = 50 * c / max_count in
+      Format.fprintf ppf "[%8.3g, %8.3g) %6d %s@." blo bhi c
+        (String.make bar '#'))
+    h.counts;
+  if h.under > 0 then Format.fprintf ppf "underflow %d@." h.under;
+  if h.over > 0 then Format.fprintf ppf "overflow %d@." h.over

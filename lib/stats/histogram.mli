@@ -1,0 +1,30 @@
+(** Fixed-bin histograms, used for distribution tests and for inspecting
+    simulation output (e.g. the per-host load measure). *)
+
+type t
+
+val create : lo:float -> hi:float -> bins:int -> t
+(** [create ~lo ~hi ~bins] covers [\[lo, hi)] with [bins] equal-width bins
+    plus underflow and overflow counters. Requires [lo < hi] and
+    [bins > 0]. *)
+
+val add : t -> float -> unit
+
+val count : t -> int
+(** Total number of observations, including under/overflow. *)
+
+val bin_count : t -> int -> int
+(** [bin_count h i] is the number of observations in bin [i]. *)
+
+val underflow : t -> int
+val overflow : t -> int
+
+val bin_bounds : t -> int -> float * float
+(** [(lo, hi)] bounds of bin [i]. *)
+
+val fraction_below : t -> float -> float
+(** [fraction_below h x] approximates the empirical CDF at [x] assuming
+    observations are uniform within each bin. *)
+
+val pp : Format.formatter -> t -> unit
+(** ASCII bar rendering, one line per bin. *)

@@ -1,0 +1,37 @@
+let statistic ~cdf xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Ks.statistic: empty sample";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let d = ref 0.0 in
+  let nf = float_of_int n in
+  Array.iteri
+    (fun i x ->
+      let f = cdf x in
+      let above = (float_of_int (i + 1) /. nf) -. f in
+      let below = f -. (float_of_int i /. nf) in
+      if above > !d then d := above;
+      if below > !d then d := below)
+    sorted;
+  !d
+
+(* Asymptotic Kolmogorov tail with Stephens' finite-n adjustment:
+   P(D > d) ~ Q(lambda) = 2 sum_{k>=1} (-1)^{k-1} exp(-2 k^2 lambda^2). *)
+let significance ~n d =
+  if n <= 0 then invalid_arg "Ks.significance: n must be positive";
+  let sqrt_n = sqrt (float_of_int n) in
+  let lambda = (sqrt_n +. 0.12 +. (0.11 /. sqrt_n)) *. d in
+  if lambda < 1e-3 then 1.0
+  else begin
+    let acc = ref 0.0 in
+    let sign = ref 1.0 in
+    (try
+       for k = 1 to 100 do
+         let term = exp (-2.0 *. float_of_int (k * k) *. lambda *. lambda) in
+         acc := !acc +. (!sign *. term);
+         sign := -. !sign;
+         if term < 1e-12 then raise Exit
+       done
+     with Exit -> ());
+    Float.max 0.0 (Float.min 1.0 (2.0 *. !acc))
+  end

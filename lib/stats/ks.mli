@@ -1,0 +1,13 @@
+(** One-sample Kolmogorov–Smirnov goodness-of-fit testing, used by the
+    distribution tests to compare samplers against their own CDFs. *)
+
+val statistic : cdf:(float -> float) -> float array -> float
+(** [statistic ~cdf xs] is D_n = sup |F_n(x) - cdf(x)| over the sample
+    (computed at the jump points of the empirical CDF). The sample is
+    sorted internally; it must be non-empty. *)
+
+val significance : n:int -> float -> float
+(** [significance ~n d] approximates the p-value
+    P(D_n > d) via the asymptotic Kolmogorov distribution with the
+    standard finite-n correction (Stephens). Small values reject the fit;
+    e.g. below 0.001 at n = 10000 indicates a real mismatch. *)

@@ -1,0 +1,52 @@
+let cdf ~df x =
+  if df <= 0.0 then invalid_arg "Student_t.cdf: requires df > 0";
+  if Float.is_nan x then nan
+  else if x = 0.0 then 0.5
+  else begin
+    let t2 = x *. x in
+    let ib = Specfun.beta_inc (df /. 2.0) 0.5 (df /. (df +. t2)) in
+    if x > 0.0 then 1.0 -. (0.5 *. ib) else 0.5 *. ib
+  end
+
+let pdf ~df x =
+  let half = (df +. 1.0) /. 2.0 in
+  let ln =
+    Specfun.log_gamma half
+    -. Specfun.log_gamma (df /. 2.0)
+    -. (0.5 *. log (df *. Float.pi))
+    -. (half *. log (1.0 +. (x *. x /. df)))
+  in
+  exp ln
+
+let quantile ~df p =
+  if df <= 0.0 then invalid_arg "Student_t.quantile: requires df > 0";
+  if not (0.0 < p && p < 1.0) then
+    invalid_arg "Student_t.quantile: requires 0 < p < 1";
+  (* Start from the normal quantile, widen brackets, then bisect with a
+     Newton polish.  The CDF is monotone so this always converges. *)
+  let target = p in
+  let x0 = Specfun.std_normal_quantile p in
+  let lo = ref (Float.min (x0 *. 4.0) (-1.0)) in
+  let hi = ref (Float.max (x0 *. 4.0) 1.0) in
+  while cdf ~df !lo > target do
+    lo := !lo *. 2.0
+  done;
+  while cdf ~df !hi < target do
+    hi := !hi *. 2.0
+  done;
+  let x = ref (Float.max !lo (Float.min !hi x0)) in
+  for _ = 1 to 100 do
+    let f = cdf ~df !x -. target in
+    if f > 0.0 then hi := !x else lo := !x;
+    let deriv = pdf ~df !x in
+    let newton = !x -. (f /. deriv) in
+    x :=
+      if deriv > 0.0 && newton > !lo && newton < !hi then newton
+      else 0.5 *. (!lo +. !hi)
+  done;
+  !x
+
+let critical ~df ~confidence =
+  if not (0.0 < confidence && confidence < 1.0) then
+    invalid_arg "Student_t.critical: requires 0 < confidence < 1";
+  quantile ~df (1.0 -. ((1.0 -. confidence) /. 2.0))

@@ -1,0 +1,16 @@
+(** Student's t distribution, used for confidence intervals over small
+    numbers of simulation replications. *)
+
+val cdf : df:float -> float -> float
+(** [cdf ~df x] is P(T <= x) for a t-distributed variable with [df > 0]
+    degrees of freedom. *)
+
+val quantile : df:float -> float -> float
+(** [quantile ~df p] is the [p]-quantile (inverse CDF), [0 < p < 1].
+    Computed by bisection + Newton on {!cdf}; accurate to ~1e-10. *)
+
+val critical : df:float -> confidence:float -> float
+(** [critical ~df ~confidence] is the two-sided critical value [t] such
+    that a t-distributed variable lands in [\[-t, t\]] with probability
+    [confidence]; e.g. [critical ~df:29.0 ~confidence:0.95] is 2.045....
+    Requires [0 < confidence < 1]. *)

@@ -1,0 +1,58 @@
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable min_v : float;
+  mutable max_v : float;
+}
+
+let create () = { n = 0; mean = 0.0; m2 = 0.0; min_v = nan; max_v = nan }
+
+let add acc x =
+  acc.n <- acc.n + 1;
+  let delta = x -. acc.mean in
+  acc.mean <- acc.mean +. (delta /. float_of_int acc.n);
+  acc.m2 <- acc.m2 +. (delta *. (x -. acc.mean));
+  if acc.n = 1 then begin
+    acc.min_v <- x;
+    acc.max_v <- x
+  end
+  else begin
+    if x < acc.min_v then acc.min_v <- x;
+    if x > acc.max_v then acc.max_v <- x
+  end
+
+let merge a b =
+  if a.n = 0 then { b with n = b.n }
+  else if b.n = 0 then { a with n = a.n }
+  else begin
+    let na = float_of_int a.n and nb = float_of_int b.n in
+    let n = a.n + b.n in
+    let delta = b.mean -. a.mean in
+    let mean = a.mean +. (delta *. nb /. (na +. nb)) in
+    let m2 = a.m2 +. b.m2 +. (delta *. delta *. na *. nb /. (na +. nb)) in
+    {
+      n;
+      mean;
+      m2;
+      min_v = Float.min a.min_v b.min_v;
+      max_v = Float.max a.max_v b.max_v;
+    }
+  end
+
+let count acc = acc.n
+let mean acc = if acc.n = 0 then nan else acc.mean
+
+let variance acc =
+  if acc.n < 2 then nan else acc.m2 /. float_of_int (acc.n - 1)
+
+let stddev acc = sqrt (variance acc)
+
+let sem acc =
+  if acc.n < 2 then nan else stddev acc /. sqrt (float_of_int acc.n)
+
+let min_value acc = acc.min_v
+let max_value acc = acc.max_v
+
+let pp ppf acc =
+  Format.fprintf ppf "n=%d mean=%.6g sd=%.6g" acc.n (mean acc) (stddev acc)

@@ -1,0 +1,37 @@
+(** Numerically stable streaming moments (Welford's algorithm).
+
+    Accumulates count, mean, and sum of squared deviations in one pass,
+    with exact merging of partial accumulators (Chan et al.), which the
+    multicore replication runner relies on. *)
+
+type t
+(** Mutable accumulator. *)
+
+val create : unit -> t
+
+val add : t -> float -> unit
+(** [add acc x] folds one observation into the accumulator. *)
+
+val merge : t -> t -> t
+(** [merge a b] is a fresh accumulator equivalent to having observed both
+    [a]'s and [b]'s samples. [a] and [b] are not modified. *)
+
+val count : t -> int
+val mean : t -> float
+(** Mean of the observations; [nan] when empty. *)
+
+val variance : t -> float
+(** Unbiased sample variance (divides by n-1); [nan] when count < 2. *)
+
+val stddev : t -> float
+(** Square root of {!variance}. *)
+
+val sem : t -> float
+(** Standard error of the mean, [stddev / sqrt count]. *)
+
+val min_value : t -> float
+val max_value : t -> float
+(** Extremes of the observations; [nan] when empty. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints count, mean and standard deviation. *)

@@ -1,0 +1,67 @@
+type two_state = { ts_model : San.Model.t; up : San.Place.t }
+
+let two_state ~lambda ~mu =
+  let b = San.Model.Builder.create "two_state" in
+  let up = San.Model.Builder.int_place b ~init:1 "up" in
+  San.Model.Builder.timed_exp b ~name:"fail"
+    ~rate:(fun _ -> lambda)
+    ~enabled:(fun m -> San.Marking.get m up = 1)
+    ~reads:[ San.Place.P up ]
+    (fun _ m -> San.Marking.set m up 0);
+  San.Model.Builder.timed_exp b ~name:"repair"
+    ~rate:(fun _ -> mu)
+    ~enabled:(fun m -> San.Marking.get m up = 0)
+    ~reads:[ San.Place.P up ]
+    (fun _ m -> San.Marking.set m up 1);
+  { ts_model = San.Model.Builder.build b; up }
+
+let two_state_availability ~lambda ~mu t =
+  let s = lambda +. mu in
+  (mu /. s) +. (lambda /. s *. exp (-.s *. t))
+
+type queue = { q_model : San.Model.t; q_len : San.Place.t }
+
+let mm1k ~lambda ~mu ~k =
+  let b = San.Model.Builder.create "mm1k" in
+  let q_len = San.Model.Builder.int_place b "customers" in
+  San.Model.Builder.timed_exp b ~name:"arrive"
+    ~rate:(fun _ -> lambda)
+    ~enabled:(fun m -> San.Marking.get m q_len < k)
+    ~reads:[ San.Place.P q_len ]
+    (fun _ m -> San.Marking.add m q_len 1);
+  San.Model.Builder.timed_exp b ~name:"serve"
+    ~rate:(fun _ -> mu)
+    ~enabled:(fun m -> San.Marking.get m q_len > 0)
+    ~reads:[ San.Place.P q_len ]
+    (fun _ m -> San.Marking.add m q_len (-1));
+  { q_model = San.Model.Builder.build b; q_len }
+
+let mm1k_steady ~lambda ~mu ~k =
+  let rho = lambda /. mu in
+  let raw = Array.init (k + 1) (fun i -> rho ** float_of_int i) in
+  let total = Array.fold_left ( +. ) 0.0 raw in
+  Array.map (fun x -> x /. total) raw
+
+type tandem = { td_model : San.Model.t; stage : San.Place.t }
+
+let tandem ~r1 ~r2 =
+  let b = San.Model.Builder.create "tandem" in
+  let stage = San.Model.Builder.int_place b "stage" in
+  San.Model.Builder.timed_exp b ~name:"step1"
+    ~rate:(fun _ -> r1)
+    ~enabled:(fun m -> San.Marking.get m stage = 0)
+    ~reads:[ San.Place.P stage ]
+    (fun _ m -> San.Marking.set m stage 1);
+  San.Model.Builder.timed_exp b ~name:"step2"
+    ~rate:(fun _ -> r2)
+    ~enabled:(fun m -> San.Marking.get m stage = 1)
+    ~reads:[ San.Place.P stage ]
+    (fun _ m -> San.Marking.set m stage 2);
+  { td_model = San.Model.Builder.build b; stage }
+
+let tandem_absorbed ~r1 ~r2 t =
+  (* P(T1 + T2 <= t) for independent exponentials with distinct rates:
+     1 - (r2 e^{-r1 t} - r1 e^{-r2 t}) / (r2 - r1). *)
+  if Float.abs (r1 -. r2) < 1e-9 then
+    invalid_arg "tandem_absorbed: rates must be distinct";
+  1.0 -. (((r2 *. exp (-.r1 *. t)) -. (r1 *. exp (-.r2 *. t))) /. (r2 -. r1))

@@ -1,0 +1,41 @@
+(** Small SAN models with known analytical behaviour, shared by the
+    simulator and CTMC test suites. *)
+
+type two_state = {
+  ts_model : San.Model.t;
+  up : San.Place.t;  (** 1 while the component works *)
+}
+
+val two_state : lambda:float -> mu:float -> two_state
+(** Repairable component: fails at rate [lambda], repairs at rate [mu].
+    Availability at time t is
+    mu/(lambda+mu) + lambda/(lambda+mu) · exp (-(lambda+mu) t). *)
+
+val two_state_availability : lambda:float -> mu:float -> float -> float
+(** The closed-form availability above. *)
+
+type queue = {
+  q_model : San.Model.t;
+  q_len : San.Place.t;  (** number of customers in the system *)
+}
+
+val mm1k : lambda:float -> mu:float -> k:int -> queue
+(** M/M/1/K queue: Poisson arrivals (blocked when [k] customers present),
+    exponential service. *)
+
+val mm1k_steady : lambda:float -> mu:float -> k:int -> float array
+(** Closed-form stationary distribution of the M/M/1/K queue,
+    index = number in system. *)
+
+type tandem = {
+  td_model : San.Model.t;
+  stage : San.Place.t;  (** 0, 1 or 2 *)
+}
+
+val tandem : r1:float -> r2:float -> tandem
+(** Pure-death chain 0 → 1 → 2 with rates [r1] then [r2]; state 2 is
+    absorbing. P(in state 2 by t) has a closed form, see
+    {!tandem_absorbed}. *)
+
+val tandem_absorbed : r1:float -> r2:float -> float -> float
+(** P(absorbed by time t) for {!tandem} (distinct rates required). *)

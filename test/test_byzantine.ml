@@ -1,0 +1,242 @@
+(* Tests for the Byzantine agreement substrate: the Lamport-Shostak-Pease
+   oral-messages bound (n > 3m) that justifies the ITUA model's
+   one-third consensus threshold, and the signed-messages algorithm that
+   removes it. *)
+
+let check_ic ~n ~rounds ~traitors ~strategy ~commander_value =
+  let decisions =
+    Byzantine.Om.decide ~n ~rounds ~traitors ~strategy ~commander_value
+  in
+  Byzantine.Om.interactive_consistency ~decisions ~traitors ~commander_value
+
+let sm_ic ~n ~rounds ~traitors ~strategy ~commander_value =
+  let decisions =
+    Byzantine.Sm.decide ~n ~rounds ~traitors ~strategy ~commander_value
+  in
+  Byzantine.Om.interactive_consistency ~decisions ~traitors ~commander_value
+
+let traitor_sets ~n ~m =
+  (* All subsets of {0..n-1} of size exactly m, as traitor arrays. *)
+  let rec subsets k from =
+    if k = 0 then [ [] ]
+    else if from >= n then []
+    else
+      List.map (fun s -> from :: s) (subsets (k - 1) (from + 1))
+      @ subsets k (from + 1)
+  in
+  List.map
+    (fun ids ->
+      let t = Array.make n false in
+      List.iter (fun i -> t.(i) <- true) ids;
+      t)
+    (subsets m 0)
+
+let adversaries stream =
+  [ ("inverting", Byzantine.inverting_strategy);
+    ("split", Byzantine.split_strategy);
+    ("random", Byzantine.random_strategy stream) ]
+
+(* --- OM: the positive side of the bound --- *)
+
+let test_om_no_traitors () =
+  List.iter
+    (fun n ->
+      List.iter
+        (fun v ->
+          let traitors = Array.make n false in
+          Alcotest.(check bool)
+            (Printf.sprintf "n=%d honest run" n)
+            true
+            (check_ic ~n ~rounds:1 ~traitors
+               ~strategy:Byzantine.loyal_strategy ~commander_value:v))
+        [ Byzantine.Attack; Byzantine.Retreat ])
+    [ 2; 3; 4; 5; 7 ]
+
+let test_om_tolerates_one_of_four () =
+  (* n = 4, m = 1: every single-traitor placement, every adversary. *)
+  let stream = Prng.Stream.create ~seed:11L in
+  List.iter
+    (fun traitors ->
+      List.iter
+        (fun (name, strategy) ->
+          List.iter
+            (fun v ->
+              if not (check_ic ~n:4 ~rounds:1 ~traitors ~strategy ~commander_value:v)
+              then
+                Alcotest.failf "n=4 m=1 broken by %s (traitor %s)" name
+                  (String.concat ","
+                     (List.filteri (fun i _ -> traitors.(i)) [ "0"; "1"; "2"; "3" ])))
+            [ Byzantine.Attack; Byzantine.Retreat ])
+        (adversaries stream))
+    (traitor_sets ~n:4 ~m:1)
+
+let test_om_tolerates_two_of_seven () =
+  let stream = Prng.Stream.create ~seed:13L in
+  List.iter
+    (fun traitors ->
+      List.iter
+        (fun (name, strategy) ->
+          if
+            not
+              (check_ic ~n:7 ~rounds:2 ~traitors ~strategy
+                 ~commander_value:Byzantine.Attack)
+          then Alcotest.failf "n=7 m=2 broken by %s" name)
+        (adversaries stream))
+    (traitor_sets ~n:7 ~m:2)
+
+(* --- OM: the negative side (why ITUA needs < 1/3) --- *)
+
+let test_om_three_generals_impossible () =
+  (* n = 3, m = 1: the classic impossibility.  A traitorous lieutenant
+     relays the inverted order; the loyal lieutenant sees a tie, falls back
+     to the default, and disobeys its loyal commander (IC2 violated). *)
+  let traitors = [| false; false; true |] in
+  Alcotest.(check bool) "three generals fail" false
+    (check_ic ~n:3 ~rounds:1 ~traitors ~strategy:Byzantine.inverting_strategy
+       ~commander_value:Byzantine.Attack)
+
+let test_om_six_with_two_traitors_breakable () =
+  (* n = 6 = 3m with m = 2: some traitor placement + strategy must break
+     interactive consistency even with 2 rounds. *)
+  let stream = Prng.Stream.create ~seed:17L in
+  let broken =
+    List.exists
+      (fun traitors ->
+        List.exists
+          (fun (_, strategy) ->
+            not
+              (check_ic ~n:6 ~rounds:2 ~traitors ~strategy
+                 ~commander_value:Byzantine.Attack))
+          (adversaries stream)
+        (* try a few random strategies too *)
+        || List.exists
+             (fun seed ->
+               let s = Prng.Stream.create ~seed:(Int64.of_int seed) in
+               not
+                 (check_ic ~n:6 ~rounds:2 ~traitors
+                    ~strategy:(Byzantine.random_strategy s)
+                    ~commander_value:Byzantine.Attack))
+             (List.init 30 (fun i -> 100 + i)))
+      (traitor_sets ~n:6 ~m:2)
+  in
+  Alcotest.(check bool) "n = 3m is breakable" true broken
+
+(* --- SM: authentication removes the bound --- *)
+
+let test_sm_three_generals_works () =
+  (* The same three-generals scenario succeeds with signed messages. *)
+  let traitors = [| true; false; false |] in
+  List.iter
+    (fun (name, strategy) ->
+      if
+        not
+          (sm_ic ~n:3 ~rounds:1 ~traitors ~strategy
+             ~commander_value:Byzantine.Attack)
+      then Alcotest.failf "signed three generals broken by %s" name)
+    (adversaries (Prng.Stream.create ~seed:19L))
+
+let test_sm_majority_traitors () =
+  (* n = 4 with 2 traitors (half!): SM(2) still achieves IC. *)
+  let stream = Prng.Stream.create ~seed:23L in
+  List.iter
+    (fun traitors ->
+      List.iter
+        (fun (name, strategy) ->
+          List.iter
+            (fun v ->
+              if not (sm_ic ~n:4 ~rounds:2 ~traitors ~strategy ~commander_value:v)
+              then Alcotest.failf "SM n=4 m=2 broken by %s" name)
+            [ Byzantine.Attack; Byzantine.Retreat ])
+        (adversaries stream))
+    (traitor_sets ~n:4 ~m:2)
+
+let test_sm_loyal_commander_valid () =
+  (* IC2 under a loyal commander, regardless of relay traitors. *)
+  let stream = Prng.Stream.create ~seed:29L in
+  List.iter
+    (fun traitors ->
+      if not traitors.(0) then
+        List.iter
+          (fun (name, strategy) ->
+            let decisions =
+              Byzantine.Sm.decide ~n:5 ~rounds:2 ~traitors ~strategy
+                ~commander_value:Byzantine.Attack
+            in
+            for i = 1 to 4 do
+              if (not traitors.(i)) && decisions.(i) <> Byzantine.Attack then
+                Alcotest.failf "SM IC2 broken by %s at lieutenant %d" name i
+            done)
+          (adversaries stream))
+    (traitor_sets ~n:5 ~m:2)
+
+(* --- randomized property: the OM bound, both directions --- *)
+
+let prop_om_bound =
+  QCheck2.Test.make ~name:"OM(m) achieves IC whenever n > 3m" ~count:120
+    QCheck2.Gen.(
+      tup4 (int_range 1 2) (int_range 0 100) (int_range 0 1_000_000) bool)
+    (fun (m, placement_seed, strat_seed, attack) ->
+      let n = (3 * m) + 1 + (placement_seed mod 2) in
+      (* Pick a random traitor set of size m. *)
+      let stream =
+        Prng.Stream.create ~seed:(Int64.of_int (placement_seed * 7 + 1))
+      in
+      let ids = Array.init n (fun i -> i) in
+      Prng.Stream.shuffle_in_place stream ids;
+      let traitors = Array.make n false in
+      for k = 0 to m - 1 do
+        traitors.(ids.(k)) <- true
+      done;
+      let strategy =
+        Byzantine.random_strategy
+          (Prng.Stream.create ~seed:(Int64.of_int strat_seed))
+      in
+      check_ic ~n ~rounds:m ~traitors ~strategy
+        ~commander_value:(if attack then Byzantine.Attack else Byzantine.Retreat))
+
+let prop_sm_any_traitors =
+  QCheck2.Test.make ~name:"SM(m) achieves IC with up to m traitors, any n"
+    ~count:120
+    QCheck2.Gen.(tup3 (int_range 3 6) (int_range 0 1_000_000) bool)
+    (fun (n, seed, attack) ->
+      let stream = Prng.Stream.create ~seed:(Int64.of_int seed) in
+      let m = Prng.Stream.int stream (n - 1) in
+      let ids = Array.init n (fun i -> i) in
+      Prng.Stream.shuffle_in_place stream ids;
+      let traitors = Array.make n false in
+      for k = 0 to m - 1 do
+        traitors.(ids.(k)) <- true
+      done;
+      sm_ic ~n ~rounds:m ~traitors
+        ~strategy:(Byzantine.random_strategy stream)
+        ~commander_value:(if attack then Byzantine.Attack else Byzantine.Retreat))
+
+let () =
+  let props =
+    List.map QCheck_alcotest.to_alcotest [ prop_om_bound; prop_sm_any_traitors ]
+  in
+  Alcotest.run "byzantine"
+    [
+      ( "oral-messages",
+        [
+          Alcotest.test_case "no traitors" `Quick test_om_no_traitors;
+          Alcotest.test_case "tolerates 1 of 4" `Quick
+            test_om_tolerates_one_of_four;
+          Alcotest.test_case "tolerates 2 of 7" `Slow
+            test_om_tolerates_two_of_seven;
+          Alcotest.test_case "three generals impossible" `Quick
+            test_om_three_generals_impossible;
+          Alcotest.test_case "n = 3m breakable" `Slow
+            test_om_six_with_two_traitors_breakable;
+        ] );
+      ( "signed-messages",
+        [
+          Alcotest.test_case "three generals works" `Quick
+            test_sm_three_generals_works;
+          Alcotest.test_case "majority traitors" `Quick
+            test_sm_majority_traitors;
+          Alcotest.test_case "loyal commander validity" `Quick
+            test_sm_loyal_commander_valid;
+        ] );
+      ("properties", props);
+    ]

@@ -1,0 +1,545 @@
+(* Tests for the ctmc library: state-space generation (including vanishing
+   markings), uniformization against closed forms, steady state, reward
+   measures, and cross-validation against the simulator. *)
+
+let stream seed = Prng.Stream.create ~seed:(Int64.of_int seed)
+
+let close ?(tol = 1e-8) msg expected actual =
+  if Float.abs (expected -. actual) > tol then
+    Alcotest.failf "%s: expected %.10g, got %.10g (tol %g)" msg expected actual
+      tol
+
+(* --- exploration --- *)
+
+let test_two_state_space () =
+  let ts = Test_models.two_state ~lambda:1.0 ~mu:2.0 in
+  let c = Ctmc.Explore.explore ts.Test_models.ts_model in
+  Alcotest.(check int) "two states" 2 (Ctmc.Explore.n_states c);
+  Alcotest.(check int) "deterministic initial" 1
+    (List.length (Ctmc.Explore.initial_dist c));
+  let up_flags =
+    Ctmc.Explore.eval c (fun m ->
+        float_of_int (San.Marking.get m ts.Test_models.up))
+  in
+  (* One up state, one down state, each with one outgoing transition. *)
+  let n_up = Array.fold_left ( +. ) 0.0 up_flags in
+  close "one up state" 1.0 n_up;
+  for i = 0 to 1 do
+    Alcotest.(check int)
+      (Printf.sprintf "state %d has one transition" i)
+      1
+      (List.length (Ctmc.Explore.transitions c i))
+  done
+
+let test_mm1k_space_and_rates () =
+  let q = Test_models.mm1k ~lambda:2.0 ~mu:3.0 ~k:5 in
+  let c = Ctmc.Explore.explore q.Test_models.q_model in
+  Alcotest.(check int) "k+1 states" 6 (Ctmc.Explore.n_states c);
+  (* Interior states have exit rate lambda + mu; boundaries one of them. *)
+  let lens =
+    Ctmc.Explore.eval c (fun m ->
+        float_of_int (San.Marking.get m q.Test_models.q_len))
+  in
+  Array.iteri
+    (fun i len ->
+      let expected =
+        if len = 0.0 then 2.0 else if len = 5.0 then 3.0 else 5.0
+      in
+      close (Printf.sprintf "exit rate of state %d" i) expected
+        (Ctmc.Explore.exit_rate c i))
+    lens
+
+let test_non_markovian_rejected () =
+  let b = San.Model.Builder.create "det" in
+  let p = San.Model.Builder.int_place b "p" in
+  San.Model.Builder.timed b ~name:"d"
+    ~dist:(fun _ -> Dist.Deterministic { value = 1.0 })
+    ~enabled:(fun m -> San.Marking.get m p = 0)
+    ~reads:[ San.Place.P p ]
+    [
+      {
+        San.Activity.case_weight = (fun _ -> 1.0);
+        effect = (fun _ m -> San.Marking.set m p 1);
+      };
+    ];
+  let model = San.Model.Builder.build b in
+  Alcotest.(check bool) "raises Non_markovian" true
+    (match Ctmc.Explore.explore model with
+    | (_ : Ctmc.Explore.t) -> false
+    | exception Ctmc.Explore.Non_markovian _ -> true)
+
+let test_state_limit () =
+  (* Unbounded birth process: exploration must hit the cap. *)
+  let b = San.Model.Builder.create "birth" in
+  let p = San.Model.Builder.int_place b "n" in
+  San.Model.Builder.timed_exp b ~name:"birth"
+    ~rate:(fun _ -> 1.0)
+    ~enabled:(fun _ -> true)
+    ~reads:[ San.Place.P p ]
+    (fun _ m -> San.Marking.add m p 1);
+  let model = San.Model.Builder.build b in
+  Alcotest.(check bool) "raises Too_many_states" true
+    (match Ctmc.Explore.explore ~max_states:100 model with
+    | (_ : Ctmc.Explore.t) -> false
+    | exception Ctmc.Explore.Too_many_states 100 -> true
+    | exception Ctmc.Explore.Too_many_states _ -> true)
+
+let test_vanishing_loop_detected () =
+  let b = San.Model.Builder.create "vloop" in
+  let p = San.Model.Builder.int_place b ~init:1 "p" in
+  San.Model.Builder.instantaneous b ~name:"spin"
+    ~enabled:(fun m -> San.Marking.get m p = 1)
+    ~reads:[ San.Place.P p ]
+    (fun _ m -> San.Marking.set m p 1);
+  let model = San.Model.Builder.build b in
+  Alcotest.(check bool) "raises Vanishing_loop" true
+    (match Ctmc.Explore.explore model with
+    | (_ : Ctmc.Explore.t) -> false
+    | exception Ctmc.Explore.Vanishing_loop _ -> true)
+
+(* Vanishing markings with probabilistic branching: a timed event enables
+   an instantaneous activity with two cases (0.25 / 0.75) leading to two
+   different stable states. *)
+let branching_model () =
+  let b = San.Model.Builder.create "branch" in
+  let fired = San.Model.Builder.int_place b "fired" in
+  let sort = San.Model.Builder.int_place b "sort" in
+  San.Model.Builder.timed_exp b ~name:"pulse"
+    ~rate:(fun _ -> 1.0)
+    ~enabled:(fun m -> San.Marking.get m fired = 0)
+    ~reads:[ San.Place.P fired ]
+    (fun _ m -> San.Marking.set m fired 1);
+  San.Model.Builder.activity b ~name:"classify"
+    ~timing:San.Activity.Instantaneous
+    ~enabled:(fun m -> San.Marking.get m fired = 1 && San.Marking.get m sort = 0)
+    ~reads:[ San.Place.P fired; San.Place.P sort ]
+    [
+      {
+        San.Activity.case_weight = (fun _ -> 0.25);
+        effect = (fun _ m -> San.Marking.set m sort 1);
+      };
+      {
+        San.Activity.case_weight = (fun _ -> 0.75);
+        effect = (fun _ m -> San.Marking.set m sort 2);
+      };
+    ];
+  (San.Model.Builder.build b, sort)
+
+let test_vanishing_branching () =
+  let model, sort = branching_model () in
+  let c = Ctmc.Explore.explore model in
+  (* States: initial, sort=1, sort=2 (fired=1 & sort=0 is vanishing). *)
+  Alcotest.(check int) "three stable states" 3 (Ctmc.Explore.n_states c);
+  let p1 =
+    Ctmc.Measure.instant c ~at:50.0 (fun m ->
+        if San.Marking.get m sort = 1 then 1.0 else 0.0)
+  in
+  let p2 =
+    Ctmc.Measure.instant c ~at:50.0 (fun m ->
+        if San.Marking.get m sort = 2 then 1.0 else 0.0)
+  in
+  close ~tol:1e-6 "case 1 probability" 0.25 p1;
+  close ~tol:1e-6 "case 2 probability" 0.75 p2
+
+(* --- transient --- *)
+
+let test_transient_two_state () =
+  let lambda = 1.0 and mu = 4.0 in
+  let ts = Test_models.two_state ~lambda ~mu in
+  let c = Ctmc.Explore.explore ts.Test_models.ts_model in
+  List.iter
+    (fun t ->
+      let avail =
+        Ctmc.Measure.instant c ~at:t (fun m ->
+            if San.Marking.get m ts.Test_models.up = 1 then 1.0 else 0.0)
+      in
+      close ~tol:1e-8
+        (Printf.sprintf "availability at %g" t)
+        (Test_models.two_state_availability ~lambda ~mu t)
+        avail)
+    [ 0.0; 0.1; 0.5; 1.0; 2.0; 10.0; 100.0 ]
+
+let test_transient_tandem () =
+  let r1 = 2.0 and r2 = 5.0 in
+  let td = Test_models.tandem ~r1 ~r2 in
+  let c = Ctmc.Explore.explore td.Test_models.td_model in
+  List.iter
+    (fun t ->
+      let absorbed =
+        Ctmc.Measure.instant c ~at:t (fun m ->
+            if San.Marking.get m td.Test_models.stage = 2 then 1.0 else 0.0)
+      in
+      close ~tol:1e-8
+        (Printf.sprintf "absorbed by %g" t)
+        (Test_models.tandem_absorbed ~r1 ~r2 t)
+        absorbed)
+    [ 0.2; 0.5; 1.0; 3.0 ]
+
+let test_accumulated_two_state () =
+  (* Expected up-time over [0, t], closed form. *)
+  let lambda = 1.0 and mu = 4.0 in
+  let ts = Test_models.two_state ~lambda ~mu in
+  let c = Ctmc.Explore.explore ts.Test_models.ts_model in
+  let t = 2.0 in
+  let avg =
+    Ctmc.Measure.interval_average c ~until:t (fun m ->
+        if San.Marking.get m ts.Test_models.up = 1 then 1.0 else 0.0)
+  in
+  let s = lambda +. mu in
+  let expected =
+    ((mu /. s *. t) +. (lambda /. (s *. s) *. (1.0 -. exp (-.s *. t)))) /. t
+  in
+  close ~tol:1e-8 "interval availability" expected avg
+
+let test_interval_average_window () =
+  (* Windowed average [a,b] = (acc(b) - acc(a)) / (b - a); check it against
+     the closed form for the two-state model. *)
+  let lambda = 1.0 and mu = 4.0 in
+  let ts = Test_models.two_state ~lambda ~mu in
+  let c = Ctmc.Explore.explore ts.Test_models.ts_model in
+  let a = 1.0 and bnd = 3.0 in
+  let avg =
+    Ctmc.Measure.interval_average c ~from_:a ~until:bnd (fun m ->
+        if San.Marking.get m ts.Test_models.up = 1 then 1.0 else 0.0)
+  in
+  (* closed form: integral of A(t) over [a,b] / (b-a). *)
+  let s = lambda +. mu in
+  let integral t =
+    (mu /. s *. t) +. (lambda /. (s *. s) *. (1.0 -. exp (-.s *. t)))
+  in
+  close ~tol:1e-8 "windowed availability"
+    ((integral bnd -. integral a) /. (bnd -. a))
+    avg
+
+let test_accumulated_sums_to_t () =
+  let q = Test_models.mm1k ~lambda:2.0 ~mu:3.0 ~k:4 in
+  let c = Ctmc.Explore.explore q.Test_models.q_model in
+  List.iter
+    (fun t ->
+      let acc = Ctmc.Transient.accumulated c ~t in
+      close ~tol:1e-9
+        (Printf.sprintf "accumulated mass at %g" t)
+        t
+        (Array.fold_left ( +. ) 0.0 acc))
+    [ 0.5; 3.0; 25.0 ]
+
+(* --- steady state --- *)
+
+let test_steady_mm1k () =
+  let lambda = 2.0 and mu = 3.0 and k = 5 in
+  let q = Test_models.mm1k ~lambda ~mu ~k in
+  let c = Ctmc.Explore.explore q.Test_models.q_model in
+  let pi = Ctmc.Steady.distribution c in
+  let lens =
+    Ctmc.Explore.eval c (fun m ->
+        float_of_int (San.Marking.get m q.Test_models.q_len))
+  in
+  let expected = Test_models.mm1k_steady ~lambda ~mu ~k in
+  Array.iteri
+    (fun i p ->
+      close ~tol:1e-8
+        (Printf.sprintf "pi(%d customers)" (int_of_float lens.(i)))
+        expected.(int_of_float lens.(i))
+        p)
+    pi
+
+let test_steady_absorbing () =
+  let td = Test_models.tandem ~r1:2.0 ~r2:5.0 in
+  let c = Ctmc.Explore.explore td.Test_models.td_model in
+  let absorbed =
+    Ctmc.Measure.steady_average c (fun m ->
+        if San.Marking.get m td.Test_models.stage = 2 then 1.0 else 0.0)
+  in
+  close ~tol:1e-6 "absorbing chain ends absorbed" 1.0 absorbed
+
+(* --- measures: ever / unreliability --- *)
+
+let test_ever_equals_transient_absorbed () =
+  (* For the M/M/1/K queue, P(queue ever full by t) via the absorbing
+     transform must dominate P(queue full at t) and be monotone in t. *)
+  let q = Test_models.mm1k ~lambda:2.0 ~mu:3.0 ~k:3 in
+  let c = Ctmc.Explore.explore q.Test_models.q_model in
+  let full m = San.Marking.get m q.Test_models.q_len = 3 in
+  let prev = ref 0.0 in
+  List.iter
+    (fun t ->
+      let ever = Ctmc.Measure.ever c ~until:t full in
+      let at =
+        Ctmc.Measure.instant c ~at:t (fun m -> if full m then 1.0 else 0.0)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "ever >= instant at %g" t)
+        true (ever +. 1e-12 >= at);
+      Alcotest.(check bool)
+        (Printf.sprintf "monotone at %g" t)
+        true
+        (ever +. 1e-12 >= !prev);
+      prev := ever)
+    [ 0.5; 1.0; 2.0; 4.0; 8.0 ]
+
+let test_ever_tandem_exact () =
+  let r1 = 2.0 and r2 = 5.0 in
+  let td = Test_models.tandem ~r1 ~r2 in
+  let c = Ctmc.Explore.explore td.Test_models.td_model in
+  List.iter
+    (fun t ->
+      close ~tol:1e-8
+        (Printf.sprintf "ever absorbed by %g" t)
+        (Test_models.tandem_absorbed ~r1 ~r2 t)
+        (Ctmc.Measure.ever c ~until:t (fun m ->
+             San.Marking.get m td.Test_models.stage = 2)))
+    [ 0.3; 1.0; 2.0 ]
+
+(* --- absorption analysis --- *)
+
+let test_mtta_tandem () =
+  (* Mean time to absorption of the 0 -> 1 -> 2 chain: 1/r1 + 1/r2. *)
+  let td = Test_models.tandem ~r1:2.0 ~r2:5.0 in
+  let c = Ctmc.Explore.explore td.Test_models.td_model in
+  Alcotest.(check int) "one absorbing state" 1
+    (List.length (Ctmc.Absorb.absorbing_states c));
+  close ~tol:1e-9 "MTTA" (0.5 +. 0.2) (Ctmc.Absorb.mean_time_to_absorption c)
+
+let test_mtta_repairable_detour () =
+  (* 0 -> 1 at rate a; from 1, repair back to 0 at rate b or absorb at
+     rate d.  MTTA from 0 solves t0 = 1/a + t1, t1 = 1/(b+d) + b/(b+d) t0:
+     t0 = ((b+d)/d) (1/a) + 1/d. *)
+  let a = 2.0 and b = 3.0 and d = 1.0 in
+  let bld = San.Model.Builder.create "detour" in
+  let st = San.Model.Builder.int_place bld "st" in
+  let move name rate src dst =
+    San.Model.Builder.timed_exp bld ~name
+      ~rate:(fun _ -> rate)
+      ~enabled:(fun m -> San.Marking.get m st = src)
+      ~reads:[ San.Place.P st ]
+      (fun _ m -> San.Marking.set m st dst)
+  in
+  move "go" a 0 1;
+  move "back" b 1 0;
+  move "die" d 1 2;
+  let c = Ctmc.Explore.explore (San.Model.Builder.build bld) in
+  let expected = ((b +. d) /. d /. a) +. (1.0 /. d) in
+  close ~tol:1e-9 "MTTA with repair detour" expected
+    (Ctmc.Absorb.mean_time_to_absorption c)
+
+let test_absorption_probabilities () =
+  (* From 0: absorb left at rate 1 or right at rate 3 -> P(right) = 0.75. *)
+  let bld = San.Model.Builder.create "race" in
+  let st = San.Model.Builder.int_place bld ~init:1 "st" in
+  San.Model.Builder.timed_exp bld ~name:"left"
+    ~rate:(fun _ -> 1.0)
+    ~enabled:(fun m -> San.Marking.get m st = 1)
+    ~reads:[ San.Place.P st ]
+    (fun _ m -> San.Marking.set m st 0);
+  San.Model.Builder.timed_exp bld ~name:"right"
+    ~rate:(fun _ -> 3.0)
+    ~enabled:(fun m -> San.Marking.get m st = 1)
+    ~reads:[ San.Place.P st ]
+    (fun _ m -> San.Marking.set m st 2);
+  let model = San.Model.Builder.build bld in
+  let c = Ctmc.Explore.explore model in
+  let value_of i =
+    San.Marking.get (Ctmc.Explore.marking c i) (San.Model.find_place model "st")
+  in
+  close ~tol:1e-9 "P(absorb right)" 0.75
+    (Ctmc.Absorb.absorption_probabilities c ~target:(fun i -> value_of i = 2));
+  close ~tol:1e-9 "P(absorb left)" 0.25
+    (Ctmc.Absorb.absorption_probabilities c ~target:(fun i -> value_of i = 0));
+  Alcotest.(check int) "two absorbing states" 2
+    (List.length (Ctmc.Absorb.absorbing_states c))
+
+let test_mtta_requires_absorbing () =
+  let q = Test_models.mm1k ~lambda:1.0 ~mu:2.0 ~k:3 in
+  let c = Ctmc.Explore.explore q.Test_models.q_model in
+  Alcotest.(check bool) "irreducible chain rejected" true
+    (match Ctmc.Absorb.mean_time_to_absorption c with
+    | (_ : float) -> false
+    | exception Failure _ -> true)
+
+let test_mtta_matches_simulation () =
+  let td = Test_models.tandem ~r1:1.5 ~r2:0.8 in
+  let c = Ctmc.Explore.explore td.Test_models.td_model in
+  let exact = Ctmc.Absorb.mean_time_to_absorption c in
+  let spec =
+    Sim.Runner.spec ~model:td.Test_models.td_model ~horizon:200.0
+      ~stop:(fun m -> San.Marking.get m td.Test_models.stage = 2)
+      [
+        Sim.Reward.first_passage ~name:"absorption time" (fun m ->
+            San.Marking.get m td.Test_models.stage = 2);
+      ]
+  in
+  let r = List.hd (Sim.Runner.run ~seed:77L ~reps:4000 spec) in
+  if not (Stats.Ci.contains r.Sim.Runner.ci exact) then
+    Alcotest.failf "MTTA: CI %s misses exact %.5f"
+      (Format.asprintf "%a" Stats.Ci.pp r.Sim.Runner.ci)
+      exact
+
+(* --- cross-validation: simulator vs analytical solution --- *)
+
+let test_sim_matches_ctmc_mm1k () =
+  let q = Test_models.mm1k ~lambda:3.0 ~mu:4.0 ~k:4 in
+  let c = Ctmc.Explore.explore q.Test_models.q_model in
+  let mean_len m = float_of_int (San.Marking.get m q.Test_models.q_len) in
+  let exact_at_2 = Ctmc.Measure.instant c ~at:2.0 mean_len in
+  let exact_avg = Ctmc.Measure.interval_average c ~until:5.0 mean_len in
+  let exact_ever_full =
+    Ctmc.Measure.ever c ~until:5.0 (fun m ->
+        San.Marking.get m q.Test_models.q_len = 4)
+  in
+  let spec =
+    Sim.Runner.spec ~model:q.Test_models.q_model ~horizon:5.0
+      [
+        Sim.Reward.instant ~name:"len@2" ~at:2.0 mean_len;
+        Sim.Reward.time_average ~name:"avg len" ~until:5.0 mean_len;
+        Sim.Reward.ever ~name:"ever full" ~until:5.0 (fun m ->
+            San.Marking.get m q.Test_models.q_len = 4);
+      ]
+  in
+  let results = Sim.Runner.run ~seed:2025L ~reps:20_000 spec in
+  List.iter2
+    (fun (label, exact) (r : Sim.Runner.result) ->
+      if not (Stats.Ci.contains r.ci exact) then
+        Alcotest.failf "%s: CI %s misses exact %.6f" label
+          (Format.asprintf "%a" Stats.Ci.pp r.ci)
+          exact)
+    [
+      ("instant mean length", exact_at_2);
+      ("interval mean length", exact_avg);
+      ("ever full", exact_ever_full);
+    ]
+    results
+
+let test_sim_matches_ctmc_branching () =
+  let model, sort = branching_model () in
+  let c = Ctmc.Explore.explore model in
+  let pred m = San.Marking.get m sort = 1 in
+  let exact = Ctmc.Measure.ever c ~until:3.0 pred in
+  let spec =
+    Sim.Runner.spec ~model ~horizon:3.0
+      [ Sim.Reward.ever ~name:"sort=1" ~until:3.0 pred ]
+  in
+  let r = List.hd (Sim.Runner.run ~seed:31L ~reps:4000 spec) in
+  if not (Stats.Ci.contains r.Sim.Runner.ci exact) then
+    Alcotest.failf "branching: CI %s misses exact %.6f"
+      (Format.asprintf "%a" Stats.Ci.pp r.Sim.Runner.ci)
+      exact
+
+(* Randomized cross-validation: for random bounded queues, the simulated
+   instant queue length must sit near the exact transient solution.  The
+   tolerance is 5 standard errors plus a little slack, so a false alarm is
+   vanishingly unlikely while real bias (like the double-scheduling bug
+   this harness once caught) trips it immediately. *)
+let prop_random_queue_sim_matches_ctmc =
+  QCheck2.Test.make ~name:"random M/M/1/K: sim matches CTMC" ~count:20
+    QCheck2.Gen.(
+      tup4 (float_range 0.5 4.0) (float_range 0.5 4.0) (int_range 2 5)
+        (float_range 0.3 4.0))
+    (fun (lambda, mu, k, t) ->
+      let q = Test_models.mm1k ~lambda ~mu ~k in
+      let c = Ctmc.Explore.explore q.Test_models.q_model in
+      let f m = float_of_int (San.Marking.get m q.Test_models.q_len) in
+      let exact = Ctmc.Measure.instant c ~at:t f in
+      let spec =
+        Sim.Runner.spec ~model:q.Test_models.q_model ~horizon:t
+          [ Sim.Reward.instant ~name:"len" ~at:t f ]
+      in
+      let r = List.hd (Sim.Runner.run ~seed:99L ~reps:1500 spec) in
+      let sem = Stats.Welford.sem r.Sim.Runner.welford in
+      let err = Float.abs (r.Sim.Runner.ci.Stats.Ci.mean -. exact) in
+      if err <= (5.0 *. sem) +. 1e-3 then true
+      else
+        QCheck2.Test.fail_reportf
+          "lambda=%.2f mu=%.2f k=%d t=%.2f: exact %.4f, sim %.4f (err %.4f,            sem %.4f)"
+          lambda mu k t exact r.Sim.Runner.ci.Stats.Ci.mean err sem)
+
+let test_stream_sampling_effect_rejected () =
+  (* An effect that consumes randomness cannot be explored analytically. *)
+  let b = San.Model.Builder.create "rngeff" in
+  let p = San.Model.Builder.int_place b "p" in
+  San.Model.Builder.timed_exp b ~name:"draw"
+    ~rate:(fun _ -> 1.0)
+    ~enabled:(fun m -> San.Marking.get m p = 0)
+    ~reads:[ San.Place.P p ]
+    (fun ctx m ->
+      let s = San.Activity.stream_exn ctx in
+      San.Marking.set m p (1 + Prng.Stream.int s 3));
+  let model = San.Model.Builder.build b in
+  Alcotest.(check bool) "raises" true
+    (match Ctmc.Explore.explore model with
+    | (_ : Ctmc.Explore.t) -> false
+    | exception Failure _ -> true);
+  (* ... but simulates fine. *)
+  let cfg = Sim.Executor.config ~horizon:10.0 () in
+  let outcome =
+    Sim.Executor.run ~model ~config:cfg ~stream:(stream 3)
+      ~observer:Sim.Observer.nop
+  in
+  Alcotest.(check bool) "simulated" true
+    (San.Marking.get outcome.Sim.Executor.final p >= 1)
+
+let () =
+  let props =
+    List.map QCheck_alcotest.to_alcotest [ prop_random_queue_sim_matches_ctmc ]
+  in
+  Alcotest.run "ctmc"
+    [
+      ("randomized-cross-validation", props);
+      ( "explore",
+        [
+          Alcotest.test_case "two-state space" `Quick test_two_state_space;
+          Alcotest.test_case "mm1k space and rates" `Quick
+            test_mm1k_space_and_rates;
+          Alcotest.test_case "non-markovian rejected" `Quick
+            test_non_markovian_rejected;
+          Alcotest.test_case "state limit" `Quick test_state_limit;
+          Alcotest.test_case "vanishing loop" `Quick
+            test_vanishing_loop_detected;
+          Alcotest.test_case "vanishing branching" `Quick
+            test_vanishing_branching;
+          Alcotest.test_case "sampling effect rejected" `Quick
+            test_stream_sampling_effect_rejected;
+        ] );
+      ( "transient",
+        [
+          Alcotest.test_case "two-state closed form" `Quick
+            test_transient_two_state;
+          Alcotest.test_case "tandem closed form" `Quick test_transient_tandem;
+          Alcotest.test_case "accumulated closed form" `Quick
+            test_accumulated_two_state;
+          Alcotest.test_case "accumulated mass" `Quick
+            test_accumulated_sums_to_t;
+          Alcotest.test_case "windowed interval average" `Quick
+            test_interval_average_window;
+        ] );
+      ( "steady",
+        [
+          Alcotest.test_case "mm1k distribution" `Quick test_steady_mm1k;
+          Alcotest.test_case "absorbing chain" `Quick test_steady_absorbing;
+        ] );
+      ( "measures",
+        [
+          Alcotest.test_case "ever bounds" `Quick
+            test_ever_equals_transient_absorbed;
+          Alcotest.test_case "ever exact (tandem)" `Quick
+            test_ever_tandem_exact;
+        ] );
+      ( "absorption",
+        [
+          Alcotest.test_case "tandem MTTA" `Quick test_mtta_tandem;
+          Alcotest.test_case "MTTA with repair detour" `Quick
+            test_mtta_repairable_detour;
+          Alcotest.test_case "absorption probabilities" `Quick
+            test_absorption_probabilities;
+          Alcotest.test_case "requires absorbing state" `Quick
+            test_mtta_requires_absorbing;
+          Alcotest.test_case "MTTA vs simulation" `Slow
+            test_mtta_matches_simulation;
+        ] );
+      ( "cross-validation",
+        [
+          Alcotest.test_case "simulator vs CTMC (mm1k)" `Slow
+            test_sim_matches_ctmc_mm1k;
+          Alcotest.test_case "simulator vs CTMC (branching)" `Slow
+            test_sim_matches_ctmc_branching;
+        ] );
+    ]

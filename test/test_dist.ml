@@ -1,0 +1,304 @@
+(* Tests for the dist library: validation, sampled moments against the
+   analytical mean/variance, CDF correctness via probability-integral
+   transform, and scaling laws. *)
+
+let stream seed = Prng.Stream.create ~seed:(Int64.of_int seed)
+
+let all_valid =
+  [
+    Dist.Exponential { rate = 2.0 };
+    Dist.Deterministic { value = 3.5 };
+    Dist.Uniform { lo = 1.0; hi = 4.0 };
+    Dist.Erlang { k = 3; rate = 1.5 };
+    Dist.Gamma { shape = 2.7; rate = 0.8 };
+    Dist.Gamma { shape = 0.4; rate = 2.0 };
+    Dist.Weibull { shape = 1.8; scale = 2.0 };
+    Dist.Lognormal { mu = 0.2; sigma = 0.5 };
+    Dist.Normal { mean = 1.0; stddev = 2.0 };
+  ]
+
+let test_validate_accepts () =
+  List.iter
+    (fun d ->
+      match Dist.validate d with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "unexpected rejection: %s" msg)
+    all_valid
+
+let test_validate_rejects () =
+  let invalid =
+    [
+      Dist.Exponential { rate = 0.0 };
+      Dist.Exponential { rate = -1.0 };
+      Dist.Deterministic { value = -0.1 };
+      Dist.Uniform { lo = 2.0; hi = 1.0 };
+      Dist.Erlang { k = 0; rate = 1.0 };
+      Dist.Erlang { k = 2; rate = 0.0 };
+      Dist.Gamma { shape = 0.0; rate = 1.0 };
+      Dist.Weibull { shape = 1.0; scale = 0.0 };
+      Dist.Lognormal { mu = 0.0; sigma = 0.0 };
+      Dist.Normal { mean = 0.0; stddev = 0.0 };
+    ]
+  in
+  List.iter
+    (fun d ->
+      match Dist.validate d with
+      | Error _ -> ()
+      | Ok () -> Alcotest.failf "accepted invalid %s" (Format.asprintf "%a" Dist.pp d))
+    invalid
+
+let test_sample_moments () =
+  let s = stream 101 in
+  let n = 200_000 in
+  List.iter
+    (fun d ->
+      let acc = Stats.Welford.create () in
+      for _ = 1 to n do
+        Stats.Welford.add acc (Dist.sample d s)
+      done;
+      let m = Dist.mean d and v = Dist.variance d in
+      let m_hat = Stats.Welford.mean acc in
+      let v_hat = Stats.Welford.variance acc in
+      (* 6-sigma tolerance on the mean estimator, generous one on var. *)
+      let m_tol = 6.0 *. sqrt (v /. float_of_int n) +. 1e-12 in
+      if Float.abs (m_hat -. m) > m_tol then
+        Alcotest.failf "%s: mean %.5g expected %.5g"
+          (Format.asprintf "%a" Dist.pp d)
+          m_hat m;
+      if v > 0.0 && Float.abs (v_hat -. v) > 0.1 *. v then
+        Alcotest.failf "%s: variance %.5g expected %.5g"
+          (Format.asprintf "%a" Dist.pp d)
+          v_hat v)
+    all_valid
+
+let test_samples_nonnegative () =
+  let s = stream 103 in
+  let nonneg =
+    List.filter (function Dist.Normal _ -> false | _ -> true) all_valid
+  in
+  List.iter
+    (fun d ->
+      for _ = 1 to 5_000 do
+        let x = Dist.sample d s in
+        if x < 0.0 then
+          Alcotest.failf "%s produced negative sample %g"
+            (Format.asprintf "%a" Dist.pp d)
+            x
+      done)
+    nonneg
+
+let test_probability_integral_transform () =
+  (* cdf(X) for X ~ d must be uniform on [0,1]: check mean and variance. *)
+  let s = stream 107 in
+  let n = 100_000 in
+  let continuous =
+    List.filter (function Dist.Deterministic _ -> false | _ -> true) all_valid
+  in
+  List.iter
+    (fun d ->
+      let acc = Stats.Welford.create () in
+      for _ = 1 to n do
+        Stats.Welford.add acc (Dist.cdf d (Dist.sample d s))
+      done;
+      let m = Stats.Welford.mean acc in
+      let v = Stats.Welford.variance acc in
+      if Float.abs (m -. 0.5) > 0.01 then
+        Alcotest.failf "%s: PIT mean %.4g" (Format.asprintf "%a" Dist.pp d) m;
+      if Float.abs (v -. (1.0 /. 12.0)) > 0.01 then
+        Alcotest.failf "%s: PIT variance %.4g" (Format.asprintf "%a" Dist.pp d) v)
+    continuous
+
+let test_cdf_monotone_and_bounded () =
+  List.iter
+    (fun d ->
+      let prev = ref (-0.001) in
+      for i = -20 to 200 do
+        let x = float_of_int i /. 10.0 in
+        let p = Dist.cdf d x in
+        if p < 0.0 || p > 1.0 then
+          Alcotest.failf "%s: cdf out of [0,1] at %g"
+            (Format.asprintf "%a" Dist.pp d)
+            x;
+        if p < !prev -. 1e-12 then
+          Alcotest.failf "%s: cdf not monotone at %g"
+            (Format.asprintf "%a" Dist.pp d)
+            x;
+        prev := p
+      done)
+    all_valid
+
+let test_erlang_equals_exponential_sum () =
+  (* Erlang(k=1) must coincide with Exponential in mean, var and cdf. *)
+  let e = Dist.Exponential { rate = 3.0 } in
+  let g = Dist.Erlang { k = 1; rate = 3.0 } in
+  Alcotest.(check (float 1e-12)) "mean" (Dist.mean e) (Dist.mean g);
+  Alcotest.(check (float 1e-12)) "var" (Dist.variance e) (Dist.variance g);
+  List.iter
+    (fun x ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "cdf %g" x) (Dist.cdf e x) (Dist.cdf g x))
+    [ 0.1; 0.5; 1.0; 2.0 ]
+
+let test_gamma_integer_shape_is_erlang () =
+  let g = Dist.Gamma { shape = 4.0; rate = 2.0 } in
+  let e = Dist.Erlang { k = 4; rate = 2.0 } in
+  List.iter
+    (fun x ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "cdf %g" x) (Dist.cdf e x) (Dist.cdf g x))
+    [ 0.2; 1.0; 2.0; 4.0 ]
+
+let test_exponential_memoryless () =
+  (* Empirically: P(X > s + t | X > s) = P(X > t). *)
+  let s = stream 109 in
+  let d = Dist.Exponential { rate = 1.0 } in
+  let n = 200_000 in
+  let survivors = ref 0 and beyond = ref 0 in
+  for _ = 1 to n do
+    let x = Dist.sample d s in
+    if x > 0.7 then begin
+      incr survivors;
+      if x > 0.7 +. 0.9 then incr beyond
+    end
+  done;
+  let conditional = float_of_int !beyond /. float_of_int !survivors in
+  let unconditional = exp (-0.9) in
+  Alcotest.(check bool)
+    (Printf.sprintf "memoryless: %.4f vs %.4f" conditional unconditional)
+    true
+    (Float.abs (conditional -. unconditional) < 0.01)
+
+let test_quantile_roundtrip () =
+  List.iter
+    (fun d ->
+      List.iter
+        (fun p ->
+          let x = Dist.quantile d p in
+          let back = Dist.cdf d x in
+          if Float.abs (back -. p) > 1e-7 then
+            Alcotest.failf "%s: cdf(quantile %g) = %g"
+              (Format.asprintf "%a" Dist.pp d)
+              p back)
+        [ 0.01; 0.1; 0.25; 0.5; 0.75; 0.9; 0.99 ])
+    (List.filter (function Dist.Deterministic _ -> false | _ -> true) all_valid)
+
+let test_quantile_known_medians () =
+  let close msg a b =
+    if Float.abs (a -. b) > 1e-9 then Alcotest.failf "%s: %g vs %g" msg a b
+  in
+  close "exp median" (log 2.0 /. 3.0)
+    (Dist.quantile (Dist.Exponential { rate = 3.0 }) 0.5);
+  close "uniform median" 2.5
+    (Dist.quantile (Dist.Uniform { lo = 1.0; hi = 4.0 }) 0.5);
+  close "normal median" 1.0
+    (Dist.quantile (Dist.Normal { mean = 1.0; stddev = 2.0 }) 0.5);
+  close "lognormal median" (exp 0.2)
+    (Dist.quantile (Dist.Lognormal { mu = 0.2; sigma = 0.5 }) 0.5)
+
+let test_quantile_invalid () =
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (Printf.sprintf "p=%g rejected" p)
+        true
+        (match Dist.quantile (Dist.Exponential { rate = 1.0 }) p with
+        | (_ : float) -> false
+        | exception Invalid_argument _ -> true))
+    [ 0.0; 1.0; -0.3; 1.5 ]
+
+let test_samplers_pass_ks () =
+  (* End-to-end sampler vs cdf via Kolmogorov-Smirnov at n = 5000. *)
+  let s = stream 211 in
+  List.iter
+    (fun d ->
+      let xs = Array.init 5_000 (fun _ -> Dist.sample d s) in
+      let stat = Stats.Ks.statistic ~cdf:(Dist.cdf d) xs in
+      let p = Stats.Ks.significance ~n:5_000 stat in
+      if p < 0.005 then
+        Alcotest.failf "%s: KS rejects sampler (D=%.4f, p=%.4g)"
+          (Format.asprintf "%a" Dist.pp d)
+          stat p)
+    (List.filter (function Dist.Deterministic _ -> false | _ -> true) all_valid)
+
+let test_rate_of_exponential () =
+  Alcotest.(check (option (float 0.0)))
+    "exp rate" (Some 2.0)
+    (Dist.rate_of_exponential (Dist.Exponential { rate = 2.0 }));
+  Alcotest.(check (option (float 0.0)))
+    "non-exp" None
+    (Dist.rate_of_exponential (Dist.Uniform { lo = 0.0; hi = 1.0 }))
+
+let prop_scale_mean =
+  QCheck2.Test.make ~name:"mean (scale d c) = c * mean d" ~count:300
+    QCheck2.Gen.(
+      pair (float_range 0.01 100.0) (int_range 0 (List.length all_valid - 1)))
+    (fun (c, i) ->
+      let d = List.nth all_valid i in
+      let scaled = Dist.scale d c in
+      Float.abs (Dist.mean scaled -. (c *. Dist.mean d))
+      < 1e-6 *. (1.0 +. Float.abs (c *. Dist.mean d)))
+
+let prop_scale_variance =
+  QCheck2.Test.make ~name:"var (scale d c) = c^2 * var d" ~count:300
+    QCheck2.Gen.(
+      pair (float_range 0.01 100.0) (int_range 0 (List.length all_valid - 1)))
+    (fun (c, i) ->
+      let d = List.nth all_valid i in
+      let scaled = Dist.scale d c in
+      Float.abs (Dist.variance scaled -. (c *. c *. Dist.variance d))
+      < 1e-6 *. (1.0 +. (c *. c *. Dist.variance d)))
+
+let prop_cdf_at_mean_reasonable =
+  (* For the unimodal positive distributions used here, the CDF at the mean
+     lies strictly inside (0,1). *)
+  QCheck2.Test.make ~name:"cdf at mean in (0,1)" ~count:100
+    QCheck2.Gen.(int_range 0 (List.length all_valid - 1))
+    (fun i ->
+      let d = List.nth all_valid i in
+      match d with
+      | Dist.Deterministic _ -> true
+      | _ ->
+          let p = Dist.cdf d (Dist.mean d) in
+          0.0 < p && p < 1.0)
+
+let () =
+  let props =
+    List.map QCheck_alcotest.to_alcotest
+      [ prop_scale_mean; prop_scale_variance; prop_cdf_at_mean_reasonable ]
+  in
+  Alcotest.run "dist"
+    [
+      ( "validation",
+        [
+          Alcotest.test_case "accepts valid" `Quick test_validate_accepts;
+          Alcotest.test_case "rejects invalid" `Quick test_validate_rejects;
+          Alcotest.test_case "rate_of_exponential" `Quick
+            test_rate_of_exponential;
+        ] );
+      ( "sampling",
+        [
+          Alcotest.test_case "moments" `Slow test_sample_moments;
+          Alcotest.test_case "non-negative support" `Quick
+            test_samples_nonnegative;
+          Alcotest.test_case "memorylessness" `Slow test_exponential_memoryless;
+        ] );
+      ( "cdf",
+        [
+          Alcotest.test_case "probability integral transform" `Slow
+            test_probability_integral_transform;
+          Alcotest.test_case "monotone and bounded" `Quick
+            test_cdf_monotone_and_bounded;
+          Alcotest.test_case "erlang-1 = exponential" `Quick
+            test_erlang_equals_exponential_sum;
+          Alcotest.test_case "gamma integer shape = erlang" `Quick
+            test_gamma_integer_shape_is_erlang;
+        ] );
+      ( "quantile",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_quantile_roundtrip;
+          Alcotest.test_case "known medians" `Quick test_quantile_known_medians;
+          Alcotest.test_case "invalid p" `Quick test_quantile_invalid;
+          Alcotest.test_case "samplers pass KS" `Slow test_samplers_pass_ks;
+        ] );
+      ("properties", props);
+    ]

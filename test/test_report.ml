@@ -1,0 +1,115 @@
+(* Tests for the report library: table construction, lookups, text and CSV
+   rendering. *)
+
+let ci mean =
+  {
+    Stats.Ci.mean;
+    half_width = 0.01;
+    confidence = 0.95;
+    n = 100;
+  }
+
+let sample_table () =
+  let t =
+    Report.create ~title:"demo" ~x_label:"x" ~series:[ "alpha"; "beta" ]
+  in
+  Report.add_row t ~x:1.0 [ Some (ci 0.5); None ];
+  Report.add_row t ~x:2.0 [ Some (ci 0.25); Some (ci 0.75) ];
+  t
+
+let test_lookup () =
+  let t = sample_table () in
+  Alcotest.(check string) "title" "demo" (Report.title t);
+  Alcotest.(check (list (float 0.0))) "x values" [ 1.0; 2.0 ]
+    (Report.x_values t);
+  (match Report.value t ~x:1.0 ~series:"alpha" with
+  | Some c -> Alcotest.(check (float 1e-12)) "cell mean" 0.5 c.Stats.Ci.mean
+  | None -> Alcotest.fail "expected a defined cell");
+  Alcotest.(check bool) "undefined cell" true
+    (Report.value t ~x:1.0 ~series:"beta" = None);
+  Alcotest.(check bool) "unknown series raises" true
+    (match Report.value t ~x:1.0 ~series:"nope" with
+    | (_ : Report.cell) -> false
+    | exception Not_found -> true);
+  Alcotest.(check bool) "unknown x raises" true
+    (match Report.value t ~x:9.0 ~series:"alpha" with
+    | (_ : Report.cell) -> false
+    | exception Not_found -> true)
+
+let test_arity_checked () =
+  let t = sample_table () in
+  Alcotest.(check bool) "wrong arity rejected" true
+    (match Report.add_row t ~x:3.0 [ Some (ci 1.0) ] with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+let test_no_series_rejected () =
+  Alcotest.(check bool) "empty series rejected" true
+    (match Report.create ~title:"t" ~x_label:"x" ~series:[] with
+    | (_ : Report.table) -> false
+    | exception Invalid_argument _ -> true)
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec scan i =
+    if i + nl > hl then false
+    else if String.sub haystack i nl = needle then true
+    else scan (i + 1)
+  in
+  nl = 0 || scan 0
+
+let test_text_rendering () =
+  let out = Format.asprintf "%a" Report.pp_text (sample_table ()) in
+  List.iter
+    (fun needle ->
+      if not (contains ~needle out) then
+        Alcotest.failf "text output missing %S in:\n%s" needle out)
+    [ "demo"; "alpha"; "beta"; "0.5"; "0.75"; "-" ]
+
+let test_csv_rendering () =
+  let out = Format.asprintf "%a" Report.pp_csv (sample_table ()) in
+  let lines =
+    String.split_on_char '\n' out |> List.filter (fun l -> l <> "")
+  in
+  Alcotest.(check int) "header + 2 rows" 3 (List.length lines);
+  Alcotest.(check string) "header" "x,alpha,alpha_halfwidth,beta,beta_halfwidth"
+    (List.hd lines);
+  Alcotest.(check bool) "undefined cells are empty" true
+    (contains ~needle:"1,0.5,0.01,," (List.nth lines 1))
+
+let test_csv_escaping () =
+  let t =
+    Report.create ~title:"t" ~x_label:"x,y" ~series:[ "a\"b" ]
+  in
+  Report.add_row t ~x:1.0 [ Some (ci 1.0) ];
+  let out = Format.asprintf "%a" Report.pp_csv t in
+  Alcotest.(check bool) "comma quoted" true (contains ~needle:"\"x,y\"" out);
+  Alcotest.(check bool) "quote doubled" true (contains ~needle:"\"a\"\"b\"" out)
+
+let test_write_csv () =
+  let path = Filename.temp_file "report" ".csv" in
+  Report.write_csv path (sample_table ());
+  let ic = open_in path in
+  let first = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check string) "file written" "x,alpha,alpha_halfwidth,beta,beta_halfwidth" first
+
+let () =
+  Alcotest.run "report"
+    [
+      ( "table",
+        [
+          Alcotest.test_case "lookup" `Quick test_lookup;
+          Alcotest.test_case "arity checked" `Quick test_arity_checked;
+          Alcotest.test_case "no series rejected" `Quick
+            test_no_series_rejected;
+        ] );
+      ( "rendering",
+        [
+          Alcotest.test_case "text" `Quick test_text_rendering;
+          Alcotest.test_case "csv" `Quick test_csv_rendering;
+          Alcotest.test_case "csv escaping" `Quick test_csv_escaping;
+          Alcotest.test_case "write_csv" `Quick test_write_csv;
+        ] );
+    ]

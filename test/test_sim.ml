@@ -1,0 +1,840 @@
+(* Tests for the sim library: event heap, executor semantics (timing,
+   instantaneous priority, reactivation policies), reward estimators, and
+   the replication runner validated against closed-form results. *)
+
+let stream seed = Prng.Stream.create ~seed:(Int64.of_int seed)
+
+(* --- event heap --- *)
+
+let test_heap_ordering () =
+  let h = Sim.Event_heap.create () in
+  List.iteri
+    (fun i t -> Sim.Event_heap.push h ~time:t ~act:i ~version:0)
+    [ 5.0; 1.0; 3.0; 0.5; 4.0; 2.0 ];
+  let rec drain acc =
+    match Sim.Event_heap.pop h with
+    | None -> List.rev acc
+    | Some e -> drain (e.Sim.Event_heap.time :: acc)
+  in
+  Alcotest.(check (list (float 0.0)))
+    "sorted" [ 0.5; 1.0; 2.0; 3.0; 4.0; 5.0 ] (drain [])
+
+let test_heap_fifo_ties () =
+  let h = Sim.Event_heap.create () in
+  for i = 0 to 9 do
+    Sim.Event_heap.push h ~time:1.0 ~act:i ~version:0
+  done;
+  let rec drain acc =
+    match Sim.Event_heap.pop h with
+    | None -> List.rev acc
+    | Some e -> drain (e.Sim.Event_heap.act :: acc)
+  in
+  Alcotest.(check (list int))
+    "insertion order on equal times" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (drain [])
+
+let test_heap_rejects_bad_time () =
+  let h = Sim.Event_heap.create () in
+  List.iter
+    (fun t ->
+      Alcotest.(check bool)
+        (Printf.sprintf "time %g rejected" t)
+        true
+        (match Sim.Event_heap.push h ~time:t ~act:0 ~version:0 with
+        | () -> false
+        | exception Invalid_argument _ -> true))
+    [ -1.0; Float.nan; Float.infinity ]
+
+let prop_heap_sorts =
+  QCheck2.Test.make ~name:"heap pops sorted" ~count:300
+    QCheck2.Gen.(list_size (int_range 0 200) (float_range 0.0 1e6))
+    (fun times ->
+      let h = Sim.Event_heap.create () in
+      List.iter (fun t -> Sim.Event_heap.push h ~time:t ~act:0 ~version:0) times;
+      let rec drain acc =
+        match Sim.Event_heap.pop h with
+        | None -> List.rev acc
+        | Some e -> drain (e.Sim.Event_heap.time :: acc)
+      in
+      let popped = drain [] in
+      popped = List.stable_sort compare times)
+
+(* --- deterministic executor semantics --- *)
+
+(* A clock that fires every [period] and counts firings. *)
+let clock_model ~period =
+  let b = San.Model.Builder.create "clock" in
+  let count = San.Model.Builder.int_place b "count" in
+  San.Model.Builder.timed b ~name:"tick"
+    ~dist:(fun _ -> Dist.Deterministic { value = period })
+    ~enabled:(fun _ -> true)
+    ~reads:[]
+    [
+      {
+        San.Activity.case_weight = (fun _ -> 1.0);
+        effect = (fun _ m -> San.Marking.add m count 1);
+      };
+    ];
+  (San.Model.Builder.build b, count)
+
+let run_simple ?stop model ~horizon ~seed ~observer =
+  let cfg = Sim.Executor.config ?stop ~horizon () in
+  Sim.Executor.run ~model ~config:cfg ~stream:(stream seed) ~observer
+
+let test_deterministic_clock () =
+  let model, count = clock_model ~period:1.0 in
+  let outcome = run_simple model ~horizon:5.5 ~seed:1 ~observer:Sim.Observer.nop in
+  Alcotest.(check int) "five ticks in 5.5" 5
+    (San.Marking.get outcome.Sim.Executor.final count);
+  Alcotest.(check int) "events counted" 5 outcome.Sim.Executor.events;
+  Alcotest.(check (float 1e-9)) "last event at t=5" 5.0
+    outcome.Sim.Executor.end_time;
+  Alcotest.(check bool) "not stopped early" false
+    outcome.Sim.Executor.stopped_early
+
+let test_stop_predicate () =
+  let model, count = clock_model ~period:1.0 in
+  let place = San.Model.find_place model "count" in
+  let outcome =
+    run_simple model ~horizon:100.0 ~seed:1 ~observer:Sim.Observer.nop
+      ~stop:(fun m -> San.Marking.get m place >= 3)
+  in
+  Alcotest.(check bool) "stopped early" true outcome.Sim.Executor.stopped_early;
+  Alcotest.(check int) "stopped at 3" 3
+    (San.Marking.get outcome.Sim.Executor.final count)
+
+(* Instantaneous priority: a timed firing enables a chain of instantaneous
+   activities that must complete before any further time passes. *)
+let test_instantaneous_chain () =
+  let b = San.Model.Builder.create "chain" in
+  let trigger = San.Model.Builder.int_place b "trigger" in
+  let s1 = San.Model.Builder.int_place b "s1" in
+  let s2 = San.Model.Builder.int_place b "s2" in
+  San.Model.Builder.timed b ~name:"pulse"
+    ~dist:(fun _ -> Dist.Deterministic { value = 1.0 })
+    ~enabled:(fun m -> San.Marking.get m trigger = 0)
+    ~reads:[ San.Place.P trigger ]
+    [
+      {
+        San.Activity.case_weight = (fun _ -> 1.0);
+        effect = (fun _ m -> San.Marking.set m trigger 1);
+      };
+    ];
+  San.Model.Builder.instantaneous b ~name:"step1"
+    ~enabled:(fun m -> San.Marking.get m trigger = 1 && San.Marking.get m s1 = 0)
+    ~reads:[ San.Place.P trigger; San.Place.P s1 ]
+    (fun _ m -> San.Marking.set m s1 1);
+  San.Model.Builder.instantaneous b ~name:"step2"
+    ~enabled:(fun m -> San.Marking.get m s1 = 1 && San.Marking.get m s2 = 0)
+    ~reads:[ San.Place.P s1; San.Place.P s2 ]
+    (fun _ m -> San.Marking.set m s2 1);
+  let model = San.Model.Builder.build b in
+  (* Observe that both instantaneous firings happen at exactly t=1. *)
+  let inst_times = ref [] in
+  let observer =
+    {
+      Sim.Observer.nop with
+      on_fire =
+        (fun t a _ _ ->
+          if San.Activity.is_instantaneous a then
+            inst_times := t :: !inst_times);
+    }
+  in
+  let outcome = run_simple model ~horizon:2.0 ~seed:3 ~observer in
+  Alcotest.(check (list (float 1e-12)))
+    "instantaneous at the pulse time" [ 1.0; 1.0 ] !inst_times;
+  Alcotest.(check int) "s2 set" 1 (San.Marking.get outcome.Sim.Executor.final s2)
+
+let test_stabilization_divergence_detected () =
+  let b = San.Model.Builder.create "loop" in
+  let p = San.Model.Builder.int_place b ~init:1 "p" in
+  (* Always-enabled instantaneous activity: a modeling bug. *)
+  San.Model.Builder.instantaneous b ~name:"spin"
+    ~enabled:(fun m -> San.Marking.get m p = 1)
+    ~reads:[ San.Place.P p ]
+    (fun _ m ->
+      (* Toggle twice: net no change, stays enabled. *)
+      San.Marking.set m p 1);
+  let model = San.Model.Builder.build b in
+  let cfg = Sim.Executor.config ~max_inst_chain:1000 ~horizon:1.0 () in
+  Alcotest.(check bool) "divergence raises" true
+    (match
+       Sim.Executor.run ~model ~config:cfg ~stream:(stream 4)
+         ~observer:Sim.Observer.nop
+     with
+    | (_ : Sim.Executor.outcome) -> false
+    | exception Sim.Executor.Stabilization_diverged _ -> true)
+
+(* Reactivation policies: activity B (Det 2.0) depends on a place changed
+   by activity A at t=1.  Under Keep, B still fires at t=2; under
+   Resample, B's clock restarts at t=1 and fires at t=3. *)
+let policy_model ~policy =
+  let b = San.Model.Builder.create "policy" in
+  let kick = San.Model.Builder.int_place b "kick" in
+  let done_ = San.Model.Builder.int_place b "done" in
+  San.Model.Builder.timed b ~name:"kicker"
+    ~dist:(fun _ -> Dist.Deterministic { value = 1.0 })
+    ~enabled:(fun m -> San.Marking.get m kick = 0)
+    ~reads:[ San.Place.P kick ]
+    [
+      {
+        San.Activity.case_weight = (fun _ -> 1.0);
+        effect = (fun _ m -> San.Marking.set m kick 1);
+      };
+    ];
+  San.Model.Builder.timed b ~name:"slow" ~policy
+    ~dist:(fun _ -> Dist.Deterministic { value = 2.0 })
+    ~enabled:(fun m -> San.Marking.get m done_ = 0)
+    ~reads:[ San.Place.P kick; San.Place.P done_ ]
+    [
+      {
+        San.Activity.case_weight = (fun _ -> 1.0);
+        effect = (fun _ m -> San.Marking.set m done_ 1);
+      };
+    ];
+  (San.Model.Builder.build b, done_)
+
+let first_done_time model done_ =
+  let t = ref nan in
+  let observer =
+    {
+      Sim.Observer.nop with
+      on_fire =
+        (fun time _ _ m ->
+          if Float.is_nan !t && San.Marking.get m done_ = 1 then t := time);
+    }
+  in
+  let (_ : Sim.Executor.outcome) =
+    run_simple model ~horizon:10.0 ~seed:5 ~observer
+  in
+  !t
+
+let test_policy_keep () =
+  let model, done_ = policy_model ~policy:San.Activity.Keep in
+  Alcotest.(check (float 1e-9)) "keep: fires at 2" 2.0
+    (first_done_time model done_)
+
+let test_policy_resample () =
+  let model, done_ = policy_model ~policy:San.Activity.Resample in
+  Alcotest.(check (float 1e-9)) "resample: restarted at 1, fires at 3" 3.0
+    (first_done_time model done_)
+
+(* Regression: an activity enabled during the t = 0 instantaneous setup
+   must be scheduled exactly once — double scheduling doubles its
+   effective rate (caught by cross-validating the ITUA model against its
+   exact CTMC solution). *)
+let test_no_double_scheduling_after_setup () =
+  let b = San.Model.Builder.create "setup_race" in
+  let armed = San.Model.Builder.int_place b "armed" in
+  let fires = San.Model.Builder.int_place b "fires" in
+  (* Instantaneous setup arms the timed activity at t = 0. *)
+  San.Model.Builder.instantaneous b ~name:"arm"
+    ~enabled:(fun m -> San.Marking.get m armed = 0)
+    ~reads:[ San.Place.P armed ]
+    (fun _ m -> San.Marking.set m armed 1);
+  San.Model.Builder.timed_exp b ~name:"fire"
+    ~rate:(fun _ -> 1.0)
+    ~enabled:(fun m -> San.Marking.get m armed = 1)
+    ~reads:[ San.Place.P armed; San.Place.P fires ]
+    (fun _ m -> San.Marking.add m fires 1);
+  let model = San.Model.Builder.build b in
+  (* E[firings in 20h] = 20; with the double-scheduling bug it was 40.
+     Average over replications and require a tight band. *)
+  let spec =
+    Sim.Runner.spec ~model ~horizon:20.0
+      [
+        Sim.Reward.final ~name:"fires" (fun m ->
+            float_of_int (San.Marking.get m fires));
+      ]
+  in
+  let r = List.hd (Sim.Runner.run ~seed:8L ~reps:2000 spec) in
+  let mean = r.Sim.Runner.ci.Stats.Ci.mean in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean firings %.2f within [19, 21]" mean)
+    true
+    (19.0 < mean && mean < 21.0)
+
+(* Disabled activities are aborted: B (Det 2.0) is disabled by A at t=1
+   and never fires. *)
+let test_disabling_aborts () =
+  let b = San.Model.Builder.create "abort" in
+  let blocked = San.Model.Builder.int_place b "blocked" in
+  let fired = San.Model.Builder.int_place b "fired" in
+  San.Model.Builder.timed b ~name:"blocker"
+    ~dist:(fun _ -> Dist.Deterministic { value = 1.0 })
+    ~enabled:(fun m -> San.Marking.get m blocked = 0)
+    ~reads:[ San.Place.P blocked ]
+    [
+      {
+        San.Activity.case_weight = (fun _ -> 1.0);
+        effect = (fun _ m -> San.Marking.set m blocked 1);
+      };
+    ];
+  San.Model.Builder.timed b ~name:"victim"
+    ~dist:(fun _ -> Dist.Deterministic { value = 2.0 })
+    ~enabled:(fun m -> San.Marking.get m blocked = 0)
+    ~reads:[ San.Place.P blocked ]
+    [
+      {
+        San.Activity.case_weight = (fun _ -> 1.0);
+        effect = (fun _ m -> San.Marking.add m fired 1);
+      };
+    ];
+  let model = San.Model.Builder.build b in
+  let outcome = run_simple model ~horizon:10.0 ~seed:6 ~observer:Sim.Observer.nop in
+  Alcotest.(check int) "victim never fired" 0
+    (San.Marking.get outcome.Sim.Executor.final fired)
+
+(* Observer advance intervals tile [0, horizon] exactly. *)
+let test_advance_tiling () =
+  let q = Test_models.mm1k ~lambda:3.0 ~mu:4.0 ~k:5 in
+  let total = ref 0.0 in
+  let last_end = ref 0.0 in
+  let observer =
+    {
+      Sim.Observer.nop with
+      on_advance =
+        (fun t0 t1 _ ->
+          Alcotest.(check (float 1e-12)) "contiguous" !last_end t0;
+          Alcotest.(check bool) "positive" true (t1 > t0);
+          last_end := t1;
+          total := !total +. (t1 -. t0));
+    }
+  in
+  let (_ : Sim.Executor.outcome) =
+    run_simple q.Test_models.q_model ~horizon:7.0 ~seed:7 ~observer
+  in
+  Alcotest.(check (float 1e-9)) "tiles horizon" 7.0 !total
+
+(* --- rewards --- *)
+
+let test_reward_instant_right_continuous () =
+  let model, count = clock_model ~period:1.0 in
+  let spec =
+    Sim.Runner.spec ~model ~horizon:3.5
+      [
+        Sim.Reward.instant ~name:"at1" ~at:1.0 (fun m ->
+            float_of_int (San.Marking.get m count));
+        Sim.Reward.instant ~name:"at0" ~at:0.0 (fun m ->
+            float_of_int (San.Marking.get m count));
+        Sim.Reward.instant ~name:"at_end" ~at:3.5 (fun m ->
+            float_of_int (San.Marking.get m count));
+      ]
+  in
+  let values = Sim.Runner.run_one spec (stream 8) in
+  Alcotest.(check (float 0.0)) "value at 1.0 includes the t=1 tick" 1.0
+    values.(0);
+  Alcotest.(check (float 0.0)) "value at 0" 0.0 values.(1);
+  Alcotest.(check (float 0.0)) "value at horizon" 3.0 values.(2)
+
+let test_reward_time_average_and_integral () =
+  (* count(t) = floor(t); integral over [0,3] of floor(t) dt = 0+1+2 = 3. *)
+  let model, count = clock_model ~period:1.0 in
+  let f m = float_of_int (San.Marking.get m count) in
+  let spec =
+    Sim.Runner.spec ~model ~horizon:3.0
+      [
+        Sim.Reward.time_average ~name:"avg" ~until:3.0 f;
+        { Sim.Reward.name = "int";
+          kind = Sim.Reward.Integral { f; from_ = 0.0; until = 3.0 } };
+        { Sim.Reward.name = "int13";
+          kind = Sim.Reward.Integral { f; from_ = 1.0; until = 3.0 } };
+      ]
+  in
+  let values = Sim.Runner.run_one spec (stream 9) in
+  Alcotest.(check (float 1e-9)) "time average" 1.0 values.(0);
+  Alcotest.(check (float 1e-9)) "integral" 3.0 values.(1);
+  Alcotest.(check (float 1e-9)) "window integral" 3.0 values.(2)
+
+let test_reward_ever_and_first_passage () =
+  let model, count = clock_model ~period:1.0 in
+  let pred k m = San.Marking.get m count >= k in
+  let spec =
+    Sim.Runner.spec ~model ~horizon:10.0
+      [
+        Sim.Reward.ever ~name:"ever3by2.5" ~until:2.5 (pred 3);
+        Sim.Reward.ever ~name:"ever2by2.5" ~until:2.5 (pred 2);
+        Sim.Reward.first_passage ~name:"fp3" (pred 3);
+        Sim.Reward.first_passage ~name:"fp99" (pred 99);
+      ]
+  in
+  let values = Sim.Runner.run_one spec (stream 10) in
+  Alcotest.(check (float 0.0)) "not reached in window" 0.0 values.(0);
+  Alcotest.(check (float 0.0)) "reached in window" 1.0 values.(1);
+  Alcotest.(check (float 1e-9)) "first passage at 3" 3.0 values.(2);
+  Alcotest.(check bool) "undefined first passage" true (Float.is_nan values.(3))
+
+let test_reward_impulse () =
+  let model, _count = clock_model ~period:1.0 in
+  let spec =
+    Sim.Runner.spec ~model ~horizon:5.5
+      [
+        Sim.Reward.impulse ~name:"ticks in [2,4]" ~from_:2.0 ~until:4.0
+          (fun a _ _ ->
+            if a.San.Activity.name = "tick" then 1.0 else 0.0);
+      ]
+  in
+  let values = Sim.Runner.run_one spec (stream 11) in
+  Alcotest.(check (float 0.0)) "impulse count" 3.0 values.(0)
+
+let test_reward_window_validation () =
+  let model, _ = clock_model ~period:1.0 in
+  Alcotest.(check bool) "window beyond horizon rejected" true
+    (match
+       Sim.Runner.spec ~model ~horizon:2.0
+         [ Sim.Reward.ever ~name:"x" ~until:5.0 (fun _ -> false) ]
+     with
+    | (_ : Sim.Runner.spec) -> false
+    | exception Invalid_argument _ -> true)
+
+(* --- statistical validation against closed forms --- *)
+
+let test_two_state_availability () =
+  let lambda = 1.0 and mu = 4.0 in
+  let ts = Test_models.two_state ~lambda ~mu in
+  let avail m = San.Marking.get m ts.Test_models.up = 1 in
+  let spec =
+    Sim.Runner.spec ~model:ts.Test_models.ts_model ~horizon:2.0
+      [
+        Sim.Reward.instant ~name:"avail@0.5" ~at:0.5 (fun m ->
+            if avail m then 1.0 else 0.0);
+        Sim.Reward.probability_in_interval ~name:"avg avail [0,2]" ~until:2.0
+          avail;
+      ]
+  in
+  let results = Sim.Runner.run ~seed:42L ~reps:4000 spec in
+  let expected_inst = Test_models.two_state_availability ~lambda ~mu 0.5 in
+  let r0 = List.nth results 0 in
+  if not (Stats.Ci.contains r0.Sim.Runner.ci expected_inst) then
+    Alcotest.failf "availability at 0.5: CI %s misses %.5f"
+      (Format.asprintf "%a" Stats.Ci.pp r0.Sim.Runner.ci)
+      expected_inst;
+  (* Interval average = (1/T) ∫ A(t) dt, closed form. *)
+  let s = lambda +. mu in
+  let t = 2.0 in
+  let expected_avg =
+    ((mu /. s *. t) +. (lambda /. (s *. s) *. (1.0 -. exp (-.s *. t)))) /. t
+  in
+  let r1 = List.nth results 1 in
+  if not (Stats.Ci.contains r1.Sim.Runner.ci expected_avg) then
+    Alcotest.failf "interval availability: CI %s misses %.5f"
+      (Format.asprintf "%a" Stats.Ci.pp r1.Sim.Runner.ci)
+      expected_avg
+
+let test_tandem_unreliability () =
+  let r1 = 2.0 and r2 = 5.0 in
+  let td = Test_models.tandem ~r1 ~r2 in
+  let spec =
+    Sim.Runner.spec ~model:td.Test_models.td_model ~horizon:1.0
+      ~stop:(fun m -> San.Marking.get m td.Test_models.stage = 2)
+      [
+        Sim.Reward.ever ~name:"absorbed by 1.0" ~until:1.0 (fun m ->
+            San.Marking.get m td.Test_models.stage = 2);
+      ]
+  in
+  let results = Sim.Runner.run ~seed:7L ~reps:4000 spec in
+  let expected = Test_models.tandem_absorbed ~r1 ~r2 1.0 in
+  let r = List.hd results in
+  if not (Stats.Ci.contains r.Sim.Runner.ci expected) then
+    Alcotest.failf "tandem absorption: CI %s misses %.5f"
+      (Format.asprintf "%a" Stats.Ci.pp r.Sim.Runner.ci)
+      expected
+
+let test_mm1k_mean_queue () =
+  let lambda = 2.0 and mu = 3.0 and k = 4 in
+  let q = Test_models.mm1k ~lambda ~mu ~k in
+  let pi = Test_models.mm1k_steady ~lambda ~mu ~k in
+  let expected_mean =
+    Array.to_list pi
+    |> List.mapi (fun i p -> float_of_int i *. p)
+    |> List.fold_left ( +. ) 0.0
+  in
+  (* Long horizon, discard a warmup prefix by averaging over [20, 120]. *)
+  let spec =
+    Sim.Runner.spec ~model:q.Test_models.q_model ~horizon:120.0
+      [
+        Sim.Reward.time_average ~name:"mean queue" ~from_:20.0 ~until:120.0
+          (fun m -> float_of_int (San.Marking.get m q.Test_models.q_len));
+      ]
+  in
+  let results = Sim.Runner.run ~seed:11L ~reps:400 spec in
+  let r = List.hd results in
+  if not (Stats.Ci.contains r.Sim.Runner.ci expected_mean) then
+    Alcotest.failf "M/M/1/K mean queue: CI %s misses %.5f"
+      (Format.asprintf "%a" Stats.Ci.pp r.Sim.Runner.ci)
+      expected_mean
+
+(* --- non-exponential timing end-to-end --- *)
+
+let test_erlang_first_passage_distribution () =
+  (* A single Erlang(3, 6) activity: its firing time must follow the
+     Erlang cdf (checked by Kolmogorov-Smirnov over replications). *)
+  let dist = Dist.Erlang { k = 3; rate = 6.0 } in
+  let b = San.Model.Builder.create "erlang_once" in
+  let done_ = San.Model.Builder.int_place b "done" in
+  San.Model.Builder.timed b ~name:"go" ~policy:San.Activity.Keep
+    ~dist:(fun _ -> dist)
+    ~enabled:(fun m -> San.Marking.get m done_ = 0)
+    ~reads:[ San.Place.P done_ ]
+    [
+      {
+        San.Activity.case_weight = (fun _ -> 1.0);
+        effect = (fun _ m -> San.Marking.set m done_ 1);
+      };
+    ];
+  let model = San.Model.Builder.build b in
+  let spec =
+    Sim.Runner.spec ~model ~horizon:100.0
+      ~stop:(fun m -> San.Marking.get m done_ = 1)
+      [
+        Sim.Reward.first_passage ~name:"t" (fun m ->
+            San.Marking.get m done_ = 1);
+      ]
+  in
+  let n = 4000 in
+  (* Derive substreams incrementally (one jump each); [substream root i]
+     would cost i jumps. *)
+  let base = ref (Prng.Stream.create ~seed:271L) in
+  let samples =
+    Array.init n (fun i ->
+        if i > 0 then base := Prng.Stream.successor !base;
+        (Sim.Runner.run_one spec (Prng.Stream.substream !base 0)).(0))
+  in
+  let stat = Stats.Ks.statistic ~cdf:(Dist.cdf dist) samples in
+  let p = Stats.Ks.significance ~n stat in
+  if p < 0.005 then
+    Alcotest.failf "Erlang firing time rejected by KS: D=%.4f p=%.4g" stat p
+
+(* --- trace observer --- *)
+
+let test_trace_output () =
+  let model, _count = clock_model ~period:1.0 in
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  let observer = Sim.Trace.observer ~model ppf in
+  let (_ : Sim.Executor.outcome) =
+    run_simple model ~horizon:2.5 ~seed:12 ~observer
+  in
+  Format.pp_print_flush ppf ();
+  let out = Buffer.contents buf in
+  let contains needle =
+    let nl = String.length needle and hl = String.length out in
+    let rec scan i =
+      i + nl <= hl && (String.sub out i nl = needle || scan (i + 1))
+    in
+    scan 0
+  in
+  List.iter
+    (fun needle ->
+      if not (contains needle) then
+        Alcotest.failf "trace missing %S in:\n%s" needle out)
+    [ "init"; "fire tick"; "end" ]
+
+(* --- model linter --- *)
+
+let test_lint_clean_model () =
+  let q = Test_models.mm1k ~lambda:2.0 ~mu:3.0 ~k:4 in
+  Alcotest.(check (list string)) "no violations" []
+    (List.map
+       (fun v -> Format.asprintf "%a" Sim.Lint.pp_violation v)
+       (Sim.Lint.undeclared_reads q.Test_models.q_model))
+
+let test_lint_catches_undeclared_enabled_read () =
+  let b = San.Model.Builder.create "buggy" in
+  let gate = San.Model.Builder.int_place b ~init:1 "gate" in
+  let tokens = San.Model.Builder.int_place b "tokens" in
+  (* Bug: [enabled] reads [gate] but declares only [tokens]. *)
+  San.Model.Builder.timed_exp b ~name:"produce"
+    ~rate:(fun _ -> 1.0)
+    ~enabled:(fun m -> San.Marking.get m gate = 1 && San.Marking.get m tokens < 5)
+    ~reads:[ San.Place.P tokens ]
+    (fun _ m -> San.Marking.add m tokens 1);
+  let model = San.Model.Builder.build b in
+  let vs = Sim.Lint.undeclared_reads model in
+  Alcotest.(check bool) "violation reported" true
+    (List.exists
+       (fun v -> v.Sim.Lint.activity = "produce" && v.Sim.Lint.place = "gate"
+                 && v.Sim.Lint.via = "enabled")
+       vs)
+
+let test_lint_catches_undeclared_rate_read () =
+  let b = San.Model.Builder.create "buggy_rate" in
+  let speed = San.Model.Builder.int_place b ~init:2 "speed" in
+  let tokens = San.Model.Builder.int_place b "tokens" in
+  San.Model.Builder.timed_exp b ~name:"produce"
+    ~rate:(fun m -> float_of_int (1 + San.Marking.get m speed))
+    ~enabled:(fun m -> San.Marking.get m tokens < 5)
+    ~reads:[ San.Place.P tokens ]
+    (fun _ m -> San.Marking.add m tokens 1);
+  let model = San.Model.Builder.build b in
+  let vs = Sim.Lint.undeclared_reads model in
+  Alcotest.(check bool) "rate violation reported" true
+    (List.exists
+       (fun v -> v.Sim.Lint.place = "speed" && v.Sim.Lint.via = "dist")
+       vs)
+
+let test_lint_catches_undeclared_weight_read () =
+  let b = San.Model.Builder.create "buggy_weight" in
+  let bias = San.Model.Builder.int_place b ~init:3 "bias" in
+  let fired = San.Model.Builder.int_place b "fired" in
+  San.Model.Builder.timed b ~name:"choose"
+    ~dist:(fun _ -> Dist.Exponential { rate = 1.0 })
+    ~enabled:(fun m -> San.Marking.get m fired = 0)
+    ~reads:[ San.Place.P fired ]
+    [
+      {
+        San.Activity.case_weight =
+          (fun m -> float_of_int (San.Marking.get m bias));
+        effect = (fun _ m -> San.Marking.set m fired 1);
+      };
+      {
+        San.Activity.case_weight = (fun _ -> 1.0);
+        effect = (fun _ m -> San.Marking.set m fired 1);
+      };
+    ];
+  let model = San.Model.Builder.build b in
+  let vs = Sim.Lint.undeclared_reads model in
+  Alcotest.(check bool) "weight violation reported" true
+    (List.exists
+       (fun v -> v.Sim.Lint.place = "bias" && v.Sim.Lint.via = "weight")
+       vs)
+
+(* --- batch-means steady state --- *)
+
+let test_steady_mm1k_batch_means () =
+  let lambda = 2.0 and mu = 3.0 and k = 5 in
+  let q = Test_models.mm1k ~lambda ~mu ~k in
+  let pi = Test_models.mm1k_steady ~lambda ~mu ~k in
+  let expected =
+    Array.to_list pi
+    |> List.mapi (fun i p -> float_of_int i *. p)
+    |> List.fold_left ( +. ) 0.0
+  in
+  let result =
+    Sim.Steady.estimate ~model:q.Test_models.q_model
+      ~f:(fun m -> float_of_int (San.Marking.get m q.Test_models.q_len))
+      ~warmup:50.0 ~batch_length:100.0 ~batches:30
+      ~stream:(stream 301) ()
+  in
+  Alcotest.(check int) "30 batch means" 30
+    (Array.length result.Sim.Steady.batch_means);
+  if not (Stats.Ci.contains result.Sim.Steady.ci expected) then
+    Alcotest.failf "batch means CI %s misses exact %.5f"
+      (Format.asprintf "%a" Stats.Ci.pp result.Sim.Steady.ci)
+      expected;
+  Alcotest.(check bool) "warmup mean recorded" true
+    (not (Float.is_nan result.Sim.Steady.warmup_mean))
+
+let test_steady_validation () =
+  let q = Test_models.mm1k ~lambda:1.0 ~mu:2.0 ~k:3 in
+  let run ~warmup ~batch_length ~batches =
+    match
+      Sim.Steady.estimate ~model:q.Test_models.q_model
+        ~f:(fun _ -> 1.0)
+        ~warmup ~batch_length ~batches ~stream:(stream 1) ()
+    with
+    | (_ : Sim.Steady.result) -> false
+    | exception Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "batches >= 2" true
+    (run ~warmup:1.0 ~batch_length:1.0 ~batches:1);
+  Alcotest.(check bool) "positive batch length" true
+    (run ~warmup:1.0 ~batch_length:0.0 ~batches:4);
+  Alcotest.(check bool) "non-negative warmup" true
+    (run ~warmup:(-1.0) ~batch_length:1.0 ~batches:4)
+
+let test_steady_constant_reward () =
+  (* A constant-1 reward must produce batch means of exactly 1. *)
+  let ts = Test_models.two_state ~lambda:1.0 ~mu:2.0 in
+  let result =
+    Sim.Steady.estimate ~model:ts.Test_models.ts_model
+      ~f:(fun _ -> 1.0)
+      ~warmup:1.0 ~batch_length:2.0 ~batches:5 ~stream:(stream 2) ()
+  in
+  Array.iter
+    (fun m -> Alcotest.(check (float 1e-9)) "batch mean 1" 1.0 m)
+    result.Sim.Steady.batch_means
+
+(* --- runner mechanics --- *)
+
+let test_runner_reproducible () =
+  let ts = Test_models.two_state ~lambda:1.0 ~mu:2.0 in
+  let spec =
+    Sim.Runner.spec ~model:ts.Test_models.ts_model ~horizon:5.0
+      [
+        Sim.Reward.probability_in_interval ~name:"a" ~until:5.0 (fun m ->
+            San.Marking.get m ts.Test_models.up = 1);
+      ]
+  in
+  let run () =
+    (List.hd (Sim.Runner.run ~seed:123L ~reps:50 spec)).Sim.Runner.ci.Stats.Ci.mean
+  in
+  Alcotest.(check (float 0.0)) "same seed, same estimate" (run ()) (run ())
+
+let test_runner_parallel_matches_counts () =
+  let ts = Test_models.two_state ~lambda:1.0 ~mu:2.0 in
+  let spec =
+    Sim.Runner.spec ~model:ts.Test_models.ts_model ~horizon:5.0
+      [
+        Sim.Reward.probability_in_interval ~name:"a" ~until:5.0 (fun m ->
+            San.Marking.get m ts.Test_models.up = 1);
+      ]
+  in
+  let seq = List.hd (Sim.Runner.run ~domains:1 ~seed:5L ~reps:101 spec) in
+  let par = List.hd (Sim.Runner.run ~domains:4 ~seed:5L ~reps:101 spec) in
+  Alcotest.(check int) "counts match" seq.Sim.Runner.n_runs par.Sim.Runner.n_runs;
+  (* Same replication substreams are used either way; means agree to
+     floating-point merge order. *)
+  Alcotest.(check bool) "means agree" true
+    (Float.abs (seq.Sim.Runner.ci.Stats.Ci.mean -. par.Sim.Runner.ci.Stats.Ci.mean)
+    < 1e-12)
+
+let test_run_until_precision () =
+  let ts = Test_models.two_state ~lambda:1.0 ~mu:2.0 in
+  let spec =
+    Sim.Runner.spec ~model:ts.Test_models.ts_model ~horizon:5.0
+      [
+        Sim.Reward.probability_in_interval ~name:"avail" ~until:5.0 (fun m ->
+            San.Marking.get m ts.Test_models.up = 1);
+      ]
+  in
+  let r =
+    List.hd
+      (Sim.Runner.run_until ~batch:200 ~rel_precision:0.02 ~seed:9L spec)
+  in
+  Alcotest.(check bool) "precision reached" true
+    (Stats.Ci.relative_half_width r.Sim.Runner.ci <= 0.02);
+  Alcotest.(check int) "whole batches" 0 (r.Sim.Runner.n_runs mod 200);
+  Alcotest.(check bool) "took more than one batch" true
+    (r.Sim.Runner.n_runs >= 200)
+
+let test_run_until_caps_at_max () =
+  let ts = Test_models.two_state ~lambda:1.0 ~mu:2.0 in
+  let spec =
+    Sim.Runner.spec ~model:ts.Test_models.ts_model ~horizon:5.0
+      [
+        Sim.Reward.probability_in_interval ~name:"avail" ~until:5.0 (fun m ->
+            San.Marking.get m ts.Test_models.up = 1);
+      ]
+  in
+  let r =
+    List.hd
+      (Sim.Runner.run_until ~batch:100 ~max_reps:300 ~rel_precision:1e-6
+         ~seed:9L spec)
+  in
+  Alcotest.(check int) "capped" 300 r.Sim.Runner.n_runs
+
+let test_run_until_deterministic () =
+  let ts = Test_models.two_state ~lambda:1.0 ~mu:2.0 in
+  let spec =
+    Sim.Runner.spec ~model:ts.Test_models.ts_model ~horizon:5.0
+      [
+        Sim.Reward.probability_in_interval ~name:"avail" ~until:5.0 (fun m ->
+            San.Marking.get m ts.Test_models.up = 1);
+      ]
+  in
+  let go () =
+    let r =
+      List.hd
+        (Sim.Runner.run_until ~batch:150 ~rel_precision:0.05 ~seed:31L spec)
+    in
+    (r.Sim.Runner.n_runs, r.Sim.Runner.ci.Stats.Ci.mean)
+  in
+  Alcotest.(check (pair int (float 0.0))) "same stopping point" (go ()) (go ())
+
+let test_runner_nan_handling () =
+  (* First passage to an unreachable predicate: undefined in every rep. *)
+  let ts = Test_models.two_state ~lambda:1.0 ~mu:2.0 in
+  let spec =
+    Sim.Runner.spec ~model:ts.Test_models.ts_model ~horizon:1.0
+      [ Sim.Reward.first_passage ~name:"never" (fun _ -> false) ]
+  in
+  let r = List.hd (Sim.Runner.run ~seed:1L ~reps:20 spec) in
+  Alcotest.(check int) "none defined" 0 r.Sim.Runner.n_defined;
+  Alcotest.(check int) "all ran" 20 r.Sim.Runner.n_runs
+
+let () =
+  let props = List.map QCheck_alcotest.to_alcotest [ prop_heap_sorts ] in
+  Alcotest.run "sim"
+    [
+      ( "event-heap",
+        [
+          Alcotest.test_case "ordering" `Quick test_heap_ordering;
+          Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
+          Alcotest.test_case "bad times" `Quick test_heap_rejects_bad_time;
+        ] );
+      ( "executor",
+        [
+          Alcotest.test_case "deterministic clock" `Quick
+            test_deterministic_clock;
+          Alcotest.test_case "stop predicate" `Quick test_stop_predicate;
+          Alcotest.test_case "instantaneous chain" `Quick
+            test_instantaneous_chain;
+          Alcotest.test_case "stabilization divergence" `Quick
+            test_stabilization_divergence_detected;
+          Alcotest.test_case "policy keep" `Quick test_policy_keep;
+          Alcotest.test_case "policy resample" `Quick test_policy_resample;
+          Alcotest.test_case "disabling aborts" `Quick test_disabling_aborts;
+          Alcotest.test_case "no double scheduling after setup" `Slow
+            test_no_double_scheduling_after_setup;
+          Alcotest.test_case "advance tiling" `Quick test_advance_tiling;
+        ] );
+      ( "rewards",
+        [
+          Alcotest.test_case "instant right-continuous" `Quick
+            test_reward_instant_right_continuous;
+          Alcotest.test_case "time average and integral" `Quick
+            test_reward_time_average_and_integral;
+          Alcotest.test_case "ever and first passage" `Quick
+            test_reward_ever_and_first_passage;
+          Alcotest.test_case "impulse" `Quick test_reward_impulse;
+          Alcotest.test_case "window validation" `Quick
+            test_reward_window_validation;
+        ] );
+      ( "validation",
+        [
+          Alcotest.test_case "two-state availability" `Slow
+            test_two_state_availability;
+          Alcotest.test_case "tandem absorption" `Slow
+            test_tandem_unreliability;
+          Alcotest.test_case "M/M/1/K mean queue" `Slow test_mm1k_mean_queue;
+        ] );
+      ( "non-exponential",
+        [
+          Alcotest.test_case "erlang first passage (KS)" `Slow
+            test_erlang_first_passage_distribution;
+        ] );
+      ( "trace",
+        [ Alcotest.test_case "output" `Quick test_trace_output ] );
+      ( "lint",
+        [
+          Alcotest.test_case "clean model" `Quick test_lint_clean_model;
+          Alcotest.test_case "undeclared enabled read" `Quick
+            test_lint_catches_undeclared_enabled_read;
+          Alcotest.test_case "undeclared rate read" `Quick
+            test_lint_catches_undeclared_rate_read;
+          Alcotest.test_case "undeclared weight read" `Quick
+            test_lint_catches_undeclared_weight_read;
+        ] );
+      ( "steady-state",
+        [
+          Alcotest.test_case "mm1k batch means" `Slow
+            test_steady_mm1k_batch_means;
+          Alcotest.test_case "validation" `Quick test_steady_validation;
+          Alcotest.test_case "constant reward" `Quick
+            test_steady_constant_reward;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "reproducible" `Quick test_runner_reproducible;
+          Alcotest.test_case "parallel matches" `Slow
+            test_runner_parallel_matches_counts;
+          Alcotest.test_case "nan handling" `Quick test_runner_nan_handling;
+          Alcotest.test_case "run_until precision" `Slow
+            test_run_until_precision;
+          Alcotest.test_case "run_until cap" `Quick test_run_until_caps_at_max;
+          Alcotest.test_case "run_until deterministic" `Slow
+            test_run_until_deterministic;
+        ] );
+      ("properties", props);
+    ]
