@@ -9,7 +9,11 @@
      dune exec bench/main.exe perf           -- engine micro-benchmarks only
      ITUA_BENCH_REPS=500 dune exec bench/main.exe   -- cheaper runs
 
-   Panel CSVs are written to results/ for external plotting. *)
+   Panel CSVs are written to results/ for external plotting. Every
+   invocation also writes BENCH_sim.json — a machine-readable perf record
+   (engine micro-benchmarks, events/sec throughput, wall-clock per figure)
+   that later optimization work is judged against; see
+   doc/OBSERVABILITY.md. *)
 
 let reps_from_env () =
   match Sys.getenv_opt "ITUA_BENCH_REPS" with
@@ -77,18 +81,19 @@ let perf_tests () =
       (Bechamel.Staged.stage (fun () ->
            ignore
              (Sim.Executor.run ~model:two_state ~config:ts_cfg
-                ~stream:(next_stream ()) ~observer:Sim.Observer.nop)));
+                ~stream:(next_stream ()) ~observer:Sim.Observer.nop ())));
     Bechamel.Test.make ~name:"executor: ITUA 10x3/4 apps, 10h replication"
       (Bechamel.Staged.stage (fun () ->
            ignore
              (Sim.Executor.run ~model:itua_handles.Itua.Model.model
                 ~config:itua_cfg ~stream:(next_stream ())
-                ~observer:Sim.Observer.nop)));
+                ~observer:Sim.Observer.nop ())));
     Bechamel.Test.make ~name:"model build: ITUA 10x3/4 apps"
       (Bechamel.Staged.stage (fun () ->
            ignore (Itua.Model.build Itua.Params.default)));
   ]
 
+(* Returns [(name, ns_per_run)] — printed and recorded in BENCH_sim.json. *)
 let run_perf () =
   let open Bechamel in
   let instances = [ Toolkit.Instance.monotonic_clock ] in
@@ -100,7 +105,7 @@ let run_perf () =
       (fun test -> Benchmark.all cfg instances test)
       (List.map (fun t -> Test.make_grouped ~name:"engine" [ t ]) (perf_tests ()))
   in
-  Format.printf "@.Engine micro-benchmarks (monotonic clock):@.";
+  let estimates = ref [] in
   List.iter
     (fun results ->
       Hashtbl.iter
@@ -113,11 +118,99 @@ let run_perf () =
             Analyze.one ols Toolkit.Instance.monotonic_clock raw_results
           in
           match Analyze.OLS.estimates est with
-          | Some [ ns_per_run ] ->
-              Format.printf "  %-45s %12.0f ns/run@." name ns_per_run
-          | Some _ | None -> Format.printf "  %-45s (no estimate)@." name)
+          | Some [ ns_per_run ] -> estimates := (name, ns_per_run) :: !estimates
+          | Some _ | None -> ())
         results)
-    raw
+    raw;
+  let micro = List.rev !estimates in
+  Format.printf "@.Engine micro-benchmarks (monotonic clock):@.";
+  List.iter
+    (fun (name, ns) -> Format.printf "  %-45s %12.0f ns/run@." name ns)
+    micro;
+  micro
+
+(* --- engine throughput (events/sec, via Sim.Metrics) --- *)
+
+let now () = Unix.gettimeofday ()
+
+let measure_throughput ~name ~model ~config ~runs =
+  let metrics = Sim.Metrics.create ~model in
+  let t0 = now () in
+  for i = 1 to runs do
+    ignore
+      (Sim.Executor.run ~metrics ~model ~config
+         ~stream:(Prng.Stream.create ~seed:(Int64.of_int i))
+         ~observer:Sim.Observer.nop ())
+  done;
+  Sim.Metrics.add_wall metrics (now () -. t0);
+  (name, metrics)
+
+let run_throughput () =
+  let two_state = bench_two_state () in
+  let itua_handles = Itua.Model.build Itua.Params.default in
+  let records =
+    [
+      measure_throughput ~name:"two_state_100h" ~model:two_state
+        ~config:(Sim.Executor.config ~horizon:100.0 ())
+        ~runs:2000;
+      measure_throughput ~name:"itua_default_10h"
+        ~model:itua_handles.Itua.Model.model
+        ~config:(Sim.Executor.config ~horizon:10.0 ())
+        ~runs:50;
+    ]
+  in
+  Format.printf "@.Engine throughput (telemetry on):@.";
+  List.iter
+    (fun (name, m) ->
+      Format.printf "  %-45s %10.3g events/sec (%d events over %.2fs)@." name
+        (Sim.Metrics.events_per_sec m)
+        m.Sim.Metrics.events m.Sim.Metrics.wall_seconds)
+    records;
+  records
+
+(* --- BENCH_sim.json --- *)
+
+let json_escape s = Printf.sprintf "%S" s
+
+let write_bench_json ~reps ~micro ~throughput ~figures =
+  let buf = Buffer.create 2048 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let add_list xs render =
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        render x)
+      xs
+  in
+  addf "{\n";
+  addf "  \"schema\": \"itua-bench/1\",\n";
+  addf "  \"generated_unix\": %.0f,\n" (Unix.time ());
+  addf "  \"reps_per_point\": %d,\n" reps;
+  addf "  \"micro_benchmarks\": [\n";
+  add_list micro (fun (name, ns) ->
+      addf "    { \"name\": %s, \"ns_per_run\": %.1f }" (json_escape name) ns);
+  addf "\n  ],\n";
+  addf "  \"engine_throughput\": [\n";
+  add_list throughput (fun (name, (m : Sim.Metrics.t)) ->
+      addf
+        "    { \"name\": %s, \"runs\": %d, \"events\": %d, \"wall_seconds\": \
+         %.4f, \"events_per_sec\": %.1f, \"stale_pop_fraction\": %.4f, \
+         \"mean_heap_depth\": %.2f }"
+        (json_escape name) m.Sim.Metrics.runs m.Sim.Metrics.events
+        m.Sim.Metrics.wall_seconds
+        (Sim.Metrics.events_per_sec m)
+        (Sim.Metrics.stale_fraction m)
+        (Sim.Metrics.mean_heap_depth m));
+  addf "\n  ],\n";
+  addf "  \"figures\": [\n";
+  add_list figures (fun (id, wall) ->
+      addf "    { \"id\": %s, \"wall_seconds\": %.2f }" (json_escape id) wall);
+  addf "\n  ]\n";
+  addf "}\n";
+  let oc = open_out "BENCH_sim.json" in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Format.printf "@.[perf record: BENCH_sim.json]@."
 
 (* --- main --- *)
 
@@ -147,10 +240,20 @@ let () =
       a = "all" || a = fig
       || (String.length a > 4 && String.sub a 0 4 = fig)) args
   in
+  let figure_times = ref [] in
+  let timed id f =
+    let t0 = now () in
+    let r = f () in
+    figure_times := !figure_times @ [ (id, now () -. t0) ];
+    r
+  in
   let panels = ref [] in
-  if wants_figure "fig3" then panels := !panels @ Itua.Study.fig3 ~config:cfg ();
-  if wants_figure "fig4" then panels := !panels @ Itua.Study.fig4 ~config:cfg ();
-  if wants_figure "fig5" then panels := !panels @ Itua.Study.fig5 ~config:cfg ();
+  if wants_figure "fig3" then
+    panels := !panels @ timed "fig3" (Itua.Study.fig3 ~config:cfg);
+  if wants_figure "fig4" then
+    panels := !panels @ timed "fig4" (Itua.Study.fig4 ~config:cfg);
+  if wants_figure "fig5" then
+    panels := !panels @ timed "fig5" (Itua.Study.fig5 ~config:cfg);
   let selected =
     List.filter
       (fun (id, _) ->
@@ -160,7 +263,15 @@ let () =
       !panels
   in
   if selected <> [] then print_panels selected;
-  if List.mem "sens" args then print_panels (Itua.Study.sensitivity ~config:cfg ());
-  if List.mem "traj" args then print_panels (Itua.Study.trajectory ~config:cfg ());
-  if List.mem "ablate" args then print_panels (Itua.Study.ablation ~config:cfg ());
-  if List.mem "perf" args then run_perf ()
+  if List.mem "sens" args then
+    print_panels (timed "sens" (Itua.Study.sensitivity ~config:cfg));
+  if List.mem "traj" args then
+    print_panels (timed "traj" (Itua.Study.trajectory ~config:cfg));
+  if List.mem "ablate" args then
+    print_panels (timed "ablate" (Itua.Study.ablation ~config:cfg));
+  let micro, throughput =
+    if List.mem "perf" args then (run_perf (), run_throughput ())
+    else ([], [])
+  in
+  write_bench_json ~reps:cfg.Itua.Study.reps ~micro ~throughput
+    ~figures:!figure_times

@@ -89,9 +89,61 @@ let params_of domains hosts apps replicas policy multiplier spread scale =
 
 (* --- run --- *)
 
+let telemetry_arg =
+  Arg.(value & flag & info [ "telemetry" ]
+         ~doc:"Collect engine telemetry during the run and print a summary \
+               (events/sec, heap and stabilization statistics) plus a \
+               per-activity firing-count table afterwards.")
+
+let telemetry_csv_arg =
+  Arg.(value & opt (some string) None & info [ "telemetry-csv" ] ~docv:"FILE"
+         ~doc:"Write the full per-activity telemetry table to $(docv) as \
+               CSV (implies collecting telemetry).")
+
+let progress_arg =
+  Arg.(value & flag & info [ "progress" ]
+         ~doc:"Report live progress on stderr while replications run: \
+               completed count, elapsed time, ETA, and the widest current \
+               confidence interval.")
+
+let precision_arg =
+  Arg.(value & opt (some float) None & info [ "rel-precision" ] ~docv:"P"
+         ~doc:"Run replications in batches until every measure's relative \
+               confidence-interval half-width is at most $(docv) (Möbius \
+               sequential stopping), instead of a fixed replication count; \
+               --reps then bounds the total.")
+
+(* One-line stderr progress display, overwritten in place. *)
+let render_progress (p : Sim.Runner.progress) =
+  let eta =
+    match p.Sim.Runner.eta with
+    | Some s when Float.is_finite s ->
+        Printf.sprintf "  ETA %.0fs" (Float.max 0.0 s)
+    | Some _ | None -> ""
+  in
+  let worst =
+    if Float.is_finite p.Sim.Runner.worst_rel_hw then
+      Printf.sprintf "  worst CI half-width %.3g (rel.)"
+        p.Sim.Runner.worst_rel_hw
+    else ""
+  in
+  Printf.eprintf "\r%6d/%d reps  %6.1fs elapsed%s%s   %!"
+    p.Sim.Runner.completed p.Sim.Runner.target p.Sim.Runner.elapsed eta worst
+
+let finish_progress () = Printf.eprintf "\n%!"
+
 let run_cmd =
   let run domains hosts apps replicas policy multiplier spread scale horizon
-      reps seed cores =
+      reps seed cores telemetry telemetry_csv progress rel_precision =
+    if cores < 1 then begin
+      Format.eprintf "--cores must be >= 1@.";
+      exit 2
+    end;
+    (match rel_precision with
+    | Some p when not (p > 0.0) ->
+        Format.eprintf "--rel-precision must be > 0@.";
+        exit 2
+    | Some _ | None -> ());
     let p = params_of domains hosts apps replicas policy multiplier spread scale in
     let h = Itua.Model.build p in
     Format.printf "%a@.@." Itua.Params.pp p;
@@ -106,20 +158,56 @@ let run_cmd =
           Itua.Measures.load_per_host h ~at:horizon;
         ]
     in
-    let results = Sim.Runner.run ~domains:cores ~seed ~reps spec in
-    Format.printf "Measures over [0, %g] hours (%d replications):@." horizon
-      reps;
+    let metrics =
+      if telemetry || telemetry_csv <> None then
+        Some (Sim.Metrics.create ~model:h.Itua.Model.model)
+      else None
+    in
+    let progress_cb = if progress then Some render_progress else None in
+    let results =
+      match rel_precision with
+      | None ->
+          Sim.Runner.run ~domains:cores ?metrics ?progress:progress_cb ~seed
+            ~reps spec
+      | Some prec ->
+          Sim.Runner.run_until ~domains:cores ?metrics ?progress:progress_cb
+            ~batch:(Int.min reps 500) ~max_reps:reps ~rel_precision:prec ~seed
+            spec
+    in
+    if progress then finish_progress ();
+    let n_runs = (List.hd results).Sim.Runner.n_runs in
+    (match rel_precision with
+    | None ->
+        Format.printf "Measures over [0, %g] hours (%d replications):@."
+          horizon reps
+    | Some prec ->
+        Format.printf
+          "Measures over [0, %g] hours (%d replications, sequential stopping \
+           at %g relative precision):@."
+          horizon n_runs prec);
     List.iter
       (fun (r : Sim.Runner.result) ->
         Format.printf "  %-34s %a  (defined %d/%d)@." r.name Stats.Ci.pp r.ci
           r.n_defined r.n_runs)
-      results
+      results;
+    match metrics with
+    | None -> ()
+    | Some m ->
+        Format.printf "@.Engine telemetry:@.%a" Sim.Metrics.pp_summary m;
+        Format.printf "@.%a" (Sim.Metrics.pp_activities ~limit:25) m;
+        (match telemetry_csv with
+        | None -> ()
+        | Some path ->
+            Report.write_csv_rows path ~header:Sim.Metrics.csv_header
+              (Sim.Metrics.csv_rows m);
+            Format.printf "  [telemetry csv: %s]@." path)
   in
   Cmd.v (Cmd.info "run" ~doc:"Simulate one ITUA configuration")
     Term.(
       const run $ domains_arg $ hosts_arg $ apps_arg $ reps_per_app_arg
       $ policy_arg $ multiplier_arg $ spread_arg $ scale_arg $ horizon_arg
-      $ n_reps_arg $ seed_arg $ cores_arg)
+      $ n_reps_arg $ seed_arg $ cores_arg $ telemetry_arg $ telemetry_csv_arg
+      $ progress_arg $ precision_arg)
 
 (* --- study --- *)
 

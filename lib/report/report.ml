@@ -75,12 +75,29 @@ let pp_csv ppf t =
       Format.fprintf ppf "@.")
     (rows t)
 
-let write_csv path t =
+let with_out_file path f =
   let oc = open_out path in
   let ppf = Format.formatter_of_out_channel oc in
-  (try pp_csv ppf t
+  (try f ppf
    with e ->
      close_out_noerr oc;
      raise e);
   Format.pp_print_flush ppf ();
   close_out oc
+
+let write_csv path t = with_out_file path (fun ppf -> pp_csv ppf t)
+
+let pp_csv_rows ~header ppf rows =
+  if header = [] then invalid_arg "Report.pp_csv_rows: empty header";
+  let columns = List.length header in
+  let pp_row ppf row =
+    if List.length row <> columns then
+      invalid_arg "Report.pp_csv_rows: row width does not match header";
+    Format.fprintf ppf "%s@."
+      (String.concat "," (List.map csv_escape row))
+  in
+  pp_row ppf header;
+  List.iter (pp_row ppf) rows
+
+let write_csv_rows path ~header rows =
+  with_out_file path (fun ppf -> pp_csv_rows ~header ppf rows)

@@ -33,3 +33,13 @@ val pp_csv : Format.formatter -> table -> unit
 
 val write_csv : string -> table -> unit
 (** [write_csv path t] saves {!pp_csv} output to [path]. *)
+
+val pp_csv_rows :
+  header:string list -> Format.formatter -> string list list -> unit
+(** Generic CSV for tables that are not CI grids (engine telemetry,
+    bench records): a header row followed by the given rows, each
+    escaped. Every row must match the header's width
+    ([Invalid_argument] otherwise). *)
+
+val write_csv_rows : string -> header:string list -> string list list -> unit
+(** [write_csv_rows path ~header rows] saves {!pp_csv_rows} to [path]. *)

@@ -29,8 +29,25 @@ type state = {
   scheduled : bool array;  (* per activity: has a live heap entry *)
   inst_ids : int array;  (* ids of instantaneous activities *)
   acts : San.Activity.t array;
+  deps : San.Activity.t array array;  (* place uid -> reading activities *)
+  seen : int array;  (* per activity: generation stamp (see propagate) *)
+  mutable gen : int;
   mutable now : float;
   mutable events : int;
+  (* Run-local telemetry. Counted unconditionally (an int bump is cheaper
+     than testing an option per event) and folded into the caller's
+     Metrics sink, if any, once at the end of the run. *)
+  firings : int array;
+  cancellations : int array;
+  resamples : int array;
+  mutable setup_events : int;
+  mutable chains : int;
+  mutable chain_steps : int;
+  mutable max_chain : int;
+  mutable pops : int;
+  mutable stale_pops : int;
+  mutable depth_sum : int;
+  mutable max_depth : int;
 }
 
 let sample_delay st (a : San.Activity.t) =
@@ -59,10 +76,14 @@ let reevaluate st (a : San.Activity.t) =
           match policy with
           | San.Activity.Keep -> ()
           | San.Activity.Resample ->
+              st.resamples.(a.id) <- st.resamples.(a.id) + 1;
               cancel st a.id;
               schedule st a
       end
-      else if st.scheduled.(a.id) then cancel st a.id
+      else if st.scheduled.(a.id) then begin
+        st.cancellations.(a.id) <- st.cancellations.(a.id) + 1;
+        cancel st a.id
+      end
 
 let select_case st (a : San.Activity.t) =
   if Array.length a.cases = 1 then 0
@@ -78,26 +99,32 @@ let fire st (a : San.Activity.t) case =
   San.Marking.clear_journal st.marking;
   let ctx = { San.Activity.time = st.now; stream = Some st.stream } in
   a.cases.(case).San.Activity.effect ctx st.marking;
+  st.firings.(a.id) <- st.firings.(a.id) + 1;
   San.Marking.journal st.marking
 
 (* Propagate a marking change: re-evaluate the fired activity and every
-   activity that reads a changed place. *)
+   activity that reads a changed place, each at most once. Deduplication
+   uses a generation-stamped scratch array instead of a per-event table:
+   bumping [gen] invalidates every stamp at once, so the only per-event
+   cost is the activities actually visited. *)
 let propagate st (fired : San.Activity.t option) changed =
-  let seen = Hashtbl.create 16 in
+  st.gen <- st.gen + 1;
+  let g = st.gen in
   (match fired with
   | Some a ->
-      Hashtbl.replace seen a.San.Activity.id ();
+      st.seen.(a.San.Activity.id) <- g;
       reevaluate st a
   | None -> ());
   List.iter
     (fun uid ->
-      List.iter
-        (fun (a : San.Activity.t) ->
-          if not (Hashtbl.mem seen a.id) then begin
-            Hashtbl.replace seen a.id ();
-            reevaluate st a
-          end)
-        (San.Model.dependents st.model uid))
+      let deps = st.deps.(uid) in
+      for i = 0 to Array.length deps - 1 do
+        let a = deps.(i) in
+        if st.seen.(a.San.Activity.id) <> g then begin
+          st.seen.(a.San.Activity.id) <- g;
+          reevaluate st a
+        end
+      done)
     changed
 
 let enabled_instantaneous st =
@@ -132,12 +159,17 @@ let stabilize st ~notify =
         | Some (observer : Observer.t) ->
             st.events <- st.events + 1;
             observer.on_fire st.now a case st.marking
-        | None -> ());
+        | None -> st.setup_events <- st.setup_events + 1);
         loop ()
   in
-  loop ()
+  loop ();
+  if !steps > 0 then begin
+    st.chains <- st.chains + 1;
+    st.chain_steps <- st.chain_steps + !steps;
+    if !steps > st.max_chain then st.max_chain <- !steps
+  end
 
-let run ~model ~config:cfg ~stream ~observer =
+let run ?metrics ~model ~config:cfg ~stream ~observer () =
   let acts = San.Model.activities model in
   let n = Array.length acts in
   let inst_ids =
@@ -145,6 +177,10 @@ let run ~model ~config:cfg ~stream ~observer =
       (Array.to_list acts
       |> List.filter San.Activity.is_instantaneous
       |> List.map (fun (a : San.Activity.t) -> a.id))
+  in
+  let deps =
+    Array.init (San.Model.n_places model) (fun uid ->
+        Array.of_list (San.Model.dependents model uid))
   in
   let st =
     {
@@ -157,8 +193,22 @@ let run ~model ~config:cfg ~stream ~observer =
       scheduled = Array.make n false;
       inst_ids;
       acts;
+      deps;
+      seen = Array.make n 0;
+      gen = 0;
       now = 0.0;
       events = 0;
+      firings = Array.make n 0;
+      cancellations = Array.make n 0;
+      resamples = Array.make n 0;
+      setup_events = 0;
+      chains = 0;
+      chain_steps = 0;
+      max_chain = 0;
+      pops = 0;
+      stale_pops = 0;
+      depth_sum = 0;
+      max_depth = 0;
     }
   in
   (* t = 0 setup: stabilize instantaneous activities silently, then
@@ -185,10 +235,16 @@ let run ~model ~config:cfg ~stream ~observer =
   let finished = ref !stopped in
   let last_event_time = ref 0.0 in
   while not !finished do
+    let depth = Event_heap.size st.heap in
     match Event_heap.pop st.heap with
     | None -> finished := true
     | Some entry ->
-        if entry.Event_heap.version = st.versions.(entry.act) then begin
+        st.pops <- st.pops + 1;
+        st.depth_sum <- st.depth_sum + depth;
+        if depth > st.max_depth then st.max_depth <- depth;
+        if entry.Event_heap.version <> st.versions.(entry.act) then
+          st.stale_pops <- st.stale_pops + 1
+        else begin
           if entry.time > cfg.horizon then begin
             (* Past the horizon: the popped completion is discarded; the
                marking holds through the end of the window. *)
@@ -218,6 +274,15 @@ let run ~model ~config:cfg ~stream ~observer =
   if cfg.horizon > st.now then
     observer.Observer.on_advance st.now cfg.horizon st.marking;
   observer.Observer.on_finish cfg.horizon st.marking;
+  (match metrics with
+  | None -> ()
+  | Some m ->
+      Metrics.record_run m ~firings:st.firings
+        ~cancellations:st.cancellations ~resamples:st.resamples
+        ~events:st.events ~setup_events:st.setup_events ~chains:st.chains
+        ~chain_steps:st.chain_steps ~max_chain:st.max_chain ~pops:st.pops
+        ~stale_pops:st.stale_pops ~depth_sum:st.depth_sum
+        ~max_depth:st.max_depth);
   {
     end_time = !last_event_time;
     events = st.events;

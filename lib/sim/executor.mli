@@ -36,8 +36,15 @@ type outcome = {
 }
 
 val run :
+  ?metrics:Metrics.t ->
   model:San.Model.t ->
   config:config ->
   stream:Prng.Stream.t ->
   observer:Observer.t ->
+  unit ->
   outcome
+(** Executes one replication. [metrics], when given, accumulates the
+    run's telemetry (per-activity firing/cancellation/resample counters,
+    stabilization-chain and event-heap statistics — see {!Metrics});
+    without it the run pays no instrumentation cost beyond a handful of
+    run-local integer bumps. *)

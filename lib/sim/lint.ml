@@ -33,7 +33,7 @@ let sample_markings ~runs ~horizon ~max_markings ~seed model =
     ignore
       (Executor.run ~model ~config:cfg
          ~stream:(Prng.Stream.substream root i)
-         ~observer)
+         ~observer ())
   done;
   !samples
 

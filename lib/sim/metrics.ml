@@ -1,0 +1,176 @@
+type t = {
+  names : string array;
+  firings : int array;
+  cancellations : int array;
+  resamples : int array;
+  mutable runs : int;
+  mutable events : int;
+  mutable setup_events : int;
+  mutable chains : int;
+  mutable chain_steps : int;
+  mutable max_chain : int;
+  mutable pops : int;
+  mutable stale_pops : int;
+  mutable depth_sum : int;
+  mutable max_depth : int;
+  mutable wall_seconds : float;
+}
+
+let create ~model =
+  let acts = San.Model.activities model in
+  let n = Array.length acts in
+  {
+    names = Array.map (fun (a : San.Activity.t) -> a.name) acts;
+    firings = Array.make n 0;
+    cancellations = Array.make n 0;
+    resamples = Array.make n 0;
+    runs = 0;
+    events = 0;
+    setup_events = 0;
+    chains = 0;
+    chain_steps = 0;
+    max_chain = 0;
+    pops = 0;
+    stale_pops = 0;
+    depth_sum = 0;
+    max_depth = 0;
+    wall_seconds = 0.0;
+  }
+
+let reset m =
+  Array.fill m.firings 0 (Array.length m.firings) 0;
+  Array.fill m.cancellations 0 (Array.length m.cancellations) 0;
+  Array.fill m.resamples 0 (Array.length m.resamples) 0;
+  m.runs <- 0;
+  m.events <- 0;
+  m.setup_events <- 0;
+  m.chains <- 0;
+  m.chain_steps <- 0;
+  m.max_chain <- 0;
+  m.pops <- 0;
+  m.stale_pops <- 0;
+  m.depth_sum <- 0;
+  m.max_depth <- 0;
+  m.wall_seconds <- 0.0
+
+let add_arrays dst src =
+  Array.iteri (fun i v -> dst.(i) <- dst.(i) + v) src
+
+let merge ~into src =
+  if Array.length into.names <> Array.length src.names then
+    invalid_arg "Metrics.merge: sinks come from different models";
+  add_arrays into.firings src.firings;
+  add_arrays into.cancellations src.cancellations;
+  add_arrays into.resamples src.resamples;
+  into.runs <- into.runs + src.runs;
+  into.events <- into.events + src.events;
+  into.setup_events <- into.setup_events + src.setup_events;
+  into.chains <- into.chains + src.chains;
+  into.chain_steps <- into.chain_steps + src.chain_steps;
+  into.max_chain <- Int.max into.max_chain src.max_chain;
+  into.pops <- into.pops + src.pops;
+  into.stale_pops <- into.stale_pops + src.stale_pops;
+  into.depth_sum <- into.depth_sum + src.depth_sum;
+  into.max_depth <- Int.max into.max_depth src.max_depth;
+  into.wall_seconds <- into.wall_seconds +. src.wall_seconds
+
+let add_wall m s = m.wall_seconds <- m.wall_seconds +. s
+
+let record_run m ~firings ~cancellations ~resamples ~events ~setup_events
+    ~chains ~chain_steps ~max_chain ~pops ~stale_pops ~depth_sum ~max_depth =
+  add_arrays m.firings firings;
+  add_arrays m.cancellations cancellations;
+  add_arrays m.resamples resamples;
+  m.runs <- m.runs + 1;
+  m.events <- m.events + events;
+  m.setup_events <- m.setup_events + setup_events;
+  m.chains <- m.chains + chains;
+  m.chain_steps <- m.chain_steps + chain_steps;
+  m.max_chain <- Int.max m.max_chain max_chain;
+  m.pops <- m.pops + pops;
+  m.stale_pops <- m.stale_pops + stale_pops;
+  m.depth_sum <- m.depth_sum + depth_sum;
+  m.max_depth <- Int.max m.max_depth max_depth
+
+let ratio num den = if den = 0 then nan else float_of_int num /. float_of_int den
+
+let events_per_sec m =
+  if m.wall_seconds > 0.0 then float_of_int m.events /. m.wall_seconds else nan
+
+let mean_chain_length m = ratio m.chain_steps m.chains
+let mean_heap_depth m = ratio m.depth_sum m.pops
+let stale_fraction m = ratio m.stale_pops m.pops
+
+let never_fired m =
+  let out = ref [] in
+  for i = Array.length m.firings - 1 downto 0 do
+    if m.firings.(i) = 0 then out := m.names.(i) :: !out
+  done;
+  !out
+
+let csv_header = [ "activity"; "firings"; "cancellations"; "resamples" ]
+
+let csv_rows m =
+  Array.to_list
+    (Array.mapi
+       (fun i name ->
+         [
+           name;
+           string_of_int m.firings.(i);
+           string_of_int m.cancellations.(i);
+           string_of_int m.resamples.(i);
+         ])
+       m.names)
+
+let pp_summary ppf m =
+  Format.fprintf ppf "runs                    %d@." m.runs;
+  Format.fprintf ppf "events                  %d (+%d setup)@." m.events
+    m.setup_events;
+  (if m.wall_seconds > 0.0 then
+     Format.fprintf ppf "throughput              %.3g events/sec over %.2fs@."
+       (events_per_sec m) m.wall_seconds);
+  Format.fprintf ppf "heap pops               %d (%.1f%% stale)@." m.pops
+    (100.0 *. if m.pops = 0 then 0.0 else stale_fraction m);
+  Format.fprintf ppf "heap depth              mean %.1f, max %d@."
+    (if m.pops = 0 then 0.0 else mean_heap_depth m)
+    m.max_depth;
+  Format.fprintf ppf "stabilization chains    %d (mean %.1f steps, max %d)@."
+    m.chains
+    (if m.chains = 0 then 0.0 else mean_chain_length m)
+    m.max_chain
+
+let pp_activities ?limit ppf m =
+  let idx = Array.init (Array.length m.names) Fun.id in
+  Array.sort
+    (fun i j ->
+      match Int.compare m.firings.(j) m.firings.(i) with
+      | 0 -> Int.compare i j
+      | c -> c)
+    idx;
+  let fired = Array.to_list idx |> List.filter (fun i -> m.firings.(i) > 0) in
+  let shown =
+    match limit with
+    | Some k when k < List.length fired -> List.filteri (fun n _ -> n < k) fired
+    | Some _ | None -> fired
+  in
+  let width =
+    List.fold_left (fun w i -> Int.max w (String.length m.names.(i))) 8 shown
+  in
+  Format.fprintf ppf "%-*s %10s %13s %10s@." width "activity" "firings"
+    "cancellations" "resamples";
+  List.iter
+    (fun i ->
+      Format.fprintf ppf "%-*s %10d %13d %10d@." width m.names.(i)
+        m.firings.(i) m.cancellations.(i) m.resamples.(i))
+    shown;
+  let hidden = List.length fired - List.length shown in
+  if hidden > 0 then
+    Format.fprintf ppf "  ... and %d more firing activities@." hidden;
+  match never_fired m with
+  | [] -> ()
+  | quiet ->
+      let n = List.length quiet in
+      let sample = List.filteri (fun i _ -> i < 8) quiet in
+      Format.fprintf ppf "%d activities never fired: %s%s@." n
+        (String.concat " " sample)
+        (if n > List.length sample then " ..." else "")

@@ -1,0 +1,112 @@
+(** Engine telemetry: cheap counters collected by the executor.
+
+    A [Metrics.t] is a passive sink: pass one to {!Executor.run} (or to
+    {!Runner.run} / {!Runner.run_until}, which thread one per domain and
+    merge) and it accumulates, across every run recorded into it:
+
+    {ul
+    {- per-activity firing, cancellation (disabled-abort) and resample
+       counts — the first thing to look at when a model misbehaves (a
+       never-firing activity is usually a missing read or a wrong
+       enabling predicate);}
+    {- instantaneous-stabilization chain statistics (chains, total steps,
+       longest chain);}
+    {- event-heap statistics (pops, stale pops from lazy cancellation,
+       mean and maximum depth);}
+    {- wall-clock time, added by the caller via {!add_wall}, from which
+       {!events_per_sec} derives the engine's throughput.}}
+
+    The executor counts unconditionally into run-local scratch and folds
+    it into the sink once per run, so simulation with no metrics attached
+    pays nothing on the hot path. A sink is not domain-safe: give each
+    domain its own (as {!Runner} does) and {!merge} afterwards. *)
+
+type t = {
+  names : string array;  (** activity names, indexed by activity id *)
+  firings : int array;
+      (** per-activity completions, t = 0 setup firings included *)
+  cancellations : int array;
+      (** per-activity aborts of a scheduled completion by disabling *)
+  resamples : int array;
+      (** per-activity re-draws under the [Resample] policy *)
+  mutable runs : int;  (** executor runs recorded *)
+  mutable events : int;  (** firings as counted by {!Executor.outcome} *)
+  mutable setup_events : int;  (** t = 0 setup stabilization firings *)
+  mutable chains : int;  (** stabilization episodes with >= 1 firing *)
+  mutable chain_steps : int;  (** total instantaneous steps in chains *)
+  mutable max_chain : int;  (** longest single stabilization chain *)
+  mutable pops : int;  (** event-heap pops (stale entries included) *)
+  mutable stale_pops : int;  (** pops discarded by version mismatch *)
+  mutable depth_sum : int;  (** sum over pops of the pre-pop heap size *)
+  mutable max_depth : int;  (** largest pre-pop heap size seen *)
+  mutable wall_seconds : float;  (** wall time added via {!add_wall} *)
+}
+
+val create : model:San.Model.t -> t
+(** A zeroed sink sized for (and labelled with) [model]'s activities. *)
+
+val reset : t -> unit
+(** Zero every counter, keeping the activity names. *)
+
+val merge : into:t -> t -> unit
+(** [merge ~into src] adds every counter of [src] into [into]. The two
+    sinks must come from models with the same activity count
+    ([Invalid_argument] otherwise). *)
+
+val add_wall : t -> float -> unit
+(** Add elapsed wall-clock seconds (callers time the enclosing run). *)
+
+val record_run :
+  t ->
+  firings:int array ->
+  cancellations:int array ->
+  resamples:int array ->
+  events:int ->
+  setup_events:int ->
+  chains:int ->
+  chain_steps:int ->
+  max_chain:int ->
+  pops:int ->
+  stale_pops:int ->
+  depth_sum:int ->
+  max_depth:int ->
+  unit
+(** Fold one executor run into the sink. Called by {!Executor.run};
+    rarely useful directly. *)
+
+val events_per_sec : t -> float
+(** [events / wall_seconds]; [nan] while no wall time was added. *)
+
+val mean_chain_length : t -> float
+(** Mean instantaneous steps per non-empty stabilization chain; [nan]
+    when no chain occurred. *)
+
+val mean_heap_depth : t -> float
+(** Mean pre-pop heap size; [nan] before the first pop. *)
+
+val stale_fraction : t -> float
+(** Fraction of heap pops discarded as stale; [nan] before the first
+    pop. Persistently high values mean the model cancels far more than
+    it fires (lots of [Resample] churn). *)
+
+val never_fired : t -> string list
+(** Names of activities that never fired in any recorded run, in model
+    order. With enough replications behind the sink, a structurally
+    relevant activity in this list is usually a modeling bug. *)
+
+val csv_header : string list
+(** Header for {!csv_rows}:
+    [activity,firings,cancellations,resamples]. *)
+
+val csv_rows : t -> string list list
+(** One row per activity, in model order, matching {!csv_header}. Write
+    with {!Report.write_csv_rows}. *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** Multi-line engine summary: runs, events, events/sec, stabilization
+    and heap statistics. *)
+
+val pp_activities : ?limit:int -> Format.formatter -> t -> unit
+(** Per-activity table sorted by firing count (descending), activities
+    that never fired summarized on a final line. [limit] caps the number
+    of table rows (default: all). *)

@@ -29,7 +29,18 @@ type result = {
   n_runs : int;
 }
 
-let run_one s stream =
+type progress = {
+  completed : int;
+  target : int;
+  elapsed : float;
+  eta : float option;
+  worst_rel_hw : float;
+  cis : (string * Stats.Ci.t) list;
+}
+
+let now () = Unix.gettimeofday ()
+
+let run_one ?metrics s stream =
   let instances = List.map Reward.instantiate s.rewards in
   let observers =
     List.map Reward.observer instances
@@ -39,14 +50,18 @@ let run_one s stream =
     Executor.config ~max_events:s.max_events ?stop:s.stop ~horizon:s.horizon ()
   in
   let (_ : Executor.outcome) =
-    Executor.run ~model:s.model ~config:cfg ~stream
-      ~observer:(Observer.combine observers)
+    Executor.run ?metrics ~model:s.model ~config:cfg ~stream
+      ~observer:(Observer.combine observers) ()
   in
   Array.of_list (List.map Reward.value instances)
 
 (* Run replications [first, first+count) accumulating Welford state and
-   defined-counts per reward. *)
-let run_block s ~root ~first ~count =
+   defined-counts per reward, plus an optional per-block metrics sink
+   (one per block, so domains never share one). *)
+let run_block s ~root ~first ~count ~with_metrics =
+  let metrics =
+    if with_metrics then Some (Metrics.create ~model:s.model) else None
+  in
   let n_rewards = List.length s.rewards in
   let accs = Array.init n_rewards (fun _ -> Stats.Welford.create ()) in
   let defined = Array.make n_rewards 0 in
@@ -56,7 +71,7 @@ let run_block s ~root ~first ~count =
   let base = ref (Prng.Stream.substream root first) in
   for i = 0 to count - 1 do
     if i > 0 then base := Prng.Stream.successor !base;
-    let values = run_one s (Prng.Stream.substream !base 0) in
+    let values = run_one ?metrics s (Prng.Stream.substream !base 0) in
     Array.iteri
       (fun j v ->
         if not (Float.is_nan v) then begin
@@ -65,7 +80,7 @@ let run_block s ~root ~first ~count =
         end)
       values
   done;
-  (accs, defined)
+  (accs, defined, metrics)
 
 let default_domains () =
   Int.max 1 (Int.min 8 (Domain.recommended_domain_count ()))
@@ -78,94 +93,168 @@ let blocks_of ~domains ~first ~count =
       let f = first + (d * base) + Int.min d extra in
       (f, c))
 
-let run_blocks s ~root ~domains blocks =
+let run_blocks s ~root ~domains ~with_metrics blocks =
   if domains = 1 then
-    List.map (fun (first, count) -> run_block s ~root ~first ~count) blocks
+    List.map
+      (fun (first, count) -> run_block s ~root ~first ~count ~with_metrics)
+      blocks
   else begin
     let handles =
       List.map
         (fun (first, count) ->
-          Domain.spawn (fun () -> run_block s ~root ~first ~count))
+          Domain.spawn (fun () -> run_block s ~root ~first ~count ~with_metrics))
         blocks
     in
     List.map Domain.join handles
   end
 
-let run ?(domains = 1) ?(confidence = 0.95) ~seed ~reps s =
-  if reps <= 0 then invalid_arg "Runner.run: reps must be >= 1";
-  if domains <= 0 then invalid_arg "Runner.run: domains must be >= 1";
-  let root = Prng.Stream.create ~seed in
-  let domains = Int.min domains reps in
-  let blocks = blocks_of ~domains ~first:0 ~count:reps in
-  let results = run_blocks s ~root ~domains blocks in
-  let n_rewards = List.length s.rewards in
-  let merged_accs =
-    Array.init n_rewards (fun j ->
-        List.fold_left
-          (fun acc (accs, _) -> Stats.Welford.merge acc accs.(j))
-          (Stats.Welford.create ()) results)
-  in
-  let merged_defined =
-    Array.init n_rewards (fun j ->
-        List.fold_left (fun acc (_, defined) -> acc + defined.(j)) 0 results)
-  in
-  List.mapi
-    (fun j r ->
-      {
-        name = r.Reward.name;
-        ci = Stats.Ci.of_welford ~confidence merged_accs.(j);
-        welford = merged_accs.(j);
-        n_defined = merged_defined.(j);
-        n_runs = reps;
-      })
-    s.rewards
+(* Fold one run_blocks result into the shared accumulators (and the
+   caller's metrics sink), preserving block order so estimates stay
+   deterministic. *)
+let consume ~accs ~defined ~metrics results =
+  List.iter
+    (fun (block_accs, block_defined, block_metrics) ->
+      Array.iteri
+        (fun j acc ->
+          accs.(j) <- Stats.Welford.merge accs.(j) acc;
+          defined.(j) <- defined.(j) + block_defined.(j))
+        block_accs;
+      match (metrics, block_metrics) with
+      | Some m, Some bm -> Metrics.merge ~into:m bm
+      | (Some _ | None), _ -> ())
+    results
 
-let run_until ?(domains = 1) ?(confidence = 0.95) ?(batch = 500)
-    ?(max_reps = 100_000) ~rel_precision ~seed s =
-  if not (rel_precision > 0.0) then
-    invalid_arg "Runner.run_until: rel_precision must be > 0";
-  if batch <= 0 then invalid_arg "Runner.run_until: batch must be > 0";
-  let root = Prng.Stream.create ~seed in
-  let n_rewards = List.length s.rewards in
-  let accs = Array.init n_rewards (fun _ -> Stats.Welford.create ()) in
-  let defined = Array.make n_rewards 0 in
-  let total = ref 0 in
-  let precise_enough () =
-    !total >= 2
-    && Array.for_all
-         (fun acc ->
-           let ci = Stats.Ci.of_welford ~confidence acc in
-           (not (Float.is_nan ci.Stats.Ci.half_width))
-           &&
-           if ci.Stats.Ci.mean = 0.0 then
-             ci.Stats.Ci.half_width <= rel_precision
-           else Stats.Ci.relative_half_width ci <= rel_precision)
-         accs
-  in
-  while (not (precise_enough ())) && !total < max_reps do
-    let count = Int.min batch (max_reps - !total) in
-    let d = Int.max 1 (Int.min domains count) in
-    let results =
-      run_blocks s ~root ~domains:d (blocks_of ~domains:d ~first:!total ~count)
-    in
-    List.iter
-      (fun (batch_accs, batch_defined) ->
-        Array.iteri
-          (fun j acc ->
-            accs.(j) <- Stats.Welford.merge accs.(j) acc;
-            defined.(j) <- defined.(j) + batch_defined.(j);
-            ignore acc)
-          batch_accs)
-      results;
-    total := !total + count
-  done;
+(* The stopping criterion of run_until, also reported as the "worst"
+   interval in progress records: relative half-width, judged absolutely
+   when the mean is 0, [infinity] while the interval is undefined. *)
+let interval_badness ~confidence acc =
+  let ci = Stats.Ci.of_welford ~confidence acc in
+  if Float.is_nan ci.Stats.Ci.half_width then infinity
+  else if ci.Stats.Ci.mean = 0.0 then ci.Stats.Ci.half_width
+  else Stats.Ci.relative_half_width ci
+
+let worst_badness ~confidence accs =
+  Array.fold_left
+    (fun w acc -> Float.max w (interval_badness ~confidence acc))
+    0.0 accs
+
+let emit_progress ~progress ~confidence ~rewards ~accs ~t0 ~completed ~target
+    ~estimated =
+  match progress with
+  | None -> ()
+  | Some f ->
+      let elapsed = now () -. t0 in
+      let cis =
+        List.mapi
+          (fun j (r : Reward.spec) ->
+            (r.Reward.name, Stats.Ci.of_welford ~confidence accs.(j)))
+          rewards
+      in
+      let eta =
+        if completed <= 0 then None
+        else
+          let remaining = Int.max 0 (estimated - completed) in
+          Some (elapsed *. float_of_int remaining /. float_of_int completed)
+      in
+      f
+        {
+          completed;
+          target;
+          elapsed;
+          eta;
+          worst_rel_hw = worst_badness ~confidence accs;
+          cis;
+        }
+
+let results_of ~confidence ~rewards ~accs ~defined ~n_runs =
   List.mapi
-    (fun j r ->
+    (fun j (r : Reward.spec) ->
       {
         name = r.Reward.name;
         ci = Stats.Ci.of_welford ~confidence accs.(j);
         welford = accs.(j);
         n_defined = defined.(j);
-        n_runs = !total;
+        n_runs;
       })
-    s.rewards
+    rewards
+
+let run ?(domains = 1) ?(confidence = 0.95) ?metrics ?progress ~seed ~reps s =
+  if reps <= 0 then invalid_arg "Runner.run: reps must be >= 1";
+  if domains <= 0 then invalid_arg "Runner.run: domains must be >= 1";
+  let t0 = now () in
+  let root = Prng.Stream.create ~seed in
+  let domains = Int.min domains reps in
+  let n_rewards = List.length s.rewards in
+  let accs = Array.init n_rewards (fun _ -> Stats.Welford.create ()) in
+  let defined = Array.make n_rewards 0 in
+  let with_metrics = Option.is_some metrics in
+  (* With a progress callback, replications run in ~20 chunks so the
+     caller hears from us; substream-per-replication keeps the estimates
+     identical either way. *)
+  let chunk =
+    match progress with
+    | None -> reps
+    | Some _ -> Int.max domains ((reps + 19) / 20)
+  in
+  let completed = ref 0 in
+  while !completed < reps do
+    let count = Int.min chunk (reps - !completed) in
+    let d = Int.max 1 (Int.min domains count) in
+    let results =
+      run_blocks s ~root ~domains:d ~with_metrics
+        (blocks_of ~domains:d ~first:!completed ~count)
+    in
+    consume ~accs ~defined ~metrics results;
+    completed := !completed + count;
+    emit_progress ~progress ~confidence ~rewards:s.rewards ~accs ~t0
+      ~completed:!completed ~target:reps ~estimated:reps
+  done;
+  (match metrics with
+  | Some m -> Metrics.add_wall m (now () -. t0)
+  | None -> ());
+  results_of ~confidence ~rewards:s.rewards ~accs ~defined ~n_runs:reps
+
+let run_until ?(domains = 1) ?(confidence = 0.95) ?(batch = 500)
+    ?(max_reps = 100_000) ?metrics ?progress ~rel_precision ~seed s =
+  if not (rel_precision > 0.0) then
+    invalid_arg "Runner.run_until: rel_precision must be > 0";
+  if batch <= 0 then invalid_arg "Runner.run_until: batch must be > 0";
+  let t0 = now () in
+  let root = Prng.Stream.create ~seed in
+  let n_rewards = List.length s.rewards in
+  let accs = Array.init n_rewards (fun _ -> Stats.Welford.create ()) in
+  let defined = Array.make n_rewards 0 in
+  let with_metrics = Option.is_some metrics in
+  let total = ref 0 in
+  let precise_enough () =
+    !total >= 2
+    && worst_badness ~confidence accs <= rel_precision
+  in
+  (* Half-widths shrink like 1/sqrt(n), so the worst interval needs about
+     n · (badness / target)² replications in total; the ETA scales the
+     elapsed time to that estimate (capped at max_reps). *)
+  let estimated_total () =
+    let w = worst_badness ~confidence accs in
+    if w <= rel_precision then !total
+    else if Float.is_finite w && !total > 0 then
+      let n = float_of_int !total *. ((w /. rel_precision) ** 2.0) in
+      Int.min max_reps
+        (Int.max !total (int_of_float (Float.min n (float_of_int max_reps))))
+    else max_reps
+  in
+  while (not (precise_enough ())) && !total < max_reps do
+    let count = Int.min batch (max_reps - !total) in
+    let d = Int.max 1 (Int.min domains count) in
+    let results =
+      run_blocks s ~root ~domains:d ~with_metrics
+        (blocks_of ~domains:d ~first:!total ~count)
+    in
+    consume ~accs ~defined ~metrics results;
+    total := !total + count;
+    emit_progress ~progress ~confidence ~rewards:s.rewards ~accs ~t0
+      ~completed:!total ~target:max_reps ~estimated:(estimated_total ())
+  done;
+  (match metrics with
+  | Some m -> Metrics.add_wall m (now () -. t0)
+  | None -> ());
+  results_of ~confidence ~rewards:s.rewards ~accs ~defined ~n_runs:!total

@@ -37,25 +37,57 @@ type result = {
   n_runs : int;  (** total replications *)
 }
 
-val run_one : spec -> Prng.Stream.t -> float array
+type progress = {
+  completed : int;  (** replications finished so far *)
+  target : int;
+      (** [reps] for {!run}; [max_reps] for {!run_until} (which usually
+          stops well short of it) *)
+  elapsed : float;  (** wall-clock seconds since the call started *)
+  eta : float option;
+      (** estimated wall-clock seconds to completion: linear scaling for
+          {!run}, 1/√n extrapolation of the worst interval for
+          {!run_until}; [None] before the first replication *)
+  worst_rel_hw : float;
+      (** the widest current interval, as judged by {!run_until}'s
+          stopping rule: relative half-width, or absolute when the mean
+          is 0, or [infinity] while undefined (n < 2) *)
+  cis : (string * Stats.Ci.t) list;
+      (** current interval per reward, in spec order *)
+}
+(** A progress report, passed to the [?progress] callback after every
+    chunk ({!run}) or batch ({!run_until}) of replications. Callbacks run
+    on the calling domain, between batches — never concurrently. *)
+
+val run_one : ?metrics:Metrics.t -> spec -> Prng.Stream.t -> float array
 (** One replication; returns the reward values in spec order. *)
 
 val run :
   ?domains:int ->
   ?confidence:float ->
+  ?metrics:Metrics.t ->
+  ?progress:(progress -> unit) ->
   seed:int64 ->
   reps:int ->
   spec ->
   result list
 (** [run ~seed ~reps spec] executes [reps] replications and aggregates.
     [domains] > 1 spreads replications over that many OCaml domains
-    (default 1). Results come back in spec order. *)
+    (default 1). Results come back in spec order.
+
+    [metrics] accumulates engine telemetry over every replication (each
+    domain counts into its own sink; they are merged here, and the
+    call's wall-clock time is added — see {!Metrics}). [progress] is
+    called after each chunk of replications; requesting progress chunks
+    the work (~20 chunks) but does not change the estimates, since
+    replication [i] always runs on substream [i]. *)
 
 val run_until :
   ?domains:int ->
   ?confidence:float ->
   ?batch:int ->
   ?max_reps:int ->
+  ?metrics:Metrics.t ->
+  ?progress:(progress -> unit) ->
   rel_precision:float ->
   seed:int64 ->
   spec ->
@@ -66,7 +98,9 @@ val run_until :
     batch are judged by absolute half-width against [rel_precision]), or
     [max_reps] (default 100_000) is reached. Replication [i] still uses
     substream [i], so a [run_until] result is a deterministic function of
-    the seed and the batch/precision parameters. *)
+    the seed and the batch/precision parameters. [metrics] and
+    [progress] behave as in {!run}, with [progress] called after every
+    batch. *)
 
 val default_domains : unit -> int
 (** A sensible domain count for this machine (recommended count capped at

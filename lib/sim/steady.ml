@@ -40,7 +40,9 @@ let estimate ?(confidence = 0.95) ~model ~f ~warmup ~batch_length ~batches
   in
   let observer = { Observer.nop with on_advance = accumulate } in
   let cfg = Executor.config ~horizon () in
-  let (_ : Executor.outcome) = Executor.run ~model ~config:cfg ~stream ~observer in
+  let (_ : Executor.outcome) =
+    Executor.run ~model ~config:cfg ~stream ~observer ()
+  in
   let batch_means = Array.map (fun x -> x /. batch_length) integrals in
   let acc = Stats.Welford.create () in
   Array.iter (Stats.Welford.add acc) batch_means;

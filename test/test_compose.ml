@@ -62,7 +62,7 @@ let test_sharing_by_capture () =
   let outcome =
     Sim.Executor.run ~model ~config:cfg
       ~stream:(Prng.Stream.create ~seed:1L)
-      ~observer:Sim.Observer.nop
+      ~observer:Sim.Observer.nop ()
   in
   Alcotest.(check int)
     "all four replicas incremented the shared place" 4

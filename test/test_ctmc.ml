@@ -472,7 +472,7 @@ let test_stream_sampling_effect_rejected () =
   let cfg = Sim.Executor.config ~horizon:10.0 () in
   let outcome =
     Sim.Executor.run ~model ~config:cfg ~stream:(stream 3)
-      ~observer:Sim.Observer.nop
+      ~observer:Sim.Observer.nop ()
   in
   Alcotest.(check bool) "simulated" true
     (San.Marking.get outcome.Sim.Executor.final p >= 1)

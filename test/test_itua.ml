@@ -137,7 +137,7 @@ let final_marking ?(seed = 5) ?(horizon = 1e-6) params =
   let outcome =
     Sim.Executor.run ~model:h.Itua.Model.model ~config:cfg
       ~stream:(Prng.Stream.create ~seed:(Int64.of_int seed))
-      ~observer:Sim.Observer.nop
+      ~observer:Sim.Observer.nop ()
   in
   (h, outcome.Sim.Executor.final)
 

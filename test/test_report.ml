@@ -95,6 +95,34 @@ let test_write_csv () =
   Sys.remove path;
   Alcotest.(check string) "file written" "x,alpha,alpha_halfwidth,beta,beta_halfwidth" first
 
+let test_csv_rows () =
+  let header = [ "activity"; "firings" ] in
+  let rows = [ [ "tick"; "5" ]; [ "a,b"; "0" ] ] in
+  let out =
+    Format.asprintf "%a" (Report.pp_csv_rows ~header) rows
+  in
+  let lines =
+    String.split_on_char '\n' out |> List.filter (fun l -> l <> "")
+  in
+  Alcotest.(check (list string)) "rendered and escaped"
+    [ "activity,firings"; "tick,5"; "\"a,b\",0" ]
+    lines;
+  Alcotest.(check bool) "row width checked" true
+    (match Format.asprintf "%a" (Report.pp_csv_rows ~header) [ [ "x" ] ] with
+    | (_ : string) -> false
+    | exception Invalid_argument _ -> true)
+
+let test_write_csv_rows () =
+  let path = Filename.temp_file "telemetry" ".csv" in
+  Report.write_csv_rows path ~header:[ "a"; "b" ] [ [ "1"; "2" ] ];
+  let ic = open_in path in
+  let first = input_line ic in
+  let second = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check string) "header" "a,b" first;
+  Alcotest.(check string) "row" "1,2" second
+
 let () =
   Alcotest.run "report"
     [
@@ -111,5 +139,7 @@ let () =
           Alcotest.test_case "csv" `Quick test_csv_rendering;
           Alcotest.test_case "csv escaping" `Quick test_csv_escaping;
           Alcotest.test_case "write_csv" `Quick test_write_csv;
+          Alcotest.test_case "csv rows" `Quick test_csv_rows;
+          Alcotest.test_case "write_csv_rows" `Quick test_write_csv_rows;
         ] );
     ]

@@ -79,7 +79,7 @@ let clock_model ~period =
 
 let run_simple ?stop model ~horizon ~seed ~observer =
   let cfg = Sim.Executor.config ?stop ~horizon () in
-  Sim.Executor.run ~model ~config:cfg ~stream:(stream seed) ~observer
+  Sim.Executor.run ~model ~config:cfg ~stream:(stream seed) ~observer ()
 
 let test_deterministic_clock () =
   let model, count = clock_model ~period:1.0 in
@@ -160,7 +160,7 @@ let test_stabilization_divergence_detected () =
   Alcotest.(check bool) "divergence raises" true
     (match
        Sim.Executor.run ~model ~config:cfg ~stream:(stream 4)
-         ~observer:Sim.Observer.nop
+         ~observer:Sim.Observer.nop ()
      with
     | (_ : Sim.Executor.outcome) -> false
     | exception Sim.Executor.Stabilization_diverged _ -> true)
@@ -530,6 +530,198 @@ let test_trace_output () =
         Alcotest.failf "trace missing %S in:\n%s" needle out)
     [ "init"; "fire tick"; "end" ]
 
+let test_trace_show_marking () =
+  let model, _count = clock_model ~period:1.0 in
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  let observer = Sim.Trace.observer ~show_marking:true ~model ppf in
+  let (_ : Sim.Executor.outcome) =
+    run_simple model ~horizon:2.5 ~seed:12 ~observer
+  in
+  Format.pp_print_flush ppf ();
+  let out = Buffer.contents buf in
+  let lines = String.split_on_char '\n' out in
+  (* After the first tick the marking dump must show count = 1, indented. *)
+  Alcotest.(check bool) "marking dumped" true
+    (List.exists (fun l -> String.trim l = "count = 1") lines);
+  Alcotest.(check bool) "dump lines indented" true
+    (List.for_all
+       (fun l ->
+         String.length l = 0
+         || (not (String.length l >= 5 && String.sub l 0 5 = "count"))
+         || String.length l > 0 && l.[0] = ' ')
+       lines)
+
+(* --- metrics --- *)
+
+let test_metrics_counters_match_outcome () =
+  let model, _count = clock_model ~period:1.0 in
+  let metrics = Sim.Metrics.create ~model in
+  let cfg = Sim.Executor.config ~horizon:5.5 () in
+  let outcome =
+    Sim.Executor.run ~metrics ~model ~config:cfg ~stream:(stream 1)
+      ~observer:Sim.Observer.nop ()
+  in
+  Alcotest.(check int) "events counted" outcome.Sim.Executor.events
+    metrics.Sim.Metrics.events;
+  Alcotest.(check int) "one run" 1 metrics.Sim.Metrics.runs;
+  Alcotest.(check int) "no setup firings" 0 metrics.Sim.Metrics.setup_events;
+  (* The clock has a single activity; all firings are its. *)
+  Alcotest.(check int) "per-activity firings sum to events"
+    outcome.Sim.Executor.events
+    (Array.fold_left ( + ) 0 metrics.Sim.Metrics.firings);
+  (* 5 ticks plus the past-horizon completion popped and discarded. *)
+  Alcotest.(check int) "heap pops" 6 metrics.Sim.Metrics.pops;
+  Alcotest.(check int) "no stale pops" 0 metrics.Sim.Metrics.stale_pops;
+  Alcotest.(check int) "singleton heap" 1 metrics.Sim.Metrics.max_depth
+
+let test_metrics_cancellations_and_never_fired () =
+  (* The abort model: "victim" is scheduled, then disabled at t=1 by
+     "blocker" and never fires. *)
+  let b = San.Model.Builder.create "abort" in
+  let blocked = San.Model.Builder.int_place b "blocked" in
+  let fired = San.Model.Builder.int_place b "fired" in
+  San.Model.Builder.timed b ~name:"blocker"
+    ~dist:(fun _ -> Dist.Deterministic { value = 1.0 })
+    ~enabled:(fun m -> San.Marking.get m blocked = 0)
+    ~reads:[ San.Place.P blocked ]
+    [
+      {
+        San.Activity.case_weight = (fun _ -> 1.0);
+        effect = (fun _ m -> San.Marking.set m blocked 1);
+      };
+    ];
+  San.Model.Builder.timed b ~name:"victim"
+    ~dist:(fun _ -> Dist.Deterministic { value = 2.0 })
+    ~enabled:(fun m -> San.Marking.get m blocked = 0)
+    ~reads:[ San.Place.P blocked ]
+    [
+      {
+        San.Activity.case_weight = (fun _ -> 1.0);
+        effect = (fun _ m -> San.Marking.add m fired 1);
+      };
+    ];
+  let model = San.Model.Builder.build b in
+  let metrics = Sim.Metrics.create ~model in
+  let cfg = Sim.Executor.config ~horizon:10.0 () in
+  let (_ : Sim.Executor.outcome) =
+    Sim.Executor.run ~metrics ~model ~config:cfg ~stream:(stream 6)
+      ~observer:Sim.Observer.nop ()
+  in
+  let victim = (San.Model.find_activity model "victim").San.Activity.id in
+  let blocker = (San.Model.find_activity model "blocker").San.Activity.id in
+  Alcotest.(check int) "victim canceled once" 1
+    metrics.Sim.Metrics.cancellations.(victim);
+  Alcotest.(check int) "victim never fired" 0
+    metrics.Sim.Metrics.firings.(victim);
+  Alcotest.(check int) "blocker fired once" 1
+    metrics.Sim.Metrics.firings.(blocker);
+  Alcotest.(check (list string)) "never_fired lists the victim" [ "victim" ]
+    (Sim.Metrics.never_fired metrics);
+  (* The victim's canceled completion is popped stale (lazy deletion). *)
+  Alcotest.(check int) "stale pop observed" 1 metrics.Sim.Metrics.stale_pops
+
+let runner_metrics_totals ~domains =
+  let ts = Test_models.two_state ~lambda:1.0 ~mu:2.0 in
+  let spec =
+    Sim.Runner.spec ~model:ts.Test_models.ts_model ~horizon:5.0
+      [
+        Sim.Reward.probability_in_interval ~name:"a" ~until:5.0 (fun m ->
+            San.Marking.get m ts.Test_models.up = 1);
+      ]
+  in
+  let metrics = Sim.Metrics.create ~model:ts.Test_models.ts_model in
+  let (_ : Sim.Runner.result list) =
+    Sim.Runner.run ~domains ~metrics ~seed:5L ~reps:101 spec
+  in
+  metrics
+
+let test_metrics_domain_merge () =
+  let seq = runner_metrics_totals ~domains:1 in
+  let par = runner_metrics_totals ~domains:4 in
+  (* Replication [i] uses substream [i] regardless of the domain split, so
+     the merged counters must agree exactly. *)
+  Alcotest.(check int) "events equal" seq.Sim.Metrics.events
+    par.Sim.Metrics.events;
+  Alcotest.(check int) "runs equal" seq.Sim.Metrics.runs par.Sim.Metrics.runs;
+  Alcotest.(check (array int)) "per-activity firings equal"
+    seq.Sim.Metrics.firings par.Sim.Metrics.firings;
+  Alcotest.(check (array int)) "per-activity cancellations equal"
+    seq.Sim.Metrics.cancellations par.Sim.Metrics.cancellations;
+  Alcotest.(check int) "heap pops equal" seq.Sim.Metrics.pops
+    par.Sim.Metrics.pops;
+  Alcotest.(check bool) "wall clock recorded" true
+    (par.Sim.Metrics.wall_seconds > 0.0)
+
+let test_metrics_merge_and_reset () =
+  let a = runner_metrics_totals ~domains:1 in
+  let b = runner_metrics_totals ~domains:1 in
+  let events_one = a.Sim.Metrics.events in
+  Sim.Metrics.merge ~into:a b;
+  Alcotest.(check int) "merge doubles events" (2 * events_one)
+    a.Sim.Metrics.events;
+  Sim.Metrics.reset a;
+  Alcotest.(check int) "reset zeroes events" 0 a.Sim.Metrics.events;
+  Alcotest.(check int) "reset zeroes firings" 0
+    (Array.fold_left ( + ) 0 a.Sim.Metrics.firings)
+
+(* --- progress reporting --- *)
+
+let progress_spec () =
+  let ts = Test_models.two_state ~lambda:1.0 ~mu:2.0 in
+  Sim.Runner.spec ~model:ts.Test_models.ts_model ~horizon:5.0
+    [
+      Sim.Reward.probability_in_interval ~name:"avail" ~until:5.0 (fun m ->
+          San.Marking.get m ts.Test_models.up = 1);
+    ]
+
+let test_run_progress () =
+  let spec = progress_spec () in
+  let seen = ref [] in
+  let baseline = Sim.Runner.run ~seed:5L ~reps:101 spec in
+  let results =
+    Sim.Runner.run ~seed:5L ~reps:101
+      ~progress:(fun p -> seen := p :: !seen)
+      spec
+  in
+  let seen = List.rev !seen in
+  Alcotest.(check bool) "several reports" true (List.length seen > 1);
+  let completions = List.map (fun p -> p.Sim.Runner.completed) seen in
+  Alcotest.(check bool) "monotone" true
+    (List.sort compare completions = completions);
+  let last = List.nth seen (List.length seen - 1) in
+  Alcotest.(check int) "final report complete" 101 last.Sim.Runner.completed;
+  Alcotest.(check int) "target is reps" 101 last.Sim.Runner.target;
+  Alcotest.(check int) "one ci per reward" 1
+    (List.length last.Sim.Runner.cis);
+  (* Chunked execution uses the same replication substreams; means agree
+     to floating-point merge order. *)
+  Alcotest.(check bool) "estimate unchanged by chunking" true
+    (Float.abs
+       ((List.hd baseline).Sim.Runner.ci.Stats.Ci.mean
+       -. (List.hd results).Sim.Runner.ci.Stats.Ci.mean)
+    < 1e-12)
+
+let test_run_until_progress () =
+  let spec = progress_spec () in
+  let seen = ref [] in
+  let r =
+    List.hd
+      (Sim.Runner.run_until ~batch:200 ~rel_precision:0.02 ~seed:9L
+         ~progress:(fun p -> seen := p :: !seen)
+         spec)
+  in
+  let seen = List.rev !seen in
+  Alcotest.(check bool) "one report per batch" true
+    (List.length seen = r.Sim.Runner.n_runs / 200);
+  let last = List.nth seen (List.length seen - 1) in
+  Alcotest.(check int) "last report covers the run" r.Sim.Runner.n_runs
+    last.Sim.Runner.completed;
+  Alcotest.(check bool) "stopping criterion visible" true
+    (last.Sim.Runner.worst_rel_hw <= 0.02);
+  Alcotest.(check bool) "eta present" true
+    (List.for_all (fun p -> p.Sim.Runner.eta <> None) seen)
+
 (* --- model linter --- *)
 
 let test_lint_clean_model () =
@@ -805,7 +997,26 @@ let () =
             test_erlang_first_passage_distribution;
         ] );
       ( "trace",
-        [ Alcotest.test_case "output" `Quick test_trace_output ] );
+        [
+          Alcotest.test_case "output" `Quick test_trace_output;
+          Alcotest.test_case "show marking" `Quick test_trace_show_marking;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters match outcome" `Quick
+            test_metrics_counters_match_outcome;
+          Alcotest.test_case "cancellations and never_fired" `Quick
+            test_metrics_cancellations_and_never_fired;
+          Alcotest.test_case "domain merge" `Slow test_metrics_domain_merge;
+          Alcotest.test_case "merge and reset" `Quick
+            test_metrics_merge_and_reset;
+        ] );
+      ( "progress",
+        [
+          Alcotest.test_case "run reports" `Quick test_run_progress;
+          Alcotest.test_case "run_until reports" `Slow
+            test_run_until_progress;
+        ] );
       ( "lint",
         [
           Alcotest.test_case "clean model" `Quick test_lint_clean_model;
