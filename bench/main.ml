@@ -145,6 +145,28 @@ let measure_throughput ~name ~model ~config ~runs =
   Sim.Metrics.add_wall metrics (now () -. t0);
   (name, metrics)
 
+(* Same as [measure_throughput], but with a trajectory recorder attached —
+   tracks the observer overhead of [--record-failures]. *)
+let measure_throughput_recording ~name ~handles ~config ~runs =
+  let model = handles.Itua.Model.model in
+  let metrics = Sim.Metrics.create ~model in
+  let sink =
+    Sim.Trajectory.sink ~k:10
+      ~predicate:(Itua.Forensics.failed_now handles)
+      ~model ()
+  in
+  let observer = Sim.Trajectory.observer sink in
+  let t0 = now () in
+  for i = 1 to runs do
+    ignore
+      (Sim.Executor.run ~metrics ~model ~config
+         ~stream:(Prng.Stream.create ~seed:(Int64.of_int i))
+         ~observer ());
+    Sim.Trajectory.offer sink ~rep:i
+  done;
+  Sim.Metrics.add_wall metrics (now () -. t0);
+  (name, metrics)
+
 let run_throughput () =
   let two_state = bench_two_state () in
   let itua_handles = Itua.Model.build Itua.Params.default in
@@ -157,6 +179,10 @@ let run_throughput () =
         ~model:itua_handles.Itua.Model.model
         ~config:(Sim.Executor.config ~horizon:10.0 ())
         ~runs:50;
+      measure_throughput_recording ~name:"itua_default_10h_recording"
+        ~handles:itua_handles
+        ~config:(Sim.Executor.config ~horizon:10.0 ())
+        ~runs:50;
     ]
   in
   Format.printf "@.Engine throughput (telemetry on):@.";
@@ -167,6 +193,36 @@ let run_throughput () =
         m.Sim.Metrics.events m.Sim.Metrics.wall_seconds)
     records;
   records
+
+(* Per-point wall clocks for the Figure 3 study: the six host
+   distributions at 4 applications, run at a reduced replication count so
+   even perf-only invocations populate the figures array with comparable
+   numbers. *)
+let fig3_point_times ~reps ~seed ~domains =
+  List.map
+    (fun (nd, nh) ->
+      let params =
+        {
+          Itua.Params.default with
+          Itua.Params.num_domains = nd;
+          hosts_per_domain = nh;
+          num_apps = 4;
+        }
+      in
+      let h = Itua.Model.build params in
+      let rewards =
+        [
+          Itua.Measures.unavailability h ~until:5.0;
+          Itua.Measures.unreliability h ~until:5.0;
+        ]
+      in
+      let spec =
+        Sim.Runner.spec ~model:h.Itua.Model.model ~horizon:5.0 rewards
+      in
+      let t0 = now () in
+      ignore (Sim.Runner.run ~domains ~seed ~reps spec);
+      (Printf.sprintf "fig3_point_%dx%d" nd nh, now () -. t0))
+    [ (12, 1); (6, 2); (4, 3); (3, 4); (2, 6); (1, 12) ]
 
 (* --- BENCH_sim.json --- *)
 
@@ -273,5 +329,10 @@ let () =
     if List.mem "perf" args then (run_perf (), run_throughput ())
     else ([], [])
   in
+  let point_reps = Int.min cfg.Itua.Study.reps 200 in
+  let fig3_points =
+    fig3_point_times ~reps:point_reps ~seed:cfg.Itua.Study.seed
+      ~domains:cfg.Itua.Study.domains
+  in
   write_bench_json ~reps:cfg.Itua.Study.reps ~micro ~throughput
-    ~figures:!figure_times
+    ~figures:(!figure_times @ fig3_points)

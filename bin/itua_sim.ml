@@ -2,6 +2,7 @@
 
    Subcommands:
      run        simulate one configuration and print the measures
+     explain    render forensics chains from a --record-failures file
      study      regenerate the paper's figures (tables + CSV)
      structure  show the composed-model structure, optionally DOT export *)
 
@@ -98,7 +99,27 @@ let telemetry_arg =
 let telemetry_csv_arg =
   Arg.(value & opt (some string) None & info [ "telemetry-csv" ] ~docv:"FILE"
          ~doc:"Write the full per-activity telemetry table to $(docv) as \
-               CSV (implies collecting telemetry).")
+               CSV (requires $(b,--telemetry)).")
+
+let record_arg =
+  Arg.(value & opt (some string) None
+       & info [ "record-failures" ] ~docv:"FILE"
+           ~doc:"Record every replication and retain the trajectories of up \
+                 to K failing runs (some application improper — the \
+                 unreliability event) and K non-failing runs, written to \
+                 $(docv) as JSONL together with per-place occupancy \
+                 statistics. Render with $(b,itua-sim explain).")
+
+let record_max_arg =
+  Arg.(value & opt (some int) None & info [ "record-max" ] ~docv:"K"
+         ~doc:"Retain at most $(docv) trajectories per class (default 10; \
+               requires $(b,--record-failures)).")
+
+let dot_heat_arg =
+  Arg.(value & opt (some string) None & info [ "dot-heat" ] ~docv:"FILE"
+         ~doc:"After the run, write a GraphViz rendering of the model to \
+               $(docv) with activities weighted by their firing counts \
+               (hot activities thick, never-fired activities grey).")
 
 let progress_arg =
   Arg.(value & flag & info [ "progress" ]
@@ -132,18 +153,37 @@ let render_progress (p : Sim.Runner.progress) =
 
 let finish_progress () = Printf.eprintf "\n%!"
 
+let policy_string = function
+  | Itua.Params.Domain_exclusion -> "domain"
+  | Itua.Params.Host_exclusion -> "host"
+
 let run_cmd =
   let run domains hosts apps replicas policy multiplier spread scale horizon
-      reps seed cores telemetry telemetry_csv progress rel_precision =
-    if cores < 1 then begin
-      Format.eprintf "--cores must be >= 1@.";
-      exit 2
-    end;
-    (match rel_precision with
-    | Some p when not (p > 0.0) ->
-        Format.eprintf "--rel-precision must be > 0@.";
-        exit 2
-    | Some _ | None -> ());
+      reps seed cores telemetry telemetry_csv progress rel_precision
+      record_failures record_max dot_heat =
+    let ( let* ) = Result.bind in
+    let check cond msg = if cond then Ok () else Error (`Msg msg) in
+    let* () = check (cores >= 1) "--cores must be >= 1" in
+    let* () =
+      check
+        (match rel_precision with Some p -> p > 0.0 | None -> true)
+        "--rel-precision must be > 0"
+    in
+    let* () =
+      check
+        (telemetry || telemetry_csv = None)
+        "--telemetry-csv requires --telemetry"
+    in
+    let* () =
+      check
+        (record_max = None || record_failures <> None)
+        "--record-max requires --record-failures"
+    in
+    let* () =
+      check
+        (match record_max with Some k -> k > 0 | None -> true)
+        "--record-max must be >= 1"
+    in
     let p = params_of domains hosts apps replicas policy multiplier spread scale in
     let h = Itua.Model.build p in
     Format.printf "%a@.@." Itua.Params.pp p;
@@ -159,20 +199,30 @@ let run_cmd =
         ]
     in
     let metrics =
-      if telemetry || telemetry_csv <> None then
+      if telemetry || dot_heat <> None then
         Some (Sim.Metrics.create ~model:h.Itua.Model.model)
       else None
+    in
+    let record =
+      match record_failures with
+      | None -> None
+      | Some _ ->
+          Some
+            (Sim.Trajectory.sink
+               ~k:(Option.value record_max ~default:10)
+               ~predicate:(Itua.Forensics.failed_now h)
+               ~model:h.Itua.Model.model ())
     in
     let progress_cb = if progress then Some render_progress else None in
     let results =
       match rel_precision with
       | None ->
-          Sim.Runner.run ~domains:cores ?metrics ?progress:progress_cb ~seed
-            ~reps spec
+          Sim.Runner.run ~domains:cores ?metrics ?progress:progress_cb ?record
+            ~seed ~reps spec
       | Some prec ->
           Sim.Runner.run_until ~domains:cores ?metrics ?progress:progress_cb
-            ~batch:(Int.min reps 500) ~max_reps:reps ~rel_precision:prec ~seed
-            spec
+            ?record ~batch:(Int.min reps 500) ~max_reps:reps
+            ~rel_precision:prec ~seed spec
     in
     if progress then finish_progress ();
     let n_runs = (List.hd results).Sim.Runner.n_runs in
@@ -190,24 +240,200 @@ let run_cmd =
         Format.printf "  %-34s %a  (defined %d/%d)@." r.name Stats.Ci.pp r.ci
           r.n_defined r.n_runs)
       results;
-    match metrics with
-    | None -> ()
-    | Some m ->
-        Format.printf "@.Engine telemetry:@.%a" Sim.Metrics.pp_summary m;
-        Format.printf "@.%a" (Sim.Metrics.pp_activities ~limit:25) m;
-        (match telemetry_csv with
-        | None -> ()
-        | Some path ->
-            Report.write_csv_rows path ~header:Sim.Metrics.csv_header
-              (Sim.Metrics.csv_rows m);
-            Format.printf "  [telemetry csv: %s]@." path)
+    (if telemetry then
+       match metrics with
+       | None -> ()
+       | Some m ->
+           Format.printf "@.Engine telemetry:@.%a" Sim.Metrics.pp_summary m;
+           Format.printf "@.%a" (Sim.Metrics.pp_activities ~limit:25) m;
+           (match telemetry_csv with
+           | None -> ()
+           | Some path ->
+               Report.write_csv_rows path ~header:Sim.Metrics.csv_header
+                 (Sim.Metrics.csv_rows m);
+               Format.printf "  [telemetry csv: %s]@." path));
+    (match (dot_heat, metrics) with
+    | Some path, Some m ->
+        let firings =
+          Array.to_list
+            (Array.map2
+               (fun n c -> (n, c))
+               m.Sim.Metrics.names m.Sim.Metrics.firings)
+        in
+        San.Dot.write_file ~firings path h.Itua.Model.model;
+        Format.printf "@.[dot heat graph: %s]@." path
+    | _ -> ());
+    (match (record_failures, record) with
+    | Some path, Some sink ->
+        let module T = Sim.Trajectory in
+        let module J = Report.Json in
+        let occupancy =
+          List.filter (fun (s : T.place_stats) -> s.hit_runs > 0)
+            (T.occupancy sink)
+        in
+        let header =
+          J.Obj
+            [
+              ("schema", J.Str "itua-trajectories/1");
+              ("seed", J.Str (Int64.to_string seed));
+              ("reps", J.int (T.runs sink));
+              ("matched_runs", J.int (T.matched_runs sink));
+              ("record_max", J.int (Option.value record_max ~default:10));
+              ("horizon", J.Num horizon);
+              ( "params",
+                J.Obj
+                  [
+                    ("num_domains", J.int domains);
+                    ("hosts_per_domain", J.int hosts);
+                    ("num_apps", J.int apps);
+                    ("num_reps", J.int replicas);
+                    ("policy", J.Str (policy_string policy));
+                    ("corruption_multiplier", J.Num multiplier);
+                    ("spread", J.Num spread);
+                    ("rate_scale", J.Num scale);
+                  ] );
+              ("occupancy", T.occupancy_to_json occupancy);
+            ]
+        in
+        Report.write_jsonl path
+          (header :: List.map T.to_json (T.retained sink));
+        Format.printf
+          "@.[trajectories: %s — retained %d failing + %d other; %d of %d \
+           runs hit the failure predicate]@."
+          path
+          (List.length (T.matching sink))
+          (List.length (T.non_matching sink))
+          (T.matched_runs sink) (T.runs sink)
+    | _ -> ());
+    Ok ()
   in
   Cmd.v (Cmd.info "run" ~doc:"Simulate one ITUA configuration")
     Term.(
-      const run $ domains_arg $ hosts_arg $ apps_arg $ reps_per_app_arg
-      $ policy_arg $ multiplier_arg $ spread_arg $ scale_arg $ horizon_arg
-      $ n_reps_arg $ seed_arg $ cores_arg $ telemetry_arg $ telemetry_csv_arg
-      $ progress_arg $ precision_arg)
+      term_result
+        (const run $ domains_arg $ hosts_arg $ apps_arg $ reps_per_app_arg
+        $ policy_arg $ multiplier_arg $ spread_arg $ scale_arg $ horizon_arg
+        $ n_reps_arg $ seed_arg $ cores_arg $ telemetry_arg $ telemetry_csv_arg
+        $ progress_arg $ precision_arg $ record_arg $ record_max_arg
+        $ dot_heat_arg))
+
+(* --- explain --- *)
+
+let explain_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"FILE.jsonl"
+             ~doc:"Trajectory file written by $(b,run --record-failures).")
+  in
+  let limit_arg =
+    Arg.(value & opt int 20 & info [ "limit" ] ~docv:"N"
+           ~doc:"Print at most $(docv) chains per class.")
+  in
+  let occ_limit_arg =
+    Arg.(value & opt int 30 & info [ "occupancy-rows" ] ~docv:"N"
+           ~doc:"Rows of the first-hit/occupancy table.")
+  in
+  let run file limit occ_limit =
+    let ( let* ) = Result.bind in
+    let module T = Sim.Trajectory in
+    let module J = Report.Json in
+    let* lines =
+      Result.map_error (fun e -> `Msg e) (Report.read_jsonl file)
+    in
+    let* header, body =
+      match lines with
+      | [] -> Error (`Msg (file ^ ": empty file"))
+      | first :: rest -> (
+          match J.member "schema" first with
+          | Some (J.Str "itua-trajectories/1") -> Ok (Some first, rest)
+          | Some (J.Str s) ->
+              Error (`Msg (Printf.sprintf "%s: unknown schema %S" file s))
+          | Some _ | None ->
+              (* headerless file: every line is a trajectory *)
+              Ok (None, lines))
+    in
+    let* trajectories =
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | j :: rest -> (
+            match T.of_json j with
+            | Ok t -> go (t :: acc) rest
+            | Error e -> Error (`Msg (Printf.sprintf "%s: %s" file e)))
+      in
+      go [] body
+    in
+    let chains = List.map Itua.Forensics.chain_of_trajectory trajectories in
+    let failing, other =
+      List.partition (fun (c : Itua.Forensics.chain) -> c.matched) chains
+    in
+    let print_class label cs =
+      if cs <> [] then begin
+        Format.printf "@.%s (%d):@." label (List.length cs);
+        List.iteri
+          (fun i c ->
+            if i < limit then Format.printf "  %a@." Itua.Forensics.pp_chain c)
+          cs;
+        if List.length cs > limit then
+          Format.printf "  … %d more (raise --limit)@." (List.length cs - limit)
+      end
+    in
+    print_class "Failing runs" failing;
+    print_class "Non-failing runs" other;
+    Format.printf "@.%a@." Itua.Forensics.pp_summary
+      (Itua.Forensics.summarize chains);
+    (match header with
+    | None -> Ok ()
+    | Some h ->
+        (match (J.member "reps" h, J.member "matched_runs" h) with
+        | Some (J.Num reps), Some (J.Num matched) ->
+            Format.printf
+              "recorded from %.0f replications, %.0f hit the failure \
+               predicate@."
+              reps matched
+        | _ -> ());
+        (match J.member "occupancy" h with
+        | None -> Ok ()
+        | Some occ_json ->
+            let* occupancy =
+              Result.map_error (fun e -> `Msg (file ^ ": " ^ e))
+                (T.occupancy_of_json occ_json)
+            in
+            (* Places that were zero after setup and became non-zero later
+               are the event outcomes (intrusions, corruptions,
+               exclusions); order by how often they were hit. *)
+            let eventful =
+              List.filter
+                (fun (s : T.place_stats) ->
+                  s.hit_runs > 0 && s.mean_first_hit > 0.0)
+                occupancy
+            in
+            let sorted =
+              List.sort
+                (fun (a : T.place_stats) (b : T.place_stats) ->
+                  match compare b.hit_runs a.hit_runs with
+                  | 0 -> compare a.place b.place
+                  | c -> c)
+                eventful
+            in
+            Format.printf
+              "@.First-hit / occupancy (places that became non-zero during \
+               runs):@.";
+            Format.printf "  %-52s %9s %7s %8s %14s@." "place" "hit-runs"
+              "max" "mean" "mean 1st hit";
+            List.iteri
+              (fun i (s : T.place_stats) ->
+                if i < occ_limit then
+                  Format.printf "  %-52s %9d %7g %8.4f %13.2fh@." s.place
+                    s.hit_runs s.max_tokens s.mean_tokens s.mean_first_hit)
+              sorted;
+            if List.length sorted > occ_limit then
+              Format.printf "  … %d more (raise --occupancy-rows)@."
+                (List.length sorted - occ_limit);
+            Ok ()))
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Render forensics chains from a recorded trajectory file")
+    Term.(term_result (const run $ file_arg $ limit_arg $ occ_limit_arg))
 
 (* --- study --- *)
 
@@ -338,4 +564,5 @@ let () =
   let info = Cmd.info "itua-sim" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ run_cmd; study_cmd; structure_cmd; lint_cmd; mtta_cmd ]))
+       (Cmd.group info
+          [ run_cmd; explain_cmd; study_cmd; structure_cmd; lint_cmd; mtta_cmd ]))

@@ -1,6 +1,15 @@
 let escape s = String.concat "\\\"" (String.split_on_char '"' s)
 
-let to_dot ppf model =
+let to_dot ?firings ppf model =
+  let heat =
+    match firings with
+    | None -> None
+    | Some counts ->
+        let tbl = Hashtbl.create 64 in
+        List.iter (fun (name, c) -> Hashtbl.replace tbl name c) counts;
+        let max_count = List.fold_left (fun m (_, c) -> Int.max m c) 0 counts in
+        Some (tbl, Float.max 1.0 (log1p (float_of_int max_count)))
+  in
   Format.fprintf ppf "digraph %S {@." (Model.name model);
   Format.fprintf ppf "  rankdir=LR;@.";
   Array.iter
@@ -23,8 +32,21 @@ let to_dot ppf model =
           "shape=box style=filled fillcolor=black fontcolor=white height=0.1"
         else "shape=box"
       in
-      Format.fprintf ppf "  \"a_%s\" [label=\"%s\" %s];@." (escape a.name)
-        (escape a.name) style;
+      let overlay =
+        match heat with
+        | None -> ""
+        | Some (tbl, log_max) -> (
+            match Hashtbl.find_opt tbl a.name with
+            | None | Some 0 ->
+                (* never fired: thin and greyed out *)
+                " penwidth=0.5 color=gray60 tooltip=\"0 firings\""
+            | Some c ->
+                Printf.sprintf " penwidth=%.2f tooltip=\"%d firings\""
+                  (1.0 +. (5.0 *. log1p (float_of_int c) /. log_max))
+                  c)
+      in
+      Format.fprintf ppf "  \"a_%s\" [label=\"%s\" %s%s];@." (escape a.name)
+        (escape a.name) style overlay;
       List.iter
         (fun pl ->
           Format.fprintf ppf "  \"p_%s\" -> \"a_%s\";@."
@@ -34,10 +56,10 @@ let to_dot ppf model =
     (Model.activities model);
   Format.fprintf ppf "}@."
 
-let write_file path model =
+let write_file ?firings path model =
   let oc = open_out path in
   let ppf = Format.formatter_of_out_channel oc in
-  (try to_dot ppf model
+  (try to_dot ?firings ppf model
    with e ->
      close_out_noerr oc;
      raise e);

@@ -15,7 +15,14 @@
        predicate halts the run early — an absorbed marking persists).}}
 
     Markings passed to observers are live views; observers must not
-    mutate them. *)
+    mutate them.
+
+    During [on_fire], {!San.Marking.journal} still lists exactly the
+    places the reported firing changed (the executor clears the journal
+    before applying the effect and reads — never writes — the marking
+    until the observers have run). Delta-based observers such as
+    {!Trajectory} rely on this contract to avoid scanning every place on
+    every event. *)
 
 type t = {
   on_init : float -> San.Marking.t -> unit;

@@ -40,11 +40,15 @@ type progress = {
 
 let now () = Unix.gettimeofday ()
 
-let run_one ?metrics s stream =
+let run_one ?metrics ?record s stream =
   let instances = List.map Reward.instantiate s.rewards in
   let observers =
     List.map Reward.observer instances
     @ List.map (fun make -> make ()) s.extra_observers
+    @
+    match record with
+    | Some (sink, _) -> [ Trajectory.observer sink ]
+    | None -> []
   in
   let cfg =
     Executor.config ~max_events:s.max_events ?stop:s.stop ~horizon:s.horizon ()
@@ -53,14 +57,40 @@ let run_one ?metrics s stream =
     Executor.run ?metrics ~model:s.model ~config:cfg ~stream
       ~observer:(Observer.combine observers) ()
   in
+  (match record with
+  | Some (sink, rep) -> Trajectory.offer sink ~rep
+  | None -> ());
   Array.of_list (List.map Reward.value instances)
+
+(* Trajectory recording must aggregate identically for any ~domains split,
+   including the floating-point occupancy sums. Replications are grouped
+   into fixed global segments of [record_segment] consecutive indices;
+   each segment accumulates into its own fork of the caller's sink, domain
+   blocks are aligned to segment boundaries, and segment sinks merge in
+   global segment order — the same float-add sequence regardless of how
+   segments are spread over domains. *)
+let record_segment = 64
 
 (* Run replications [first, first+count) accumulating Welford state and
    defined-counts per reward, plus an optional per-block metrics sink
-   (one per block, so domains never share one). *)
-let run_block s ~root ~first ~count ~with_metrics =
+   (one per block, so domains never share one) and per-segment trajectory
+   sinks (forked from [record], returned in segment order). *)
+let run_block s ~root ~first ~count ~with_metrics ~record =
   let metrics =
     if with_metrics then Some (Metrics.create ~model:s.model) else None
+  in
+  let sinks = ref [] in
+  let record_for rep =
+    match record with
+    | None -> None
+    | Some parent -> (
+        let seg = rep / record_segment in
+        match !sinks with
+        | (s0, sink) :: _ when s0 = seg -> Some (sink, rep)
+        | _ ->
+            let sink = Trajectory.fork parent in
+            sinks := (seg, sink) :: !sinks;
+            Some (sink, rep))
   in
   let n_rewards = List.length s.rewards in
   let accs = Array.init n_rewards (fun _ -> Stats.Welford.create ()) in
@@ -71,7 +101,12 @@ let run_block s ~root ~first ~count ~with_metrics =
   let base = ref (Prng.Stream.substream root first) in
   for i = 0 to count - 1 do
     if i > 0 then base := Prng.Stream.successor !base;
-    let values = run_one ?metrics s (Prng.Stream.substream !base 0) in
+    let values =
+      run_one ?metrics
+        ?record:(record_for (first + i))
+        s
+        (Prng.Stream.substream !base 0)
+    in
     Array.iteri
       (fun j v ->
         if not (Float.is_nan v) then begin
@@ -80,7 +115,7 @@ let run_block s ~root ~first ~count ~with_metrics =
         end)
       values
   done;
-  (accs, defined, metrics)
+  (accs, defined, metrics, List.rev_map snd !sinks)
 
 let default_domains () =
   Int.max 1 (Int.min 8 (Domain.recommended_domain_count ()))
@@ -93,35 +128,52 @@ let blocks_of ~domains ~first ~count =
       let f = first + (d * base) + Int.min d extra in
       (f, c))
 
-let run_blocks s ~root ~domains ~with_metrics blocks =
-  if domains = 1 then
-    List.map
-      (fun (first, count) -> run_block s ~root ~first ~count ~with_metrics)
-      blocks
-  else begin
-    let handles =
-      List.map
-        (fun (first, count) ->
-          Domain.spawn (fun () -> run_block s ~root ~first ~count ~with_metrics))
-        blocks
-    in
-    List.map Domain.join handles
-  end
+(* Like blocks_of, but block boundaries fall on recording-segment
+   boundaries (near-equal in whole segments), so no segment straddles two
+   domains. Requires [first] to be a multiple of [record_segment]; may
+   return fewer than [domains] blocks. *)
+let blocks_of_aligned ~domains ~first ~count =
+  let seg = record_segment in
+  let nseg = (count + seg - 1) / seg in
+  let d = Int.max 1 (Int.min domains nseg) in
+  let base = nseg / d and extra = nseg mod d in
+  List.init d (fun i ->
+      let lo = (i * base) + Int.min i extra in
+      let hi = lo + base + if i < extra then 1 else 0 in
+      (first + (lo * seg), Int.min count (hi * seg) - (lo * seg)))
+
+let run_blocks s ~root ~with_metrics ~record blocks =
+  match blocks with
+  | [ (first, count) ] ->
+      [ run_block s ~root ~first ~count ~with_metrics ~record ]
+  | _ ->
+      let handles =
+        List.map
+          (fun (first, count) ->
+            Domain.spawn (fun () ->
+                run_block s ~root ~first ~count ~with_metrics ~record))
+          blocks
+      in
+      List.map Domain.join handles
 
 (* Fold one run_blocks result into the shared accumulators (and the
-   caller's metrics sink), preserving block order so estimates stay
-   deterministic. *)
-let consume ~accs ~defined ~metrics results =
+   caller's metrics and trajectory sinks), preserving block order so
+   estimates — and recorded occupancy sums — stay deterministic. *)
+let consume ~accs ~defined ~metrics ~record results =
   List.iter
-    (fun (block_accs, block_defined, block_metrics) ->
+    (fun (block_accs, block_defined, block_metrics, block_sinks) ->
       Array.iteri
         (fun j acc ->
           accs.(j) <- Stats.Welford.merge accs.(j) acc;
           defined.(j) <- defined.(j) + block_defined.(j))
         block_accs;
-      match (metrics, block_metrics) with
+      (match (metrics, block_metrics) with
       | Some m, Some bm -> Metrics.merge ~into:m bm
-      | (Some _ | None), _ -> ())
+      | (Some _ | None), _ -> ());
+      match record with
+      | Some sink ->
+          List.iter (fun bs -> Trajectory.merge ~into:sink bs) block_sinks
+      | None -> ())
     results
 
 (* The stopping criterion of run_until, also reported as the "worst"
@@ -178,7 +230,8 @@ let results_of ~confidence ~rewards ~accs ~defined ~n_runs =
       })
     rewards
 
-let run ?(domains = 1) ?(confidence = 0.95) ?metrics ?progress ~seed ~reps s =
+let run ?(domains = 1) ?(confidence = 0.95) ?metrics ?progress ?record ~seed
+    ~reps s =
   if reps <= 0 then invalid_arg "Runner.run: reps must be >= 1";
   if domains <= 0 then invalid_arg "Runner.run: domains must be >= 1";
   let t0 = now () in
@@ -190,21 +243,28 @@ let run ?(domains = 1) ?(confidence = 0.95) ?metrics ?progress ~seed ~reps s =
   let with_metrics = Option.is_some metrics in
   (* With a progress callback, replications run in ~20 chunks so the
      caller hears from us; substream-per-replication keeps the estimates
-     identical either way. *)
+     identical either way. Recording rounds chunks up to whole segments
+     so chunking cannot change how segments are formed. *)
   let chunk =
     match progress with
     | None -> reps
-    | Some _ -> Int.max domains ((reps + 19) / 20)
+    | Some _ ->
+        let c = Int.max domains ((reps + 19) / 20) in
+        if Option.is_some record then
+          (c + record_segment - 1) / record_segment * record_segment
+        else c
   in
   let completed = ref 0 in
   while !completed < reps do
     let count = Int.min chunk (reps - !completed) in
     let d = Int.max 1 (Int.min domains count) in
-    let results =
-      run_blocks s ~root ~domains:d ~with_metrics
-        (blocks_of ~domains:d ~first:!completed ~count)
+    let blocks =
+      if Option.is_some record then
+        blocks_of_aligned ~domains:d ~first:!completed ~count
+      else blocks_of ~domains:d ~first:!completed ~count
     in
-    consume ~accs ~defined ~metrics results;
+    let results = run_blocks s ~root ~with_metrics ~record blocks in
+    consume ~accs ~defined ~metrics ~record results;
     completed := !completed + count;
     emit_progress ~progress ~confidence ~rewards:s.rewards ~accs ~t0
       ~completed:!completed ~target:reps ~estimated:reps
@@ -215,10 +275,16 @@ let run ?(domains = 1) ?(confidence = 0.95) ?metrics ?progress ~seed ~reps s =
   results_of ~confidence ~rewards:s.rewards ~accs ~defined ~n_runs:reps
 
 let run_until ?(domains = 1) ?(confidence = 0.95) ?(batch = 500)
-    ?(max_reps = 100_000) ?metrics ?progress ~rel_precision ~seed s =
+    ?(max_reps = 100_000) ?metrics ?progress ?record ~rel_precision ~seed s =
   if not (rel_precision > 0.0) then
     invalid_arg "Runner.run_until: rel_precision must be > 0";
   if batch <= 0 then invalid_arg "Runner.run_until: batch must be > 0";
+  (* Recording aligns batches to whole segments (see record_segment). *)
+  let batch =
+    if Option.is_some record then
+      (batch + record_segment - 1) / record_segment * record_segment
+    else batch
+  in
   let t0 = now () in
   let root = Prng.Stream.create ~seed in
   let n_rewards = List.length s.rewards in
@@ -245,11 +311,13 @@ let run_until ?(domains = 1) ?(confidence = 0.95) ?(batch = 500)
   while (not (precise_enough ())) && !total < max_reps do
     let count = Int.min batch (max_reps - !total) in
     let d = Int.max 1 (Int.min domains count) in
-    let results =
-      run_blocks s ~root ~domains:d ~with_metrics
-        (blocks_of ~domains:d ~first:!total ~count)
+    let blocks =
+      if Option.is_some record then
+        blocks_of_aligned ~domains:d ~first:!total ~count
+      else blocks_of ~domains:d ~first:!total ~count
     in
-    consume ~accs ~defined ~metrics results;
+    let results = run_blocks s ~root ~with_metrics ~record blocks in
+    consume ~accs ~defined ~metrics ~record results;
     total := !total + count;
     emit_progress ~progress ~confidence ~rewards:s.rewards ~accs ~t0
       ~completed:!total ~target:max_reps ~estimated:(estimated_total ())

@@ -58,14 +58,23 @@ type progress = {
     chunk ({!run}) or batch ({!run_until}) of replications. Callbacks run
     on the calling domain, between batches — never concurrently. *)
 
-val run_one : ?metrics:Metrics.t -> spec -> Prng.Stream.t -> float array
-(** One replication; returns the reward values in spec order. *)
+val run_one :
+  ?metrics:Metrics.t ->
+  ?record:Trajectory.sink * int ->
+  spec ->
+  Prng.Stream.t ->
+  float array
+(** One replication; returns the reward values in spec order. [record]
+    attaches the sink's recording observer and, once the run finishes,
+    offers the trajectory for retention under the given replication
+    index. *)
 
 val run :
   ?domains:int ->
   ?confidence:float ->
   ?metrics:Metrics.t ->
   ?progress:(progress -> unit) ->
+  ?record:Trajectory.sink ->
   seed:int64 ->
   reps:int ->
   spec ->
@@ -79,7 +88,15 @@ val run :
     call's wall-clock time is added — see {!Metrics}). [progress] is
     called after each chunk of replications; requesting progress chunks
     the work (~20 chunks) but does not change the estimates, since
-    replication [i] always runs on substream [i]. *)
+    replication [i] always runs on substream [i].
+
+    [record] collects trajectories and occupancy statistics into the
+    given {!Trajectory.sink}. Recording is {e bit-deterministic} in the
+    domain count: replications accumulate into per-segment sub-sinks (64
+    consecutive replications each), domain blocks are aligned to segment
+    boundaries, and segments merge back in global order — retained
+    trajectories {e and} occupancy sums are identical for any [domains]
+    given the same seed. *)
 
 val run_until :
   ?domains:int ->
@@ -88,6 +105,7 @@ val run_until :
   ?max_reps:int ->
   ?metrics:Metrics.t ->
   ?progress:(progress -> unit) ->
+  ?record:Trajectory.sink ->
   rel_precision:float ->
   seed:int64 ->
   spec ->
@@ -100,7 +118,9 @@ val run_until :
     substream [i], so a [run_until] result is a deterministic function of
     the seed and the batch/precision parameters. [metrics] and
     [progress] behave as in {!run}, with [progress] called after every
-    batch. *)
+    batch. [record] behaves as in {!run}, except that it rounds the batch
+    size up to a whole number of recording segments (so the stopping
+    point can differ from an unrecorded run with the same batch). *)
 
 val default_domains : unit -> int
 (** A sensible domain count for this machine (recommended count capped at

@@ -559,6 +559,192 @@ let test_tiny_config_matches_ctmc () =
           exact_ua
   | _ -> Alcotest.fail "arity"
 
+(* --- trace observer on an ITUA model --- *)
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec scan i =
+    if i + nl > hl then false
+    else if String.sub haystack i nl = needle then true
+    else scan (i + 1)
+  in
+  nl = 0 || scan 0
+
+let tiny_params =
+  {
+    base_params with
+    Itua.Params.num_domains = 1;
+    hosts_per_domain = 1;
+    num_apps = 1;
+    num_reps = 1;
+  }
+
+let test_trace_on_itua () =
+  let h = Itua.Model.build tiny_params in
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  let observer =
+    Sim.Trace.observer ~show_marking:true ~model:h.Itua.Model.model ppf
+  in
+  (* The tiny config averages only ~0.1 firings/hour; a long horizon makes
+     at least one firing (and its marking dump) all but certain. *)
+  let cfg = Sim.Executor.config ~horizon:200.0 () in
+  let (_ : Sim.Executor.outcome) =
+    Sim.Executor.run ~model:h.Itua.Model.model ~config:cfg
+      ~stream:(Prng.Stream.create ~seed:42L)
+      ~observer ()
+  in
+  Format.pp_print_flush ppf ();
+  let out = Buffer.contents buf in
+  let lines = String.split_on_char '\n' out in
+  let starts_with p l =
+    String.length l >= String.length p && String.sub l 0 (String.length p) = p
+  in
+  Alcotest.(check bool) "timestamped init line first" true
+    (match lines with
+    | l :: _ -> starts_with "t=" l && contains ~needle:"init" l
+    | [] -> false);
+  Alcotest.(check bool) "end line present" true
+    (List.exists
+       (fun l -> starts_with "t=" l && contains ~needle:"end" l)
+       lines);
+  Alcotest.(check bool) "firing lines present" true
+    (List.exists
+       (fun l -> starts_with "t=" l && contains ~needle:"fire " l)
+       lines);
+  (* Marking dumps list composed ITUA place names, indented. *)
+  let dump_lines = List.filter (starts_with "    ") lines in
+  Alcotest.(check bool) "marking dumped" true (dump_lines <> []);
+  Alcotest.(check bool) "dump shows place = value" true
+    (List.exists
+       (fun l ->
+         contains ~needle:" = " l
+         && contains ~needle:"security_domains.domain[0].host[0]." l)
+       dump_lines)
+
+(* --- failure forensics --- *)
+
+let event =
+  Alcotest.testable Itua.Forensics.pp_event (fun a b -> a = b)
+
+let test_forensics_synthetic_chain () =
+  let change place value = { Sim.Trajectory.place; value } in
+  let step time activity changes =
+    { Sim.Trajectory.time; activity; case = 0; changes }
+  in
+  let t =
+    {
+      Sim.Trajectory.rep = 7;
+      matched = true;
+      events = 6;
+      horizon = 10.0;
+      init =
+        [
+          change "apps.app[0].replicas_running" 3.0;
+          change "security_domains.domain[0].host[0].alive" 1.0;
+        ];
+      steps =
+        [
+          step 1.5 "attack"
+            [ change "security_domains.domain[0].host[0].attacked" 2.0 ];
+          step 2.0 "ids"
+            [ change "security_domains.domain[0].host[0].host_detected" 1.0 ];
+          step 3.0 "exclude"
+            [
+              change "security_domains.domain[0].excluded" 1.0;
+              change "excluded_hosts" 2.0;
+              change "excluded_corrupt_hosts" 1.0;
+              change "security_domains.domain[0].host[0].alive" 0.0;
+            ];
+          step 4.0 "app[1].management.recovery"
+            [ change "apps.app[1].replica[2].corrupt" 1.0 ];
+          step 5.0 "vote"
+            [
+              change "apps.app[0].rep_corr_undetected" 1.0;
+              change "apps.app[0].rep_grp_failure" 1.0;
+            ];
+          step 6.0 "starve" [ change "apps.app[0].replicas_running" 0.0 ];
+        ];
+    }
+  in
+  let c = Itua.Forensics.chain_of_trajectory t in
+  Alcotest.(check int) "rep" 7 c.Itua.Forensics.rep;
+  Alcotest.(check bool) "matched" true c.Itua.Forensics.matched;
+  Alcotest.(check (list event)) "labeled attack chain"
+    [
+      Itua.Forensics.Host_intrusion
+        { domain = 0; host = 0; klass = "exploratory"; time = 1.5 };
+      Itua.Forensics.Host_detected { domain = 0; host = 0; time = 2.0 };
+      (* The exclusion tallies come from the same-step deltas of the
+         measure accumulators. *)
+      Itua.Forensics.Domain_excluded
+        { domain = 0; corrupt = 1; hosts = 2; time = 3.0 };
+      Itua.Forensics.Host_excluded { domain = 0; host = 0; time = 3.0 };
+      Itua.Forensics.Recovery { app = 1; time = 4.0 };
+      Itua.Forensics.Replica_corrupted { app = 1; replica = 2; time = 4.0 };
+      Itua.Forensics.App_improper
+        { app = 0; corrupt = 1; running = 3; time = 5.0 };
+      Itua.Forensics.App_starved { app = 0; time = 6.0 };
+    ]
+    c.Itua.Forensics.events;
+  Alcotest.(check bool) "ttf is the first failure event" true
+    (c.Itua.Forensics.time_to_failure = Some 5.0);
+  let s = Itua.Forensics.summarize [ c ] in
+  Alcotest.(check int) "one chain" 1 s.Itua.Forensics.chains;
+  Alcotest.(check int) "one failed" 1 s.Itua.Forensics.failed;
+  Alcotest.(check (float 0.0)) "ttf mean" 5.0 s.Itua.Forensics.ttf_mean;
+  Alcotest.(check (float 0.0)) "ttf min" 5.0 s.Itua.Forensics.ttf_min;
+  Alcotest.(check (float 0.0)) "ttf max" 5.0 s.Itua.Forensics.ttf_max
+
+let test_forensics_summary_empty () =
+  let s = Itua.Forensics.summarize [] in
+  Alcotest.(check int) "no chains" 0 s.Itua.Forensics.chains;
+  Alcotest.(check bool) "nan mean" true (Float.is_nan s.Itua.Forensics.ttf_mean)
+
+(* End-to-end: record failing small-config runs through the runner and
+   compress every retained trajectory into a chain. *)
+let test_forensics_end_to_end () =
+  let h = Itua.Model.build small_params in
+  let spec =
+    Sim.Runner.spec ~model:h.Itua.Model.model ~horizon:10.0
+      [ Itua.Measures.unreliability h ~until:10.0 ]
+  in
+  let sink =
+    Sim.Trajectory.sink ~k:4
+      ~predicate:(Itua.Forensics.failed_now h)
+      ~model:h.Itua.Model.model ()
+  in
+  let rs = Sim.Runner.run ~seed:23L ~reps:300 ~record:sink spec in
+  let unrel = (List.hd rs).Sim.Runner.ci.Stats.Ci.mean in
+  Alcotest.(check int) "all runs offered" 300 (Sim.Trajectory.runs sink);
+  (* Unreliability averages the per-app indicators, so the fraction of
+     runs where ANY app failed (the capture predicate) bounds it above. *)
+  Alcotest.(check bool) "matched fraction >= unreliability" true
+    (float_of_int (Sim.Trajectory.matched_runs sink) /. 300.0
+    >= unrel -. 1e-9);
+  let matching = Sim.Trajectory.matching sink in
+  Alcotest.(check bool) "retained some failures" true (matching <> []);
+  Alcotest.(check bool) "bounded by k" true (List.length matching <= 4);
+  List.iter
+    (fun t ->
+      let c = Itua.Forensics.chain_of_trajectory t in
+      Alcotest.(check bool) "failing chain has events" true
+        (c.Itua.Forensics.events <> []);
+      (* A run the predicate matched must show a replication-group
+         failure in its chain. *)
+      Alcotest.(check bool) "chain contains an improper-group event" true
+        (List.exists
+           (function
+             | Itua.Forensics.App_improper _ -> true
+             | _ -> false)
+           c.Itua.Forensics.events))
+    matching
+
+let test_failed_now_initially_false () =
+  let h = Itua.Model.build small_params in
+  let m = San.Model.initial_marking h.Itua.Model.model in
+  Alcotest.(check bool) "healthy at t=0" false (Itua.Forensics.failed_now h m)
+
 (* --- qualitative shapes from the paper (regression) --- *)
 
 let panels =
@@ -641,6 +827,17 @@ let () =
         [
           Alcotest.test_case "tiny config exact" `Slow
             test_tiny_config_matches_ctmc;
+        ] );
+      ( "trace",
+        [ Alcotest.test_case "show marking on ITUA" `Quick test_trace_on_itua ] );
+      ( "forensics",
+        [
+          Alcotest.test_case "synthetic chain" `Quick
+            test_forensics_synthetic_chain;
+          Alcotest.test_case "empty summary" `Quick test_forensics_summary_empty;
+          Alcotest.test_case "end to end" `Slow test_forensics_end_to_end;
+          Alcotest.test_case "healthy at start" `Quick
+            test_failed_now_initially_false;
         ] );
       ( "paper-shapes",
         [ Alcotest.test_case "figure shapes" `Slow test_shapes ] );

@@ -123,6 +123,117 @@ let test_write_csv_rows () =
   Alcotest.(check string) "header" "a,b" first;
   Alcotest.(check string) "row" "1,2" second
 
+(* --- JSON --- *)
+
+module J = Report.Json
+
+let test_json_emit () =
+  List.iter
+    (fun (expected, value) ->
+      Alcotest.(check string) expected expected (J.to_string value))
+    [
+      ("null", J.Null);
+      ("true", J.Bool true);
+      ("1", J.int 1);
+      ("-3", J.Num (-3.0));
+      ("0.5", J.Num 0.5);
+      ("null", J.Num Float.nan);
+      ("null", J.Num Float.infinity);
+      ("\"a\\\"b\\n\"", J.Str "a\"b\n");
+      ("[]", J.Arr []);
+      ("{}", J.Obj []);
+      ( "{\"a\":[1,2.5],\"b\":{\"c\":false}}",
+        J.Obj
+          [
+            ("a", J.Arr [ J.int 1; J.Num 2.5 ]);
+            ("b", J.Obj [ ("c", J.Bool false) ]);
+          ] );
+    ]
+
+let test_json_float_determinism () =
+  (* The deterministic float rendering must round-trip exactly — the
+     trajectory cross-core guarantee depends on it. *)
+  List.iter
+    (fun f ->
+      let s = J.float_to_string f in
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "%s round-trips" s)
+        f (float_of_string s))
+    [ 0.1; 1.0 /. 3.0; 12.5 /. 5.5; 1e-300; 6.02214076e23; 21190.6 ]
+
+let test_json_parse_roundtrip () =
+  List.iter
+    (fun s ->
+      match J.of_string s with
+      | Error e -> Alcotest.failf "parse %S failed: %s" s e
+      | Ok v -> Alcotest.(check string) "re-emits identically" s (J.to_string v))
+    [
+      "null";
+      "[1,-2,0.5,1e+300]";
+      "{\"k\":\"v\",\"nested\":[{\"x\":null},true]}";
+      "\"tab\\tnewline\\nquote\\\"\"";
+      "[[[]]]";
+    ]
+
+let test_json_parse_escapes_and_ws () =
+  (match J.of_string " { \"a\" :\t[ 1 ,\n 2 ] } " with
+  | Ok (J.Obj [ ("a", J.Arr [ J.Num 1.0; J.Num 2.0 ]) ]) -> ()
+  | Ok v -> Alcotest.failf "unexpected parse: %s" (J.to_string v)
+  | Error e -> Alcotest.failf "whitespace parse failed: %s" e);
+  match J.of_string "\"\\u0041\\u00e9\"" with
+  | Ok (J.Str s) -> Alcotest.(check string) "unicode escapes" "A\xc3\xa9" s
+  | Ok _ -> Alcotest.fail "expected a string"
+  | Error e -> Alcotest.failf "unicode parse failed: %s" e
+
+let test_json_parse_errors () =
+  List.iter
+    (fun s ->
+      match J.of_string s with
+      | Error _ -> ()
+      | Ok v -> Alcotest.failf "%S accepted as %s" s (J.to_string v))
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "1 garbage"; "\"unterminated";
+      "{\"a\" 1}"; "nan" ]
+
+let test_json_accessors () =
+  let v =
+    J.Obj [ ("n", J.Num 2.0); ("s", J.Str "x"); ("a", J.Arr [ J.Null ]) ]
+  in
+  Alcotest.(check bool) "member hit" true (J.member "n" v <> None);
+  Alcotest.(check bool) "member miss" true (J.member "zz" v = None);
+  Alcotest.(check bool) "num" true (J.num (J.Num 2.0) = Some 2.0);
+  Alcotest.(check bool) "str" true (J.str (J.Str "x") = Some "x");
+  Alcotest.(check bool) "arr" true (J.arr (J.Arr [ J.Null ]) = Some [ J.Null ]);
+  Alcotest.(check bool) "wrong kind" true (J.num (J.Str "x") = None)
+
+let test_jsonl_roundtrip () =
+  let path = Filename.temp_file "traj" ".jsonl" in
+  let lines = [ J.Obj [ ("a", J.int 1) ]; J.Arr [ J.Str "two" ]; J.Null ] in
+  Report.write_jsonl path lines;
+  let back = Report.read_jsonl path in
+  Sys.remove path;
+  match back with
+  | Error e -> Alcotest.failf "read_jsonl failed: %s" e
+  | Ok vs ->
+      Alcotest.(check (list string))
+        "values round-trip"
+        (List.map J.to_string lines)
+        (List.map J.to_string vs)
+
+let test_jsonl_error_location () =
+  let path = Filename.temp_file "traj" ".jsonl" in
+  let oc = open_out path in
+  output_string oc "{\"ok\":true}\nnot json\n";
+  close_out oc;
+  let back = Report.read_jsonl path in
+  Sys.remove path;
+  match back with
+  | Ok _ -> Alcotest.fail "bad line accepted"
+  | Error e ->
+      Alcotest.(check bool)
+        (Printf.sprintf "error names the line: %s" e)
+        true
+        (contains ~needle:".jsonl:2:" e)
+
 let () =
   Alcotest.run "report"
     [
@@ -141,5 +252,20 @@ let () =
           Alcotest.test_case "write_csv" `Quick test_write_csv;
           Alcotest.test_case "csv rows" `Quick test_csv_rows;
           Alcotest.test_case "write_csv_rows" `Quick test_write_csv_rows;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "emit" `Quick test_json_emit;
+          Alcotest.test_case "float determinism" `Quick
+            test_json_float_determinism;
+          Alcotest.test_case "parse round-trip" `Quick
+            test_json_parse_roundtrip;
+          Alcotest.test_case "escapes and whitespace" `Quick
+            test_json_parse_escapes_and_ws;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
+          Alcotest.test_case "jsonl round-trip" `Quick test_jsonl_roundtrip;
+          Alcotest.test_case "jsonl error location" `Quick
+            test_jsonl_error_location;
         ] );
     ]

@@ -162,12 +162,26 @@ let test_dot_export () =
     ~reads:[ San.Place.P p ]
     (fun _ _ -> ());
   let model = San.Model.Builder.build b in
-  let dot = Format.asprintf "%a" San.Dot.to_dot model in
+  let dot =
+    Format.asprintf "%a" (fun ppf -> San.Dot.to_dot ppf) model
+  in
   List.iter
     (fun needle ->
       if not (contains ~needle dot) then
         Alcotest.failf "dot output missing %S" needle)
-    [ "digraph"; "tokens"; "level"; "tick"; "instant"; "->" ]
+    [ "digraph"; "tokens"; "level"; "tick"; "instant"; "->" ];
+  (* Firing-heat overlay: counted activities get a pen width and tooltip,
+     uncounted ones render thin and grey. *)
+  let heated =
+    Format.asprintf "%a"
+      (fun ppf -> San.Dot.to_dot ~firings:[ ("tick", 25) ] ppf)
+      model
+  in
+  List.iter
+    (fun needle ->
+      if not (contains ~needle heated) then
+        Alcotest.failf "heated dot output missing %S" needle)
+    [ "penwidth=6.00"; "tooltip=\"25 firings\""; "penwidth=0.5 color=gray60" ]
 
 let () =
   Alcotest.run "san"

@@ -552,6 +552,157 @@ let test_trace_show_marking () =
          || String.length l > 0 && l.[0] = ' ')
        lines)
 
+(* --- trajectory recording --- *)
+
+let test_trajectory_records_clock () =
+  let model, _count = clock_model ~period:1.0 in
+  let sink = Sim.Trajectory.sink ~model () in
+  let (_ : Sim.Executor.outcome) =
+    run_simple model ~horizon:5.5 ~seed:1
+      ~observer:(Sim.Trajectory.observer sink)
+  in
+  Sim.Trajectory.offer sink ~rep:0;
+  (match Sim.Trajectory.retained sink with
+  | [ t ] ->
+      Alcotest.(check int) "rep" 0 t.Sim.Trajectory.rep;
+      Alcotest.(check bool) "no predicate, never matched" false
+        t.Sim.Trajectory.matched;
+      Alcotest.(check int) "events" 5 t.Sim.Trajectory.events;
+      Alcotest.(check (float 1e-9)) "horizon" 5.5 t.Sim.Trajectory.horizon;
+      Alcotest.(check int) "count starts at zero: empty init" 0
+        (List.length t.Sim.Trajectory.init);
+      Alcotest.(check int) "five steps" 5 (List.length t.Sim.Trajectory.steps);
+      List.iteri
+        (fun i (s : Sim.Trajectory.step) ->
+          Alcotest.(check string) "activity" "tick" s.activity;
+          Alcotest.(check (float 1e-9)) "firing time" (float_of_int (i + 1))
+            s.time;
+          match s.changes with
+          | [ (c : Sim.Trajectory.change) ] ->
+              Alcotest.(check string) "changed place" "count" c.place;
+              Alcotest.(check (float 0.0)) "post-firing value"
+                (float_of_int (i + 1))
+                c.value
+          | cs -> Alcotest.failf "step %d: %d changes" i (List.length cs))
+        t.Sim.Trajectory.steps
+  | ts -> Alcotest.failf "retained %d trajectories" (List.length ts));
+  match Sim.Trajectory.occupancy sink with
+  | [ (s : Sim.Trajectory.place_stats) ] ->
+      Alcotest.(check string) "stats place" "count" s.place;
+      (* count(t) = floor(t); ∫ over [0,5.5] = 0+1+2+3+4+2.5 = 12.5 *)
+      Alcotest.(check (float 1e-9)) "time-weighted mean" (12.5 /. 5.5)
+        s.mean_tokens;
+      Alcotest.(check (float 0.0)) "max" 5.0 s.max_tokens;
+      Alcotest.(check int) "hit in the one run" 1 s.hit_runs;
+      Alcotest.(check (float 1e-9)) "first non-zero at t=1" 1.0
+        s.mean_first_hit
+  | ss -> Alcotest.failf "%d occupancy rows" (List.length ss)
+
+(* Two-state model with a "was ever down" predicate: a mixed population of
+   matching and non-matching replications. *)
+let trajectory_run ~domains ~reps =
+  let ts = Test_models.two_state ~lambda:1.0 ~mu:2.0 in
+  let spec =
+    Sim.Runner.spec ~model:ts.Test_models.ts_model ~horizon:5.0
+      [
+        Sim.Reward.probability_in_interval ~name:"a" ~until:5.0 (fun m ->
+            San.Marking.get m ts.Test_models.up = 1);
+      ]
+  in
+  let sink =
+    Sim.Trajectory.sink ~k:5
+      ~predicate:(fun m -> San.Marking.get m ts.Test_models.up = 0)
+      ~model:ts.Test_models.ts_model ()
+  in
+  let (_ : Sim.Runner.result list) =
+    Sim.Runner.run ~domains ~seed:5L ~reps ~record:sink spec
+  in
+  sink
+
+let trajectory_fingerprint sink =
+  ( Sim.Trajectory.runs sink,
+    Sim.Trajectory.matched_runs sink,
+    List.map
+      (fun t -> Report.Json.to_string (Sim.Trajectory.to_json t))
+      (Sim.Trajectory.retained sink),
+    Report.Json.to_string
+      (Sim.Trajectory.occupancy_to_json (Sim.Trajectory.occupancy sink)) )
+
+(* The bit-identical [--cores 1] vs [--cores N] guarantee: retained
+   trajectories AND occupancy statistics (float sums included) must agree
+   byte-for-byte. 130 reps crosses the 64-rep segment boundary. *)
+let test_trajectory_cross_core_identical () =
+  let r1, m1, t1, o1 = trajectory_fingerprint (trajectory_run ~domains:1 ~reps:130) in
+  let r4, m4, t4, o4 = trajectory_fingerprint (trajectory_run ~domains:4 ~reps:130) in
+  Alcotest.(check int) "runs" r1 r4;
+  Alcotest.(check int) "matched runs" m1 m4;
+  Alcotest.(check (list string)) "retained trajectories byte-identical" t1 t4;
+  Alcotest.(check string) "occupancy byte-identical" o1 o4
+
+let test_trajectory_retention_bounds () =
+  let sink = trajectory_run ~domains:1 ~reps:130 in
+  Alcotest.(check int) "all runs offered" 130 (Sim.Trajectory.runs sink);
+  let matching = Sim.Trajectory.matching sink in
+  let non_matching = Sim.Trajectory.non_matching sink in
+  let matched = Sim.Trajectory.matched_runs sink in
+  Alcotest.(check bool) "some runs matched" true (matched > 5);
+  Alcotest.(check int) "matching sample capped at k" 5 (List.length matching);
+  Alcotest.(check int) "every non-matching run retained under k"
+    (Int.min 5 (130 - matched))
+    (List.length non_matching);
+  List.iter
+    (fun (t : Sim.Trajectory.t) ->
+      Alcotest.(check bool) "matching flagged" true t.matched)
+    matching;
+  List.iter
+    (fun (t : Sim.Trajectory.t) ->
+      Alcotest.(check bool) "non-matching flagged" false t.matched)
+    non_matching;
+  let reps = List.map (fun (t : Sim.Trajectory.t) -> t.rep) (Sim.Trajectory.retained sink) in
+  Alcotest.(check bool) "retained sorted by rep" true
+    (List.sort compare reps = reps)
+
+let test_trajectory_json_roundtrip () =
+  let sink = trajectory_run ~domains:1 ~reps:130 in
+  List.iter
+    (fun t ->
+      let s = Report.Json.to_string (Sim.Trajectory.to_json t) in
+      match Report.Json.of_string s with
+      | Error e -> Alcotest.failf "reparse failed: %s" e
+      | Ok j -> (
+          match Sim.Trajectory.of_json j with
+          | Error e -> Alcotest.failf "of_json failed: %s" e
+          | Ok t2 ->
+              Alcotest.(check string) "trajectory round-trips" s
+                (Report.Json.to_string (Sim.Trajectory.to_json t2))))
+    (Sim.Trajectory.retained sink);
+  let s =
+    Report.Json.to_string
+      (Sim.Trajectory.occupancy_to_json (Sim.Trajectory.occupancy sink))
+  in
+  match Report.Json.of_string s with
+  | Error e -> Alcotest.failf "occupancy reparse failed: %s" e
+  | Ok j -> (
+      match Sim.Trajectory.occupancy_of_json j with
+      | Error e -> Alcotest.failf "occupancy of_json failed: %s" e
+      | Ok stats ->
+          Alcotest.(check string) "occupancy round-trips" s
+            (Report.Json.to_string (Sim.Trajectory.occupancy_to_json stats)))
+
+let test_trajectory_validation () =
+  let model, _ = clock_model ~period:1.0 in
+  List.iter
+    (fun (label, f) ->
+      Alcotest.(check bool) label true
+        (match f () with
+        | (_ : Sim.Trajectory.sink) -> false
+        | exception Invalid_argument _ -> true))
+    [
+      ("negative k rejected", fun () -> Sim.Trajectory.sink ~k:(-1) ~model ());
+      ( "negative max_steps rejected",
+        fun () -> Sim.Trajectory.sink ~max_steps:(-1) ~model () );
+    ]
+
 (* --- metrics --- *)
 
 let test_metrics_counters_match_outcome () =
@@ -1000,6 +1151,18 @@ let () =
         [
           Alcotest.test_case "output" `Quick test_trace_output;
           Alcotest.test_case "show marking" `Quick test_trace_show_marking;
+        ] );
+      ( "trajectory",
+        [
+          Alcotest.test_case "records the clock" `Quick
+            test_trajectory_records_clock;
+          Alcotest.test_case "cross-core identical" `Quick
+            test_trajectory_cross_core_identical;
+          Alcotest.test_case "retention bounds" `Quick
+            test_trajectory_retention_bounds;
+          Alcotest.test_case "json round-trip" `Quick
+            test_trajectory_json_roundtrip;
+          Alcotest.test_case "validation" `Quick test_trajectory_validation;
         ] );
       ( "metrics",
         [
