@@ -4,7 +4,9 @@
      run        simulate one configuration and print the measures
      explain    render forensics chains from a --record-failures file
      study      regenerate the paper's figures (tables + CSV)
-     structure  show the composed-model structure, optionally DOT export *)
+     structure  show the composed-model structure, optionally DOT export
+     check      run every model-checking pass (lint is a deprecated alias)
+     mtta       exact CTMC analysis of the minimal configuration *)
 
 open Cmdliner
 
@@ -479,26 +481,53 @@ let study_cmd =
     Term.(const run $ figure_arg $ n_reps_arg $ seed_arg $ cores_arg
           $ csv_dir_arg)
 
-(* --- lint --- *)
+(* --- check (and its deprecated alias, lint) --- *)
+
+let check_json_arg =
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
+         ~doc:"Write the machine-readable report to $(docv) (one JSON \
+               object per line).")
+
+let check_run ~deprecated domains hosts apps replicas policy multiplier
+    spread scale json =
+  if deprecated then
+    Format.eprintf
+      "itua-sim lint is deprecated and will be removed; use `itua-sim \
+       check` (same read-set check plus eight more passes).@.";
+  let p = params_of domains hosts apps replicas policy multiplier spread scale in
+  let h = Itua.Model.build p in
+  let report =
+    Analysis.Check.run ~composition:h.Itua.Model.composition
+      h.Itua.Model.model
+  in
+  Format.printf "%a" Analysis.Check.pp report;
+  (match json with
+  | None -> ()
+  | Some path ->
+      Report.write_jsonl path [ Analysis.Check.to_json report ];
+      Format.printf "JSON report written to %s@." path);
+  if Analysis.Check.has_errors report then exit 1
+
+let check_term ~deprecated =
+  Term.(
+    const (check_run ~deprecated) $ domains_arg $ hosts_arg $ apps_arg
+    $ reps_per_app_arg $ policy_arg $ multiplier_arg $ spread_arg $ scale_arg
+    $ check_json_arg)
+
+let check_cmd =
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Check the model: undeclared reads and writes, negative \
+             markings, dead activities and places, instantaneous loops and \
+             ties, unused shared places. Exits nonzero if any error-level \
+             diagnostic is reported.")
+    (check_term ~deprecated:false)
 
 let lint_cmd =
-  let run domains hosts apps replicas policy multiplier spread scale =
-    let p = params_of domains hosts apps replicas policy multiplier spread scale in
-    let h = Itua.Model.build p in
-    match Sim.Lint.undeclared_reads h.Itua.Model.model with
-    | [] ->
-        Format.printf
-          "no undeclared reads detected (dynamic check over sampled markings)@."
-    | vs ->
-        List.iter (fun v -> Format.printf "%a@." Sim.Lint.pp_violation v) vs;
-        exit 1
-  in
   Cmd.v
     (Cmd.info "lint"
-       ~doc:"Check the model's declared activity read sets dynamically")
-    Term.(
-      const run $ domains_arg $ hosts_arg $ apps_arg $ reps_per_app_arg
-      $ policy_arg $ multiplier_arg $ spread_arg $ scale_arg)
+       ~doc:"Deprecated alias of $(b,check); it runs the same passes.")
+    (check_term ~deprecated:true)
 
 (* --- mtta (exact, tiny configurations) --- *)
 
@@ -565,4 +594,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; explain_cmd; study_cmd; structure_cmd; lint_cmd; mtta_cmd ]))
+          [
+            run_cmd; explain_cmd; study_cmd; structure_cmd; check_cmd;
+            lint_cmd; mtta_cmd;
+          ]))

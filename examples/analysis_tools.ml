@@ -1,5 +1,5 @@
-(* Tour of the analysis tooling on a custom model: dynamic read-set
-   linting, batch-means steady-state estimation, and exact absorption
+(* Tour of the analysis tooling on a custom model: the multi-pass model
+   checker, batch-means steady-state estimation, and exact absorption
    analysis.
 
      dune exec examples/analysis_tools.exe
@@ -34,11 +34,10 @@ let () =
   let model, state = build () in
   Format.printf "%a@.@." San.Model.pp_summary model;
 
-  (* 1. Lint: are the declared read sets complete? *)
-  (match Sim.Lint.undeclared_reads model with
-  | [] -> Format.printf "lint: no undeclared reads@."
-  | vs ->
-      List.iter (fun v -> Format.printf "lint: %a@." Sim.Lint.pp_violation v) vs);
+  (* 1. Check: read sets, liveness, instantaneous hazards — the space is
+     finite, so the walk is exhaustive and "never happens" findings are
+     proofs. *)
+  Format.printf "%a@." Analysis.Check.pp (Analysis.Check.run model);
 
   (* 2. Exact absorption analysis. *)
   let chain = Ctmc.Explore.explore model in

@@ -1,0 +1,82 @@
+type t = {
+  model_name : string;
+  mode : Space.mode;
+  n_stable : int;
+  n_vanishing : int;
+  truncated : bool;
+  fallback : string option;
+  diagnostics : Diagnostic.t list;
+}
+
+let run ?composition ?max_states ?runs ?horizon ?max_markings ?seed model =
+  let space =
+    Space.build ?max_states ?runs ?horizon ?max_markings ?seed model
+  in
+  let facts = Passes.gather space in
+  {
+    model_name = San.Model.name model;
+    mode = space.Space.mode;
+    n_stable = space.Space.n_stable;
+    n_vanishing = space.Space.n_vanishing;
+    truncated = space.Space.truncated;
+    fallback = space.Space.fallback;
+    diagnostics = Passes.all ?composition facts;
+  }
+
+let count sev t =
+  List.length
+    (List.filter (fun d -> d.Diagnostic.severity = sev) t.diagnostics)
+
+let errors t =
+  List.filter (fun d -> d.Diagnostic.severity = Diagnostic.Error) t.diagnostics
+
+let has_errors t = errors t <> []
+
+let pp ppf t =
+  let coverage =
+    match t.mode with
+    | Space.Exhaustive ->
+        Printf.sprintf "exhaustive, %d stable markings (+ %d vanishing)"
+          t.n_stable t.n_vanishing
+    | Space.Sampled ->
+        Printf.sprintf "sampled, %d distinct markings%s" t.n_stable
+          (if t.truncated then ", truncated" else "")
+  in
+  Format.fprintf ppf "model %S: %s@." t.model_name coverage;
+  (match t.fallback with
+  | Some why -> Format.fprintf ppf "  (exhaustive walk unavailable: %s)@." why
+  | None -> ());
+  List.iter
+    (fun d -> Format.fprintf ppf "  %a@." Diagnostic.pp d)
+    t.diagnostics;
+  let e = count Diagnostic.Error t
+  and w = count Diagnostic.Warning t
+  and i = count Diagnostic.Info t in
+  if e + w + i = 0 then Format.fprintf ppf "no diagnostics@."
+  else Format.fprintf ppf "%d error(s), %d warning(s), %d note(s)@." e w i
+
+let to_json t =
+  let open Report.Json in
+  Obj
+    [
+      ("schema", Str "itua-analysis/1");
+      ("model", Str t.model_name);
+      ( "mode",
+        Str
+          (match t.mode with
+          | Space.Exhaustive -> "exhaustive"
+          | Space.Sampled -> "sampled") );
+      ("stable_markings", int t.n_stable);
+      ("vanishing_markings", int t.n_vanishing);
+      ("truncated", Bool t.truncated);
+      ( "fallback",
+        match t.fallback with None -> Null | Some why -> Str why );
+      ( "summary",
+        Obj
+          [
+            ("errors", int (count Diagnostic.Error t));
+            ("warnings", int (count Diagnostic.Warning t));
+            ("infos", int (count Diagnostic.Info t));
+          ] );
+      ("diagnostics", Arr (List.map Diagnostic.to_json t.diagnostics));
+    ]

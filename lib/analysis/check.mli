@@ -1,0 +1,48 @@
+(** The full model check: space + facts + every pass, as one report.
+
+    This is the entry point the [itua_sim check] subcommand and the
+    tests use:
+
+    {[
+      let report = Analysis.Check.run ~composition model in
+      Format.printf "%a" Analysis.Check.pp report;
+      exit (if Analysis.Check.has_errors report then 1 else 0)
+    ]} *)
+
+type t = {
+  model_name : string;
+  mode : Space.mode;
+  n_stable : int;
+  n_vanishing : int;
+  truncated : bool;
+  fallback : string option;  (** why exhaustive walking was abandoned *)
+  diagnostics : Diagnostic.t list;  (** sorted by {!Diagnostic.compare} *)
+}
+
+val run :
+  ?composition:Compose.info ->
+  ?max_states:int ->
+  ?runs:int ->
+  ?horizon:float ->
+  ?max_markings:int ->
+  ?seed:int64 ->
+  San.Model.t ->
+  t
+(** Builds the marking space (see {!Space.build} for the defaults and
+    the exhaustive/sampled fallback), gathers facts, runs every pass —
+    the shared-place audit only when [composition] is supplied.
+    Deterministic for fixed arguments. *)
+
+val has_errors : t -> bool
+
+val errors : t -> Diagnostic.t list
+
+val count : Diagnostic.severity -> t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Header line (model, mode, coverage), one line per diagnostic, and a
+    severity tally. *)
+
+val to_json : t -> Report.Json.t
+(** Deterministic object: model, mode, coverage counts, severity
+    tallies, and the diagnostics array. *)

@@ -1,0 +1,71 @@
+(** Checking passes over a marking space.
+
+    The passes share one {e facts sweep} ({!gather}): every activity
+    function — enabling predicate, firing distribution, case weights,
+    case effects — is evaluated on every marking in the {!Space.t} under
+    {!San.Marking.trace_reads} and {!San.Marking.trace_writes}, and the
+    traces are accumulated into dense per-activity bitsets (place uids
+    are dense, so a set of places is a [Bytes.t]). Each pass is then a
+    pure scan over the facts.
+
+    Effects are evaluated on scratch copies, for every case with
+    positive weight, but only where the executor could actually fire
+    them: timed activities at stable markings, instantaneous activities
+    at vanishing ones. An effect that raises [Invalid_argument]
+    (negative marking) is recorded as a fact rather than propagated. *)
+
+type facts
+
+val gather : Space.t -> facts
+(** One evaluation sweep over [space.markings]. Deterministic for a
+    fixed space. *)
+
+val space : facts -> Space.t
+
+val undeclared_reads : facts -> Diagnostic.t list
+(** [A001]: an activity function read a place not in the activity's
+    [reads] list. [Error] for reads from [enabled], the firing
+    distribution, or a case weight — the executor will miss wake-ups.
+    [Warning] for reads from an effect: firing-time reads are always
+    current, but the omission breaks the input-gate discipline and
+    hides the dependency from {!undeclared_writes}. *)
+
+val undeclared_writes : facts -> Diagnostic.t list
+(** [A002]: some effect of activity [W] writes a place that another
+    activity reads — from [enabled], its distribution, or a weight —
+    {e without declaring it}. [W]'s firings will not wake the reader:
+    the staleness [A001] reports from the reader's side, pinpointed to
+    the writes that trigger it. Needs the write traces, hence the
+    {!San.Marking.trace_writes} hook. *)
+
+val negative_writes : facts -> Diagnostic.t list
+(** [A003]: an effect drove an int place negative ([Invalid_argument]
+    from {!San.Marking.set}) on a visited marking where the executor
+    could have fired it. Always [Error]. *)
+
+val liveness : facts -> Diagnostic.t list
+(** [A004] dead activity (never enabled), [A005] never-written place,
+    [A006] never-read place. [Warning] in exhaustive mode — over the
+    full reachable space these are proofs; [Info] in sampled mode,
+    where absence of evidence is weaker. *)
+
+val instantaneous : facts -> Diagnostic.t list
+(** [A007]: instantaneous firings failed to stabilize (vanishing-loop
+    or executor divergence evidence in the space) — [Error]. [A008]: a
+    visited marking enables two or more instantaneous activities at
+    once, so behavior depends on the executor's uniform tie-break —
+    [Warning], one diagnostic per distinct enabled set. *)
+
+val composition : facts -> Compose.info -> Diagnostic.t list
+(** [A009]: a place created at an {e internal} composition-tree node —
+    a shared place — is neither declared, read, nor written by any
+    activity in that node's subtree. The sharing the composition
+    promises never happens. [Warning]. When a subtree recorded no
+    activities (they were declared directly on the builder rather than
+    through {!Compose.Ctx}), attribution is impossible and the audit
+    degrades to checking the place against every activity in the
+    model. *)
+
+val all : ?composition:Compose.info -> facts -> Diagnostic.t list
+(** Every pass, concatenated (the composition audit only when a tree is
+    supplied), deduplicated and sorted by {!Diagnostic.compare}. *)

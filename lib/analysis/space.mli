@@ -1,0 +1,73 @@
+(** The set of markings a checking pass evaluates over.
+
+    The checker wants to see every marking the model can visit. Two ways
+    to get them:
+
+    {ul
+    {- {b Exhaustive}: {!Ctmc.Walker.reachable} enumerates every stable
+       marking reachable from the initial marking, and the walk's
+       [on_vanishing] hook additionally collects every {e vanishing}
+       marking (instantaneous activity enabled) crossed on the way.
+       Works for any timing distributions — reachability never looks at
+       rates — but requires effects that are deterministic functions of
+       the marking and a state space below [max_states].}
+    {- {b Sampled}: when the exhaustive walk fails (an effect draws
+       randomness, the space is too large, or instantaneous firings
+       loop), fall back to collecting the distinct markings visited by a
+       few short simulation runs. Coverage is then partial, which is why
+       liveness-style passes downgrade their findings to [Info] in this
+       mode.}}
+
+    The fallback is automatic; {!t} records which mode was used and why,
+    so reports can say how much trust to put in "never happened"
+    findings. *)
+
+type mode = Exhaustive | Sampled
+
+type t = {
+  model : San.Model.t;
+  mode : mode;
+  markings : San.Marking.t list;
+      (** Exhaustive: all stable markings (walk order), then all
+          vanishing markings. Sampled: distinct visited markings, visit
+          order, starting with the raw initial marking. *)
+  n_stable : int;
+      (** Exhaustive: stable-marking (CTMC state) count. Sampled: total
+          distinct markings collected. *)
+  n_vanishing : int;  (** Exhaustive only; [0] in sampled mode. *)
+  ctx : San.Activity.ctx;
+      (** Evaluation context for effects: no stream in exhaustive mode,
+          a dedicated stream in sampled mode (so stream-drawing effects
+          still run). *)
+  loop : string option;
+      (** Evidence that instantaneous firings failed to stabilize,
+          from either the exhaustive walk or a diverged sample run. *)
+  truncated : bool;  (** Sampled mode hit [max_markings]. *)
+  fallback : string option;
+      (** Why the exhaustive walk was abandoned; [None] when
+          [mode = Exhaustive]. *)
+}
+
+val build :
+  ?max_states:int ->
+  ?runs:int ->
+  ?horizon:float ->
+  ?max_markings:int ->
+  ?seed:int64 ->
+  San.Model.t ->
+  t
+(** [build model] tries the exhaustive walk (bounded by [max_states],
+    default 200_000) and falls back to sampling: [runs] (default 3)
+    runs to [horizon] (default 10.0) with root seed [seed] (default
+    7), keeping at most [max_markings] (default 500) distinct
+    markings. Sampling tolerates per-run [Stabilization_diverged]
+    (recorded in [loop]) and [Invalid_argument] (negative marking —
+    the sweep re-detects and reports it); both end that run early but
+    keep its markings. Deterministic for fixed arguments. *)
+
+val n_markings : t -> int
+(** [List.length markings]. *)
+
+val describe : t -> string
+(** One line for report headers, e.g.
+    ["exhaustive: 9 stable markings (+ 3 vanishing)"]. *)

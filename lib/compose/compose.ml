@@ -2,6 +2,8 @@ type node = {
   label : string;
   kind : kind;
   mutable children : node list;  (* reversed *)
+  mutable node_places : San.Place.any list;  (* reversed *)
+  mutable node_activities : string list;  (* reversed *)
 }
 
 and kind = Root | Rep of int | Join_branch
@@ -9,7 +11,10 @@ and kind = Root | Rep of int | Join_branch
 module Ctx = struct
   type t = { b : San.Model.Builder.t; path : string list; node : node }
 
-  let root b name = { b; path = []; node = { label = name; kind = Root; children = [] } }
+  let make_node label kind =
+    { label; kind; children = []; node_places = []; node_activities = [] }
+
+  let root b name = { b; path = []; node = make_node name Root }
 
   let builder ctx = ctx.b
 
@@ -19,29 +24,42 @@ module Ctx = struct
     match ctx.path with [] -> s | _ -> path ctx ^ "." ^ s
 
   let int_place ctx ?init s =
-    San.Model.Builder.int_place ctx.b ?init (qualify ctx s)
+    let p = San.Model.Builder.int_place ctx.b ?init (qualify ctx s) in
+    ctx.node.node_places <- San.Place.P p :: ctx.node.node_places;
+    p
 
   let float_place ctx ?init s =
-    San.Model.Builder.float_place ctx.b ?init (qualify ctx s)
+    let p = San.Model.Builder.float_place ctx.b ?init (qualify ctx s) in
+    ctx.node.node_places <- San.Place.F p :: ctx.node.node_places;
+    p
+
+  let record_activity ctx name =
+    ctx.node.node_activities <- name :: ctx.node.node_activities
 
   let timed ctx ~name ?policy ~dist ~enabled ~reads cases =
-    San.Model.Builder.timed ctx.b ~name:(qualify ctx name) ?policy ~dist
-      ~enabled ~reads cases
+    let name = qualify ctx name in
+    record_activity ctx name;
+    San.Model.Builder.timed ctx.b ~name ?policy ~dist ~enabled ~reads cases
 
   let timed_exp ctx ~name ?policy ~rate ~enabled ~reads effect =
-    San.Model.Builder.timed_exp ctx.b ~name:(qualify ctx name) ?policy ~rate
-      ~enabled ~reads effect
+    let name = qualify ctx name in
+    record_activity ctx name;
+    San.Model.Builder.timed_exp ctx.b ~name ?policy ~rate ~enabled ~reads
+      effect
 
   let timed_exp_cases ctx ~name ?policy ~rate ~enabled ~reads cases =
-    San.Model.Builder.timed_exp_cases ctx.b ~name:(qualify ctx name) ?policy
-      ~rate ~enabled ~reads cases
+    let name = qualify ctx name in
+    record_activity ctx name;
+    San.Model.Builder.timed_exp_cases ctx.b ~name ?policy ~rate ~enabled
+      ~reads cases
 
   let instantaneous ctx ~name ~enabled ~reads effect =
-    San.Model.Builder.instantaneous ctx.b ~name:(qualify ctx name) ~enabled
-      ~reads effect
+    let name = qualify ctx name in
+    record_activity ctx name;
+    San.Model.Builder.instantaneous ctx.b ~name ~enabled ~reads effect
 
   let child ctx label kind =
-    let node = { label; kind; children = [] } in
+    let node = make_node label kind in
     ctx.node.children <- node :: ctx.node.children;
     { b = ctx.b; path = label :: ctx.path; node }
 end
@@ -54,9 +72,34 @@ let replicate ctx label ~n build =
 
 let join ctx label build = build (Ctx.child ctx label Join_branch)
 
+type info = {
+  path : string;
+  label : string;
+  rep_copies : int option;
+  places : San.Place.any list;
+  activities : string list;
+  children : info list;
+}
+
+let info ctx =
+  let rec of_node rev_path node =
+    let rev_path =
+      match node.kind with Root -> rev_path | _ -> node.label :: rev_path
+    in
+    {
+      path = String.concat "." (List.rev rev_path);
+      label = node.label;
+      rep_copies = (match node.kind with Rep n -> Some n | _ -> None);
+      places = List.rev node.node_places;
+      activities = List.rev node.node_activities;
+      children = List.rev_map (of_node rev_path) node.children |> List.rev;
+    }
+  in
+  of_node [] ctx.Ctx.node
+
 let structure ctx =
   let buf = Buffer.create 256 in
-  let rec render indent node =
+  let rec render indent (node : node) =
     let prefix = String.make indent ' ' in
     let suffix =
       match node.kind with
@@ -70,7 +113,7 @@ let structure ctx =
     let children = List.rev node.children in
     let seen = Hashtbl.create 8 in
     List.iter
-      (fun c ->
+      (fun (c : node) ->
         let family =
           match String.index_opt c.label '[' with
           | Some i -> String.sub c.label 0 i

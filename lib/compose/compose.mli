@@ -95,3 +95,20 @@ val structure : Ctx.t -> string
 (** Rendering of the composition tree rooted at this node (indented, one
     node per line, with Rep cardinalities), computed from the
     [replicate]/[join] calls performed so far. *)
+
+(** Introspection snapshot of one composition-tree node: which places and
+    activities were created {e at} this node (places at an internal node
+    are that node's shared places), and the children below it. Consumed
+    by the [analysis] library's shared-place audit. *)
+type info = {
+  path : string;  (** dotted path, [""] for the root *)
+  label : string;
+  rep_copies : int option;  (** [Some n] on a Rep child *)
+  places : San.Place.any list;  (** created via {!Ctx.int_place}/{!Ctx.float_place} *)
+  activities : string list;  (** qualified names, declaration order *)
+  children : info list;
+}
+
+val info : Ctx.t -> info
+(** Snapshot of the tree rooted at this node, reflecting the
+    [replicate]/[join] calls and declarations performed so far. *)

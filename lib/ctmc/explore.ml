@@ -1,8 +1,8 @@
 exception Non_markovian of string
-exception Vanishing_loop of string
-exception Too_many_states of int
+exception Vanishing_loop = Walker.Vanishing_loop
+exception Too_many_states = Walker.Too_many_states
 
-type key = int array * float array
+type key = Walker.key
 
 type t = {
   model : San.Model.t;
@@ -12,108 +12,23 @@ type t = {
   exit_rates : float array;
 }
 
-let ctx = { San.Activity.time = 0.0; stream = None }
+let restore = Walker.restore
 
-let key_of_marking m = (San.Marking.int_snapshot m, San.Marking.float_snapshot m)
+(* The analytical pipeline treats a weight bug as a modeling error, not a
+   prunable successor like the checker does. *)
+let normalized_weights a m =
+  try Walker.normalized_weights a m
+  with Walker.Bad_weights msg -> raise (Non_markovian msg)
 
-let restore model ((ints, floats) : key) =
-  let m = San.Model.initial_marking model in
-  Array.iteri (fun i p -> San.Marking.set m p ints.(i)) (San.Model.places model);
-  Array.iteri
-    (fun i p -> San.Marking.fset m p floats.(i))
-    (San.Model.float_places model);
-  San.Marking.clear_journal m;
-  m
-
-let enabled_instantaneous model m =
-  Array.fold_left
-    (fun acc (a : San.Activity.t) ->
-      if San.Activity.is_instantaneous a && a.enabled m then a :: acc else acc)
-    []
-    (San.Model.activities model)
-  |> List.rev
-
-let normalized_weights (a : San.Activity.t) m =
-  let w = Array.map (fun c -> c.San.Activity.case_weight m) a.cases in
-  let total = Array.fold_left ( +. ) 0.0 w in
-  if not (total > 0.0) then
-    raise
-      (Non_markovian
-         (Printf.sprintf "activity %s: case weights sum to %g" a.name total));
-  Array.map (fun x -> x /. total) w
-
-(* Resolve a marking into its stable-marking distribution by eliminating
-   chains of instantaneous firings: uniform choice among the enabled
-   instantaneous activities, case probabilities within each.  A cycle of
-   vanishing markings shows up as unbounded recursion depth. *)
-let resolve_vanishing model m0 =
-  let acc = Hashtbl.create 8 in
-  let max_depth = 10_000 in
-  let rec go m prob depth =
-    if depth > max_depth then
-      raise
-        (Vanishing_loop
-           "instantaneous activities did not stabilize (cycle suspected)");
-    match enabled_instantaneous model m with
-    | [] ->
-        let k = key_of_marking m in
-        let prev = Option.value ~default:0.0 (Hashtbl.find_opt acc k) in
-        Hashtbl.replace acc k (prev +. prob)
-    | enabled ->
-        let p_act = prob /. float_of_int (List.length enabled) in
-        List.iter
-          (fun (a : San.Activity.t) ->
-            let weights = normalized_weights a m in
-            Array.iteri
-              (fun case w ->
-                if w > 0.0 then begin
-                  let m' = San.Marking.copy m in
-                  a.cases.(case).San.Activity.effect ctx m';
-                  go m' (p_act *. w) (depth + 1)
-                end)
-              weights
-          )
-          enabled
-  in
-  go m0 1.0 0;
-  Hashtbl.fold (fun k p l -> (k, p) :: l) acc []
-
-(* Growable array of state keys. *)
-module Pool = struct
-  type nonrec t = {
-    mutable arr : key array;
-    mutable size : int;
-    index : (key, int) Hashtbl.t;
-  }
-
-  let dummy_key : key = ([||], [||])
-
-  let create () =
-    { arr = Array.make 256 dummy_key; size = 0; index = Hashtbl.create 1024 }
-
-  (* Returns (id, freshly created?). *)
-  let intern p ~max_states k =
-    match Hashtbl.find_opt p.index k with
-    | Some i -> (i, false)
-    | None ->
-        if p.size >= max_states then raise (Too_many_states max_states);
-        if p.size = Array.length p.arr then begin
-          let arr = Array.make (2 * p.size) dummy_key in
-          Array.blit p.arr 0 arr 0 p.size;
-          p.arr <- arr
-        end;
-        let i = p.size in
-        p.arr.(i) <- k;
-        p.size <- p.size + 1;
-        Hashtbl.add p.index k i;
-        (i, true)
-end
+let resolve_vanishing model m =
+  try Walker.resolve_vanishing model m
+  with Walker.Bad_weights msg -> raise (Non_markovian msg)
 
 let explore ?(max_states = 200_000) model =
-  let pool = Pool.create () in
+  let pool = Walker.Pool.create () in
   let frontier = Queue.create () in
   let intern k =
-    let i, fresh = Pool.intern pool ~max_states k in
+    let i, fresh = Walker.Pool.intern pool ~max_states k in
     if fresh then Queue.add i frontier;
     i
   in
@@ -124,7 +39,7 @@ let explore ?(max_states = 200_000) model =
   let transitions = ref [] (* (source, target, rate), reversed *) in
   while not (Queue.is_empty frontier) do
     let i = Queue.pop frontier in
-    let m = restore model pool.Pool.arr.(i) in
+    let m = restore model (Walker.Pool.get pool i) in
     Array.iter
       (fun (a : San.Activity.t) ->
         match a.San.Activity.timing with
@@ -148,7 +63,7 @@ let explore ?(max_states = 200_000) model =
                   (fun case w ->
                     if w > 0.0 then begin
                       let m' = San.Marking.copy m in
-                      a.cases.(case).San.Activity.effect ctx m';
+                      a.cases.(case).San.Activity.effect Walker.default_ctx m';
                       List.iter
                         (fun (k, p) ->
                           let j = intern k in
@@ -162,7 +77,7 @@ let explore ?(max_states = 200_000) model =
             end)
       (San.Model.activities model)
   done;
-  let n = pool.Pool.size in
+  let n = Walker.Pool.size pool in
   let merged = Array.make n [] in
   (* Merge parallel transitions (same source and target). *)
   let per_source = Array.make n [] in
@@ -185,7 +100,7 @@ let explore ?(max_states = 200_000) model =
   in
   {
     model;
-    states = Array.sub pool.Pool.arr 0 n;
+    states = Array.init n (Walker.Pool.get pool);
     initial_dist;
     transitions = merged;
     exit_rates;

@@ -1,0 +1,95 @@
+(** Shared reachable-marking walker.
+
+    Both the CTMC generator ({!Explore}) and the static model checker
+    (the [analysis] library) need to enumerate the stable markings a SAN
+    can reach and to resolve {e vanishing} markings — markings with
+    enabled instantaneous activities — into distributions over stable
+    ones. This module is that shared machinery, factored out of
+    {!Explore} so the checker can walk models whose timed activities are
+    {e not} exponential: reachability only executes effects, it never
+    needs rates.
+
+    The walk is purely analytical: effects run with a caller-supplied
+    {!San.Activity.ctx} (by default one with no random stream, so an
+    effect that draws randomness raises [Failure] through
+    {!San.Activity.stream_exn} — callers catch it and fall back to
+    sampling). Effects that would drive a marking negative raise
+    [Invalid_argument] from {!San.Marking.set}; {!reachable} skips such
+    successors so one broken effect does not hide the rest of the
+    space. *)
+
+exception Vanishing_loop of string
+(** A chain of instantaneous firings did not terminate. *)
+
+exception Too_many_states of int
+(** Enumeration exceeded the caller's state bound. *)
+
+exception Bad_weights of string
+(** Some activity's case weights did not sum to a positive number. *)
+
+type key = int array * float array
+(** A stable marking, snapshot as hashable arrays. *)
+
+val default_ctx : San.Activity.ctx
+(** [{ time = 0.0; stream = None }]: the analytical evaluation context —
+    effects that draw randomness raise [Failure]. *)
+
+val key_of_marking : San.Marking.t -> key
+
+val restore : San.Model.t -> key -> San.Marking.t
+(** A fresh marking holding the keyed state (journal cleared). *)
+
+val enabled_instantaneous :
+  San.Model.t -> San.Marking.t -> San.Activity.t list
+(** Enabled instantaneous activities, in declaration order. *)
+
+val normalized_weights : San.Activity.t -> San.Marking.t -> float array
+(** Case probabilities normalized to sum to 1; raises {!Bad_weights} if
+    the weights sum to zero or less. *)
+
+val resolve_vanishing :
+  ?ctx:San.Activity.ctx ->
+  ?max_depth:int ->
+  ?on_vanishing:(San.Marking.t -> San.Activity.t list -> unit) ->
+  San.Model.t ->
+  San.Marking.t ->
+  (key * float) list
+(** [resolve_vanishing model m] eliminates chains of instantaneous
+    firings starting from [m] (uniform choice among the enabled set,
+    case probabilities within each activity) and returns the resulting
+    distribution over stable markings. [on_vanishing] is called on
+    every visited vanishing marking with its enabled instantaneous
+    set (two or more entries is the tie an executor resolves by a
+    coin flip); the marking must not be retained without copying.
+    Raises {!Vanishing_loop} past [max_depth] (default 10_000) firings
+    on one path. [m] is not modified. *)
+
+(** Growable interning pool of state keys. *)
+module Pool : sig
+  type t
+
+  val create : unit -> t
+
+  val intern : t -> max_states:int -> key -> int * bool
+  (** [(id, fresh)]; raises {!Too_many_states} at the cap. *)
+
+  val size : t -> int
+  val get : t -> int -> key
+end
+
+val reachable :
+  ?max_states:int ->
+  ?ctx:San.Activity.ctx ->
+  ?on_vanishing:(San.Marking.t -> San.Activity.t list -> unit) ->
+  San.Model.t ->
+  key array
+(** [reachable model] enumerates every stable marking reachable from the
+    initial marking through timed firings (all cases with positive
+    weight) and instantaneous resolution, breadth-first. Successors
+    whose effect raises [Invalid_argument] (negative marking) are
+    skipped; {!Bad_weights} on an activity causes {e all} its cases to
+    be explored (the checker reports the weight bug separately).
+    [on_vanishing] is forwarded to every {!resolve_vanishing} the walk
+    performs, so a caller sees each vanishing marking encountered
+    anywhere in the reachable space. Default [max_states] is
+    200_000. *)

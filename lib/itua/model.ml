@@ -57,6 +57,7 @@ type handles = {
   excl_corrupt_hosts : P.t;
   excl_frac_sum : P.fl;
   structure : string;
+  composition : Compose.info;
 }
 
 (* The handles minus the built model, used while declaring activities. *)
@@ -733,6 +734,7 @@ let build params =
     excl_corrupt_hosts = excl_corrupt;
     excl_frac_sum = excl_frac;
     structure;
+    composition = Compose.info root;
   }
 
 (* --- public predicates on handles --- *)

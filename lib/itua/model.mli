@@ -102,6 +102,8 @@ type handles = {
   excl_frac_sum : San.Place.fl;
       (** sum over domain exclusions of the corrupt-host fraction *)
   structure : string;  (** rendering of the composition tree *)
+  composition : Compose.info;
+      (** introspectable composition tree, for the shared-place audit *)
 }
 
 val build : Params.t -> handles

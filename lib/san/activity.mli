@@ -58,8 +58,8 @@ type t = {
   reads : Place.any list;
       (** Every place whose marking can influence [enabled], the firing
           distribution, or the case weights. Omissions make the executor
-          miss wake-ups; the model linter ({!Model.lint}) can check this
-          dynamically. *)
+          miss wake-ups; the model checker ([Analysis.Check], diagnostic
+          A001) detects them. *)
   cases : case array;
 }
 

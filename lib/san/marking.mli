@@ -36,9 +36,18 @@ val journal : t -> int list
 val trace_reads : t -> (unit -> 'a) -> 'a * int list
 (** [trace_reads m f] runs [f] while recording which places [f] reads
     through this marking (each uid once), and returns [f]'s result with
-    the read set. Used by {!Sim.Lint} to detect activities whose enabling
-    predicate, rate, or case weights read places missing from their
-    declared [reads] list. Not reentrant. *)
+    the read set. Used by the [analysis] library to detect activities
+    whose enabling predicate, rate, case weights or effects read places
+    missing from their declared [reads] list. Not reentrant. *)
+
+val trace_writes : t -> (unit -> 'a) -> 'a * int list
+(** [trace_writes m f] runs [f] while recording which places [f] writes
+    through this marking (each uid once), and returns [f]'s result with
+    the write set. Unlike the journal, the trace records {e attempted}
+    writes: a write that leaves the value unchanged (which the journal
+    skips) and the write that raises on a negative marking are both
+    recorded. Not reentrant, but may be nested with {!trace_reads} to
+    observe an effect's reads and writes in one evaluation. *)
 
 val int_snapshot : t -> int array
 val float_snapshot : t -> float array

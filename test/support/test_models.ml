@@ -65,3 +65,37 @@ let tandem_absorbed ~r1 ~r2 t =
   if Float.abs (r1 -. r2) < 1e-9 then
     invalid_arg "tandem_absorbed: rates must be distinct";
   1.0 -. (((r2 *. exp (-.r1 *. t)) -. (r1 *. exp (-.r2 *. t))) /. (r2 -. r1))
+
+type gong = { g_model : San.Model.t; g_state : San.Place.t }
+
+let gong_transitions =
+  [
+    (0, 1, 0.30, "probe_finds_vulnerability");
+    (1, 0, 0.50, "vulnerability_patched");
+    (1, 2, 0.40, "exploitation_starts");
+    (2, 3, 0.25, "redundancy_masks");
+    (2, 4, 0.10, "compromise_undetected");
+    (2, 5, 0.60, "attack_detected");
+    (3, 0, 0.80, "masked_repair");
+    (4, 8, 0.30, "undetected_failure");
+    (4, 5, 0.15, "late_detection");
+    (5, 6, 0.35, "degrade_gracefully");
+    (5, 7, 0.35, "fail_secure");
+    (5, 0, 0.20, "full_recovery");
+    (6, 0, 0.50, "restore_from_degraded");
+    (7, 0, 0.40, "restore_from_fail_secure");
+    (8, 0, 0.125, "manual_repair");
+  ]
+
+let gong () =
+  let b = San.Model.Builder.create "gong_nine_state" in
+  let g_state = San.Model.Builder.int_place b "state" in
+  List.iter
+    (fun (src, dst, rate, label) ->
+      San.Model.Builder.timed_exp b ~name:label
+        ~rate:(fun _ -> rate)
+        ~enabled:(fun m -> San.Marking.get m g_state = src)
+        ~reads:[ San.Place.P g_state ]
+        (fun _ m -> San.Marking.set m g_state dst))
+    gong_transitions;
+  { g_model = San.Model.Builder.build b; g_state }

@@ -39,3 +39,11 @@ val tandem : r1:float -> r2:float -> tandem
 
 val tandem_absorbed : r1:float -> r2:float -> float -> float
 (** P(absorbed by time t) for {!tandem} (distinct rates required). *)
+
+type gong = { g_model : San.Model.t; g_state : San.Place.t }
+
+val gong : unit -> gong
+(** The Gong et al. nine-state intrusion-tolerance model (DISCEX'01),
+    the same chain as [examples/gong_nine_state.ml]: nine states encoded
+    in one place, every state reachable, state 0 initial. Useful as a
+    known-size exhaustive-exploration target. *)

@@ -1,0 +1,427 @@
+(* Tests for the analysis library: one deliberately broken fixture per
+   diagnostic code (pinned to the code and message), clean models that
+   must check clean, exhaustive-coverage proofs on models of known size,
+   and report determinism. *)
+
+module B = San.Model.Builder
+module M = San.Marking
+module D = Analysis.Diagnostic
+
+let check ?composition ?runs model =
+  Analysis.Check.run ?composition ?runs model
+
+let diags (r : Analysis.Check.t) = r.Analysis.Check.diagnostics
+
+let with_code code r =
+  List.filter (fun (d : D.t) -> d.D.code = code) (diags r)
+
+let message_mentions ~needle (d : D.t) =
+  let hay = d.D.message and n = String.length needle in
+  let rec go i =
+    i + n <= String.length hay && (String.sub hay i n = needle || go (i + 1))
+  in
+  go 0
+
+let pp_report r = Format.asprintf "%a" Analysis.Check.pp r
+
+(* --- clean models check clean --- *)
+
+let test_clean_mm1k () =
+  let q = Test_models.mm1k ~lambda:2.0 ~mu:3.0 ~k:4 in
+  let r = check q.Test_models.q_model in
+  Alcotest.(check bool)
+    "exhaustive mode" true
+    (r.Analysis.Check.mode = Analysis.Space.Exhaustive);
+  (* K = 4 queue: exactly the 5 markings 0..4, proving full coverage. *)
+  Alcotest.(check int) "five stable markings" 5 r.Analysis.Check.n_stable;
+  Alcotest.(check string) "no diagnostics" ""
+    (String.concat "; " (List.map (Format.asprintf "%a" D.pp) (diags r)))
+
+let test_clean_gong () =
+  let g = Test_models.gong () in
+  let r = check g.Test_models.g_model in
+  Alcotest.(check bool)
+    "exhaustive mode" true
+    (r.Analysis.Check.mode = Analysis.Space.Exhaustive);
+  Alcotest.(check int) "nine stable markings" 9 r.Analysis.Check.n_stable;
+  (* Cross-check the coverage claim against the CTMC generator. *)
+  Alcotest.(check int) "matches the CTMC state count"
+    (Ctmc.Explore.n_states (Ctmc.Explore.explore g.Test_models.g_model))
+    r.Analysis.Check.n_stable;
+  Alcotest.(check (list string)) "no diagnostics" []
+    (List.map (Format.asprintf "%a" D.pp) (diags r))
+
+(* --- A001: undeclared reads, one fixture per via --- *)
+
+let test_a001_enabled () =
+  let b = B.create "buggy" in
+  let gate = B.int_place b ~init:1 "gate" in
+  let tokens = B.int_place b "tokens" in
+  (* Bug: [enabled] reads [gate] but declares only [tokens]. *)
+  B.timed_exp b ~name:"produce"
+    ~rate:(fun _ -> 1.0)
+    ~enabled:(fun m -> M.get m gate = 1 && M.get m tokens < 5)
+    ~reads:[ San.Place.P tokens ]
+    (fun _ m -> M.add m tokens 1);
+  let r = check (B.build b) in
+  match with_code D.undeclared_read r with
+  | [ d ] ->
+      Alcotest.(check bool) "error severity" true (d.D.severity = D.Error);
+      Alcotest.(check bool) "source is the activity" true
+        (d.D.source = D.Activity "produce");
+      Alcotest.(check bool) "names the via and place" true
+        (message_mentions ~needle:"enabled" d
+        && message_mentions ~needle:"\"gate\"" d)
+  | ds -> Alcotest.failf "expected exactly one A001, got %d:\n%s"
+            (List.length ds) (pp_report r)
+
+let test_a001_dist () =
+  let b = B.create "buggy_rate" in
+  let speed = B.int_place b ~init:2 "speed" in
+  let tokens = B.int_place b "tokens" in
+  B.timed_exp b ~name:"produce"
+    ~rate:(fun m -> float_of_int (1 + M.get m speed))
+    ~enabled:(fun m -> M.get m tokens < 5)
+    ~reads:[ San.Place.P tokens ]
+    (fun _ m -> M.add m tokens 1);
+  let r = check (B.build b) in
+  Alcotest.(check bool) "dist violation reported" true
+    (List.exists
+       (fun (d : D.t) ->
+         d.D.severity = D.Error
+         && message_mentions ~needle:"dist" d
+         && message_mentions ~needle:"\"speed\"" d)
+       (with_code D.undeclared_read r))
+
+let test_a001_weight () =
+  let b = B.create "buggy_weight" in
+  let bias = B.int_place b ~init:3 "bias" in
+  let fired = B.int_place b "fired" in
+  B.timed b ~name:"choose"
+    ~dist:(fun _ -> Dist.Exponential { rate = 1.0 })
+    ~enabled:(fun m -> M.get m fired = 0)
+    ~reads:[ San.Place.P fired ]
+    [
+      {
+        San.Activity.case_weight = (fun m -> float_of_int (M.get m bias));
+        effect = (fun _ m -> M.set m fired 1);
+      };
+      {
+        San.Activity.case_weight = (fun _ -> 1.0);
+        effect = (fun _ m -> M.set m fired 1);
+      };
+    ];
+  let r = check (B.build b) in
+  Alcotest.(check bool) "weight violation reported" true
+    (List.exists
+       (fun (d : D.t) ->
+         d.D.severity = D.Error
+         && message_mentions ~needle:"weight" d
+         && message_mentions ~needle:"\"bias\"" d)
+       (with_code D.undeclared_read r))
+
+let test_a001_effect_regression () =
+  (* Regression: reads performed inside a case effect. Sim.Lint (the
+     predecessor of this library) only traced enabled/dist/weight, so
+     this model linted clean; the effect read of [burst] must now be
+     reported (as a warning: firing-time reads are not stale, but the
+     read-set omission breaks the input-gate discipline). *)
+  let b = B.create "buggy_effect" in
+  let burst = B.int_place b ~init:2 "burst" in
+  let tokens = B.int_place b "tokens" in
+  B.timed_exp b ~name:"produce"
+    ~rate:(fun _ -> 1.0)
+    ~enabled:(fun m -> M.get m tokens = 0)
+    ~reads:[ San.Place.P tokens ]
+    (fun _ m -> M.set m tokens (M.get m burst));
+  let r = check (B.build b) in
+  match with_code D.undeclared_read r with
+  | [ d ] ->
+      Alcotest.(check bool) "warning severity" true
+        (d.D.severity = D.Warning);
+      Alcotest.(check bool) "names the effect read" true
+        (message_mentions ~needle:"effect" d
+        && message_mentions ~needle:"\"burst\"" d)
+  | ds -> Alcotest.failf "expected exactly one A001, got %d:\n%s"
+            (List.length ds) (pp_report r)
+
+(* --- A002: undeclared writes (stale wake-up, writer side) --- *)
+
+let test_a002_undeclared_write () =
+  let b = B.create "buggy_writer" in
+  let flag = B.int_place b "flag" in
+  let done_ = B.int_place b "done" in
+  (* [raise_flag] writes [flag]; [consume] reads it in [enabled] without
+     declaring it, so the write cannot wake [consume]. *)
+  B.timed_exp b ~name:"raise_flag"
+    ~rate:(fun _ -> 1.0)
+    ~enabled:(fun m -> M.get m flag = 0 && M.get m done_ = 0)
+    ~reads:[ San.Place.P flag; San.Place.P done_ ]
+    (fun _ m -> M.set m flag 1);
+  B.timed_exp b ~name:"consume"
+    ~rate:(fun _ -> 1.0)
+    ~enabled:(fun m -> M.get m flag = 1)
+    ~reads:[ San.Place.P done_ ]
+    (fun _ m -> M.set m done_ 1);
+  let r = check (B.build b) in
+  match with_code D.undeclared_write r with
+  | [ d ] ->
+      Alcotest.(check bool) "error at the writer" true
+        (d.D.severity = D.Error && d.D.source = D.Activity "raise_flag");
+      Alcotest.(check bool) "names place and reader" true
+        (message_mentions ~needle:"\"flag\"" d
+        && message_mentions ~needle:"consume" d)
+  | ds -> Alcotest.failf "expected exactly one A002, got %d:\n%s"
+            (List.length ds) (pp_report r)
+
+(* --- A003: negative-marking writes --- *)
+
+let test_a003_negative_write () =
+  let b = B.create "buggy_negative" in
+  let stock = B.int_place b "stock" in
+  (* Enabled regardless of stock, so the effect underflows at 0. *)
+  B.timed_exp b ~name:"take"
+    ~rate:(fun _ -> 1.0)
+    ~enabled:(fun _ -> true)
+    ~reads:[ San.Place.P stock ]
+    (fun _ m -> M.add m stock (-1));
+  let r = check (B.build b) in
+  match with_code D.negative_write r with
+  | [ d ] ->
+      Alcotest.(check bool) "error at the activity" true
+        (d.D.severity = D.Error && d.D.source = D.Activity "take");
+      Alcotest.(check bool) "carries the Marking.set message" true
+        (message_mentions ~needle:"negative" d
+        && message_mentions ~needle:"stock" d)
+  | ds -> Alcotest.failf "expected exactly one A003, got %d:\n%s"
+            (List.length ds) (pp_report r)
+
+(* --- A004/A005/A006: liveness --- *)
+
+let test_a004_dead_activity () =
+  let b = B.create "with_dead" in
+  let lvl = B.int_place b "lvl" in
+  B.timed_exp b ~name:"step"
+    ~rate:(fun _ -> 1.0)
+    ~enabled:(fun m -> M.get m lvl < 3)
+    ~reads:[ San.Place.P lvl ]
+    (fun _ m -> M.add m lvl 1);
+  (* Dead: [lvl] never exceeds 3, so the guard never holds. *)
+  B.timed_exp b ~name:"overflow"
+    ~rate:(fun _ -> 1.0)
+    ~enabled:(fun m -> M.get m lvl > 7)
+    ~reads:[ San.Place.P lvl ]
+    (fun _ m -> M.set m lvl 0);
+  let r = check (B.build b) in
+  match with_code D.dead_activity r with
+  | [ d ] ->
+      Alcotest.(check bool) "warning on the dead activity" true
+        (d.D.severity = D.Warning && d.D.source = D.Activity "overflow")
+  | ds -> Alcotest.failf "expected exactly one A004, got %d:\n%s"
+            (List.length ds) (pp_report r)
+
+let test_a005_a006_dead_places () =
+  let b = B.create "with_dead_places" in
+  let lvl = B.int_place b "lvl" in
+  (* Never written: only ever read (by the rate). *)
+  let speed = B.int_place b ~init:2 "speed" in
+  (* Never read: only ever written. *)
+  let echo = B.int_place b "echo" in
+  B.timed_exp b ~name:"cycle"
+    ~rate:(fun m -> float_of_int (M.get m speed))
+    ~enabled:(fun _ -> true)
+    ~reads:[ San.Place.P lvl; San.Place.P speed ]
+    (fun _ m ->
+      M.set m lvl (1 - M.get m lvl);
+      M.set m echo 1);
+  let r = check (B.build b) in
+  Alcotest.(check bool) "A005 on speed" true
+    (List.exists
+       (fun (d : D.t) ->
+         d.D.severity = D.Warning && d.D.source = D.Place "speed")
+       (with_code D.never_written_place r));
+  Alcotest.(check bool) "A006 on echo" true
+    (List.exists
+       (fun (d : D.t) ->
+         d.D.severity = D.Warning && d.D.source = D.Place "echo")
+       (with_code D.never_read_place r))
+
+(* --- A007: instantaneous loop --- *)
+
+let test_a007_instantaneous_loop () =
+  let b = B.create "buggy_loop" in
+  let hot = B.int_place b ~init:1 "hot" in
+  (* Stays enabled after firing: the stabilization never terminates. *)
+  B.instantaneous b ~name:"spin"
+    ~enabled:(fun m -> M.get m hot = 1)
+    ~reads:[ San.Place.P hot ]
+    (fun _ m -> M.set m hot 1);
+  let r = check (B.build b) in
+  Alcotest.(check bool) "falls back to sampling" true
+    (r.Analysis.Check.mode = Analysis.Space.Sampled);
+  match with_code D.instantaneous_loop r with
+  | [ d ] -> Alcotest.(check bool) "error" true (d.D.severity = D.Error)
+  | ds -> Alcotest.failf "expected exactly one A007, got %d:\n%s"
+            (List.length ds) (pp_report r)
+
+(* --- A008: instantaneous tie --- *)
+
+let test_a008_instantaneous_tie () =
+  let b = B.create "tied" in
+  let pending = B.int_place b ~init:1 "pending" in
+  let a_won = B.int_place b "a_won" in
+  let b_won = B.int_place b "b_won" in
+  (* Both enabled at the initial (vanishing) marking: the executor must
+     flip a coin, which the modeler may not have intended. *)
+  B.instantaneous b ~name:"claim_a"
+    ~enabled:(fun m -> M.get m pending = 1)
+    ~reads:[ San.Place.P pending ]
+    (fun _ m ->
+      M.set m pending 0;
+      M.set m a_won 1);
+  B.instantaneous b ~name:"claim_b"
+    ~enabled:(fun m -> M.get m pending = 1)
+    ~reads:[ San.Place.P pending ]
+    (fun _ m ->
+      M.set m pending 0;
+      M.set m b_won 1);
+  let r = check (B.build b) in
+  Alcotest.(check bool) "exhaustive mode" true
+    (r.Analysis.Check.mode = Analysis.Space.Exhaustive);
+  match with_code D.instantaneous_tie r with
+  | [ d ] ->
+      Alcotest.(check bool) "warning naming both" true
+        (d.D.severity = D.Warning
+        && message_mentions ~needle:"claim_a" d
+        && message_mentions ~needle:"claim_b" d)
+  | ds -> Alcotest.failf "expected exactly one A008, got %d:\n%s"
+            (List.length ds) (pp_report r)
+
+(* --- A009: unused shared place (composition audit) --- *)
+
+let composed_fixture ~touch_shared () =
+  let b = B.create "composed" in
+  let root = Compose.Ctx.root b "sys" in
+  let shared = Compose.Ctx.int_place root "mailbox" in
+  let (_ : unit array) =
+    Compose.replicate root "unit" ~n:2 (fun ctx i ->
+        let tok = Compose.Ctx.int_place ctx ~init:1 "tok" in
+        let reads =
+          if touch_shared && i = 0 then [ San.Place.P tok; San.Place.P shared ]
+          else [ San.Place.P tok ]
+        in
+        Compose.Ctx.timed_exp ctx ~name:"tick"
+          ~rate:(fun _ -> 1.0)
+          ~enabled:(fun m -> M.get m tok = 1)
+          ~reads
+          (fun _ m ->
+            M.set m tok 0;
+            if touch_shared && i = 0 then M.set m shared 1))
+  in
+  (B.build b, Compose.info root)
+
+let test_a009_unused_shared_place () =
+  let model, info = composed_fixture ~touch_shared:false () in
+  let r = check ~composition:info model in
+  (match with_code D.unused_shared_place r with
+  | [ d ] ->
+      Alcotest.(check bool) "warning at the root node" true
+        (d.D.severity = D.Warning && d.D.source = D.Composition "sys");
+      Alcotest.(check bool) "names the place" true
+        (message_mentions ~needle:"\"mailbox\"" d)
+  | ds ->
+      Alcotest.failf "expected exactly one A009, got %d:\n%s"
+        (List.length ds) (pp_report r));
+  (* Touched by one copy's activity: the audit is satisfied. *)
+  let model, info = composed_fixture ~touch_shared:true () in
+  let r = check ~composition:info model in
+  Alcotest.(check (list string)) "no A009 when shared place is used" []
+    (List.map (Format.asprintf "%a" D.pp) (with_code D.unused_shared_place r))
+
+(* --- report plumbing --- *)
+
+let test_deterministic_json () =
+  let run () =
+    let model, info = composed_fixture ~touch_shared:false () in
+    Report.Json.to_string
+      (Analysis.Check.to_json (check ~composition:info model))
+  in
+  Alcotest.(check string) "same bytes across runs" (run ()) (run ())
+
+let test_exit_contract () =
+  let b = B.create "buggy" in
+  let gate = B.int_place b ~init:1 "gate" in
+  let tokens = B.int_place b "tokens" in
+  B.timed_exp b ~name:"produce"
+    ~rate:(fun _ -> 1.0)
+    ~enabled:(fun m -> M.get m gate = 1 && M.get m tokens < 2)
+    ~reads:[ San.Place.P tokens ]
+    (fun _ m -> M.add m tokens 1);
+  let r = check (B.build b) in
+  Alcotest.(check bool) "has_errors" true (Analysis.Check.has_errors r);
+  Alcotest.(check bool) "errors listed" true
+    (List.length (Analysis.Check.errors r) >= 1);
+  let q = Test_models.mm1k ~lambda:2.0 ~mu:3.0 ~k:3 in
+  Alcotest.(check bool) "clean model has no errors" false
+    (Analysis.Check.has_errors (check q.Test_models.q_model))
+
+let test_catalogue_covers_all_codes () =
+  let catalogued = List.map fst D.catalogue in
+  List.iter
+    (fun code ->
+      Alcotest.(check bool) (code ^ " catalogued") true
+        (List.mem code catalogued))
+    [
+      D.undeclared_read; D.undeclared_write; D.negative_write;
+      D.dead_activity; D.never_written_place; D.never_read_place;
+      D.instantaneous_loop; D.instantaneous_tie; D.unused_shared_place;
+    ]
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "clean models",
+        [
+          Alcotest.test_case "mm1k, exhaustive, 5 markings" `Quick
+            test_clean_mm1k;
+          Alcotest.test_case "gong, exhaustive, 9 markings" `Quick
+            test_clean_gong;
+        ] );
+      ( "A001 undeclared reads",
+        [
+          Alcotest.test_case "enabled" `Quick test_a001_enabled;
+          Alcotest.test_case "dist" `Quick test_a001_dist;
+          Alcotest.test_case "weight" `Quick test_a001_weight;
+          Alcotest.test_case "effect (Sim.Lint regression)" `Quick
+            test_a001_effect_regression;
+        ] );
+      ( "A002 undeclared writes",
+        [ Alcotest.test_case "stale wake-up" `Quick test_a002_undeclared_write ] );
+      ( "A003 negative writes",
+        [ Alcotest.test_case "underflow" `Quick test_a003_negative_write ] );
+      ( "liveness",
+        [
+          Alcotest.test_case "A004 dead activity" `Quick
+            test_a004_dead_activity;
+          Alcotest.test_case "A005/A006 dead places" `Quick
+            test_a005_a006_dead_places;
+        ] );
+      ( "instantaneous",
+        [
+          Alcotest.test_case "A007 loop" `Quick test_a007_instantaneous_loop;
+          Alcotest.test_case "A008 tie" `Quick test_a008_instantaneous_tie;
+        ] );
+      ( "composition",
+        [
+          Alcotest.test_case "A009 unused shared place" `Quick
+            test_a009_unused_shared_place;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "deterministic JSON" `Quick
+            test_deterministic_json;
+          Alcotest.test_case "exit contract" `Quick test_exit_contract;
+          Alcotest.test_case "catalogue complete" `Quick
+            test_catalogue_covers_all_codes;
+        ] );
+    ]

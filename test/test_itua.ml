@@ -401,23 +401,30 @@ let test_ablation_ungated_recovery_not_worse () =
     true
     (ungated <= gated +. 0.02)
 
-let test_itua_model_passes_lint () =
-  (* The declared read sets cover everything the marking-dependent
-     functions consult, for both policies. *)
+let test_itua_model_passes_check () =
+  (* The model checker reports no error-level diagnostics for either
+     policy: declared read sets cover every enabled/dist/weight read, no
+     effect underflows a place, and instantaneous firings stabilize.
+     (Warnings are expected — e.g. effect-only reads of shared state —
+     and are not part of this contract.) *)
   List.iter
     (fun policy ->
       let h =
         Itua.Model.build
           { small_params with Itua.Params.policy; rate_scale = 2.0 }
       in
-      match Sim.Lint.undeclared_reads ~runs:2 h.Itua.Model.model with
+      let r =
+        Analysis.Check.run ~runs:2 ~composition:h.Itua.Model.composition
+          h.Itua.Model.model
+      in
+      match Analysis.Check.errors r with
       | [] -> ()
-      | vs ->
-          Alcotest.failf "lint violations: %s"
+      | es ->
+          Alcotest.failf "check errors: %s"
             (String.concat "; "
                (List.map
-                  (fun v -> Format.asprintf "%a" Sim.Lint.pp_violation v)
-                  vs)))
+                  (Format.asprintf "%a" Analysis.Diagnostic.pp)
+                  es)))
     [ Itua.Params.Domain_exclusion; Itua.Params.Host_exclusion ]
 
 (* --- invariants under randomized configurations --- *)
@@ -810,8 +817,8 @@ let () =
             test_ablation_spread_persistence_matters;
           Alcotest.test_case "ungated recovery not worse" `Slow
             test_ablation_ungated_recovery_not_worse;
-          Alcotest.test_case "model passes lint" `Slow
-            test_itua_model_passes_lint;
+          Alcotest.test_case "model passes check" `Slow
+            test_itua_model_passes_check;
         ] );
       ("properties", props);
       ( "non-exponential",

@@ -873,75 +873,6 @@ let test_run_until_progress () =
   Alcotest.(check bool) "eta present" true
     (List.for_all (fun p -> p.Sim.Runner.eta <> None) seen)
 
-(* --- model linter --- *)
-
-let test_lint_clean_model () =
-  let q = Test_models.mm1k ~lambda:2.0 ~mu:3.0 ~k:4 in
-  Alcotest.(check (list string)) "no violations" []
-    (List.map
-       (fun v -> Format.asprintf "%a" Sim.Lint.pp_violation v)
-       (Sim.Lint.undeclared_reads q.Test_models.q_model))
-
-let test_lint_catches_undeclared_enabled_read () =
-  let b = San.Model.Builder.create "buggy" in
-  let gate = San.Model.Builder.int_place b ~init:1 "gate" in
-  let tokens = San.Model.Builder.int_place b "tokens" in
-  (* Bug: [enabled] reads [gate] but declares only [tokens]. *)
-  San.Model.Builder.timed_exp b ~name:"produce"
-    ~rate:(fun _ -> 1.0)
-    ~enabled:(fun m -> San.Marking.get m gate = 1 && San.Marking.get m tokens < 5)
-    ~reads:[ San.Place.P tokens ]
-    (fun _ m -> San.Marking.add m tokens 1);
-  let model = San.Model.Builder.build b in
-  let vs = Sim.Lint.undeclared_reads model in
-  Alcotest.(check bool) "violation reported" true
-    (List.exists
-       (fun v -> v.Sim.Lint.activity = "produce" && v.Sim.Lint.place = "gate"
-                 && v.Sim.Lint.via = "enabled")
-       vs)
-
-let test_lint_catches_undeclared_rate_read () =
-  let b = San.Model.Builder.create "buggy_rate" in
-  let speed = San.Model.Builder.int_place b ~init:2 "speed" in
-  let tokens = San.Model.Builder.int_place b "tokens" in
-  San.Model.Builder.timed_exp b ~name:"produce"
-    ~rate:(fun m -> float_of_int (1 + San.Marking.get m speed))
-    ~enabled:(fun m -> San.Marking.get m tokens < 5)
-    ~reads:[ San.Place.P tokens ]
-    (fun _ m -> San.Marking.add m tokens 1);
-  let model = San.Model.Builder.build b in
-  let vs = Sim.Lint.undeclared_reads model in
-  Alcotest.(check bool) "rate violation reported" true
-    (List.exists
-       (fun v -> v.Sim.Lint.place = "speed" && v.Sim.Lint.via = "dist")
-       vs)
-
-let test_lint_catches_undeclared_weight_read () =
-  let b = San.Model.Builder.create "buggy_weight" in
-  let bias = San.Model.Builder.int_place b ~init:3 "bias" in
-  let fired = San.Model.Builder.int_place b "fired" in
-  San.Model.Builder.timed b ~name:"choose"
-    ~dist:(fun _ -> Dist.Exponential { rate = 1.0 })
-    ~enabled:(fun m -> San.Marking.get m fired = 0)
-    ~reads:[ San.Place.P fired ]
-    [
-      {
-        San.Activity.case_weight =
-          (fun m -> float_of_int (San.Marking.get m bias));
-        effect = (fun _ m -> San.Marking.set m fired 1);
-      };
-      {
-        San.Activity.case_weight = (fun _ -> 1.0);
-        effect = (fun _ m -> San.Marking.set m fired 1);
-      };
-    ];
-  let model = San.Model.Builder.build b in
-  let vs = Sim.Lint.undeclared_reads model in
-  Alcotest.(check bool) "weight violation reported" true
-    (List.exists
-       (fun v -> v.Sim.Lint.place = "bias" && v.Sim.Lint.via = "weight")
-       vs)
-
 (* --- batch-means steady state --- *)
 
 let test_steady_mm1k_batch_means () =
@@ -1179,16 +1110,6 @@ let () =
           Alcotest.test_case "run reports" `Quick test_run_progress;
           Alcotest.test_case "run_until reports" `Slow
             test_run_until_progress;
-        ] );
-      ( "lint",
-        [
-          Alcotest.test_case "clean model" `Quick test_lint_clean_model;
-          Alcotest.test_case "undeclared enabled read" `Quick
-            test_lint_catches_undeclared_enabled_read;
-          Alcotest.test_case "undeclared rate read" `Quick
-            test_lint_catches_undeclared_rate_read;
-          Alcotest.test_case "undeclared weight read" `Quick
-            test_lint_catches_undeclared_weight_read;
         ] );
       ( "steady-state",
         [
