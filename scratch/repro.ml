@@ -1,0 +1,20 @@
+let () =
+  let b = San.Model.Builder.create "repro" in
+  let p = San.Model.Builder.int_place b ~init:1 "p" in
+  let q = San.Model.Builder.int_place b ~init:0 "q" in
+  (* timed activity moves p -> intermediate, enabling the instantaneous one *)
+  San.Model.Builder.timed_exp b ~name:"go" ~rate:(fun _ -> 1.0)
+    ~enabled:(fun m -> San.Marking.get m p > 0)
+    ~reads:[ San.Place.P p ]
+    (fun _ m -> San.Marking.set m p 0; San.Marking.set m q 1);
+  (* multi-case instantaneous activity with weights summing to 0 *)
+  San.Model.Builder.activity b ~name:"bad" ~timing:San.Activity.Instantaneous
+    ~enabled:(fun m -> San.Marking.get m q > 0)
+    ~reads:[ San.Place.P q ]
+    [ { San.Activity.case_weight = (fun _ -> 0.0);
+        effect = (fun _ m -> San.Marking.set m q 0) };
+      { San.Activity.case_weight = (fun _ -> 0.0);
+        effect = (fun _ m -> San.Marking.set m q 0) } ];
+  let model = San.Model.Builder.build b in
+  let report = Analysis.Check.run model in
+  Format.printf "%a@." Analysis.Check.pp report
