@@ -11,9 +11,10 @@
 
    Panel CSVs are written to results/ for external plotting. Every
    invocation also writes BENCH_sim.json — a machine-readable perf record
-   (engine micro-benchmarks, events/sec throughput, wall-clock per figure)
-   that later optimization work is judged against; see
-   doc/OBSERVABILITY.md. *)
+   (engine micro-benchmarks, events/sec throughput, the rare-event
+   crude-vs-splitting record, wall-clock per figure) that later
+   optimization work is judged against; see doc/OBSERVABILITY.md and
+   doc/RARE_EVENTS.md. *)
 
 let reps_from_env () =
   match Sys.getenv_opt "ITUA_BENCH_REPS" with
@@ -194,6 +195,94 @@ let run_throughput () =
     records;
   records
 
+(* --- rare-event tail: crude MC vs importance splitting --- *)
+
+type rare_bench = {
+  rb_label : string;
+  rb_crude_reps : int;
+  rb_crude_events : int;
+  rb_crude_wall : float;
+  rb_crude_ci : Stats.Ci.t;
+  rb_split_wall : float;
+  rb_split : Sim.Splitting.result;
+  rb_wnv_crude : float;
+  rb_wnv_split : float;
+}
+
+(* Study 4.2's sharpest tail: 10 domains x 1 host, 4 applications,
+   unreliability over [0,5] — the panel point where crude MC at the
+   study's replication count sees a handful of hits at best. The two
+   estimators are compared by work-normalized variance (estimator
+   variance x activity firings consumed, invariant to the budget split);
+   see doc/RARE_EVENTS.md. *)
+let run_rare ~cfg () =
+  let params =
+    {
+      Itua.Params.default with
+      Itua.Params.num_domains = 10;
+      hosts_per_domain = 1;
+      num_apps = 4;
+    }
+  in
+  let h = Itua.Model.build params in
+  let reps = Int.min cfg.Itua.Study.reps 2000 in
+  let metrics = Sim.Metrics.create ~model:h.Itua.Model.model in
+  let spec =
+    Sim.Runner.spec ~model:h.Itua.Model.model ~horizon:5.0
+      [ Itua.Measures.unreliability h ~until:5.0 ]
+  in
+  let t0 = now () in
+  let crude =
+    List.hd
+      (Sim.Runner.run ~domains:cfg.Itua.Study.domains ~metrics
+         ~seed:cfg.Itua.Study.seed ~reps spec)
+  in
+  let crude_wall = now () -. t0 in
+  let t0 = now () in
+  let split =
+    Itua.Study.rare_point ~config:cfg ~initial:reps ~params ~until:5.0 ()
+  in
+  let split_wall = now () -. t0 in
+  (* Work-normalized variance: what the estimator's variance would be
+     after one unit of work (one activity firing). The crude per-rep
+     variance is gamma(1-gamma) with gamma taken from the splitting
+     estimate — the crude estimate itself is too coarse here to plug into
+     its own variance. *)
+  let gamma = split.Sim.Splitting.estimate.Stats.Splitting.probability in
+  let crude_cost =
+    float_of_int metrics.Sim.Metrics.events /. float_of_int reps
+  in
+  let wnv_crude = gamma *. (1.0 -. gamma) *. crude_cost in
+  let wnv_split =
+    Stats.Splitting.variance split.Sim.Splitting.estimate
+    *. float_of_int split.Sim.Splitting.total_events
+  in
+  let r =
+    {
+      rb_label = "10x1 hosts, 4 apps, unreliability [0,5]";
+      rb_crude_reps = reps;
+      rb_crude_events = metrics.Sim.Metrics.events;
+      rb_crude_wall = crude_wall;
+      rb_crude_ci = crude.Sim.Runner.ci;
+      rb_split_wall = split_wall;
+      rb_split = split;
+      rb_wnv_crude = wnv_crude;
+      rb_wnv_split = wnv_split;
+    }
+  in
+  Format.printf "@.Rare-event tail (%s):@." r.rb_label;
+  Format.printf "  crude MC:  %d reps, %d events, estimate %a@."
+    r.rb_crude_reps r.rb_crude_events Stats.Ci.pp r.rb_crude_ci;
+  Format.printf "  splitting: %d levels x %d clones, %d trials, %d events, %a@."
+    split.Sim.Splitting.levels split.Sim.Splitting.clones
+    split.Sim.Splitting.total_trials split.Sim.Splitting.total_events
+    Stats.Ci.pp split.Sim.Splitting.estimate.Stats.Splitting.ci;
+  Format.printf
+    "  work-normalized variance: crude %.3g, splitting %.3g (%.1fx reduction)@."
+    wnv_crude wnv_split
+    (wnv_crude /. wnv_split);
+  r
+
 (* Per-point wall clocks for the Figure 3 study: the six host
    distributions at 4 applications, run at a reduced replication count so
    even perf-only invocations populate the figures array with comparable
@@ -228,7 +317,7 @@ let fig3_point_times ~reps ~seed ~domains =
 
 let json_escape s = Printf.sprintf "%S" s
 
-let write_bench_json ~reps ~micro ~throughput ~figures =
+let write_bench_json ~reps ~micro ~throughput ~rare ~figures =
   let buf = Buffer.create 2048 in
   let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   let add_list xs render =
@@ -258,6 +347,31 @@ let write_bench_json ~reps ~micro ~throughput ~figures =
         (Sim.Metrics.stale_fraction m)
         (Sim.Metrics.mean_heap_depth m));
   addf "\n  ],\n";
+  (match rare with
+  | None -> ()
+  | Some r ->
+      let e = r.rb_split.Sim.Splitting.estimate in
+      addf "  \"rare_event\": {\n";
+      addf "    \"config\": %s,\n" (json_escape r.rb_label);
+      addf
+        "    \"crude\": { \"reps\": %d, \"events\": %d, \"wall_seconds\": \
+         %.2f, \"estimate\": %.6g, \"ci_half_width\": %.3g },\n"
+        r.rb_crude_reps r.rb_crude_events r.rb_crude_wall
+        r.rb_crude_ci.Stats.Ci.mean r.rb_crude_ci.Stats.Ci.half_width;
+      addf
+        "    \"splitting\": { \"levels\": %d, \"clones\": %d, \"trials\": \
+         %d, \"events\": %d, \"wall_seconds\": %.2f, \"probability\": %.6g, \
+         \"ci_half_width\": %.3g },\n"
+        r.rb_split.Sim.Splitting.levels r.rb_split.Sim.Splitting.clones
+        r.rb_split.Sim.Splitting.total_trials
+        r.rb_split.Sim.Splitting.total_events r.rb_split_wall
+        e.Stats.Splitting.probability e.Stats.Splitting.ci.Stats.Ci.half_width;
+      addf
+        "    \"work_normalized_variance\": { \"crude\": %.4g, \"splitting\": \
+         %.4g, \"reduction\": %.1f }\n"
+        r.rb_wnv_crude r.rb_wnv_split
+        (r.rb_wnv_crude /. r.rb_wnv_split);
+      addf "  },\n");
   addf "  \"figures\": [\n";
   add_list figures (fun (id, wall) ->
       addf "    { \"id\": %s, \"wall_seconds\": %.2f }" (json_escape id) wall);
@@ -272,8 +386,9 @@ let write_bench_json ~reps ~micro ~throughput ~figures =
 
 let usage () =
   print_endline
-    "usage: main.exe [fig3|fig4|fig5|fig3a..fig5d|all|sens|ablate|traj|perf]...\n\
-     default: all figures followed by perf";
+    "usage: main.exe \
+     [fig3|fig4|fig5|fig3a..fig5d|all|sens|ablate|traj|perf|rare]...\n\
+     default: all figures followed by perf (which includes rare)";
   exit 2
 
 let () =
@@ -288,7 +403,8 @@ let () =
       "fig5a"; "fig5b"; "fig5c"; "fig5d" ]
   in
   let valid =
-    [ "all"; "perf"; "fig3"; "fig4"; "fig5"; "sens"; "ablate"; "traj" ] @ known_panels
+    [ "all"; "perf"; "rare"; "fig3"; "fig4"; "fig5"; "sens"; "ablate"; "traj" ]
+    @ known_panels
   in
   List.iter (fun a -> if not (List.mem a valid) then usage ()) args;
   let args = if args = [] then [ "all"; "perf" ] else args in
@@ -329,10 +445,28 @@ let () =
     if List.mem "perf" args then (run_perf (), run_throughput ())
     else ([], [])
   in
+  if List.mem "rare" args then
+    print_panels (timed "fig4b_rare" (Itua.Study.fig4b_rare ~config:cfg));
+  let rare =
+    if List.mem "perf" args || List.mem "rare" args then
+      Some (timed "rare_tail" (run_rare ~cfg))
+    else None
+  in
   let point_reps = Int.min cfg.Itua.Study.reps 200 in
   let fig3_points =
     fig3_point_times ~reps:point_reps ~seed:cfg.Itua.Study.seed
       ~domains:cfg.Itua.Study.domains
   in
-  write_bench_json ~reps:cfg.Itua.Study.reps ~micro ~throughput
-    ~figures:(!figure_times @ fig3_points)
+  write_bench_json ~reps:cfg.Itua.Study.reps ~micro ~throughput ~rare
+    ~figures:(!figure_times @ fig3_points);
+  (* Regression gate: splitting must beat crude MC by >=10x on the tail
+     (doc/RARE_EVENTS.md). Counts are seed-deterministic, so this is a
+     stable check, evaluated after the record is written. *)
+  match rare with
+  | Some r when not (r.rb_wnv_crude >= 10.0 *. r.rb_wnv_split) ->
+      Format.eprintf
+        "rare-event gate FAILED: work-normalized variance reduction %.1fx < \
+         10x@."
+        (r.rb_wnv_crude /. r.rb_wnv_split);
+      exit 1
+  | _ -> ()

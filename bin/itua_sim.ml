@@ -2,10 +2,11 @@
 
    Subcommands:
      run        simulate one configuration and print the measures
+     rare       sharp tail estimates by RESTART/importance splitting
      explain    render forensics chains from a --record-failures file
      study      regenerate the paper's figures (tables + CSV)
      structure  show the composed-model structure, optionally DOT export
-     check      run every model-checking pass (lint is a deprecated alias)
+     check      run every model-checking pass
      mtta       exact CTMC analysis of the minimal configuration *)
 
 open Cmdliner
@@ -318,6 +319,176 @@ let run_cmd =
         $ progress_arg $ precision_arg $ record_arg $ record_max_arg
         $ dot_heat_arg))
 
+(* --- rare --- *)
+
+let rare_cmd =
+  let levels_arg =
+    Arg.(value & opt int Itua.Rare.default_levels
+         & info [ "levels" ] ~docv:"L"
+             ~doc:"Importance levels between the initial marking and the \
+                   failure event; more levels mean easier per-stage \
+                   crossings but more stages.")
+  in
+  let clones_arg =
+    Arg.(value & opt int 4 & info [ "clones" ] ~docv:"C"
+           ~doc:"Clones launched per level crossing. Aim for C ≈ 1/p̂ of a \
+                 typical stage; much larger values make the trial \
+                 population explode.")
+  in
+  let initial_arg =
+    Arg.(value & opt int 2000 & info [ "initial" ] ~docv:"N"
+           ~doc:"Replications launched at level 0.")
+  in
+  let measure_arg =
+    Arg.(value
+         & opt (enum
+             [ ("unreliability", Itua.Study.Unreliability);
+               ("unavailability", Itua.Study.Unavailability) ])
+             Itua.Study.Unreliability
+         & info [ "measure" ] ~docv:"unreliability|unavailability"
+             ~doc:"Failure event to estimate the tail probability of: ever \
+                   improper, or ever improper-or-starved.")
+  in
+  let app_arg =
+    Arg.(value & opt int 0 & info [ "app" ] ~docv:"A"
+           ~doc:"Application whose failure is targeted. By exchangeability \
+                 over applications the result matches the study panels' \
+                 per-app average.")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
+           ~doc:"Write the machine-readable estimate (stage counts, CI, \
+                 work) to $(docv).")
+  in
+  let csv_arg =
+    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE"
+           ~doc:"Write the per-stage table (level, trials, hits, ratio) to \
+                 $(docv) as CSV.")
+  in
+  let run domains hosts apps replicas policy multiplier spread scale horizon
+      seed cores levels clones initial measure app json csv =
+    let ( let* ) = Result.bind in
+    let check cond msg = if cond then Ok () else Error (`Msg msg) in
+    let* () = check (cores >= 1) "--cores must be >= 1" in
+    let* () = check (levels >= 1) "--levels must be >= 1" in
+    let* () = check (clones >= 1) "--clones must be >= 1" in
+    let* () = check (initial >= 2) "--initial must be >= 2" in
+    let* () =
+      check (app >= 0 && app < apps) "--app must name an application"
+    in
+    let p = params_of domains hosts apps replicas policy multiplier spread scale in
+    Format.printf "%a@.@." Itua.Params.pp p;
+    let config = { Itua.Study.reps = initial; seed; domains = cores } in
+    let r =
+      try
+        Ok
+          (Itua.Study.rare_point ~config ~levels ~clones ~initial ~measure
+             ~app ~params:p ~until:horizon ())
+      with Invalid_argument msg -> Error (`Msg msg)
+    in
+    let* r = r in
+    let est = r.Sim.Splitting.estimate in
+    let measure_name =
+      match measure with
+      | Itua.Study.Unreliability -> "improper"
+      | Itua.Study.Unavailability -> "improper or starved"
+    in
+    Format.printf
+      "Splitting estimate of P(app %d ever %s in [0, %g]) — %d levels, %d \
+       clones per crossing:@."
+      app measure_name horizon levels clones;
+    Format.printf "  %-12s %8s %8s %8s@." "stage" "trials" "hits" "ratio";
+    Array.iteri
+      (fun k (s : Stats.Splitting.stage) ->
+        Format.printf "  %2d -> %-6d %8d %8d %8.4f@." k (k + 1) s.trials
+          s.hits
+          (float_of_int s.hits /. float_of_int s.trials))
+      est.Stats.Splitting.stages;
+    Format.printf "  estimate: %a@." Stats.Ci.pp est.Stats.Splitting.ci;
+    Format.printf "  work: %d activity firings over %d trials@."
+      r.Sim.Splitting.total_events r.Sim.Splitting.total_trials;
+    (match csv with
+    | None -> ()
+    | Some path ->
+        Report.write_csv_rows path
+          ~header:[ "level"; "trials"; "hits"; "ratio" ]
+          (Array.to_list
+             (Array.mapi
+                (fun k (s : Stats.Splitting.stage) ->
+                  [
+                    string_of_int (k + 1);
+                    string_of_int s.trials;
+                    string_of_int s.hits;
+                    Printf.sprintf "%.6f"
+                      (float_of_int s.hits /. float_of_int s.trials);
+                  ])
+                est.Stats.Splitting.stages));
+        Format.printf "  [stage csv: %s]@." path);
+    (match json with
+    | None -> ()
+    | Some path ->
+        let module J = Report.Json in
+        let stages =
+          J.Arr
+            (Array.to_list
+               (Array.mapi
+                  (fun k (s : Stats.Splitting.stage) ->
+                    J.Obj
+                      [
+                        ("level", J.int (k + 1));
+                        ("trials", J.int s.trials);
+                        ("hits", J.int s.hits);
+                      ])
+                  est.Stats.Splitting.stages))
+        in
+        Report.write_jsonl path
+          [
+            J.Obj
+              [
+                ("schema", J.Str "itua-rare/1");
+                ("measure", J.Str measure_name);
+                ("app", J.int app);
+                ("horizon", J.Num horizon);
+                ("seed", J.Str (Int64.to_string seed));
+                ("levels", J.int levels);
+                ("clones", J.int clones);
+                ("initial", J.int initial);
+                ( "params",
+                  J.Obj
+                    [
+                      ("num_domains", J.int domains);
+                      ("hosts_per_domain", J.int hosts);
+                      ("num_apps", J.int apps);
+                      ("num_reps", J.int replicas);
+                      ("policy", J.Str (policy_string policy));
+                      ("corruption_multiplier", J.Num multiplier);
+                      ("spread", J.Num spread);
+                      ("rate_scale", J.Num scale);
+                    ] );
+                ("stages", stages);
+                ("probability", J.Num est.Stats.Splitting.probability);
+                ( "ci_half_width",
+                  J.Num est.Stats.Splitting.ci.Stats.Ci.half_width );
+                ("confidence", J.Num est.Stats.Splitting.ci.Stats.Ci.confidence);
+                ("rel_variance", J.Num est.Stats.Splitting.rel_variance);
+                ("total_trials", J.int r.Sim.Splitting.total_trials);
+                ("total_events", J.int r.Sim.Splitting.total_events);
+              ];
+          ];
+        Format.printf "  [json: %s]@." path);
+    Ok ()
+  in
+  Cmd.v
+    (Cmd.info "rare"
+       ~doc:"Estimate a failure tail probability sharply by \
+             RESTART/importance splitting (see doc/RARE_EVENTS.md)")
+    Term.(
+      term_result
+        (const run $ domains_arg $ hosts_arg $ apps_arg $ reps_per_app_arg
+        $ policy_arg $ multiplier_arg $ spread_arg $ scale_arg $ horizon_arg
+        $ seed_arg $ cores_arg $ levels_arg $ clones_arg $ initial_arg
+        $ measure_arg $ app_arg $ json_arg $ csv_arg))
+
 (* --- explain --- *)
 
 let explain_cmd =
@@ -481,19 +652,15 @@ let study_cmd =
     Term.(const run $ figure_arg $ n_reps_arg $ seed_arg $ cores_arg
           $ csv_dir_arg)
 
-(* --- check (and its deprecated alias, lint) --- *)
+(* --- check --- *)
 
 let check_json_arg =
   Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
          ~doc:"Write the machine-readable report to $(docv) (one JSON \
                object per line).")
 
-let check_run ~deprecated domains hosts apps replicas policy multiplier
+let check_run domains hosts apps replicas policy multiplier
     spread scale json =
-  if deprecated then
-    Format.eprintf
-      "itua-sim lint is deprecated and will be removed; use `itua-sim \
-       check` (same read-set check plus eight more passes).@.";
   let p = params_of domains hosts apps replicas policy multiplier spread scale in
   let h = Itua.Model.build p in
   let report =
@@ -508,12 +675,6 @@ let check_run ~deprecated domains hosts apps replicas policy multiplier
       Format.printf "JSON report written to %s@." path);
   if Analysis.Check.has_errors report then exit 1
 
-let check_term ~deprecated =
-  Term.(
-    const (check_run ~deprecated) $ domains_arg $ hosts_arg $ apps_arg
-    $ reps_per_app_arg $ policy_arg $ multiplier_arg $ spread_arg $ scale_arg
-    $ check_json_arg)
-
 let check_cmd =
   Cmd.v
     (Cmd.info "check"
@@ -521,13 +682,10 @@ let check_cmd =
              markings, dead activities and places, instantaneous loops and \
              ties, unused shared places. Exits nonzero if any error-level \
              diagnostic is reported.")
-    (check_term ~deprecated:false)
-
-let lint_cmd =
-  Cmd.v
-    (Cmd.info "lint"
-       ~doc:"Deprecated alias of $(b,check); it runs the same passes.")
-    (check_term ~deprecated:true)
+    Term.(
+      const check_run $ domains_arg $ hosts_arg $ apps_arg
+      $ reps_per_app_arg $ policy_arg $ multiplier_arg $ spread_arg
+      $ scale_arg $ check_json_arg)
 
 (* --- mtta (exact, tiny configurations) --- *)
 
@@ -595,6 +753,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            run_cmd; explain_cmd; study_cmd; structure_cmd; check_cmd;
-            lint_cmd; mtta_cmd;
+            run_cmd; rare_cmd; explain_cmd; study_cmd; structure_cmd;
+            check_cmd; mtta_cmd;
           ]))

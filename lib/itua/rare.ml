@@ -1,0 +1,53 @@
+module M = San.Marking
+
+let default_levels = 6
+
+let any_host_ever_attacked h m =
+  Array.exists
+    (fun (dp : Model.domain_places) ->
+      Array.exists
+        (fun (hp : Model.host_places) -> M.get m hp.Model.ever_attacked > 0)
+        dp.Model.hosts)
+    h.Model.domains
+
+(* Apps the importance function ranges over: one, or all of them. *)
+let app_indices ?app h =
+  match app with
+  | Some a ->
+      let na = Array.length h.Model.apps in
+      if a < 0 || a >= na then
+        invalid_arg (Printf.sprintf "Itua.Rare: app %d of %d" a na);
+      [| a |]
+  | None -> Array.init (Array.length h.Model.apps) Fun.id
+
+let check_levels levels =
+  if levels < 1 then invalid_arg "Itua.Rare: levels must be >= 1"
+
+let unreliability ?app h ~levels =
+  check_levels levels;
+  let apps = app_indices ?app h in
+  fun m ->
+    if Array.exists (fun a -> Model.improper h a m) apps then levels
+    else begin
+      let corrupt = ref 0 in
+      Array.iter
+        (fun a ->
+          let c = M.get m h.Model.apps.(a).Model.rep_corr_undetected in
+          if c > !corrupt then corrupt := c)
+        apps;
+      let foothold = if any_host_ever_attacked h m then 1 else 0 in
+      Int.min (levels - 1) ((2 * !corrupt) + foothold)
+    end
+
+let unavailability ?app h ~levels =
+  check_levels levels;
+  let apps = app_indices ?app h in
+  let toward_improper = unreliability ?app h ~levels in
+  let nd = h.Model.params.Params.num_domains in
+  fun m ->
+    if Array.exists (fun a -> Model.unavailable h a m) apps then levels
+    else begin
+      let excluded = M.get m h.Model.excl_domains in
+      let toward_starved = (levels - 1) * excluded / nd in
+      Int.min (levels - 1) (Int.max (toward_improper m) toward_starved)
+    end

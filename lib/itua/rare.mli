@@ -1,0 +1,46 @@
+(** Importance functions for rare-event (splitting) estimation of the
+    ITUA failure measures.
+
+    An importance function maps markings to integer levels
+    [0 .. levels]; {!Sim.Splitting} estimates the probability that a
+    replication ever reaches the top level before the horizon. The top
+    level is the failure predicate itself; the intermediate levels grade
+    the attacker's progress toward it, so that trajectories which have
+    made partial progress are cloned and the deep tail is reached by
+    accumulated conditional steps instead of one lucky run. See
+    [doc/RARE_EVENTS.md] for how these functions were chosen.
+
+    Both functions are evaluated by the engine on stable markings only,
+    which matches {!Ctmc.Measure.ever} exactly (vanishing markings are
+    skipped by both); the crude-MC {!Measures.unreliability} latch can
+    additionally observe markings between two instantaneous firings —
+    see the "instantaneous activities at level boundaries" pitfall in
+    [doc/RARE_EVENTS.md]. *)
+
+val default_levels : int
+(** [6]: enough graduation for the studies' 7-replica groups without
+    starving the upper stages. *)
+
+val unreliability :
+  ?app:int -> Model.handles -> levels:int -> San.Marking.t -> int
+(** Progress toward {!Model.improper} — the unreliability failure event.
+    Level [levels] iff the app is improper; below that,
+    [min (levels-1) (2·corrupt + attacked)] where [corrupt] is the app's
+    undetected-corrupt replica count and [attacked] is 1 when any host
+    has ever been intruded (the attacker has a foothold, which speeds
+    further corruption up by the corruption multiplier).
+
+    [app] restricts the target to one application's failure; by the
+    model's exchangeability over applications,
+    [P(app 0 ever improper) = E(fraction of apps ever improper)], the
+    quantity the Figure 3/4 unreliability panels report — so splitting
+    runs targeting app 0 are directly comparable to the crude-MC panel
+    numbers. Omit [app] to target "any application improper". *)
+
+val unavailability :
+  ?app:int -> Model.handles -> levels:int -> San.Marking.t -> int
+(** Progress toward {!Model.unavailable} ([improper || starved]). Takes
+    the maximum of the {!unreliability} progress and an
+    excluded-domain term [(levels-1)·excluded/num_domains] (starvation
+    requires every domain able to host the app to be excluded, so
+    exclusions are progress toward it). Level [levels] iff unavailable. *)

@@ -71,6 +71,42 @@ val trajectory : ?config:config -> unit -> (string * Report.table) list
     The paper reports only end-of-interval values; these tables show the
     dynamics behind them. *)
 
+(** {1 Rare-event estimation} *)
+
+type rare_measure = Unreliability | Unavailability
+
+val rare_point :
+  ?config:config ->
+  ?levels:int ->
+  ?clones:int ->
+  ?initial:int ->
+  ?measure:rare_measure ->
+  ?app:int ->
+  params:Params.t ->
+  until:float ->
+  unit ->
+  Sim.Splitting.result
+(** One splitting run ({!Sim.Splitting}) of the tail probability that
+    application [app] (default 0) ever fails within [\[0, until\]] —
+    improper for [Unreliability], improper-or-starved for
+    [Unavailability] — using the {!Rare} importance functions. By
+    exchangeability over applications this equals the mean the crude-MC
+    panels report (see {!Rare.unreliability}). Defaults: [levels] from
+    {!Rare.default_levels}, [clones] 4, [initial] = [config.reps], seed
+    and OCaml domains from [config]. *)
+
+val fig4b_rare :
+  ?config:config ->
+  ?levels:int ->
+  ?clones:int ->
+  ?initial:int ->
+  unit ->
+  (string * Report.table) list
+(** The EXPERIMENTS.md rare-event appendix panel: the Study 4.2
+    unreliability [0,5] column re-estimated by splitting, side by side
+    with the crude-MC estimate from the same number of initial
+    replications. *)
+
 val shape_checks : (string * Report.table) list -> (string * bool) list
 (** Qualitative acceptance checks on computed panels (monotonicities, the
     Figure 3(b) peak at 4 hosts/domain, Figure 5's spread sensitivity and

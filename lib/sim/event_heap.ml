@@ -75,6 +75,8 @@ let pop h =
     Some top
   end
 
+let copy h = { arr = Array.copy h.arr; size = h.size; next_seq = h.next_seq }
+
 let peek_time h = if h.size = 0 then None else Some h.arr.(0).time
 
 let size h = h.size

@@ -20,6 +20,12 @@ val push : t -> time:float -> act:int -> version:int -> unit
 val pop : t -> entry option
 (** Removes and returns the earliest entry, or [None] when empty. *)
 
+val copy : t -> t
+(** [copy h] is an independent heap with the same entries and insertion
+    counter, so pops from the copy return the same sequence as pops from
+    the original. Used to checkpoint executor state for the splitting
+    engine. *)
+
 val peek_time : t -> float option
 
 val size : t -> int

@@ -19,6 +19,21 @@ type outcome = {
   final : San.Marking.t;
 }
 
+type checkpoint = {
+  cp_marking : San.Marking.t;
+  cp_heap : Event_heap.t;
+  cp_versions : int array;
+  cp_scheduled : bool array;
+  cp_now : float;
+}
+
+let checkpoint_time cp = cp.cp_now
+let checkpoint_marking cp = cp.cp_marking
+
+type split_outcome =
+  | Finished of outcome
+  | Crossed of { checkpoint : checkpoint; events : int }
+
 type state = {
   model : San.Model.t;
   cfg : config;
@@ -169,7 +184,10 @@ let stabilize st ~notify =
     if !steps > st.max_chain then st.max_chain <- !steps
   end
 
-let run ?metrics ~model ~config:cfg ~stream ~observer () =
+(* Build executor state: fresh from the model's initial marking, or a
+   private copy of a checkpoint (so several clones can resume from the
+   same checkpoint, concurrently, without sharing mutable state). *)
+let make_state ~model ~cfg ~stream ~from_ =
   let acts = San.Model.activities model in
   let n = Array.length acts in
   let inst_ids =
@@ -182,58 +200,107 @@ let run ?metrics ~model ~config:cfg ~stream ~observer () =
     Array.init (San.Model.n_places model) (fun uid ->
         Array.of_list (San.Model.dependents model uid))
   in
-  let st =
-    {
-      model;
-      cfg;
-      stream;
-      marking = San.Model.initial_marking model;
-      heap = Event_heap.create ();
-      versions = Array.make n 0;
-      scheduled = Array.make n false;
-      inst_ids;
-      acts;
-      deps;
-      seen = Array.make n 0;
-      gen = 0;
-      now = 0.0;
-      events = 0;
-      firings = Array.make n 0;
-      cancellations = Array.make n 0;
-      resamples = Array.make n 0;
-      setup_events = 0;
-      chains = 0;
-      chain_steps = 0;
-      max_chain = 0;
-      pops = 0;
-      stale_pops = 0;
-      depth_sum = 0;
-      max_depth = 0;
-    }
+  let marking, heap, versions, scheduled, now =
+    match from_ with
+    | None ->
+        ( San.Model.initial_marking model,
+          Event_heap.create (),
+          Array.make n 0,
+          Array.make n false,
+          0.0 )
+    | Some cp ->
+        if Array.length cp.cp_versions <> n then
+          invalid_arg "Executor: checkpoint is from a different model";
+        ( San.Marking.copy cp.cp_marking,
+          Event_heap.copy cp.cp_heap,
+          Array.copy cp.cp_versions,
+          Array.copy cp.cp_scheduled,
+          cp.cp_now )
   in
-  (* t = 0 setup: stabilize instantaneous activities silently, then
-     schedule every enabled timed activity that the stabilization's own
-     propagation has not already scheduled (scheduling it twice would
-     leave two live completions racing — a doubled rate). *)
-  stabilize st ~notify:None;
-  Array.iter
-    (fun (a : San.Activity.t) ->
-      if
-        (not (San.Activity.is_instantaneous a))
-        && (not st.scheduled.(a.id))
-        && a.enabled st.marking
-      then schedule st a)
+  {
+    model;
+    cfg;
+    stream;
+    marking;
+    heap;
+    versions;
+    scheduled;
+    inst_ids;
     acts;
-  observer.Observer.on_init 0.0 st.marking;
+    deps;
+    seen = Array.make n 0;
+    gen = 0;
+    now;
+    events = 0;
+    firings = Array.make n 0;
+    cancellations = Array.make n 0;
+    resamples = Array.make n 0;
+    setup_events = 0;
+    chains = 0;
+    chain_steps = 0;
+    max_chain = 0;
+    pops = 0;
+    stale_pops = 0;
+    depth_sum = 0;
+    max_depth = 0;
+  }
+
+let checkpoint_of st =
+  {
+    cp_marking = San.Marking.copy st.marking;
+    cp_heap = Event_heap.copy st.heap;
+    cp_versions = Array.copy st.versions;
+    cp_scheduled = Array.copy st.scheduled;
+    cp_now = st.now;
+  }
+
+(* The shared engine behind [run], [resume] and [run_to_level].
+
+   [cross], when given, is evaluated on *stable* markings only — at the
+   start of the run (after t = 0 setup for fresh runs) and after every
+   timed firing once its instantaneous chain has stabilized.  Returning
+   true halts the run with a checkpoint of the current state; the
+   horizon advance and [on_finish] are then *not* reported, because the
+   trajectory is not finished — a clone will continue it. *)
+let exec ?metrics ?from_ ?cross ~model ~config:cfg ~stream
+    ~observer:(observer : Observer.t) () =
+  let st = make_state ~model ~cfg ~stream ~from_ in
+  (match from_ with
+  | None ->
+      (* t = 0 setup: stabilize instantaneous activities silently, then
+         schedule every enabled timed activity that the stabilization's own
+         propagation has not already scheduled (scheduling it twice would
+         leave two live completions racing — a doubled rate). *)
+      stabilize st ~notify:None;
+      Array.iter
+        (fun (a : San.Activity.t) ->
+          if
+            (not (San.Activity.is_instantaneous a))
+            && (not st.scheduled.(a.id))
+            && a.enabled st.marking
+          then schedule st a)
+        st.acts
+  | Some _ ->
+      (* Checkpoints are taken at stable markings with every enabled timed
+         activity already scheduled in the copied heap: nothing to set up. *)
+      ());
+  observer.Observer.on_init st.now st.marking;
   let stopped = ref false in
+  let crossed = ref false in
   let check_stop () =
     match cfg.stop with
     | Some pred when pred st.marking -> stopped := true
     | Some _ | None -> ()
   in
+  let check_cross () =
+    match cross with
+    | Some pred when (not !stopped) && pred st.marking -> crossed := true
+    | Some _ | None -> ()
+  in
   check_stop ();
-  let finished = ref !stopped in
-  let last_event_time = ref 0.0 in
+  check_cross ();
+  let finished = ref (!stopped || !crossed) in
+  let last_event_time = ref st.now in
   while not !finished do
     let depth = Event_heap.size st.heap in
     match Event_heap.pop st.heap with
@@ -266,14 +333,27 @@ let run ?metrics ~model ~config:cfg ~stream ~observer () =
             check_stop ();
             if not !stopped then stabilize st ~notify:(Some observer);
             check_stop ();
-            if !stopped then finished := true;
+            check_cross ();
+            if !stopped || !crossed then finished := true;
             if st.events >= cfg.max_events then finished := true
           end
         end
   done;
-  if cfg.horizon > st.now then
-    observer.Observer.on_advance st.now cfg.horizon st.marking;
-  observer.Observer.on_finish cfg.horizon st.marking;
+  let result =
+    if !crossed then Crossed { checkpoint = checkpoint_of st; events = st.events }
+    else begin
+      if cfg.horizon > st.now then
+        observer.Observer.on_advance st.now cfg.horizon st.marking;
+      observer.Observer.on_finish cfg.horizon st.marking;
+      Finished
+        {
+          end_time = !last_event_time;
+          events = st.events;
+          stopped_early = !stopped;
+          final = st.marking;
+        }
+    end
+  in
   (match metrics with
   | None -> ()
   | Some m ->
@@ -283,9 +363,21 @@ let run ?metrics ~model ~config:cfg ~stream ~observer () =
         ~chain_steps:st.chain_steps ~max_chain:st.max_chain ~pops:st.pops
         ~stale_pops:st.stale_pops ~depth_sum:st.depth_sum
         ~max_depth:st.max_depth);
-  {
-    end_time = !last_event_time;
-    events = st.events;
-    stopped_early = !stopped;
-    final = st.marking;
-  }
+  result
+
+let finished_exn = function
+  | Finished o -> o
+  | Crossed _ -> assert false (* no [cross] predicate was given *)
+
+let run ?metrics ~model ~config ~stream ~observer () =
+  finished_exn (exec ?metrics ~model ~config ~stream ~observer ())
+
+let resume ?metrics ~model ~config ~stream ~observer checkpoint =
+  finished_exn
+    (exec ?metrics ~from_:checkpoint ~model ~config ~stream ~observer ())
+
+let run_to_level ?metrics ?from_ ~model ~config ~stream ~observer
+    ~importance ~threshold () =
+  exec ?metrics ?from_
+    ~cross:(fun m -> importance m >= threshold)
+    ~model ~config ~stream ~observer ()

@@ -48,3 +48,74 @@ val run :
     stabilization-chain and event-heap statistics — see {!Metrics});
     without it the run pays no instrumentation cost beyond a handful of
     run-local integer bumps. *)
+
+(** {1 Checkpointing}
+
+    Support for the splitting engine ({!Splitting}): a run can be halted
+    the moment its marking up-crosses an importance level, its state
+    captured, and any number of independent clones resumed from the
+    capture — each with its own PRNG stream, so the clones explore
+    different continuations of the same prefix.
+
+    A checkpoint snapshots everything that determines the future of a
+    replication {e except} randomness: the marking, the pending-event
+    heap (sampled completion times are part of the state), the
+    lazy-cancellation bookkeeping, and the clock. It is immutable and
+    safe to resume from concurrently — every resume works on private
+    copies. *)
+
+type checkpoint
+
+val checkpoint_time : checkpoint -> float
+(** Simulation clock at the moment of capture. *)
+
+val checkpoint_marking : checkpoint -> San.Marking.t
+(** The captured marking. The returned value is the checkpoint's own
+    snapshot: treat it as read-only. *)
+
+type split_outcome =
+  | Finished of outcome  (** ran to horizon / stop without crossing *)
+  | Crossed of { checkpoint : checkpoint; events : int }
+      (** the importance threshold was reached at a stable marking;
+          [events] counts firings executed by this (partial) run *)
+
+val run_to_level :
+  ?metrics:Metrics.t ->
+  ?from_:checkpoint ->
+  model:San.Model.t ->
+  config:config ->
+  stream:Prng.Stream.t ->
+  observer:Observer.t ->
+  importance:(San.Marking.t -> int) ->
+  threshold:int ->
+  unit ->
+  split_outcome
+(** Runs until [importance marking >= threshold], the horizon, the stop
+    predicate, or event exhaustion — whichever comes first. Starts from
+    the model's initial marking, or from [from_] when resuming a clone.
+
+    [importance] is evaluated on {e stable} markings only: once at the
+    start (so a checkpoint already at or above [threshold] crosses
+    immediately, which is how multi-level jumps are handled), and after
+    each timed firing once its instantaneous chain has stabilized.
+    Markings that are merely passed through during stabilization are
+    never measured — matching the convention of reward variables and
+    {!Ctmc.Measure}.
+
+    On [Crossed], the observer does {e not} receive the final horizon
+    advance or [on_finish]: the trajectory is unfinished by design. *)
+
+val resume :
+  ?metrics:Metrics.t ->
+  model:San.Model.t ->
+  config:config ->
+  stream:Prng.Stream.t ->
+  observer:Observer.t ->
+  checkpoint ->
+  outcome
+(** Continues a checkpointed replication to the horizon with no further
+    level checks. [outcome.events] counts only the resumed segment's
+    firings; [end_time] is the last firing time (or the checkpoint time
+    if nothing fires). Resuming the same checkpoint with the same stream
+    is bit-reproducible, and a [run] is bit-identical to a
+    [run_to_level] plus a [resume] driven by the same stream object. *)

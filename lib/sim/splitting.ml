@@ -1,0 +1,127 @@
+type result = {
+  estimate : Stats.Splitting.estimate;
+  total_trials : int;
+  total_events : int;
+  levels : int;
+  clones : int;
+}
+
+(* Contiguous near-equal blocks covering [0, count), as in Runner. *)
+let blocks_of ~domains ~count =
+  let d = Int.max 1 (Int.min domains count) in
+  let base = count / d and extra = count mod d in
+  List.init d (fun i ->
+      let c = base + if i < extra then 1 else 0 in
+      let f = (i * base) + Int.min i extra in
+      (f, c))
+
+let run ?(domains = 1) ?(confidence = 0.95) ?(max_stage_trials = 1 lsl 20)
+    ~model ~config ~importance ~levels ~clones ~initial ~seed () =
+  if levels < 1 then invalid_arg "Splitting.run: levels must be >= 1";
+  if clones < 1 then invalid_arg "Splitting.run: clones must be >= 1";
+  if initial < 2 then invalid_arg "Splitting.run: initial must be >= 2";
+  if domains < 1 then invalid_arg "Splitting.run: domains must be >= 1";
+  if initial > max_stage_trials then
+    invalid_arg "Splitting.run: initial exceeds max_stage_trials";
+  let root = Prng.Stream.create ~seed in
+  let total_events = ref 0 in
+  let total_trials = ref 0 in
+  (* Global trial counter: trial [stream_base + j] of the whole run uses
+     substream [stream_base + j], whatever the stage or domain split. *)
+  let stream_base = ref 0 in
+  let stages = ref [] in
+  (* One stage: race every source toward [threshold]; [None] sources
+     start fresh (stage 0 only). Returns the captured checkpoints in
+     trial order. *)
+  let run_stage ~threshold (sources : Executor.checkpoint option array) =
+    let n = Array.length sources in
+    let first_global = !stream_base in
+    stream_base := !stream_base + n;
+    let run_block (first, count) =
+      (* [base] stays pristine (never drawn from), so trial
+         [first_global + first + i] always runs on exactly that
+         substream of the seed, regardless of the domain split. *)
+      let base = ref (Prng.Stream.substream root (first_global + first)) in
+      Array.init count (fun i ->
+          if i > 0 then base := Prng.Stream.successor !base;
+          let stream = Prng.Stream.substream !base 0 in
+          match
+            Executor.run_to_level ?from_:sources.(first + i) ~model ~config
+              ~stream ~observer:Observer.nop ~importance ~threshold ()
+          with
+          | Executor.Finished o -> (None, o.Executor.events)
+          | Executor.Crossed { checkpoint; events } ->
+              (Some checkpoint, events))
+    in
+    let blocks = blocks_of ~domains ~count:n in
+    let results =
+      match blocks with
+      | [ b ] -> [ run_block b ]
+      | bs ->
+          List.map Domain.join
+            (List.map (fun b -> Domain.spawn (fun () -> run_block b)) bs)
+    in
+    let flat = Array.concat results in
+    total_trials := !total_trials + n;
+    Array.iter (fun (_, ev) -> total_events := !total_events + ev) flat;
+    let hits =
+      Array.to_list flat |> List.filter_map fst |> Array.of_list
+    in
+    stages :=
+      { Stats.Splitting.trials = n; hits = Array.length hits } :: !stages;
+    hits
+  in
+  let sources = ref (Array.make initial None) in
+  let threshold = ref 1 in
+  let continue_ = ref true in
+  while !continue_ do
+    (* After a jump across several levels, every source of a stage can
+       already sit at or above its threshold. Such a stage is a certain
+       pass-through (ratio exactly 1, no events): record it and keep the
+       population as is — cloning certain crossings would only multiply
+       the trial count, not the information. *)
+    let pass_through =
+      Array.for_all
+        (function
+          | Some cp ->
+              importance (Executor.checkpoint_marking cp) >= !threshold
+          | None -> false)
+        !sources
+    in
+    if pass_through then begin
+      let n = Array.length !sources in
+      total_trials := !total_trials + n;
+      stages := { Stats.Splitting.trials = n; hits = n } :: !stages;
+      if !threshold = levels then continue_ := false else incr threshold
+    end
+    else begin
+      let hits = run_stage ~threshold:!threshold !sources in
+      if Array.length hits = 0 || !threshold = levels then continue_ := false
+      else begin
+        let h = Array.length hits in
+        if h * clones > max_stage_trials then
+          invalid_arg
+            (Printf.sprintf
+               "Splitting.run: stage %d would launch %d trials (> %d); use \
+                fewer clones per crossing"
+               !threshold (h * clones) max_stage_trials);
+        let next = Array.make (h * clones) (Some hits.(0)) in
+        Array.iteri
+          (fun j cp ->
+            for c = 0 to clones - 1 do
+              next.((j * clones) + c) <- Some cp
+            done)
+          hits;
+        sources := next;
+        incr threshold
+      end
+    end
+  done;
+  let stages = Array.of_list (List.rev !stages) in
+  {
+    estimate = Stats.Splitting.estimate ~confidence stages;
+    total_trials = !total_trials;
+    total_events = !total_events;
+    levels;
+    clones;
+  }

@@ -1,0 +1,72 @@
+(** RESTART / multilevel importance splitting for rare-event estimation.
+
+    Estimates the probability that a replication's marking {e ever}
+    reaches importance level [levels] before the horizon, where an
+    {e importance function} maps markings to integer levels
+    [0 .. levels] and level [levels] is the rare event of interest
+    (e.g. "some application group is improper" for ITUA unreliability).
+
+    The engine runs stage by stage. Stage 0 launches [initial]
+    replications from the model's initial marking and halts each the
+    moment it up-crosses level 1, checkpointing its full state
+    ({!Executor.checkpoint}). Every checkpoint is then cloned [clones]
+    times with fresh, non-overlapping PRNG substreams and raced toward
+    level 2, and so on until level [levels]. The per-stage hit ratios
+    multiply into an unbiased estimate of the tail probability
+    ({!Stats.Splitting.estimate}); see [doc/RARE_EVENTS.md] for the
+    method, how to choose importance functions, and its pitfalls.
+
+    Determinism matches {!Runner}: trial [i] of the whole run (numbered
+    across stages in a fixed order) always executes on substream [i] of
+    [seed], and stage results are collected in trial order, so the
+    result is bit-identical for every [?domains] value. *)
+
+type result = {
+  estimate : Stats.Splitting.estimate;
+      (** tail-probability estimate with delta-method CI *)
+  total_trials : int;  (** trials across all stages *)
+  total_events : int;  (** activity firings across all trials *)
+  levels : int;
+  clones : int;
+}
+
+val run :
+  ?domains:int ->
+  ?confidence:float ->
+  ?max_stage_trials:int ->
+  model:San.Model.t ->
+  config:Executor.config ->
+  importance:(San.Marking.t -> int) ->
+  levels:int ->
+  clones:int ->
+  initial:int ->
+  seed:int64 ->
+  unit ->
+  result
+(** [run ~model ~config ~importance ~levels ~clones ~initial ~seed ()]
+    estimates [P(max over stable markings of importance >= levels)]
+    within [config.horizon].
+
+    [importance] must be cheap (it runs after every timed firing), must
+    map the initial marking below [levels] for the estimate to be
+    non-trivial, and need not change by single steps: a jump across
+    several levels is handled by the immediate re-crossing of each
+    intermediate stage. A stage whose every source already sits at or
+    above its threshold is recognized as a certain pass-through (ratio
+    exactly 1) and is recorded without launching trials or cloning, so
+    jumps do not multiply the population. It is evaluated on stable markings only, so
+    levels touched transiently inside an instantaneous chain do not
+    count (deliberately — the same convention as reward variables and
+    {!Ctmc.Measure.ever}).
+
+    [config.stop], if set, ends a trial early; such trials count as
+    failures to reach the next level. [initial] must be at least 2,
+    [levels] and [clones] at least 1.
+
+    [max_stage_trials] (default [2^20]) bounds the number of trials any
+    stage may launch; exceeding it raises [Invalid_argument] advising
+    fewer clones — with [clones] well above the inverse of the typical
+    level-passage probability the trial population grows geometrically,
+    which is the classic RESTART failure mode.
+
+    Raises like {!Executor.run} on model errors. *)

@@ -1,0 +1,103 @@
+type stage = { trials : int; hits : int }
+
+type estimate = {
+  probability : float;
+  ci : Ci.t;
+  rel_variance : float;
+  stages : stage array;
+}
+
+let validate stages =
+  if Array.length stages = 0 then
+    invalid_arg "Splitting.estimate: no stages";
+  Array.iteri
+    (fun k { trials; hits } ->
+      if trials <= 0 then
+        invalid_arg
+          (Printf.sprintf "Splitting.estimate: stage %d has %d trials" k
+             trials);
+      if hits < 0 || hits > trials then
+        invalid_arg
+          (Printf.sprintf "Splitting.estimate: stage %d has %d hits of %d"
+             k hits trials);
+      if k > 0 && stages.(k - 1).hits = 0 then
+        invalid_arg
+          (Printf.sprintf
+             "Splitting.estimate: stage %d follows a zero-hit stage" k))
+    stages
+
+let estimate ?(confidence = 0.95) stages =
+  validate stages;
+  let prob =
+    Array.fold_left
+      (fun acc { trials; hits } -> acc *. (float_of_int hits /. float_of_int trials))
+      1.0 stages
+  in
+  let n0 = stages.(0).trials in
+  if prob = 0.0 then begin
+    (* Some stage went dry. The point estimate is 0; bound the tail from
+       above by the product of the ratios reached so far times a
+       one-sided binomial upper bound for the dry stage: if X ~ B(n, p)
+       and X = 0 was observed, p <= -ln(1 - confidence)/n at the given
+       confidence (the "rule of three" when confidence = 0.95). *)
+    let upper = ref 1.0 in
+    (try
+       Array.iter
+         (fun { trials; hits } ->
+           if hits = 0 then begin
+             upper :=
+               !upper *. (-.log (1.0 -. confidence) /. float_of_int trials);
+             raise Exit
+           end
+           else
+             upper := !upper *. (float_of_int hits /. float_of_int trials))
+         stages
+     with Exit -> ());
+    {
+      probability = 0.0;
+      ci =
+        {
+          Ci.mean = 0.0;
+          half_width = !upper;
+          confidence;
+          n = n0;
+        };
+      rel_variance = Float.nan;
+      stages;
+    }
+  end
+  else begin
+    (* Delta method on ln γ̂ = Σ ln p̂ₖ with independent binomial stages:
+       Var(ln p̂ₖ) ≈ (1 - p̂ₖ)/(nₖ p̂ₖ), so Var(γ̂)/γ̂² ≈ Σₖ (1-p̂ₖ)/(nₖ p̂ₖ). *)
+    let rel_var =
+      Array.fold_left
+        (fun acc { trials; hits } ->
+          let n = float_of_int trials and h = float_of_int hits in
+          let p = h /. n in
+          acc +. ((1.0 -. p) /. (n *. p)))
+        0.0 stages
+    in
+    let min_trials =
+      Array.fold_left (fun acc { trials; _ } -> min acc trials) max_int
+        stages
+    in
+    let t =
+      Student_t.critical ~df:(float_of_int (min_trials - 1)) ~confidence
+    in
+    {
+      probability = prob;
+      ci =
+        {
+          Ci.mean = prob;
+          half_width = t *. prob *. sqrt rel_var;
+          confidence;
+          n = n0;
+        };
+      rel_variance = rel_var;
+      stages;
+    }
+  end
+
+let variance e =
+  if e.probability = 0.0 then 0.0
+  else e.rel_variance *. e.probability *. e.probability

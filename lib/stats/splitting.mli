@@ -1,0 +1,50 @@
+(** Tail-probability estimation from multilevel-splitting stage counts.
+
+    A fixed-splitting (RESTART) run partitions the rare event
+    [{importance >= L}] into [L] nested level crossings and reports, for
+    each stage [k], how many trials were started from level-[k] state and
+    how many of them reached level [k+1]. The product of the per-stage
+    hit ratios is an unbiased estimator of the tail probability, and the
+    delta method over the log of the product gives its confidence
+    interval. See [doc/RARE_EVENTS.md] for the derivation and the
+    independence approximation the interval relies on. *)
+
+type stage = {
+  trials : int;  (** trials started at this stage; > 0 *)
+  hits : int;  (** trials that reached the next level; in [0, trials] *)
+}
+
+type estimate = {
+  probability : float;  (** product of the per-stage hit ratios *)
+  ci : Ci.t;
+      (** delta-method interval; on an all-zero final stage the interval
+          degenerates to [0, upper] with a rule-of-three style bound *)
+  rel_variance : float;
+      (** estimated relative variance Var(γ̂)/γ̂²; [nan] when
+          [probability = 0] *)
+  stages : stage array;  (** the input, for reporting *)
+}
+
+val estimate : ?confidence:float -> stage array -> estimate
+(** [estimate stages] combines per-stage counts into a tail-probability
+    estimate with a [confidence] (default 0.95) interval.
+
+    The point estimate is γ̂ = ∏ₖ hitsₖ/trialsₖ. Treating the stages as
+    independent binomials, the delta method gives
+    Var(γ̂)/γ̂² ≈ Σₖ (1 − p̂ₖ)/(trialsₖ · p̂ₖ), and the interval is
+    γ̂ · (1 ± t·√(Σ…)) with the Student-t critical value at the smallest
+    stage's degrees of freedom (conservative).
+
+    If some stage has zero hits, γ̂ = 0; the interval's upper bound is
+    then the product of the ratios before the first zero stage times the
+    one-sided binomial bound [-ln(1 − confidence) / trials] for that
+    stage (the "rule of three" at 95%).
+
+    Raises [Invalid_argument] on an empty array, non-positive trials,
+    hits outside [0, trials], or a zero-hit stage followed by a stage
+    with trials (the run should have stopped there). *)
+
+val variance : estimate -> float
+(** Absolute delta-method variance [rel_variance · probability²]; [0.0]
+    when the probability estimate is zero. Used for work-normalized
+    comparisons against crude Monte Carlo. *)

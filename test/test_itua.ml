@@ -566,6 +566,70 @@ let test_tiny_config_matches_ctmc () =
           exact_ua
   | _ -> Alcotest.fail "arity"
 
+(* --- rare-event splitting against the exact CTMC --- *)
+
+let test_splitting_matches_ctmc () =
+  (* The same minimal configuration as the CTMC cross-validation above:
+     the splitting engine with the ITUA importance function must
+     reproduce the exact unreliability tail. *)
+  let p =
+    {
+      base_params with
+      Itua.Params.num_domains = 1;
+      hosts_per_domain = 1;
+      num_apps = 1;
+      num_reps = 1;
+      rate_scale = 1.0;
+    }
+  in
+  let h = Itua.Model.build p in
+  let c = Ctmc.Explore.explore h.Itua.Model.model in
+  let exact =
+    Ctmc.Measure.ever c ~until:5.0 (fun m -> Itua.Model.improper h 0 m)
+  in
+  let levels = Itua.Rare.default_levels in
+  let r =
+    Sim.Splitting.run ~model:h.Itua.Model.model
+      ~config:(Sim.Executor.config ~horizon:5.0 ())
+      ~importance:(Itua.Rare.unreliability ~app:0 h ~levels)
+      ~levels ~clones:2 ~initial:4000 ~seed:20030622L ()
+  in
+  let est = r.Sim.Splitting.estimate in
+  let sigma = sqrt (Stats.Splitting.variance est) in
+  let gap = Float.abs (est.Stats.Splitting.probability -. exact) in
+  if gap > 3.0 *. sigma then
+    Alcotest.failf "splitting %.5g vs exact %.5g: gap %.3g > 3σ = %.3g"
+      est.Stats.Splitting.probability exact gap (3.0 *. sigma);
+  if not (Stats.Ci.contains est.Stats.Splitting.ci exact) then
+    Alcotest.failf "reported CI %s misses exact %.5g"
+      (Format.asprintf "%a" Stats.Ci.pp est.Stats.Splitting.ci)
+      exact
+
+let test_rare_point_runs () =
+  (* Study wiring smoke: a small splitting run on a non-degenerate
+     configuration returns a sane estimate and stage profile. *)
+  let params =
+    {
+      base_params with
+      Itua.Params.num_domains = 2;
+      hosts_per_domain = 1;
+      num_apps = 1;
+      num_reps = 2;
+    }
+  in
+  let config = { Itua.Study.quick_config with reps = 400 } in
+  let r =
+    Itua.Study.rare_point ~config ~measure:Itua.Study.Unreliability ~params
+      ~until:5.0 ()
+  in
+  let est = r.Sim.Splitting.estimate in
+  Alcotest.(check bool) "probability in (0, 1)" true
+    (est.Stats.Splitting.probability >= 0.0
+    && est.Stats.Splitting.probability < 1.0);
+  Alcotest.(check bool) "ran all levels or went dry" true
+    (Array.length est.Stats.Splitting.stages <= Itua.Rare.default_levels);
+  Alcotest.(check bool) "counted work" true (r.Sim.Splitting.total_events > 0)
+
 (* --- trace observer on an ITUA model --- *)
 
 let contains ~needle haystack =
@@ -834,6 +898,12 @@ let () =
         [
           Alcotest.test_case "tiny config exact" `Slow
             test_tiny_config_matches_ctmc;
+        ] );
+      ( "rare-events",
+        [
+          Alcotest.test_case "splitting matches exact ctmc" `Slow
+            test_splitting_matches_ctmc;
+          Alcotest.test_case "study rare_point" `Slow test_rare_point_runs;
         ] );
       ( "trace",
         [ Alcotest.test_case "show marking on ITUA" `Quick test_trace_on_itua ] );

@@ -1027,6 +1027,186 @@ let test_runner_nan_handling () =
   Alcotest.(check int) "none defined" 0 r.Sim.Runner.n_defined;
   Alcotest.(check int) "all ran" 20 r.Sim.Runner.n_runs
 
+(* --- checkpointing and the splitting engine --- *)
+
+let test_checkpoint_roundtrip () =
+  (* A run halted at a level and resumed with the same stream object must
+     be bit-identical to the uninterrupted run on that stream. *)
+  let q = Test_models.mm1k ~lambda:1.0 ~mu:1.2 ~k:8 in
+  let model = q.Test_models.q_model and len = q.Test_models.q_len in
+  let cfg = Sim.Executor.config ~horizon:50.0 () in
+  let full =
+    Sim.Executor.run ~model ~config:cfg ~stream:(stream 99)
+      ~observer:Sim.Observer.nop ()
+  in
+  let s2 = stream 99 in
+  let importance m = San.Marking.get m len in
+  match
+    Sim.Executor.run_to_level ~model ~config:cfg ~stream:s2
+      ~observer:Sim.Observer.nop ~importance ~threshold:3 ()
+  with
+  | Sim.Executor.Finished _ -> Alcotest.fail "expected a crossing"
+  | Sim.Executor.Crossed { checkpoint; events } ->
+      Alcotest.(check int) "captured at the level" 3
+        (importance (Sim.Executor.checkpoint_marking checkpoint));
+      Alcotest.(check bool) "some events before the crossing" true (events > 0);
+      let resumed =
+        Sim.Executor.resume ~model ~config:cfg ~stream:s2
+          ~observer:Sim.Observer.nop checkpoint
+      in
+      Alcotest.(check int) "final marking identical"
+        (San.Marking.get full.Sim.Executor.final len)
+        (San.Marking.get resumed.Sim.Executor.final len);
+      Alcotest.(check int) "events partition the full run"
+        full.Sim.Executor.events
+        (events + resumed.Sim.Executor.events);
+      Alcotest.(check (float 0.0)) "same last-event time"
+        full.Sim.Executor.end_time resumed.Sim.Executor.end_time
+
+let test_checkpoint_clones_independent () =
+  (* A checkpoint can be resumed many times: same stream seed gives the
+     same continuation, different seeds explore different futures. *)
+  let q = Test_models.mm1k ~lambda:1.0 ~mu:1.2 ~k:8 in
+  let model = q.Test_models.q_model and len = q.Test_models.q_len in
+  let cfg = Sim.Executor.config ~horizon:50.0 () in
+  match
+    Sim.Executor.run_to_level ~model ~config:cfg ~stream:(stream 99)
+      ~observer:Sim.Observer.nop
+      ~importance:(fun m -> San.Marking.get m len)
+      ~threshold:3 ()
+  with
+  | Sim.Executor.Finished _ -> Alcotest.fail "expected a crossing"
+  | Sim.Executor.Crossed { checkpoint; _ } ->
+      let resume seed =
+        let o =
+          Sim.Executor.resume ~model ~config:cfg ~stream:(stream seed)
+            ~observer:Sim.Observer.nop checkpoint
+        in
+        (San.Marking.get o.Sim.Executor.final len, o.Sim.Executor.events)
+      in
+      Alcotest.(check (pair int int))
+        "same seed, same continuation" (resume 7) (resume 7);
+      let different = List.init 5 (fun i -> resume (100 + i)) in
+      Alcotest.(check bool) "seeds diverge" true
+        (List.exists (fun r -> r <> List.hd different) different)
+
+let test_splitting_two_state_agrees_with_crude () =
+  (* Non-rare event, P(ever down by t) = 1 - exp(-λt) ≈ 0.39: splitting
+     must agree with the closed form and with a crude-MC estimate. *)
+  let ts = Test_models.two_state ~lambda:1.0 ~mu:2.0 in
+  let model = ts.Test_models.ts_model and up = ts.Test_models.up in
+  let horizon = 0.5 in
+  let exact = 1.0 -. exp (-.horizon) in
+  let importance m = if San.Marking.get m up = 0 then 1 else 0 in
+  let r =
+    Sim.Splitting.run ~model
+      ~config:(Sim.Executor.config ~horizon ())
+      ~importance ~levels:1 ~clones:2 ~initial:4000 ~seed:7L ()
+  in
+  let est = r.Sim.Splitting.estimate in
+  if not (Stats.Ci.contains est.Stats.Splitting.ci exact) then
+    Alcotest.failf "splitting CI %s misses exact %.4f"
+      (Format.asprintf "%a" Stats.Ci.pp est.Stats.Splitting.ci)
+      exact;
+  (* Crude MC of the same event on an independent seed. *)
+  let n = 4000 in
+  let root = Prng.Stream.create ~seed:8L in
+  let cfg =
+    Sim.Executor.config ~horizon
+      ~stop:(fun m -> San.Marking.get m up = 0)
+      ()
+  in
+  let hits = ref 0 in
+  let base = ref (Prng.Stream.substream root 0) in
+  for i = 0 to n - 1 do
+    if i > 0 then base := Prng.Stream.successor !base;
+    let o =
+      Sim.Executor.run ~model ~config:cfg
+        ~stream:(Prng.Stream.substream !base 0)
+        ~observer:Sim.Observer.nop ()
+    in
+    if o.Sim.Executor.stopped_early then incr hits
+  done;
+  let crude = float_of_int !hits /. float_of_int n in
+  let sigma_crude = sqrt (crude *. (1.0 -. crude) /. float_of_int n) in
+  let sigma_split = sqrt (Stats.Splitting.variance est) in
+  let gap = Float.abs (crude -. est.Stats.Splitting.probability) in
+  let bound = 3.0 *. sqrt ((sigma_crude ** 2.0) +. (sigma_split ** 2.0)) in
+  if gap > bound then
+    Alcotest.failf "crude %.4f vs splitting %.4f: gap %.4f > 3σ %.4f" crude
+      est.Stats.Splitting.probability gap bound
+
+let test_splitting_mm1k_matches_ctmc () =
+  (* Multi-level run against the exact CTMC: P(queue ever reaches 5
+     within t=10) for M/M/1/8 at ρ = 0.5. *)
+  let q = Test_models.mm1k ~lambda:1.0 ~mu:2.0 ~k:8 in
+  let model = q.Test_models.q_model and len = q.Test_models.q_len in
+  let target = 5 in
+  let c = Ctmc.Explore.explore model in
+  let exact =
+    Ctmc.Measure.ever c ~until:10.0 (fun m -> San.Marking.get m len >= target)
+  in
+  let r =
+    Sim.Splitting.run ~model
+      ~config:(Sim.Executor.config ~horizon:10.0 ())
+      ~importance:(fun m -> Int.min target (San.Marking.get m len))
+      ~levels:target ~clones:3 ~initial:2000 ~seed:11L ()
+  in
+  let est = r.Sim.Splitting.estimate in
+  Alcotest.(check int) "one stage per level" target
+    (Array.length est.Stats.Splitting.stages);
+  let sigma = sqrt (Stats.Splitting.variance est) in
+  let gap = Float.abs (est.Stats.Splitting.probability -. exact) in
+  if gap > 3.0 *. sigma then
+    Alcotest.failf "splitting %.5g vs exact %.5g: gap %.3g > 3σ = %.3g"
+      est.Stats.Splitting.probability exact gap (3.0 *. sigma)
+
+let test_splitting_deterministic_across_domains () =
+  let q = Test_models.mm1k ~lambda:1.0 ~mu:2.0 ~k:8 in
+  let model = q.Test_models.q_model and len = q.Test_models.q_len in
+  let go domains =
+    let r =
+      Sim.Splitting.run ~domains ~model
+        ~config:(Sim.Executor.config ~horizon:10.0 ())
+        ~importance:(fun m -> Int.min 5 (San.Marking.get m len))
+        ~levels:5 ~clones:3 ~initial:500 ~seed:11L ()
+    in
+    ( r.Sim.Splitting.estimate.Stats.Splitting.probability,
+      r.Sim.Splitting.total_events,
+      Array.to_list
+        (Array.map
+           (fun s -> (s.Stats.Splitting.trials, s.Stats.Splitting.hits))
+           r.Sim.Splitting.estimate.Stats.Splitting.stages) )
+  in
+  let p1, e1, s1 = go 1 and p4, e4, s4 = go 4 in
+  Alcotest.(check (float 0.0)) "identical probability" p1 p4;
+  Alcotest.(check int) "identical total events" e1 e4;
+  Alcotest.(check (list (pair int int))) "identical stage counts" s1 s4
+
+let test_splitting_validation () =
+  let q = Test_models.mm1k ~lambda:1.0 ~mu:2.0 ~k:8 in
+  let model = q.Test_models.q_model and len = q.Test_models.q_len in
+  let cfg = Sim.Executor.config ~horizon:1.0 () in
+  let importance m = San.Marking.get m len in
+  let rejects name f =
+    Alcotest.(check bool) name true
+      (match f () with
+      | (_ : Sim.Splitting.result) -> false
+      | exception Invalid_argument _ -> true)
+  in
+  rejects "levels 0" (fun () ->
+      Sim.Splitting.run ~model ~config:cfg ~importance ~levels:0 ~clones:2
+        ~initial:10 ~seed:1L ());
+  rejects "clones 0" (fun () ->
+      Sim.Splitting.run ~model ~config:cfg ~importance ~levels:2 ~clones:0
+        ~initial:10 ~seed:1L ());
+  rejects "initial 1" (fun () ->
+      Sim.Splitting.run ~model ~config:cfg ~importance ~levels:2 ~clones:2
+        ~initial:1 ~seed:1L ());
+  rejects "stage explosion" (fun () ->
+      Sim.Splitting.run ~model ~config:cfg ~importance ~max_stage_trials:16
+        ~levels:3 ~clones:100 ~initial:16 ~seed:1L ())
+
 let () =
   let props = List.map QCheck_alcotest.to_alcotest [ prop_heap_sorts ] in
   Alcotest.run "sim"
@@ -1036,6 +1216,20 @@ let () =
           Alcotest.test_case "ordering" `Quick test_heap_ordering;
           Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
           Alcotest.test_case "bad times" `Quick test_heap_rejects_bad_time;
+        ] );
+      ( "splitting",
+        [
+          Alcotest.test_case "checkpoint round-trip" `Quick
+            test_checkpoint_roundtrip;
+          Alcotest.test_case "clones independent" `Quick
+            test_checkpoint_clones_independent;
+          Alcotest.test_case "two-state vs crude MC" `Slow
+            test_splitting_two_state_agrees_with_crude;
+          Alcotest.test_case "mm1k vs exact ctmc" `Slow
+            test_splitting_mm1k_matches_ctmc;
+          Alcotest.test_case "cross-core identical" `Slow
+            test_splitting_deterministic_across_domains;
+          Alcotest.test_case "validation" `Quick test_splitting_validation;
         ] );
       ( "executor",
         [

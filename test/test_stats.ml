@@ -248,6 +248,70 @@ let test_ci_coverage () =
     true
     (!hits >= 355)
 
+(* --- splitting estimator --- *)
+
+let test_splitting_point_estimate () =
+  let e =
+    Stats.Splitting.estimate
+      [|
+        { Stats.Splitting.trials = 1000; hits = 100 };
+        { trials = 400; hits = 40 };
+        { trials = 80; hits = 8 };
+      |]
+  in
+  close "product of ratios" 1e-3 e.Stats.Splitting.probability;
+  close "ci mean is the estimate" 1e-3 e.Stats.Splitting.ci.Stats.Ci.mean;
+  (* Σ (1-p)/(n·p) with p = 0.1 at n = 1000, 400, 80. *)
+  let expect_rv = (0.9 /. 100.0) +. (0.9 /. 40.0) +. (0.9 /. 8.0) in
+  close "relative variance" expect_rv e.Stats.Splitting.rel_variance;
+  close "absolute variance" (expect_rv *. 1e-6) (Stats.Splitting.variance e);
+  (* Smallest stage has 80 trials: t(79) ≈ 1.99. *)
+  let t = Stats.Student_t.critical ~df:79.0 ~confidence:0.95 in
+  close ~tol:1e-12 "half width"
+    (t *. 1e-3 *. sqrt expect_rv)
+    e.Stats.Splitting.ci.Stats.Ci.half_width
+
+let test_splitting_single_stage_matches_binomial () =
+  (* One stage is a plain binomial proportion: relative variance
+     (1-p)/(np). *)
+  let e =
+    Stats.Splitting.estimate [| { Stats.Splitting.trials = 500; hits = 50 } |]
+  in
+  close "p" 0.1 e.Stats.Splitting.probability;
+  close "binomial rel var" (0.9 /. 50.0) e.Stats.Splitting.rel_variance
+
+let test_splitting_zero_hits () =
+  let e =
+    Stats.Splitting.estimate ~confidence:0.95
+      [|
+        { Stats.Splitting.trials = 1000; hits = 200 }; { trials = 600; hits = 0 };
+      |]
+  in
+  close "estimate is zero" 0.0 e.Stats.Splitting.probability;
+  Alcotest.(check bool) "rel variance undefined" true
+    (Float.is_nan e.Stats.Splitting.rel_variance);
+  close "variance zero" 0.0 (Stats.Splitting.variance e);
+  (* Upper bound: 0.2 · (-ln 0.05)/600 — the rule of three. *)
+  close ~tol:1e-12 "rule-of-three upper bound"
+    (0.2 *. -.log 0.05 /. 600.0)
+    (Stats.Ci.upper e.Stats.Splitting.ci)
+
+let test_splitting_validation () =
+  let rejects name stages =
+    Alcotest.(check bool) name true
+      (match Stats.Splitting.estimate stages with
+      | (_ : Stats.Splitting.estimate) -> false
+      | exception Invalid_argument _ -> true)
+  in
+  rejects "empty" [||];
+  rejects "zero trials" [| { Stats.Splitting.trials = 0; hits = 0 } |];
+  rejects "hits above trials" [| { Stats.Splitting.trials = 5; hits = 6 } |];
+  rejects "negative hits" [| { Stats.Splitting.trials = 5; hits = -1 } |];
+  rejects "stage after a dry stage"
+    [|
+      { Stats.Splitting.trials = 10; hits = 0 }; { trials = 10; hits = 1 };
+    |]
+
 (* --- Kolmogorov-Smirnov --- *)
 
 let test_ks_perfect_grid () =
@@ -355,6 +419,15 @@ let () =
           Alcotest.test_case "known sample" `Quick test_ci_known_sample;
           Alcotest.test_case "single sample" `Quick test_ci_single_sample;
           Alcotest.test_case "coverage" `Slow test_ci_coverage;
+        ] );
+      ( "splitting",
+        [
+          Alcotest.test_case "point estimate and ci" `Quick
+            test_splitting_point_estimate;
+          Alcotest.test_case "single stage is binomial" `Quick
+            test_splitting_single_stage_matches_binomial;
+          Alcotest.test_case "zero hits" `Quick test_splitting_zero_hits;
+          Alcotest.test_case "validation" `Quick test_splitting_validation;
         ] );
       ( "kolmogorov-smirnov",
         [
