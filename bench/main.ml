@@ -313,11 +313,86 @@ let fig3_point_times ~reps ~seed ~domains =
       (Printf.sprintf "fig3_point_%dx%d" nd nh, now () -. t0))
     [ (12, 1); (6, 2); (4, 3); (3, 4); (2, 6); (1, 12) ]
 
+(* --- exact-lumping benchmark --- *)
+
+(* Symmetry-driven lumping on the 10x1 study shape: ten exchangeable
+   single-host domains, each a three-state attack cycle (clean ->
+   compromised -> excluded -> clean). The flat chain has 3^10 states;
+   canonical ordering keeps one representative per multiset of host
+   states, so exploration and every solve shrink by ~900x while
+   symmetric measures stay exact (doc/ANALYSIS.md). *)
+let lumping_model ~n =
+  let b = San.Model.Builder.create "hosts" in
+  let root = Compose.Ctx.root b "hosts" in
+  let states =
+    Compose.replicate root "domain" ~n (fun ctx _ ->
+        let s = Compose.Ctx.int_place ctx "state" in
+        let step name rate from to_ =
+          Compose.Ctx.timed_exp ctx ~name
+            ~rate:(fun _ -> rate)
+            ~enabled:(fun m -> San.Marking.get m s = from)
+            ~reads:[ San.Place.P s ]
+            (fun _ m -> San.Marking.set m s to_)
+        in
+        step "compromise" 0.3 0 1;
+        step "exclude" 0.8 1 2;
+        step "restore" 0.5 2 0;
+        s)
+  in
+  (San.Model.Builder.build b, Compose.info root, states)
+
+type lump_bench = {
+  lu_label : string;
+  lu_full_states : int;
+  lu_full_wall : float;
+  lu_lumped_states : int;
+  lu_lumped_wall : float;
+  lu_measure_delta : float;
+}
+
+let run_lumping () =
+  let n = 10 in
+  let model, info, states = lumping_model ~n in
+  let groups = Analysis.Symmetry.detect model info in
+  let excluded m =
+    Array.fold_left
+      (fun acc s -> if San.Marking.get m s = 2 then acc +. 1.0 else acc)
+      0.0 states
+  in
+  let t0 = now () in
+  let full = Ctmc.Explore.explore model in
+  let full_at5 = Ctmc.Measure.instant full ~at:5.0 excluded in
+  let full_wall = now () -. t0 in
+  let t0 = now () in
+  let lumped =
+    Ctmc.Explore.explore ~canon:(Analysis.Symmetry.canon groups) model
+  in
+  let lumped_at5 = Ctmc.Measure.instant lumped ~at:5.0 excluded in
+  let lumped_wall = now () -. t0 in
+  let r =
+    {
+      lu_label = Printf.sprintf "%dx1 hosts, 3-state attack cycle" n;
+      lu_full_states = Ctmc.Explore.n_states full;
+      lu_full_wall = full_wall;
+      lu_lumped_states = Ctmc.Explore.n_states lumped;
+      lu_lumped_wall = lumped_wall;
+      lu_measure_delta = Float.abs (full_at5 -. lumped_at5);
+    }
+  in
+  Format.printf "@.CTMC lumping (%s):@." r.lu_label;
+  Format.printf "  unlumped: %d states, explore+solve %.2fs@." r.lu_full_states
+    r.lu_full_wall;
+  Format.printf "  lumped:   %d states, explore+solve %.2fs@."
+    r.lu_lumped_states r.lu_lumped_wall;
+  Format.printf "  E[excluded hosts at t=5] differs by %.3g@."
+    r.lu_measure_delta;
+  r
+
 (* --- BENCH_sim.json --- *)
 
 let json_escape s = Printf.sprintf "%S" s
 
-let write_bench_json ~reps ~micro ~throughput ~rare ~figures =
+let write_bench_json ~reps ~micro ~throughput ~rare ~lumping ~figures =
   let buf = Buffer.create 2048 in
   let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   let add_list xs render =
@@ -371,6 +446,19 @@ let write_bench_json ~reps ~micro ~throughput ~rare ~figures =
          %.4g, \"reduction\": %.1f }\n"
         r.rb_wnv_crude r.rb_wnv_split
         (r.rb_wnv_crude /. r.rb_wnv_split);
+      addf "  },\n");
+  (match lumping with
+  | None -> ()
+  | Some l ->
+      addf "  \"ctmc_lumping\": {\n";
+      addf "    \"config\": %s,\n" (json_escape l.lu_label);
+      addf "    \"unlumped\": { \"states\": %d, \"wall_seconds\": %.4f },\n"
+        l.lu_full_states l.lu_full_wall;
+      addf "    \"lumped\": { \"states\": %d, \"wall_seconds\": %.4f },\n"
+        l.lu_lumped_states l.lu_lumped_wall;
+      addf "    \"state_reduction\": %.1f,\n"
+        (float_of_int l.lu_full_states /. float_of_int l.lu_lumped_states);
+      addf "    \"measure_delta\": %.3g\n" l.lu_measure_delta;
       addf "  },\n");
   addf "  \"figures\": [\n";
   add_list figures (fun (id, wall) ->
@@ -452,21 +540,39 @@ let () =
       Some (timed "rare_tail" (run_rare ~cfg))
     else None
   in
+  let lumping =
+    if List.mem "perf" args || List.mem "rare" args then
+      Some (timed "ctmc_lumping" run_lumping)
+    else None
+  in
   let point_reps = Int.min cfg.Itua.Study.reps 200 in
   let fig3_points =
     fig3_point_times ~reps:point_reps ~seed:cfg.Itua.Study.seed
       ~domains:cfg.Itua.Study.domains
   in
-  write_bench_json ~reps:cfg.Itua.Study.reps ~micro ~throughput ~rare
+  write_bench_json ~reps:cfg.Itua.Study.reps ~micro ~throughput ~rare ~lumping
     ~figures:(!figure_times @ fig3_points);
   (* Regression gate: splitting must beat crude MC by >=10x on the tail
      (doc/RARE_EVENTS.md). Counts are seed-deterministic, so this is a
      stable check, evaluated after the record is written. *)
-  match rare with
+  (match rare with
   | Some r when not (r.rb_wnv_crude >= 10.0 *. r.rb_wnv_split) ->
       Format.eprintf
         "rare-event gate FAILED: work-normalized variance reduction %.1fx < \
          10x@."
         (r.rb_wnv_crude /. r.rb_wnv_split);
+      exit 1
+  | _ -> ());
+  (* Lumping gate: the canonical-ordering quotient must shrink the state
+     space on the replicated 10x1 shape and leave the symmetric measure
+     unchanged to solver accuracy (doc/ANALYSIS.md). *)
+  match lumping with
+  | Some l
+    when l.lu_lumped_states >= l.lu_full_states
+         || not (l.lu_measure_delta <= 1e-9) ->
+      Format.eprintf
+        "ctmc-lumping gate FAILED: %d lumped vs %d full states, measure delta \
+         %.3g@."
+        l.lu_lumped_states l.lu_full_states l.lu_measure_delta;
       exit 1
   | _ -> ()

@@ -659,33 +659,50 @@ let check_json_arg =
          ~doc:"Write the machine-readable report to $(docv) (one JSON \
                object per line).")
 
+let check_invariants_arg =
+  Arg.(value & flag & info [ "invariants" ]
+         ~doc:"Print the structural certificate: incidence modes, \
+               P/T-semiflows, declared conservation-law verdicts, and \
+               place bounds.")
+
+let check_strict_arg =
+  Arg.(value & flag & info [ "strict" ]
+         ~doc:"Exit nonzero on warnings too, not just errors.")
+
 let check_run domains hosts apps replicas policy multiplier
-    spread scale json =
+    spread scale invariants strict json =
   let p = params_of domains hosts apps replicas policy multiplier spread scale in
   let h = Itua.Model.build p in
   let report =
     Analysis.Check.run ~composition:h.Itua.Model.composition
+      ~laws:(Itua.Invariant.conservation_laws h)
       h.Itua.Model.model
   in
   Format.printf "%a" Analysis.Check.pp report;
+  if invariants then
+    Format.printf "@.%a" Analysis.Structure.pp
+      report.Analysis.Check.structure;
   (match json with
   | None -> ()
   | Some path ->
       Report.write_jsonl path [ Analysis.Check.to_json report ];
       Format.printf "JSON report written to %s@." path);
-  if Analysis.Check.has_errors report then exit 1
+  exit (Analysis.Check.exit_code ~strict report)
 
 let check_cmd =
   Cmd.v
     (Cmd.info "check"
        ~doc:"Check the model: undeclared reads and writes, negative \
              markings, dead activities and places, instantaneous loops and \
-             ties, unused shared places. Exits nonzero if any error-level \
-             diagnostic is reported.")
+             ties, unused shared places, unbounded places, dead effects, \
+             and declared-invariant violations. Exits nonzero if any \
+             error-level diagnostic is reported ($(b,--strict) promotes \
+             warnings).")
     Term.(
       const check_run $ domains_arg $ hosts_arg $ apps_arg
       $ reps_per_app_arg $ policy_arg $ multiplier_arg $ spread_arg
-      $ scale_arg $ check_json_arg)
+      $ scale_arg $ check_invariants_arg $ check_strict_arg
+      $ check_json_arg)
 
 (* --- mtta (exact, tiny configurations) --- *)
 

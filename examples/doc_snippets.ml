@@ -141,6 +141,39 @@ let _analysis_gate () =
   Format.printf "%a@." Analysis.Check.pp report;
   if Analysis.Check.has_errors report then exit 1
 
+let _analysis_certificate () =
+  let h = Itua.Model.build Itua.Params.default in
+  let report =
+    Analysis.Check.run
+      ~composition:h.Itua.Model.composition
+      ~laws:(Itua.Invariant.conservation_laws h)
+      h.Itua.Model.model
+  in
+  Format.printf "%a@." Analysis.Structure.pp report.Analysis.Check.structure;
+  exit (Analysis.Check.exit_code report)
+
+let _analysis_lumping ~model ~root () =
+  let groups = Analysis.Symmetry.detect model (Compose.info root) in
+  let full = Ctmc.Explore.explore model in
+  let lumped =
+    Ctmc.Explore.explore ~canon:(Analysis.Symmetry.canon groups) model
+  in
+  Format.printf "%d -> %d states@." (Ctmc.Explore.n_states full)
+    (Ctmc.Explore.n_states lumped)
+
+let _analysis_guard ~config ~stream ~observer () =
+  let h = Itua.Model.build Itua.Params.default in
+  let guard =
+    Analysis.Structure.guard
+      ~laws:(Itua.Invariant.conservation_laws h)
+      h.Itua.Model.model
+  in
+  let (_ : Sim.Executor.outcome) =
+    Sim.Executor.run ~model:h.Itua.Model.model ~config ~stream ~observer
+      ~check_invariants:guard ()
+  in
+  ()
+
 (* --- doc/RARE_EVENTS.md --- *)
 
 let _rare_library params =

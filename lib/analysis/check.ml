@@ -6,13 +6,20 @@ type t = {
   truncated : bool;
   fallback : string option;
   diagnostics : Diagnostic.t list;
+  structure : Structure.t;
 }
 
-let run ?composition ?max_states ?runs ?horizon ?max_markings ?seed model =
+let run ?composition ?laws ?max_states ?runs ?horizon ?max_markings ?seed
+    model =
   let space =
     Space.build ?max_states ?runs ?horizon ?max_markings ?seed model
   in
   let facts = Passes.gather space in
+  let structure = Structure.analyse ?laws space in
+  let diagnostics =
+    Passes.all ?composition facts @ Structure.diagnostics structure
+    |> List.sort_uniq Diagnostic.compare
+  in
   {
     model_name = San.Model.name model;
     mode = space.Space.mode;
@@ -20,7 +27,8 @@ let run ?composition ?max_states ?runs ?horizon ?max_markings ?seed model =
     n_vanishing = space.Space.n_vanishing;
     truncated = space.Space.truncated;
     fallback = space.Space.fallback;
-    diagnostics = Passes.all ?composition facts;
+    diagnostics;
+    structure;
   }
 
 let count sev t =
@@ -31,6 +39,11 @@ let errors t =
   List.filter (fun d -> d.Diagnostic.severity = Diagnostic.Error) t.diagnostics
 
 let has_errors t = errors t <> []
+
+let exit_code ?(strict = false) t =
+  if has_errors t then 1
+  else if strict && count Diagnostic.Warning t > 0 then 1
+  else 0
 
 let pp ppf t =
   let coverage =
@@ -79,4 +92,5 @@ let to_json t =
             ("infos", int (count Diagnostic.Info t));
           ] );
       ("diagnostics", Arr (List.map Diagnostic.to_json t.diagnostics));
+      ("structure", Structure.to_json t.structure);
     ]

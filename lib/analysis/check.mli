@@ -17,10 +17,15 @@ type t = {
   truncated : bool;
   fallback : string option;  (** why exhaustive walking was abandoned *)
   diagnostics : Diagnostic.t list;  (** sorted by {!Diagnostic.compare} *)
+  structure : Structure.t;
+      (** the structural certificate (incidence modes, semiflows,
+          declared-law verdicts, bounds) — always computed; the CLI
+          prints it only under [--invariants] *)
 }
 
 val run :
   ?composition:Compose.info ->
+  ?laws:Structure.law list ->
   ?max_states:int ->
   ?runs:int ->
   ?horizon:float ->
@@ -30,14 +35,20 @@ val run :
   t
 (** Builds the marking space (see {!Space.build} for the defaults and
     the exhaustive/sampled fallback), gathers facts, runs every pass —
-    the shared-place audit only when [composition] is supplied.
-    Deterministic for fixed arguments. *)
+    the shared-place audit only when [composition] is supplied, the
+    A012 declared-invariant pass only when [laws] is. Deterministic
+    for fixed arguments. *)
 
 val has_errors : t -> bool
 
 val errors : t -> Diagnostic.t list
 
 val count : Diagnostic.severity -> t -> int
+
+val exit_code : ?strict:bool -> t -> int
+(** The process exit status the CLI uses: [1] on any error-severity
+    diagnostic, else [1] when [strict] and the report holds at least
+    one warning, else [0]. *)
 
 val pp : Format.formatter -> t -> unit
 (** Header line (model, mode, coverage), one line per diagnostic, and a

@@ -74,6 +74,9 @@ let never_read_place = "A006-never-read-place"
 let instantaneous_loop = "A007-instantaneous-loop"
 let instantaneous_tie = "A008-instantaneous-tie"
 let unused_shared_place = "A009-unused-shared-place"
+let unbounded_place = "A010-unbounded-place"
+let dead_effect = "A011-dead-effect"
+let invariant_violated = "A012-invariant-violated"
 
 let catalogue =
   [
@@ -90,4 +93,8 @@ let catalogue =
       "several instantaneous activities are enabled at the same instant" );
     ( unused_shared_place,
       "a shared place is never touched by the subtree it belongs to" );
+    ( unbounded_place,
+      "no covering P-semiflow and exploration could not bound the place" );
+    (dead_effect, "a fired activity never changes the marking");
+    (invariant_violated, "an effect breaks a declared conservation law");
   ]

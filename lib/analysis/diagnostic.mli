@@ -61,6 +61,9 @@ val never_read_place : string
 val instantaneous_loop : string
 val instantaneous_tie : string
 val unused_shared_place : string
+val unbounded_place : string
+val dead_effect : string
+val invariant_violated : string
 
 val catalogue : (string * string) list
 (** Every code with a one-line description, in code order. *)

@@ -1,0 +1,833 @@
+type law = {
+  law_name : string;
+  law_terms : (San.Place.t * int) list;
+}
+
+type mode = {
+  act_id : int;
+  activity : string;
+  case : int;
+  label : string;
+  delta : (int * int) list;
+  float_delta : bool;
+}
+
+type flow = { flow_terms : (int * int) list; flow_value : int }
+type tflow = (int * int) list
+
+type law_report = {
+  lr_name : string;
+  lr_terms : (int * int) list;
+  lr_value : int;
+  lr_violations : (string * int * int) list;
+}
+
+type t = {
+  space_mode : Space.mode;
+  n_markings : int;
+  n_int : int;
+  place_names : string array;
+  initial : int array;
+  modes : mode array;
+  fired : bool array;
+  active : int list;
+  constant : int list;
+  rank : int;
+  invariant_dim : int;
+  p_basis : (int * Rat.t) list list option;
+  p_semiflows : flow list;
+  t_semiflows : tflow list;
+  flows_skipped : string option;
+  laws : law_report list;
+  observed_max : int array;
+  structural_bound : int option array;
+}
+
+exception Invariant_violation of string
+
+let rec igcd a b = if b = 0 then a else igcd b (a mod b)
+
+(* {2 Mode extraction}
+
+   Fire every enabled (activity, case) pair on a copy of every marking
+   in the space — the same firing discipline as [Passes.gather] — and
+   collect the distinct net deltas. *)
+
+let extract_modes (space : Space.t) =
+  let model = space.Space.model in
+  let acts = San.Model.activities model in
+  let n_acts = Array.length acts in
+  let fired = Array.make n_acts false in
+  let seen = Hashtbl.create 64 in
+  let ctx = space.Space.ctx in
+  List.iter
+    (fun m ->
+      let stable = Ctmc.Walker.enabled_instantaneous model m = [] in
+      Array.iter
+        (fun (a : San.Activity.t) ->
+          if
+            a.enabled m && (stable || San.Activity.is_instantaneous a)
+          then begin
+            let weights =
+              if Array.length a.cases > 1 then
+                Array.map
+                  (fun (c : San.Activity.case) -> c.case_weight m)
+                  a.cases
+              else [| 1.0 |]
+            in
+            Array.iteri
+              (fun case (c : San.Activity.case) ->
+                if weights.(case) > 0.0 then begin
+                  let mc = San.Marking.copy m in
+                  match c.effect ctx mc with
+                  | () ->
+                      fired.(a.id) <- true;
+                      let delta = San.Marking.diff ~before:m mc in
+                      let fd = San.Marking.float_changed ~before:m mc in
+                      Hashtbl.replace seen (a.id, case, delta, fd) ()
+                  | exception Invalid_argument _ ->
+                      (* Negative marking: an A003, reported by the
+                         negative-write pass; no mode to record. *)
+                      ()
+                end)
+              a.cases
+          end)
+        acts)
+    space.Space.markings;
+  let keys =
+    Hashtbl.fold (fun k () acc -> k :: acc) seen []
+    |> List.sort Stdlib.compare
+  in
+  (* Label modes uniquely: activity name, "/cN" when the activity has
+     several cases, "/vN" when one case produced several deltas. *)
+  let variants = Hashtbl.create 16 in
+  List.iter
+    (fun (id, case, _, _) ->
+      let n = Option.value ~default:0 (Hashtbl.find_opt variants (id, case)) in
+      Hashtbl.replace variants (id, case) (n + 1))
+    keys;
+  let ordinal = Hashtbl.create 16 in
+  let modes =
+    List.map
+      (fun (id, case, delta, fd) ->
+        let a = acts.(id) in
+        let label = a.San.Activity.name in
+        let label =
+          if Array.length a.San.Activity.cases > 1 then
+            Printf.sprintf "%s/c%d" label case
+          else label
+        in
+        let label =
+          if Hashtbl.find variants (id, case) > 1 then begin
+            let n =
+              Option.value ~default:0 (Hashtbl.find_opt ordinal (id, case))
+            in
+            Hashtbl.replace ordinal (id, case) (n + 1);
+            Printf.sprintf "%s/v%d" label n
+          end
+          else label
+        in
+        {
+          act_id = id;
+          activity = a.San.Activity.name;
+          case;
+          label;
+          delta;
+          float_delta = fd;
+        })
+      keys
+  in
+  (Array.of_list modes, fired)
+
+(* {2 Rank and rational nullspace basis}
+
+   Sparse rational Gaussian elimination over the mode rows. Rows are
+   [(place index, coefficient)] lists, ascending, zero-free. *)
+
+let row_sub_scaled r c p =
+  (* [r - c * p], both rows sorted by index. *)
+  let rec go r p =
+    match (r, p) with
+    | [], [] -> []
+    | r, [] -> r
+    | [], (j, v) :: p -> (j, Rat.neg (Rat.mul c v)) :: go [] p
+    | (i, a) :: r', (j, v) :: p' ->
+        if i < j then (i, a) :: go r' p
+        else if j < i then (j, Rat.neg (Rat.mul c v)) :: go r p'
+        else
+          let x = Rat.sub a (Rat.mul c v) in
+          if Rat.is_zero x then go r' p' else (i, x) :: go r' p'
+  in
+  go r p
+
+let normalize_row = function
+  | [] -> []
+  | (_, lead) :: _ as row -> List.map (fun (i, x) -> (i, Rat.div x lead)) row
+
+let rank_and_basis ~max_basis_places ~active modes =
+  let pivots = Hashtbl.create 64 in
+  let rank = ref 0 in
+  let rec reduce row =
+    match row with
+    | [] -> ()
+    | (j, c) :: _ -> (
+        match Hashtbl.find_opt pivots j with
+        | Some prow -> reduce (row_sub_scaled row c prow)
+        | None ->
+            Hashtbl.add pivots j (normalize_row row);
+            incr rank)
+  in
+  Array.iter
+    (fun md ->
+      reduce (List.map (fun (i, d) -> (i, Rat.of_int d)) md.delta))
+    modes;
+  let rank = !rank in
+  let basis =
+    if List.length active > max_basis_places then None
+    else begin
+      let pcols =
+        Hashtbl.fold (fun k _ acc -> k :: acc) pivots []
+        |> List.sort Int.compare |> Array.of_list
+      in
+      let rows = Array.map (Hashtbl.find pivots) pcols in
+      (* Back-substitute to reduced row-echelon form. *)
+      for i = Array.length rows - 1 downto 0 do
+        for k = 0 to i - 1 do
+          match List.assoc_opt pcols.(i) rows.(k) with
+          | None -> ()
+          | Some c -> rows.(k) <- row_sub_scaled rows.(k) c rows.(i)
+        done
+      done;
+      let is_pivot i = Array.exists (fun p -> p = i) pcols in
+      let free = List.filter (fun i -> not (is_pivot i)) active in
+      (* One basis vector of the left nullspace per free column: the
+         invariant y with y_free = 1 and y_pivot = -entry. *)
+      Some
+        (List.map
+           (fun f ->
+             let terms = ref [ (f, Rat.one) ] in
+             Array.iteri
+               (fun i p ->
+                 match List.assoc_opt f rows.(i) with
+                 | None -> ()
+                 | Some e -> terms := (p, Rat.neg e) :: !terms)
+               pcols;
+             List.sort (fun (a, _) (b, _) -> Int.compare a b) !terms)
+           free)
+    end
+  in
+  (rank, basis)
+
+(* {2 Farkas' algorithm}
+
+   Minimal non-negative integer solutions of [rows . x = 0], column by
+   column: at each step every row with a zero in the chosen column
+   survives, and every (positive, negative) row pair contributes their
+   cancelling positive combination. The [y] part starts as the
+   identity, so at the end it holds the semiflows. Row growth is
+   capped; exceeding the cap aborts the enumeration (reported, never
+   silent). *)
+
+type frow = { c : int array; y : (int * int) list }
+
+let normalize_frow r =
+  let g = Array.fold_left (fun g v -> igcd g (abs v)) 0 r.c in
+  let g = List.fold_left (fun g (_, v) -> igcd g (abs v)) g r.y in
+  if g <= 1 then r
+  else
+    {
+      c = Array.map (fun v -> v / g) r.c;
+      y = List.map (fun (i, v) -> (i, v / g)) r.y;
+    }
+
+let merge_y ~la a ~lb b =
+  let rec go a b =
+    match (a, b) with
+    | [], [] -> []
+    | (i, v) :: a', [] -> (i, la * v) :: go a' []
+    | [], (j, w) :: b' -> (j, lb * w) :: go [] b'
+    | (i, v) :: a', (j, w) :: b' ->
+        if i < j then (i, la * v) :: go a' b
+        else if j < i then (j, lb * w) :: go a b'
+        else (i, (la * v) + (lb * w)) :: go a' b'
+  in
+  go a b
+
+let farkas ~n_cols ~max_rows rows =
+  let remaining = ref (List.init n_cols Fun.id) in
+  let rows = ref rows in
+  let aborted = ref None in
+  while !remaining <> [] && !aborted = None do
+    let score j =
+      List.fold_left
+        (fun (p, n) r ->
+          if r.c.(j) > 0 then (p + 1, n)
+          else if r.c.(j) < 0 then (p, n + 1)
+          else (p, n))
+        (0, 0) !rows
+    in
+    let best, _ =
+      List.fold_left
+        (fun (bj, bs) j ->
+          let p, n = score j in
+          let s = p * n in
+          if s < bs then (j, s) else (bj, bs))
+        (List.hd !remaining, max_int)
+        !remaining
+    in
+    remaining := List.filter (fun j -> j <> best) !remaining;
+    let zeros, pos, neg =
+      List.fold_left
+        (fun (z, p, n) r ->
+          if r.c.(best) = 0 then (r :: z, p, n)
+          else if r.c.(best) > 0 then (z, r :: p, n)
+          else (z, p, r :: n))
+        ([], [], []) !rows
+    in
+    let combos = ref [] in
+    let count = ref (List.length zeros) in
+    (try
+       List.iter
+         (fun rp ->
+           List.iter
+             (fun rn ->
+               incr count;
+               if !count > max_rows then raise Exit;
+               let a = rp.c.(best) and b = rn.c.(best) in
+               let g = igcd a (-b) in
+               let la = -b / g and lb = a / g in
+               let c =
+                 Array.init n_cols (fun j ->
+                     (la * rp.c.(j)) + (lb * rn.c.(j)))
+               in
+               combos :=
+                 normalize_frow { c; y = merge_y ~la rp.y ~lb rn.y }
+                 :: !combos)
+             neg)
+         pos;
+       rows :=
+         List.sort_uniq Stdlib.compare (List.rev_append !combos zeros)
+     with Exit ->
+       aborted :=
+         Some
+           (Printf.sprintf "Farkas row count exceeded the %d cap" max_rows))
+  done;
+  match !aborted with
+  | Some why -> Error why
+  | None ->
+      (* Keep minimal-support solutions only. *)
+      let support y = List.map fst y in
+      let rec subset a b =
+        match (a, b) with
+        | [], _ -> true
+        | _, [] -> false
+        | x :: a', y :: b' ->
+            if x = y then subset a' b'
+            else if y < x then subset a b'
+            else false
+      in
+      let ys = List.sort_uniq Stdlib.compare (List.map (fun r -> r.y) !rows) in
+      Ok
+        (List.filter
+           (fun y ->
+             let s = support y in
+             not
+               (List.exists
+                  (fun y' -> y' <> y && subset (support y') s && support y' <> s)
+                  ys))
+           ys)
+
+(* {2 The analysis} *)
+
+let analyse ?(laws = []) ?(max_flow_modes = 512) ?(max_flow_rows = 4096)
+    ?(max_basis_places = 64) (space : Space.t) =
+  let model = space.Space.model in
+  let modes, fired = extract_modes space in
+  let initial =
+    San.Marking.int_snapshot (San.Model.initial_marking model)
+  in
+  let n_int = Array.length initial in
+  let place_names = Array.make n_int "" in
+  Array.iter
+    (fun p -> place_names.(San.Place.index p) <- San.Place.name p)
+    (San.Model.places model);
+  let touched = Array.make n_int false in
+  Array.iter
+    (fun md -> List.iter (fun (i, _) -> touched.(i) <- true) md.delta)
+    modes;
+  let active = ref [] and constant = ref [] in
+  for i = n_int - 1 downto 0 do
+    if touched.(i) then active := i :: !active else constant := i :: !constant
+  done;
+  let active = !active and constant = !constant in
+  let snapshots =
+    List.map San.Marking.int_snapshot space.Space.markings
+  in
+  let observed_max = Array.copy initial in
+  List.iter
+    (fun snap ->
+      Array.iteri
+        (fun i v -> if v > observed_max.(i) then observed_max.(i) <- v)
+        snap)
+    snapshots;
+  let rank, p_basis = rank_and_basis ~max_basis_places ~active modes in
+  let n_active = List.length active in
+  let n_modes = Array.length modes in
+  let flows_skipped, p_semiflows, t_semiflows =
+    if n_modes > max_flow_modes then
+      ( Some
+          (Printf.sprintf "%d modes exceed the %d semiflow-enumeration cap"
+             n_modes max_flow_modes),
+        [],
+        [] )
+    else if n_active > max_flow_rows then
+      ( Some
+          (Printf.sprintf "%d active places exceed the %d row cap" n_active
+             max_flow_rows),
+        [],
+        [] )
+    else begin
+      let col_of = Array.make n_int (-1) in
+      List.iteri (fun j i -> col_of.(i) <- j) active;
+      (* P-semiflows: one row per active place over the mode columns. *)
+      let prows =
+        List.map
+          (fun i ->
+            let c = Array.make n_modes 0 in
+            Array.iteri
+              (fun j md ->
+                match List.assoc_opt i md.delta with
+                | Some d -> c.(j) <- d
+                | None -> ())
+              modes;
+            { c; y = [ (i, 1) ] })
+          active
+      in
+      (* T-semiflows: one row per marking-changing mode over the active
+         place columns (modes with an empty delta are trivially
+         repetitive and excluded as noise). *)
+      let trows = ref [] in
+      Array.iteri
+        (fun pos md ->
+          if md.delta <> [] then begin
+            let c = Array.make n_active 0 in
+            List.iter (fun (i, d) -> c.(col_of.(i)) <- d) md.delta;
+            trows := { c; y = [ (pos, 1) ] } :: !trows
+          end)
+        modes;
+      let trows = List.rev !trows in
+      match
+        ( farkas ~n_cols:n_modes ~max_rows:max_flow_rows prows,
+          farkas ~n_cols:n_active ~max_rows:max_flow_rows trows )
+      with
+      | Ok ps, Ok ts ->
+          let flows =
+            List.map
+              (fun y ->
+                {
+                  flow_terms = y;
+                  flow_value =
+                    List.fold_left
+                      (fun s (i, k) -> s + (k * initial.(i)))
+                      0 y;
+                })
+              ps
+          in
+          (* Under sampling the observed modes may be incomplete, so a
+             computed semiflow can be spurious: require every flow to
+             hold on every collected (reachable) marking, which refutes
+             and drops the spurious ones. Exhaustively extracted flows
+             pass by construction. *)
+          let flows =
+            List.filter
+              (fun f ->
+                List.for_all
+                  (fun snap ->
+                    List.fold_left
+                      (fun s (i, k) -> s + (k * snap.(i)))
+                      0 f.flow_terms
+                    = f.flow_value)
+                  snapshots)
+              flows
+          in
+          (None, flows, ts)
+      | Error why, _ | _, Error why -> (Some why, [], [])
+    end
+  in
+  let laws =
+    List.map
+      (fun l ->
+        let terms =
+          List.map (fun (p, k) -> (San.Place.index p, k)) l.law_terms
+          |> List.sort Stdlib.compare
+        in
+        let value =
+          List.fold_left (fun s (i, k) -> s + (k * initial.(i))) 0 terms
+        in
+        let violations =
+          Array.fold_left
+            (fun acc md ->
+              let drift =
+                List.fold_left
+                  (fun s (i, d) ->
+                    match List.assoc_opt i terms with
+                    | Some k -> s + (k * d)
+                    | None -> s)
+                  0 md.delta
+              in
+              if drift = 0 then acc
+              else (md.activity, md.case, drift) :: acc)
+            [] modes
+          |> List.sort_uniq Stdlib.compare
+        in
+        {
+          lr_name = l.law_name;
+          lr_terms = terms;
+          lr_value = value;
+          lr_violations = violations;
+        })
+      laws
+  in
+  let structural_bound = Array.make n_int None in
+  let apply_flow terms value =
+    List.iter
+      (fun (i, k) ->
+        if k > 0 then begin
+          let b = value / k in
+          structural_bound.(i) <-
+            Some
+              (match structural_bound.(i) with
+              | None -> b
+              | Some x -> min x b)
+        end)
+      terms
+  in
+  List.iter (fun f -> apply_flow f.flow_terms f.flow_value) p_semiflows;
+  List.iter
+    (fun lr ->
+      if
+        lr.lr_violations = []
+        && List.for_all (fun (_, k) -> k >= 0) lr.lr_terms
+      then apply_flow lr.lr_terms lr.lr_value)
+    laws;
+  {
+    space_mode = space.Space.mode;
+    n_markings = Space.n_markings space;
+    n_int;
+    place_names;
+    initial;
+    modes;
+    fired;
+    active;
+    constant;
+    rank;
+    invariant_dim = n_active - rank;
+    p_basis;
+    p_semiflows;
+    t_semiflows;
+    flows_skipped;
+    laws;
+    observed_max;
+    structural_bound;
+  }
+
+let verified_nonneg lr =
+  lr.lr_violations = [] && List.for_all (fun (_, k) -> k >= 0) lr.lr_terms
+
+let covered t i =
+  (not (List.mem i t.active))
+  || List.exists (fun f -> List.mem_assoc i f.flow_terms) t.p_semiflows
+  || List.exists
+       (fun lr ->
+         verified_nonneg lr
+         && match List.assoc_opt i lr.lr_terms with
+            | Some k -> k > 0
+            | None -> false)
+       t.laws
+
+(* {2 Diagnostics} *)
+
+let diagnostics t =
+  let out = ref [] in
+  let n_acts = Array.length t.fired in
+  let has_mode = Array.make n_acts false in
+  let all_noop = Array.make n_acts true in
+  let name = Array.make n_acts "" in
+  Array.iter
+    (fun md ->
+      has_mode.(md.act_id) <- true;
+      name.(md.act_id) <- md.activity;
+      if md.delta <> [] || md.float_delta then all_noop.(md.act_id) <- false)
+    t.modes;
+  for id = 0 to n_acts - 1 do
+    if has_mode.(id) && all_noop.(id) then
+      out :=
+        Diagnostic.v ~code:Diagnostic.dead_effect
+          ~severity:Diagnostic.Warning
+          ~source:(Diagnostic.Activity name.(id))
+          "every observed firing leaves the marking unchanged (dead effect)"
+        :: !out
+  done;
+  List.iter
+    (fun lr ->
+      List.iter
+        (fun (act, case, drift) ->
+          out :=
+            Diagnostic.v ~code:Diagnostic.invariant_violated
+              ~severity:Diagnostic.Error
+              ~source:(Diagnostic.Activity act)
+              (Printf.sprintf
+                 "case %d effect changes declared invariant %S by %+d" case
+                 lr.lr_name drift)
+            :: !out)
+        lr.lr_violations)
+    t.laws;
+  if t.space_mode = Space.Sampled && t.flows_skipped = None then
+    List.iter
+      (fun i ->
+        let increasing =
+          Array.exists
+            (fun md -> List.exists (fun (j, d) -> j = i && d > 0) md.delta)
+            t.modes
+        in
+        if increasing && not (covered t i) then
+          out :=
+            Diagnostic.v ~code:Diagnostic.unbounded_place
+              ~severity:Diagnostic.Warning
+              ~source:(Diagnostic.Place t.place_names.(i))
+              "no covering P-semiflow and some effect increases it; sampled \
+               exploration cannot bound it (potentially unbounded)"
+            :: !out)
+      t.active;
+  !out
+
+(* {2 Rendering} *)
+
+let pp_terms ppf (names, terms) =
+  List.iteri
+    (fun k (i, coeff) ->
+      if k > 0 then Format.fprintf ppf " + ";
+      if coeff <> 1 then Format.fprintf ppf "%d*" coeff;
+      Format.fprintf ppf "%s" names.(i))
+    terms
+
+let pp ppf t =
+  let mode_s, verb =
+    match t.space_mode with
+    | Space.Exhaustive -> ("exhaustive", "proven over all")
+    | Space.Sampled -> ("sampled", "validated on")
+  in
+  Format.fprintf ppf "structural certificate (%s: incidence %s %d markings)@."
+    mode_s verb t.n_markings;
+  Format.fprintf ppf
+    "  int places: %d (%d active, %d constant); modes: %d; rank %d; \
+     independent P-invariants: %d@."
+    t.n_int (List.length t.active)
+    (List.length t.constant)
+    (Array.length t.modes) t.rank t.invariant_dim;
+  (match t.flows_skipped with
+  | Some why -> Format.fprintf ppf "  semiflow enumeration skipped: %s@." why
+  | None ->
+      (match t.p_semiflows with
+      | [] -> Format.fprintf ppf "  P-semiflows: none@."
+      | fs ->
+          let n = List.length fs in
+          let shown = List.filteri (fun k _ -> k < 16) fs in
+          Format.fprintf ppf "  P-semiflows (conserved weighted sums, %d):@."
+            n;
+          List.iter
+            (fun f ->
+              Format.fprintf ppf "    %a = %d@." pp_terms
+                (t.place_names, f.flow_terms)
+                f.flow_value)
+            shown;
+          if n > List.length shown then
+            Format.fprintf ppf "    ... and %d more (see the JSON report)@."
+              (n - List.length shown));
+      match t.t_semiflows with
+      | [] -> Format.fprintf ppf "  T-semiflows: none@."
+      | ts ->
+          let labels = Array.map (fun md -> md.label) t.modes in
+          let n = List.length ts in
+          let shown = List.filteri (fun k _ -> k < 16) ts in
+          Format.fprintf ppf
+            "  T-semiflows (firing counts with zero net effect, %d):@." n;
+          List.iter
+            (fun tf ->
+              Format.fprintf ppf "    %a@." pp_terms (labels, tf))
+            shown;
+          if n > List.length shown then
+            Format.fprintf ppf "    ... and %d more (see the JSON report)@."
+              (n - List.length shown));
+  (match t.laws with
+  | [] -> ()
+  | laws ->
+      Format.fprintf ppf "  declared invariants:@.";
+      List.iter
+        (fun lr ->
+          if lr.lr_violations = [] then
+            Format.fprintf ppf "    %s: %a = %d — holds across all %d modes@."
+              lr.lr_name pp_terms
+              (t.place_names, lr.lr_terms)
+              lr.lr_value (Array.length t.modes)
+          else begin
+            Format.fprintf ppf "    %s: VIOLATED@." lr.lr_name;
+            List.iter
+              (fun (act, case, drift) ->
+                Format.fprintf ppf "      %s (case %d) drifts it by %+d@." act
+                  case drift)
+              lr.lr_violations
+          end)
+        laws);
+  let bounded =
+    List.filter (fun i -> t.structural_bound.(i) <> None) t.active
+  in
+  match (t.space_mode, bounded) with
+  | Space.Exhaustive, _ ->
+      Format.fprintf ppf
+        "  boundedness: every place is bounded by exhaustion of the \
+         reachable space@."
+  | Space.Sampled, [] -> ()
+  | Space.Sampled, bounded ->
+      let n = List.length bounded in
+      let shown = List.filteri (fun k _ -> k < 12) bounded in
+      Format.fprintf ppf "  structural place bounds (%d):@." n;
+      List.iter
+        (fun i ->
+          match t.structural_bound.(i) with
+          | Some b ->
+              Format.fprintf ppf "    %s <= %d (observed max %d)@."
+                t.place_names.(i) b t.observed_max.(i)
+          | None -> ())
+        shown;
+      if n > List.length shown then
+        Format.fprintf ppf "    ... and %d more (see the JSON report)@."
+          (n - List.length shown)
+
+let to_json t =
+  let open Report.Json in
+  let terms_json names terms =
+    Arr
+      (List.map
+         (fun (i, k) ->
+           Obj [ ("name", Str names.(i)); ("coeff", int k) ])
+         terms)
+  in
+  let labels = Array.map (fun md -> md.label) t.modes in
+  Obj
+    [
+      ( "mode",
+        Str
+          (match t.space_mode with
+          | Space.Exhaustive -> "exhaustive"
+          | Space.Sampled -> "sampled") );
+      ("markings", int t.n_markings);
+      ("int_places", int t.n_int);
+      ("active_places", int (List.length t.active));
+      ("constant_places", int (List.length t.constant));
+      ("modes", int (Array.length t.modes));
+      ("rank", int t.rank);
+      ("invariant_dimension", int t.invariant_dim);
+      ( "p_semiflows",
+        Arr
+          (List.map
+             (fun f ->
+               Obj
+                 [
+                   ("terms", terms_json t.place_names f.flow_terms);
+                   ("value", int f.flow_value);
+                 ])
+             t.p_semiflows) );
+      ( "t_semiflows",
+        Arr
+          (List.map (fun tf -> terms_json labels tf) t.t_semiflows) );
+      ( "flows_skipped",
+        match t.flows_skipped with None -> Null | Some why -> Str why );
+      ( "invariant_basis",
+        match t.p_basis with
+        | None -> Null
+        | Some basis ->
+            Arr
+              (List.map
+                 (fun terms ->
+                   Arr
+                     (List.map
+                        (fun (i, r) ->
+                          Obj
+                            [
+                              ("name", Str t.place_names.(i));
+                              ("num", int r.Rat.num);
+                              ("den", int r.Rat.den);
+                            ])
+                        terms))
+                 basis) );
+      ( "declared",
+        Arr
+          (List.map
+             (fun lr ->
+               Obj
+                 [
+                   ("name", Str lr.lr_name);
+                   ("terms", terms_json t.place_names lr.lr_terms);
+                   ("value", int lr.lr_value);
+                   ("holds", Bool (lr.lr_violations = []));
+                   ( "violations",
+                     Arr
+                       (List.map
+                          (fun (act, case, drift) ->
+                            Obj
+                              [
+                                ("activity", Str act);
+                                ("case", int case);
+                                ("drift", int drift);
+                              ])
+                          lr.lr_violations) );
+                 ])
+             t.laws) );
+      ( "bounds",
+        Arr
+          (List.filter_map
+             (fun i ->
+               match (t.space_mode, t.structural_bound.(i)) with
+               | Space.Sampled, None -> None
+               | _, sb ->
+                   Some
+                     (Obj
+                        [
+                          ("name", Str t.place_names.(i));
+                          ( "structural",
+                            match sb with None -> Null | Some b -> int b );
+                          ("observed", int t.observed_max.(i));
+                        ]))
+             t.active) );
+    ]
+
+(* {2 Runtime guard} *)
+
+let guard ~laws model =
+  let m0 = San.Model.initial_marking model in
+  let compiled =
+    List.map
+      (fun l ->
+        let expect =
+          List.fold_left
+            (fun s (p, k) -> s + (k * San.Marking.get m0 p))
+            0 l.law_terms
+        in
+        (l.law_name, l.law_terms, expect))
+      laws
+  in
+  fun m ->
+    List.iter
+      (fun (name, terms, expect) ->
+        let got =
+          List.fold_left
+            (fun s (p, k) -> s + (k * San.Marking.get m p))
+            0 terms
+        in
+        if got <> expect then
+          raise
+            (Invariant_violation
+               (Printf.sprintf "invariant %S violated: expected %d, got %d"
+                  name expect got)))
+      compiled

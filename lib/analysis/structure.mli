@@ -1,0 +1,164 @@
+(** Structural (incidence-based) analysis: P/T-semiflows, conservation
+    certificates, boundedness.
+
+    Classic Petri-net structure theory applied to SAN models. Effects
+    are opaque OCaml closures, so the incidence matrix cannot be read
+    off a syntax tree; instead it is {e observed}: every enabled
+    (activity, case) pair is fired on a copy of every marking in a
+    {!Space.t} and the distinct net marking changes — the {e modes} of
+    the high-level net — are collected via {!San.Marking.diff}. On an
+    {!Space.Exhaustive} space the mode set is complete for the
+    reachable behavior, so every certificate below is a proof over the
+    reachable space; on a {!Space.Sampled} space certificates are
+    validated against the observed sample only, and the report says so.
+
+    From the mode matrix [C] (places x modes) the analysis computes:
+
+    {ul
+    {- {b P-semiflows}: minimal non-negative integer vectors [y] with
+       [y . C = 0] (Farkas' algorithm) — weighted token conservation
+       laws, each with its conserved value [y . M0];}
+    {- {b T-semiflows}: minimal non-negative integer vectors [x] with
+       [C . x = 0] — firing-count vectors that return the marking to
+       where it started;}
+    {- the {b rank} of [C] over the rationals and, for small models,
+       a full rational basis of the left nullspace (all P-invariants,
+       including mixed-sign ones) via exact Gaussian elimination
+       ({!Rat});}
+    {- {b boundedness certificates}: a structural bound
+       [y . M0 / y_p] for every place covered by a semiflow, plus the
+       observed maximum (an exhaustion proof in exhaustive mode);}
+    {- verification of caller-{b declared} conservation laws (e.g.
+       {!Itua.Invariant.conservation_laws}) against every mode, the
+       basis of the A012 diagnostic and of the [itua_sim check
+       --invariants] certificate.}}
+
+    Farkas' algorithm is worst-case exponential, so semiflow
+    enumeration is skipped (with the reason recorded in
+    [flows_skipped]) when the mode matrix exceeds the configured
+    caps; declared-law verification and rank are cheap and always
+    run. *)
+
+type law = {
+  law_name : string;
+  law_terms : (San.Place.t * int) list;
+      (** weighted int places; the conserved value is the weighted sum
+          at the initial marking *)
+}
+(** A caller-declared conservation law. *)
+
+type mode = {
+  act_id : int;
+  activity : string;
+  case : int;
+  label : string;
+      (** unique display label: activity name, plus [/cN] for case N > 0
+          and [/vN] when one case shows several distinct deltas *)
+  delta : (int * int) list;
+      (** net int-place change [(index, change)], ascending index,
+          unchanged places omitted *)
+  float_delta : bool;  (** the firing changed some float place *)
+}
+(** One observed net effect of an (activity, case) pair. A
+    marking-dependent effect can contribute several modes. *)
+
+type flow = {
+  flow_terms : (int * int) list;
+      (** [(int place index, coefficient)], coefficients > 0,
+          ascending index *)
+  flow_value : int;  (** conserved value: terms weighted at [M0] *)
+}
+(** A P-semiflow. *)
+
+type tflow = (int * int) list
+(** A T-semiflow: [(mode position, coefficient)], coefficients > 0. *)
+
+type law_report = {
+  lr_name : string;
+  lr_terms : (int * int) list;  (** [(int place index, coefficient)] *)
+  lr_value : int;  (** weighted sum at the initial marking *)
+  lr_violations : (string * int * int) list;
+      (** [(activity, case, drift)] for every mode that changes the
+          weighted sum; empty means the law holds across every
+          observed mode *)
+}
+
+type t = {
+  space_mode : Space.mode;
+  n_markings : int;  (** markings the modes were extracted from *)
+  n_int : int;  (** int places (marking-array slots) *)
+  place_names : string array;  (** by int place index *)
+  initial : int array;  (** [M0], by int place index *)
+  modes : mode array;  (** sorted by (activity id, case, delta) *)
+  fired : bool array;
+      (** by activity id: some case executed without raising *)
+  active : int list;  (** int places some mode changes, ascending *)
+  constant : int list;
+      (** int places no mode changes — trivially conserved *)
+  rank : int;  (** rank of the mode matrix over the rationals *)
+  invariant_dim : int;
+      (** dimension of the left nullspace over the {e active} places:
+          [|active| - rank] independent P-invariants *)
+  p_basis : (int * Rat.t) list list option;
+      (** rational left-nullspace basis (sparse, by place index);
+          [None] when the model exceeds [max_basis_places] *)
+  p_semiflows : flow list;
+  t_semiflows : tflow list;
+  flows_skipped : string option;
+      (** semiflow enumeration was skipped or aborted: why *)
+  laws : law_report list;
+  observed_max : int array;
+      (** by int place index: max value over the space's markings *)
+  structural_bound : int option array;
+      (** by int place index: best bound [flow_value / coeff] over
+          covering semiflows and verified non-negative declared laws *)
+}
+
+val analyse :
+  ?laws:law list ->
+  ?max_flow_modes:int ->
+  ?max_flow_rows:int ->
+  ?max_basis_places:int ->
+  Space.t ->
+  t
+(** [analyse space] extracts the modes and computes every certificate.
+    Firing discipline matches the executor (and {!Passes.gather}):
+    timed activities fire at stable markings, instantaneous ones at
+    vanishing markings, cases with non-positive weight are skipped,
+    and effects raising [Invalid_argument] (negative marking — an
+    A003) contribute no mode. Semiflow enumeration is skipped when
+    there are more than [max_flow_modes] (default 512) modes or when
+    Farkas' elimination exceeds [max_flow_rows] (default 4096) rows;
+    the rational basis is computed when at most [max_basis_places]
+    (default 64) places are active. Deterministic for a fixed space. *)
+
+val covered : t -> int -> bool
+(** [covered t i]: int place [i] is conserved or bounded by the
+    computed structure — it is constant, in the support of a
+    P-semiflow, or in a verified declared law with non-negative
+    coefficients. Meaningful only when [flows_skipped = None]. *)
+
+val diagnostics : t -> Diagnostic.t list
+(** The structural diagnostics: A010 (potentially unbounded place,
+    sampled mode only — an exhaustive walk is itself a boundedness
+    proof), A011 (dead effect: a fired activity whose every observed
+    mode changes nothing), A012 (an effect violates a declared
+    conservation law). Unsorted; {!Check.run} merges and sorts. *)
+
+val pp : Format.formatter -> t -> unit
+(** The human-readable certificate: coverage, rank, semiflows with
+    conserved values, declared-law verdicts, place bounds. *)
+
+val to_json : t -> Report.Json.t
+(** Deterministic JSON rendering, embedded by {!Check.to_json} under
+    the ["structure"] key (the [itua-analysis/1] extension). *)
+
+exception Invariant_violation of string
+(** Raised by a {!guard} when a declared law does not hold. *)
+
+val guard : laws:law list -> San.Model.t -> San.Marking.t -> unit
+(** [guard ~laws model] precomputes each law's expected value from the
+    model's initial marking and returns a checker suitable for
+    {!Sim.Executor}'s [?check_invariants]: it raises
+    {!Invariant_violation} naming the law, the expected and the actual
+    value when a marking breaks a law. O(total law terms) per call. *)

@@ -1,0 +1,117 @@
+module M = San.Marking
+
+type group = {
+  family : string;
+  copies : int;
+  int_slots : int array array;
+  float_slots : int array array;
+  depth : int;
+}
+
+let rec places_of (n : Compose.info) =
+  n.places @ List.concat_map places_of n.children
+
+let rec acts_of (n : Compose.info) =
+  n.activities @ List.concat_map acts_of n.children
+
+let strip_prefix prefix s =
+  let pl = String.length prefix in
+  if String.length s > pl && String.sub s 0 pl = prefix then
+    String.sub s pl (String.length s - pl)
+  else s
+
+(* A copy's structural signature: relative place names with kind and
+   initial value, in declaration order, plus relative activity names.
+   Two copies with equal signatures hold the same state shape, so their
+   sub-state vectors are comparable slot by slot. *)
+let signature m0 (copy : Compose.info) =
+  let prefix = copy.Compose.path ^ "." in
+  let places =
+    List.map
+      (fun p ->
+        match p with
+        | San.Place.P ip ->
+            Printf.sprintf "I:%s=%d"
+              (strip_prefix prefix (San.Place.name ip))
+              (M.get m0 ip)
+        | San.Place.F fp ->
+            Printf.sprintf "F:%s=%h"
+              (strip_prefix prefix (San.Place.fname fp))
+              (M.fget m0 fp))
+      (places_of copy)
+  in
+  let acts = List.map (strip_prefix prefix) (acts_of copy) in
+  (places, acts)
+
+let slots_of copy =
+  let ints = ref [] and floats = ref [] in
+  List.iter
+    (fun p ->
+      match p with
+      | San.Place.P ip -> ints := San.Place.index ip :: !ints
+      | San.Place.F fp -> floats := San.Place.findex fp :: !floats)
+    (places_of copy);
+  ( Array.of_list (List.rev !ints),
+    Array.of_list (List.rev !floats) )
+
+let detect model (root : Compose.info) =
+  let m0 = San.Model.initial_marking model in
+  let groups = ref [] in
+  let rec walk depth (n : Compose.info) =
+    List.iter
+      (fun (label, members) ->
+        match members with
+        | [] | [ _ ] -> ()
+        | first :: rest ->
+            let sig0 = signature m0 first in
+            if List.for_all (fun c -> signature m0 c = sig0) rest then begin
+              let family =
+                if n.Compose.path = "" then label
+                else n.Compose.path ^ "." ^ label
+              in
+              let slots = List.map slots_of members in
+              groups :=
+                {
+                  family;
+                  copies = List.length members;
+                  int_slots = Array.of_list (List.map fst slots);
+                  float_slots = Array.of_list (List.map snd slots);
+                  depth;
+                }
+                :: !groups
+            end)
+      (Compose.rep_families n);
+    List.iter (walk (depth + 1)) n.Compose.children
+  in
+  walk 0 root;
+  List.rev !groups
+  |> List.stable_sort (fun a b -> Int.compare b.depth a.depth)
+
+let canon groups (ints, floats) =
+  let ints = Array.copy ints and floats = Array.copy floats in
+  List.iter
+    (fun g ->
+      let copies =
+        Array.init g.copies (fun k ->
+            ( Array.map (fun i -> ints.(i)) g.int_slots.(k),
+              Array.map (fun i -> floats.(i)) g.float_slots.(k) ))
+      in
+      Array.sort Stdlib.compare copies;
+      Array.iteri
+        (fun k (iv, fv) ->
+          Array.iteri (fun j v -> ints.(g.int_slots.(k).(j)) <- v) iv;
+          Array.iteri (fun j v -> floats.(g.float_slots.(k).(j)) <- v) fv)
+        copies)
+    groups;
+  (ints, floats)
+
+let describe groups =
+  String.concat "\n"
+    (List.map
+       (fun g ->
+         Printf.sprintf
+           "%s: %d exchangeable copies (%d int + %d float places each)"
+           g.family g.copies
+           (Array.length g.int_slots.(0))
+           (Array.length g.float_slots.(0)))
+       groups)

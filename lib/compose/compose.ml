@@ -97,6 +97,27 @@ let info ctx =
   in
   of_node [] ctx.Ctx.node
 
+let rep_families (n : info) =
+  let fam_of label =
+    match String.index_opt label '[' with
+    | Some i -> String.sub label 0 i
+    | None -> label
+  in
+  let tbl = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun (c : info) ->
+      if c.rep_copies <> None then begin
+        let f = fam_of c.label in
+        if not (Hashtbl.mem tbl f) then begin
+          Hashtbl.add tbl f [];
+          order := f :: !order
+        end;
+        Hashtbl.replace tbl f (c :: Hashtbl.find tbl f)
+      end)
+    n.children;
+  List.rev_map (fun f -> (f, List.rev (Hashtbl.find tbl f))) !order
+
 let structure ctx =
   let buf = Buffer.create 256 in
   let rec render indent (node : node) =

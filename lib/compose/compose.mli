@@ -112,3 +112,10 @@ type info = {
 val info : Ctx.t -> info
 (** Snapshot of the tree rooted at this node, reflecting the
     [replicate]/[join] calls and declarations performed so far. *)
+
+val rep_families : info -> (string * info list) list
+(** [rep_families n] groups the {e direct} Rep children of [n] into
+    label families, in first-appearance order: one [replicate] call
+    produces one family [("label", [copy 0; ...; copy n-1])]. Consumed
+    by the [analysis] library's symmetry pass, which checks whether the
+    copies of a family are structurally exchangeable. *)

@@ -24,11 +24,11 @@ let resolve_vanishing model m =
   try Walker.resolve_vanishing model m
   with Walker.Bad_weights msg -> raise (Non_markovian msg)
 
-let explore ?(max_states = 200_000) model =
+let explore ?(max_states = 200_000) ?(canon = fun k -> k) model =
   let pool = Walker.Pool.create () in
   let frontier = Queue.create () in
   let intern k =
-    let i, fresh = Walker.Pool.intern pool ~max_states k in
+    let i, fresh = Walker.Pool.intern pool ~max_states (canon k) in
     if fresh then Queue.add i frontier;
     i
   in

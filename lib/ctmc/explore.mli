@@ -24,8 +24,20 @@ exception Too_many_states of int
 
 type t
 
-val explore : ?max_states:int -> San.Model.t -> t
-(** Builds the CTMC. Default [max_states] is 200_000. *)
+val explore :
+  ?max_states:int ->
+  ?canon:(int array * float array -> int array * float array) ->
+  San.Model.t ->
+  t
+(** Builds the CTMC. Default [max_states] is 200_000.
+
+    [canon], when supplied, maps every stable state key to a canonical
+    representative before interning — the hook for exact lumping: when
+    [canon] picks one representative per orbit of a symmetry of the
+    model (see [Analysis.Symmetry]), the resulting chain is the lumped
+    quotient and every measure over symmetric reward functions is
+    preserved. [canon] must be pure and idempotent on its image; the
+    default is the identity. *)
 
 val n_states : t -> int
 

@@ -135,6 +135,71 @@ let check_now (h : Model.handles) m =
   if M.get m h.Model.excl_corrupt_hosts > M.get m h.Model.excl_hosts then
     fail "excluded corrupt hosts exceed excluded hosts"
 
+(* Linear conservation laws for the structural checker (A012 / the
+   [--invariants] certificate). Each law's value is fixed by the initial
+   marking; every effect in the model preserves it because the cascades
+   update both sides inside one output gate (e.g. [kill_host] decrements
+   [alive] and the exclusion that calls it increments [excl_hosts] in the
+   same firing). *)
+let conservation_laws (h : Model.handles) =
+  let all_hosts f =
+    Array.to_list h.Model.domains
+    |> List.concat_map (fun (dp : Model.domain_places) ->
+           Array.to_list dp.Model.hosts |> List.map f)
+  in
+  let hosts =
+    {
+      Analysis.Structure.law_name = "hosts-conserved";
+      law_terms =
+        (h.Model.excl_hosts, 1)
+        :: all_hosts (fun (hp : Model.host_places) -> (hp.Model.alive, 1));
+    }
+  in
+  let apps =
+    Array.to_list h.Model.apps
+    |> List.mapi (fun a (ap : Model.app_places) ->
+           {
+             Analysis.Structure.law_name =
+               Printf.sprintf "app[%d]-replicas-conserved" a;
+             law_terms =
+               [
+                 (ap.Model.replicas_running, 1);
+                 (ap.Model.need_recovery, 1);
+                 (ap.Model.to_start, 1);
+               ];
+           })
+  in
+  let managers =
+    {
+      Analysis.Structure.law_name = "managers-consistent";
+      law_terms =
+        (h.Model.mgrs_running, 1)
+        :: all_hosts (fun (hp : Model.host_places) ->
+               (hp.Model.mgr_running, -1));
+    }
+  in
+  let domain_managers =
+    {
+      Analysis.Structure.law_name = "domain-managers-consistent";
+      law_terms =
+        (h.Model.mgrs_running, 1)
+        :: (Array.to_list h.Model.domains
+           |> List.map (fun (dp : Model.domain_places) ->
+                  (dp.Model.dom_mgrs_running, -1)));
+    }
+  in
+  let corrupt_managers =
+    {
+      Analysis.Structure.law_name = "corrupt-managers-consistent";
+      law_terms =
+        (h.Model.undetected_corr_mgrs, 1)
+        :: (Array.to_list h.Model.domains
+           |> List.map (fun (dp : Model.domain_places) ->
+                  (dp.Model.dom_mgrs_corrupt, -1)));
+    }
+  in
+  (hosts :: apps) @ [ managers; domain_managers; corrupt_managers ]
+
 let observer h () =
   let monotone = ref (-1) in
   let check _t m =

@@ -11,6 +11,25 @@ exception Violation of string
 val check_now : Model.handles -> San.Marking.t -> unit
 (** One-shot check of a marking. *)
 
+val conservation_laws : Model.handles -> Analysis.Structure.law list
+(** The ITUA model's declared linear invariants, for the structural
+    checker ([Analysis.Check.run ~laws]) and the executor's
+    invariant-guard mode ({!Analysis.Structure.guard}):
+
+    {ul
+    {- [hosts-conserved]: every host is alive or accounted for in
+       [excluded_hosts] — the paper's "hosts are only removed by
+       exclusion";}
+    {- [app[i]-replicas-conserved]: each application's replicas are
+       running, awaiting recovery, or awaiting placement;}
+    {- [managers-consistent] / [domain-managers-consistent] /
+       [corrupt-managers-consistent]: the shared manager-group counters
+       agree with the per-host and per-domain ground truth.}}
+
+    Each law holds with zero drift on {e every} activity effect, not
+    just at stable markings, so the A012 pass can verify them against
+    the extracted incidence modes. *)
+
 val observer : Model.handles -> unit -> Sim.Observer.t
 (** Per-replication observer that checks after initialization, after every
     firing, and at the end of the run — pass to

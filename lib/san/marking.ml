@@ -132,6 +132,18 @@ let journal m = m.journal
 let int_snapshot m = Array.copy m.ints
 let float_snapshot m = Array.copy m.floats
 
+let diff ~before after =
+  if Array.length before.ints <> Array.length after.ints then
+    invalid_arg "Marking.diff: markings are from different models";
+  let out = ref [] in
+  for i = Array.length before.ints - 1 downto 0 do
+    let d = after.ints.(i) - before.ints.(i) in
+    if d <> 0 then out := (i, d) :: !out
+  done;
+  !out
+
+let float_changed ~before after = before.floats <> after.floats
+
 let equal a b = a.ints = b.ints && a.floats = b.floats
 
 let hash m = Hashtbl.hash (m.ints, m.floats)

@@ -54,5 +54,16 @@ val float_snapshot : t -> float array
 (** Copies of the raw state, used for hashing markings during state-space
     exploration and for invariant checks. *)
 
+val diff : before:t -> t -> (int * int) list
+(** [diff ~before after] is the sparse int-place delta [after - before]:
+    [(index, change)] pairs (marking-array indices, not uids) in
+    ascending index order, omitting unchanged places. The primitive
+    under the [analysis] library's incidence-matrix extraction. Raises
+    [Invalid_argument] when the markings have different shapes. *)
+
+val float_changed : before:t -> t -> bool
+(** [float_changed ~before after]: some float place differs (exact
+    comparison — extraction only needs "touched", not "by how much"). *)
+
 val equal : t -> t -> bool
 val hash : t -> int

@@ -262,9 +262,12 @@ let checkpoint_of st =
    true halts the run with a checkpoint of the current state; the
    horizon advance and [on_finish] are then *not* reported, because the
    trajectory is not finished — a clone will continue it. *)
-let exec ?metrics ?from_ ?cross ~model ~config:cfg ~stream
+let exec ?metrics ?from_ ?cross ?check_invariants ~model ~config:cfg ~stream
     ~observer:(observer : Observer.t) () =
   let st = make_state ~model ~cfg ~stream ~from_ in
+  let guard () =
+    match check_invariants with None -> () | Some f -> f st.marking
+  in
   (match from_ with
   | None ->
       (* t = 0 setup: stabilize instantaneous activities silently, then
@@ -284,6 +287,7 @@ let exec ?metrics ?from_ ?cross ~model ~config:cfg ~stream
       (* Checkpoints are taken at stable markings with every enabled timed
          activity already scheduled in the copied heap: nothing to set up. *)
       ());
+  guard ();
   observer.Observer.on_init st.now st.marking;
   let stopped = ref false in
   let crossed = ref false in
@@ -331,7 +335,10 @@ let exec ?metrics ?from_ ?cross ~model ~config:cfg ~stream
             st.events <- st.events + 1;
             observer.Observer.on_fire st.now a case st.marking;
             check_stop ();
-            if not !stopped then stabilize st ~notify:(Some observer);
+            if not !stopped then begin
+              stabilize st ~notify:(Some observer);
+              guard ()
+            end;
             check_stop ();
             check_cross ();
             if !stopped || !crossed then finished := true;
@@ -369,15 +376,18 @@ let finished_exn = function
   | Finished o -> o
   | Crossed _ -> assert false (* no [cross] predicate was given *)
 
-let run ?metrics ~model ~config ~stream ~observer () =
-  finished_exn (exec ?metrics ~model ~config ~stream ~observer ())
-
-let resume ?metrics ~model ~config ~stream ~observer checkpoint =
+let run ?metrics ?check_invariants ~model ~config ~stream ~observer () =
   finished_exn
-    (exec ?metrics ~from_:checkpoint ~model ~config ~stream ~observer ())
+    (exec ?metrics ?check_invariants ~model ~config ~stream ~observer ())
 
-let run_to_level ?metrics ?from_ ~model ~config ~stream ~observer
-    ~importance ~threshold () =
-  exec ?metrics ?from_
+let resume ?metrics ?check_invariants ~model ~config ~stream ~observer
+    checkpoint =
+  finished_exn
+    (exec ?metrics ?check_invariants ~from_:checkpoint ~model ~config ~stream
+       ~observer ())
+
+let run_to_level ?metrics ?from_ ?check_invariants ~model ~config ~stream
+    ~observer ~importance ~threshold () =
+  exec ?metrics ?from_ ?check_invariants
     ~cross:(fun m -> importance m >= threshold)
     ~model ~config ~stream ~observer ()

@@ -37,6 +37,7 @@ type outcome = {
 
 val run :
   ?metrics:Metrics.t ->
+  ?check_invariants:(San.Marking.t -> unit) ->
   model:San.Model.t ->
   config:config ->
   stream:Prng.Stream.t ->
@@ -47,7 +48,17 @@ val run :
     run's telemetry (per-activity firing/cancellation/resample counters,
     stabilization-chain and event-heap statistics — see {!Metrics});
     without it the run pays no instrumentation cost beyond a handful of
-    run-local integer bumps. *)
+    run-local integer bumps.
+
+    [check_invariants], when given, is the opt-in invariant-guard mode:
+    it is called on every {e stable} marking — once after t = 0 setup
+    and again after each timed firing's instantaneous chain settles —
+    and is expected to raise (e.g.
+    [Analysis.Structure.Invariant_violation]) when a marking breaks an
+    invariant the structural analysis proved. Vanishing markings passed
+    through during stabilization are never checked, matching the
+    convention of reward variables. The guard adds one closure call per
+    event; leave it off for production runs. *)
 
 (** {1 Checkpointing}
 
@@ -82,6 +93,7 @@ type split_outcome =
 val run_to_level :
   ?metrics:Metrics.t ->
   ?from_:checkpoint ->
+  ?check_invariants:(San.Marking.t -> unit) ->
   model:San.Model.t ->
   config:config ->
   stream:Prng.Stream.t ->
@@ -107,6 +119,7 @@ val run_to_level :
 
 val resume :
   ?metrics:Metrics.t ->
+  ?check_invariants:(San.Marking.t -> unit) ->
   model:San.Model.t ->
   config:config ->
   stream:Prng.Stream.t ->

@@ -338,6 +338,254 @@ let test_a009_unused_shared_place () =
   Alcotest.(check (list string)) "no A009 when shared place is used" []
     (List.map (Format.asprintf "%a" D.pp) (with_code D.unused_shared_place r))
 
+(* --- structural analysis: semiflows, certificates, A010-A012 --- *)
+
+module St = Analysis.Structure
+
+let structure (r : Analysis.Check.t) = r.Analysis.Check.structure
+
+let test_structure_mm1k () =
+  let q = Test_models.mm1k ~lambda:2.0 ~mu:3.0 ~k:4 in
+  let s = structure (check q.Test_models.q_model) in
+  Alcotest.(check (list string))
+    "two modes" [ "arrive"; "serve" ]
+    (Array.to_list (Array.map (fun md -> md.St.label) s.St.modes));
+  Alcotest.(check bool) "arrive adds one" true
+    (s.St.modes.(0).St.delta = [ (0, 1) ]);
+  Alcotest.(check bool) "serve removes one" true
+    (s.St.modes.(1).St.delta = [ (0, -1) ]);
+  (* A single place whose row is [+1 -1] admits no non-negative
+     conservation, but firing arrive and serve once each is neutral. *)
+  Alcotest.(check int) "no P-semiflows" 0 (List.length s.St.p_semiflows);
+  Alcotest.(check bool) "one T-semiflow: {arrive, serve}" true
+    (s.St.t_semiflows = [ [ (0, 1); (1, 1) ] ]);
+  Alcotest.(check int) "rank 1" 1 s.St.rank;
+  Alcotest.(check int) "no invariant dimension" 0 s.St.invariant_dim
+
+let test_structure_gong () =
+  let g = Test_models.gong () in
+  let s = structure (check g.Test_models.g_model) in
+  Alcotest.(check int) "fifteen modes" 15 (Array.length s.St.modes);
+  Alcotest.(check int) "no P-semiflows" 0 (List.length s.St.p_semiflows);
+  (* The nine-state graph lives in one integer place, so to the
+     incidence abstraction a T-semiflow is any cancelling pair: 9
+     value-increasing transitions times 6 value-decreasing ones. *)
+  Alcotest.(check int) "54 T-semiflows" 54 (List.length s.St.t_semiflows);
+  let label i = s.St.modes.(i).St.label in
+  Alcotest.(check bool) "probe/patch is one of them" true
+    (List.exists
+       (fun tf ->
+         List.map (fun (i, k) -> (label i, k)) tf
+         = [ ("probe_finds_vulnerability", 1); ("vulnerability_patched", 1) ])
+       s.St.t_semiflows)
+
+let ring_fixture () =
+  let b = B.create "ring" in
+  let a = B.int_place b ~init:1 "a" in
+  let c = B.int_place b "b" in
+  B.timed_exp b ~name:"move_ab"
+    ~rate:(fun _ -> 1.0)
+    ~enabled:(fun m -> M.get m a = 1)
+    ~reads:[ San.Place.P a ]
+    (fun _ m ->
+      M.add m a (-1);
+      M.add m c 1);
+  B.timed_exp b ~name:"move_ba"
+    ~rate:(fun _ -> 2.0)
+    ~enabled:(fun m -> M.get m c = 1)
+    ~reads:[ San.Place.P c ]
+    (fun _ m ->
+      M.add m c (-1);
+      M.add m a 1);
+  (B.build b, a, c)
+
+let covered_all s = List.for_all (fun i -> St.covered s i)
+
+let test_p_semiflow_ring () =
+  let model, _, _ = ring_fixture () in
+  let s = structure (check model) in
+  (match s.St.p_semiflows with
+  | [ f ] ->
+      Alcotest.(check bool) "a + b" true (f.St.flow_terms = [ (0, 1); (1, 1) ]);
+      Alcotest.(check int) "token count one" 1 f.St.flow_value
+  | fs -> Alcotest.failf "expected one P-semiflow, got %d" (List.length fs));
+  Alcotest.(check bool) "both places covered" true
+    (covered_all s [ 0; 1 ]);
+  Alcotest.(check bool) "both bounded by the flow" true
+    (s.St.structural_bound.(0) = Some 1 && s.St.structural_bound.(1) = Some 1)
+
+let test_a010_unbounded () =
+  let b = B.create "birth" in
+  let pop = B.int_place b "births" in
+  B.timed_exp b ~name:"arrive"
+    ~rate:(fun _ -> 1.0)
+    ~enabled:(fun _ -> true)
+    ~reads:[ San.Place.P pop ]
+    (fun _ m -> M.add m pop 1);
+  (* Exhaustive walking aborts at 40 states and falls back to sampling,
+     which cannot bound [births]; no P-semiflow covers it either. *)
+  let r = Analysis.Check.run ~max_states:40 (B.build b) in
+  Alcotest.(check bool) "sampled mode" true
+    (r.Analysis.Check.mode = Analysis.Space.Sampled);
+  match with_code D.unbounded_place r with
+  | [ d ] ->
+      Alcotest.(check bool) "warning on the place" true
+        (d.D.severity = D.Warning && d.D.source = D.Place "births")
+  | ds ->
+      Alcotest.failf "expected exactly one A010, got %d:\n%s" (List.length ds)
+        (pp_report r)
+
+let test_a010_not_on_clean_sampled () =
+  (* A bounded model forced into sampled mode must not warn when its
+     places are covered by a P-semiflow. *)
+  let model, _, _ = ring_fixture () in
+  let r = Analysis.Check.run ~max_states:1 model in
+  Alcotest.(check bool) "sampled mode" true
+    (r.Analysis.Check.mode = Analysis.Space.Sampled);
+  Alcotest.(check (list string)) "no A010" []
+    (List.map (Format.asprintf "%a" D.pp) (with_code D.unbounded_place r))
+
+let test_a011_dead_effect () =
+  let b = B.create "noop" in
+  let tick = B.int_place b "tick" in
+  B.timed_exp b ~name:"advance"
+    ~rate:(fun _ -> 1.0)
+    ~enabled:(fun m -> M.get m tick >= 0)
+    ~reads:[ San.Place.P tick ]
+    (fun _ _ -> ());
+  let r = check (B.build b) in
+  match with_code D.dead_effect r with
+  | [ d ] ->
+      Alcotest.(check bool) "warning on the activity" true
+        (d.D.severity = D.Warning && d.D.source = D.Activity "advance")
+  | ds ->
+      Alcotest.failf "expected exactly one A011, got %d:\n%s" (List.length ds)
+        (pp_report r)
+
+let leaky_fixture () =
+  let b = B.create "leaky" in
+  let pool = B.int_place b ~init:3 "pool" in
+  let used = B.int_place b "used" in
+  (* Bug: [take] consumes from the pool without accounting in [used]. *)
+  B.timed_exp b ~name:"take"
+    ~rate:(fun _ -> 1.0)
+    ~enabled:(fun m -> M.get m pool > 0)
+    ~reads:[ San.Place.P pool ]
+    (fun _ m -> M.add m pool (-1));
+  let law =
+    { St.law_name = "pool-conserved"; law_terms = [ (pool, 1); (used, 1) ] }
+  in
+  (B.build b, law)
+
+let test_a012_invariant_violated () =
+  let model, law = leaky_fixture () in
+  let r = Analysis.Check.run ~laws:[ law ] model in
+  (match with_code D.invariant_violated r with
+  | [ d ] ->
+      Alcotest.(check bool) "error at the activity" true
+        (d.D.severity = D.Error && d.D.source = D.Activity "take");
+      Alcotest.(check bool) "names the law and the drift" true
+        (message_mentions ~needle:"pool-conserved" d
+        && message_mentions ~needle:"-1" d)
+  | ds ->
+      Alcotest.failf "expected exactly one A012, got %d:\n%s" (List.length ds)
+        (pp_report r));
+  Alcotest.(check int) "exit code 1" 1 (Analysis.Check.exit_code r)
+
+let test_exit_code_strict () =
+  (* Warnings only: exit 0, promoted to 1 under --strict. *)
+  let b = B.create "noop" in
+  let tick = B.int_place b "tick" in
+  B.timed_exp b ~name:"advance"
+    ~rate:(fun _ -> 1.0)
+    ~enabled:(fun m -> M.get m tick >= 0)
+    ~reads:[ San.Place.P tick ]
+    (fun _ _ -> ());
+  let r = check (B.build b) in
+  Alcotest.(check bool) "warnings present" true
+    (Analysis.Check.count D.Warning r > 0);
+  Alcotest.(check int) "default exit 0" 0 (Analysis.Check.exit_code r);
+  Alcotest.(check int) "strict exit 1" 1
+    (Analysis.Check.exit_code ~strict:true r);
+  let q = Test_models.mm1k ~lambda:2.0 ~mu:3.0 ~k:3 in
+  let clean = check q.Test_models.q_model in
+  Alcotest.(check int) "clean stays 0 under strict" 0
+    (Analysis.Check.exit_code ~strict:true clean)
+
+let test_itua_certificate () =
+  let p =
+    {
+      Itua.Params.default with
+      Itua.Params.num_domains = 2;
+      hosts_per_domain = 2;
+      num_apps = 1;
+      num_reps = 2;
+    }
+  in
+  let h = Itua.Model.build p in
+  let r =
+    Analysis.Check.run ~composition:h.Itua.Model.composition
+      ~laws:(Itua.Invariant.conservation_laws h)
+      h.Itua.Model.model
+  in
+  let s = structure r in
+  (* The certificate the paper's model is expected to carry: hosts are
+     conserved across corrupt/excluded/good states, replicas across
+     running/recovering/waiting, and the manager counters agree. *)
+  Alcotest.(check (list string))
+    "declared laws, in order"
+    [
+      "hosts-conserved"; "app[0]-replicas-conserved"; "managers-consistent";
+      "domain-managers-consistent"; "corrupt-managers-consistent";
+    ]
+    (List.map (fun lr -> lr.St.lr_name) s.St.laws);
+  List.iter
+    (fun lr ->
+      Alcotest.(check bool)
+        (lr.St.lr_name ^ " holds across every mode")
+        true (lr.St.lr_violations = []))
+    s.St.laws;
+  let hosts = List.hd s.St.laws in
+  Alcotest.(check int) "four hosts conserved" 4 hosts.St.lr_value;
+  Alcotest.(check (list string)) "no A012" []
+    (List.map (Format.asprintf "%a" D.pp) (with_code D.invariant_violated r))
+
+(* --- the executor's invariant-guard mode --- *)
+
+let test_executor_guard_holds () =
+  let model, a, c = ring_fixture () in
+  let laws = [ { St.law_name = "token"; law_terms = [ (a, 1); (c, 1) ] } ] in
+  let cfg = Sim.Executor.config ~horizon:5.0 () in
+  let outcome =
+    Sim.Executor.run
+      ~check_invariants:(St.guard ~laws model)
+      ~model ~config:cfg
+      ~stream:(Prng.Stream.create ~seed:11L)
+      ~observer:Sim.Observer.nop ()
+  in
+  Alcotest.(check bool) "events happened" true (outcome.Sim.Executor.events > 0)
+
+let test_executor_guard_raises () =
+  let model, law = leaky_fixture () in
+  let cfg = Sim.Executor.config ~horizon:50.0 () in
+  match
+    Sim.Executor.run
+      ~check_invariants:(St.guard ~laws:[ law ] model)
+      ~model ~config:cfg
+      ~stream:(Prng.Stream.create ~seed:11L)
+      ~observer:Sim.Observer.nop ()
+  with
+  | (_ : Sim.Executor.outcome) ->
+      Alcotest.fail "the leak must trip the invariant guard"
+  | exception St.Invariant_violation msg ->
+      Alcotest.(check bool) "message names the law" true
+        (let n = String.length "pool-conserved" in
+         let rec go i =
+           i + n <= String.length msg
+           && (String.sub msg i n = "pool-conserved" || go (i + 1))
+         in
+         go 0)
+
 (* --- report plumbing --- *)
 
 let test_deterministic_json () =
@@ -375,6 +623,7 @@ let test_catalogue_covers_all_codes () =
       D.undeclared_read; D.undeclared_write; D.negative_write;
       D.dead_activity; D.never_written_place; D.never_read_place;
       D.instantaneous_loop; D.instantaneous_tie; D.unused_shared_place;
+      D.unbounded_place; D.dead_effect; D.invariant_violated;
     ]
 
 let () =
@@ -415,6 +664,33 @@ let () =
         [
           Alcotest.test_case "A009 unused shared place" `Quick
             test_a009_unused_shared_place;
+        ] );
+      ( "structure",
+        [
+          Alcotest.test_case "mm1k incidence and T-semiflow" `Quick
+            test_structure_mm1k;
+          Alcotest.test_case "gong cancelling pairs" `Quick
+            test_structure_gong;
+          Alcotest.test_case "token ring P-semiflow" `Quick
+            test_p_semiflow_ring;
+          Alcotest.test_case "A010 unbounded birth" `Quick
+            test_a010_unbounded;
+          Alcotest.test_case "A010 silent when covered" `Quick
+            test_a010_not_on_clean_sampled;
+          Alcotest.test_case "A011 dead effect" `Quick test_a011_dead_effect;
+          Alcotest.test_case "A012 violated law" `Quick
+            test_a012_invariant_violated;
+          Alcotest.test_case "exit code strictness" `Quick
+            test_exit_code_strict;
+          Alcotest.test_case "ITUA conservation certificate" `Quick
+            test_itua_certificate;
+        ] );
+      ( "executor guard",
+        [
+          Alcotest.test_case "proven invariant holds" `Quick
+            test_executor_guard_holds;
+          Alcotest.test_case "leak trips the guard" `Quick
+            test_executor_guard_raises;
         ] );
       ( "report",
         [

@@ -477,6 +477,84 @@ let test_stream_sampling_effect_rejected () =
   Alcotest.(check bool) "simulated" true
     (San.Marking.get outcome.Sim.Executor.final p >= 1)
 
+(* --- symmetry-driven lumping --- *)
+
+(* [n] exchangeable two-state machines composed with Compose.replicate:
+   the full chain has 2^n states, the canonical-ordering quotient n+1. *)
+let replicated_farm n =
+  let b = San.Model.Builder.create "farm" in
+  let root = Compose.Ctx.root b "farm" in
+  let ups =
+    Compose.replicate root "node" ~n (fun ctx _ ->
+        let up = Compose.Ctx.int_place ctx ~init:1 "up" in
+        Compose.Ctx.timed_exp ctx ~name:"fail"
+          ~rate:(fun _ -> 1.0)
+          ~enabled:(fun m -> San.Marking.get m up = 1)
+          ~reads:[ San.Place.P up ]
+          (fun _ m -> San.Marking.set m up 0);
+        Compose.Ctx.timed_exp ctx ~name:"repair"
+          ~rate:(fun _ -> 2.5)
+          ~enabled:(fun m -> San.Marking.get m up = 0)
+          ~reads:[ San.Place.P up ]
+          (fun _ m -> San.Marking.set m up 1);
+        up)
+  in
+  (San.Model.Builder.build b, Compose.info root, ups)
+
+let test_lumped_measures_agree () =
+  let n = 6 in
+  let model, info, ups = replicated_farm n in
+  let groups = Analysis.Symmetry.detect model info in
+  (match groups with
+  | [ g ] -> Alcotest.(check int) "six copies" n g.Analysis.Symmetry.copies
+  | gs -> Alcotest.failf "expected one group, got %d" (List.length gs));
+  let full = Ctmc.Explore.explore model in
+  let lumped =
+    Ctmc.Explore.explore ~canon:(Analysis.Symmetry.canon groups) model
+  in
+  Alcotest.(check int) "full chain: 2^6" 64 (Ctmc.Explore.n_states full);
+  Alcotest.(check int) "lumped chain: n+1" 7 (Ctmc.Explore.n_states lumped);
+  (* Symmetric rewards must agree between the chains to solver accuracy:
+     the lumping is exact, not approximate. *)
+  let n_up m =
+    Array.fold_left
+      (fun acc up -> acc +. float_of_int (San.Marking.get m up))
+      0.0 ups
+  in
+  let all_down m = n_up m = 0.0 in
+  List.iter
+    (fun t ->
+      close ~tol:1e-9
+        (Printf.sprintf "E[up] at t=%g" t)
+        (Ctmc.Measure.instant full ~at:t n_up)
+        (Ctmc.Measure.instant lumped ~at:t n_up);
+      close ~tol:1e-9
+        (Printf.sprintf "P(ever all down) by t=%g" t)
+        (Ctmc.Measure.ever full ~until:t all_down)
+        (Ctmc.Measure.ever lumped ~until:t all_down))
+    [ 0.3; 1.0; 4.0 ];
+  close ~tol:1e-9 "steady E[up]"
+    (Ctmc.Measure.steady_average full n_up)
+    (Ctmc.Measure.steady_average lumped n_up)
+
+let test_symmetry_detect_rejects_asymmetry () =
+  (* Copies that differ structurally (different initial marking) must
+     not be reported as exchangeable. *)
+  let b = San.Model.Builder.create "skewed" in
+  let root = Compose.Ctx.root b "skewed" in
+  let (_ : unit array) =
+    Compose.replicate root "node" ~n:3 (fun ctx i ->
+        let up = Compose.Ctx.int_place ctx ~init:(if i = 0 then 0 else 1) "up" in
+        Compose.Ctx.timed_exp ctx ~name:"toggle"
+          ~rate:(fun _ -> 1.0)
+          ~enabled:(fun _ -> true)
+          ~reads:[ San.Place.P up ]
+          (fun _ m -> San.Marking.set m up (1 - San.Marking.get m up)))
+  in
+  let model = San.Model.Builder.build b in
+  Alcotest.(check int) "no exchangeable groups" 0
+    (List.length (Analysis.Symmetry.detect model (Compose.info root)))
+
 let () =
   let props =
     List.map QCheck_alcotest.to_alcotest [ prop_random_queue_sim_matches_ctmc ]
@@ -498,6 +576,13 @@ let () =
             test_vanishing_branching;
           Alcotest.test_case "sampling effect rejected" `Quick
             test_stream_sampling_effect_rejected;
+        ] );
+      ( "lumping",
+        [
+          Alcotest.test_case "lumped measures agree" `Quick
+            test_lumped_measures_agree;
+          Alcotest.test_case "asymmetry rejected" `Quick
+            test_symmetry_detect_rejects_asymmetry;
         ] );
       ( "transient",
         [
