@@ -132,7 +132,9 @@ let run_perf () =
 
 (* --- engine throughput (events/sec, via Sim.Metrics) --- *)
 
-let now () = Unix.gettimeofday ()
+(* Monotonic, like every duration in the telemetry stack: a wall-clock
+   step mid-benchmark must not corrupt the recorded timings. *)
+let now () = Obs.Clock.ns_to_s (Obs.Clock.now_ns ())
 
 let measure_throughput ~name ~model ~config ~runs =
   let metrics = Sim.Metrics.create ~model in
@@ -392,6 +394,11 @@ let run_lumping () =
 
 let json_escape s = Printf.sprintf "%S" s
 
+(* A non-finite float would render as "nan"/"inf" — not JSON. Emit null
+   instead so the record always parses. *)
+let json_num (fmt : (float -> string, unit, string) format) v =
+  if Float.is_finite v then Printf.sprintf fmt v else "null"
+
 let write_bench_json ~reps ~micro ~throughput ~rare ~lumping ~figures =
   let buf = Buffer.create 2048 in
   let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
@@ -408,19 +415,20 @@ let write_bench_json ~reps ~micro ~throughput ~rare ~lumping ~figures =
   addf "  \"reps_per_point\": %d,\n" reps;
   addf "  \"micro_benchmarks\": [\n";
   add_list micro (fun (name, ns) ->
-      addf "    { \"name\": %s, \"ns_per_run\": %.1f }" (json_escape name) ns);
+      addf "    { \"name\": %s, \"ns_per_run\": %s }" (json_escape name)
+        (json_num "%.1f" ns));
   addf "\n  ],\n";
   addf "  \"engine_throughput\": [\n";
   add_list throughput (fun (name, (m : Sim.Metrics.t)) ->
       addf
         "    { \"name\": %s, \"runs\": %d, \"events\": %d, \"wall_seconds\": \
-         %.4f, \"events_per_sec\": %.1f, \"stale_pop_fraction\": %.4f, \
-         \"mean_heap_depth\": %.2f }"
+         %.4f, \"events_per_sec\": %s, \"stale_pop_fraction\": %s, \
+         \"mean_heap_depth\": %s }"
         (json_escape name) m.Sim.Metrics.runs m.Sim.Metrics.events
         m.Sim.Metrics.wall_seconds
-        (Sim.Metrics.events_per_sec m)
-        (Sim.Metrics.stale_fraction m)
-        (Sim.Metrics.mean_heap_depth m));
+        (json_num "%.1f" (Sim.Metrics.events_per_sec m))
+        (json_num "%.4f" (Sim.Metrics.stale_fraction m))
+        (json_num "%.2f" (Sim.Metrics.mean_heap_depth m)));
   addf "\n  ],\n";
   (match rare with
   | None -> ()
@@ -443,9 +451,9 @@ let write_bench_json ~reps ~micro ~throughput ~rare ~lumping ~figures =
         e.Stats.Splitting.probability e.Stats.Splitting.ci.Stats.Ci.half_width;
       addf
         "    \"work_normalized_variance\": { \"crude\": %.4g, \"splitting\": \
-         %.4g, \"reduction\": %.1f }\n"
+         %.4g, \"reduction\": %s }\n"
         r.rb_wnv_crude r.rb_wnv_split
-        (r.rb_wnv_crude /. r.rb_wnv_split);
+        (json_num "%.1f" (r.rb_wnv_crude /. r.rb_wnv_split));
       addf "  },\n");
   (match lumping with
   | None -> ()
@@ -529,10 +537,12 @@ let () =
     print_panels (timed "traj" (Itua.Study.trajectory ~config:cfg));
   if List.mem "ablate" args then
     print_panels (timed "ablate" (Itua.Study.ablation ~config:cfg));
-  let micro, throughput =
-    if List.mem "perf" args then (run_perf (), run_throughput ())
-    else ([], [])
-  in
+  (* The perf record is the whole point of BENCH_sim.json: run the
+     micro-benchmarks and throughput sweep on EVERY invocation, whatever
+     figures were asked for, so the committed record can never regress
+     to empty arrays (the CI gate rejects such a record). *)
+  let micro = run_perf () in
+  let throughput = run_throughput () in
   if List.mem "rare" args then
     print_panels (timed "fig4b_rare" (Itua.Study.fig4b_rare ~config:cfg));
   let rare =
@@ -552,6 +562,15 @@ let () =
   in
   write_bench_json ~reps:cfg.Itua.Study.reps ~micro ~throughput ~rare ~lumping
     ~figures:(!figure_times @ fig3_points);
+  (* Record-completeness gate: an empty micro-benchmark or throughput
+     array means the record is useless as a perf baseline. *)
+  if micro = [] || throughput = [] then begin
+    Format.eprintf
+      "bench record gate FAILED: %d micro-benchmark and %d throughput \
+       records (both must be non-empty)@."
+      (List.length micro) (List.length throughput);
+    exit 1
+  end;
   (* Regression gate: splitting must beat crude MC by >=10x on the tail
      (doc/RARE_EVENTS.md). Counts are seed-deterministic, so this is a
      stable check, evaluated after the record is written. *)

@@ -137,6 +137,48 @@ let precision_arg =
                sequential stopping), instead of a fixed replication count; \
                --reps then bounds the total.")
 
+(* --- observability sinks (run / rare / mtta) --- *)
+
+let metrics_out_arg =
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE"
+         ~doc:"Write an itua-metrics/1 JSON snapshot (engine counters, \
+               phase self-times, GC statistics, convergence trajectories) \
+               to $(docv) after the run. Enables phase profiling.")
+
+let metrics_interval_arg =
+  Arg.(value & opt (some float) None
+       & info [ "metrics-interval" ] ~docv:"SECS"
+           ~doc:"Rewrite the $(b,--metrics-out) snapshot roughly every \
+                 $(docv) seconds while replications run, so a long run can \
+                 be watched live (requires $(b,--metrics-out)).")
+
+let trace_spans_arg =
+  Arg.(value & opt (some string) None & info [ "trace-spans" ] ~docv:"FILE"
+         ~doc:"Record every profiled phase interval and write Chrome \
+               trace-event JSON lines to $(docv) (open in Perfetto or \
+               chrome://tracing).")
+
+let convergence_csv_arg =
+  Arg.(value & opt (some string) None
+       & info [ "convergence-csv" ] ~docv:"FILE"
+           ~doc:"Write the estimator-convergence trajectory (measure, n, \
+                 value, CI half-width per chunk) to $(docv) as CSV.")
+
+(* One snapshot: export the engine sinks into a fresh registry and write
+   it with the convergence block appended. Export is re-runnable, so the
+   interval flusher calls this repeatedly on the live sinks. *)
+let write_snapshot path ~metrics ~profile ~convergence =
+  let reg = Obs.Registry.create () in
+  Option.iter (fun m -> Sim.Metrics.export m ~into:reg) metrics;
+  Option.iter (fun p -> Obs.Profile.export p ~into:reg) profile;
+  let extra =
+    match convergence with
+    | Some conv when not (Obs.Convergence.is_empty conv) ->
+        [ ("convergence", Obs.Convergence.to_json conv) ]
+    | Some _ | None -> []
+  in
+  Obs.Registry.write ~extra path reg
+
 (* One-line stderr progress display, overwritten in place. *)
 let render_progress (p : Sim.Runner.progress) =
   let eta =
@@ -163,7 +205,8 @@ let policy_string = function
 let run_cmd =
   let run domains hosts apps replicas policy multiplier spread scale horizon
       reps seed cores telemetry telemetry_csv progress rel_precision
-      record_failures record_max dot_heat =
+      record_failures record_max dot_heat metrics_out metrics_interval
+      trace_spans convergence_csv =
     let ( let* ) = Result.bind in
     let check cond msg = if cond then Ok () else Error (`Msg msg) in
     let* () = check (cores >= 1) "--cores must be >= 1" in
@@ -176,6 +219,16 @@ let run_cmd =
       check
         (telemetry || telemetry_csv = None)
         "--telemetry-csv requires --telemetry"
+    in
+    let* () =
+      check
+        (metrics_interval = None || metrics_out <> None)
+        "--metrics-interval requires --metrics-out"
+    in
+    let* () =
+      check
+        (match metrics_interval with Some s -> s > 0.0 | None -> true)
+        "--metrics-interval must be > 0"
     in
     let* () =
       check
@@ -202,8 +255,18 @@ let run_cmd =
         ]
     in
     let metrics =
-      if telemetry || dot_heat <> None then
+      if telemetry || dot_heat <> None || metrics_out <> None then
         Some (Sim.Metrics.create ~model:h.Itua.Model.model)
+      else None
+    in
+    let profile =
+      if metrics_out <> None || trace_spans <> None then
+        Some (Obs.Profile.create ~spans:(trace_spans <> None) ())
+      else None
+    in
+    let convergence =
+      if convergence_csv <> None || metrics_out <> None then
+        Some (Obs.Convergence.create ())
       else None
     in
     let record =
@@ -216,16 +279,41 @@ let run_cmd =
                ~predicate:(Itua.Forensics.failed_now h)
                ~model:h.Itua.Model.model ())
     in
-    let progress_cb = if progress then Some render_progress else None in
+    (* The interval flusher rides on the progress callback: consume has
+       already merged every per-domain sink when it fires, so the
+       snapshot it writes is the current merged state. *)
+    let flusher =
+      match (metrics_out, metrics_interval) with
+      | Some path, Some interval ->
+          let last = ref (Obs.Clock.now_ns ()) in
+          Some
+            (fun (_ : Sim.Runner.progress) ->
+              if Obs.Clock.seconds_since !last >= interval then begin
+                last := Obs.Clock.now_ns ();
+                write_snapshot path ~metrics ~profile ~convergence
+              end)
+      | _ -> None
+    in
+    let progress_cb =
+      match ((if progress then Some render_progress else None), flusher) with
+      | None, None -> None
+      | (Some _ as f), None -> f
+      | None, (Some _ as g) -> g
+      | Some f, Some g ->
+          Some
+            (fun p ->
+              f p;
+              g p)
+    in
     let results =
       match rel_precision with
       | None ->
-          Sim.Runner.run ~domains:cores ?metrics ?progress:progress_cb ?record
-            ~seed ~reps spec
+          Sim.Runner.run ~domains:cores ?metrics ?profile ?convergence
+            ?progress:progress_cb ?record ~seed ~reps spec
       | Some prec ->
-          Sim.Runner.run_until ~domains:cores ?metrics ?progress:progress_cb
-            ?record ~batch:(Int.min reps 500) ~max_reps:reps
-            ~rel_precision:prec ~seed spec
+          Sim.Runner.run_until ~domains:cores ?metrics ?profile ?convergence
+            ?progress:progress_cb ?record ~batch:(Int.min reps 500)
+            ~max_reps:reps ~rel_precision:prec ~seed spec
     in
     if progress then finish_progress ();
     let n_runs = (List.hd results).Sim.Runner.n_runs in
@@ -308,6 +396,24 @@ let run_cmd =
           (List.length (T.non_matching sink))
           (T.matched_runs sink) (T.runs sink)
     | _ -> ());
+    (match metrics_out with
+    | None -> ()
+    | Some path ->
+        write_snapshot path ~metrics ~profile ~convergence;
+        Format.printf "@.[metrics snapshot: %s]@." path);
+    (match (trace_spans, profile) with
+    | Some path, Some prof ->
+        Obs.Profile.write_trace path prof;
+        Format.printf "[trace spans: %s]@." path
+    | _ -> ());
+    (match (convergence_csv, convergence) with
+    | Some path, Some conv ->
+        Obs.Convergence.write_csv path conv;
+        Format.printf "[convergence csv: %s]@." path
+    | _ -> ());
+    (match (telemetry, profile) with
+    | true, Some prof -> Format.printf "@.Phase profile:@.%a" Obs.Profile.pp prof
+    | _ -> ());
     Ok ()
   in
   Cmd.v (Cmd.info "run" ~doc:"Simulate one ITUA configuration")
@@ -317,7 +423,8 @@ let run_cmd =
         $ policy_arg $ multiplier_arg $ spread_arg $ scale_arg $ horizon_arg
         $ n_reps_arg $ seed_arg $ cores_arg $ telemetry_arg $ telemetry_csv_arg
         $ progress_arg $ precision_arg $ record_arg $ record_max_arg
-        $ dot_heat_arg))
+        $ dot_heat_arg $ metrics_out_arg $ metrics_interval_arg
+        $ trace_spans_arg $ convergence_csv_arg))
 
 (* --- rare --- *)
 
@@ -366,7 +473,8 @@ let rare_cmd =
                  $(docv) as CSV.")
   in
   let run domains hosts apps replicas policy multiplier spread scale horizon
-      seed cores levels clones initial measure app json csv =
+      seed cores levels clones initial measure app json csv metrics_out
+      convergence_csv =
     let ( let* ) = Result.bind in
     let check cond msg = if cond then Ok () else Error (`Msg msg) in
     let* () = check (cores >= 1) "--cores must be >= 1" in
@@ -476,6 +584,24 @@ let rare_cmd =
               ];
           ];
         Format.printf "  [json: %s]@." path);
+    (match (metrics_out, convergence_csv) with
+    | None, None -> ()
+    | _ ->
+        let conv = Obs.Convergence.create () in
+        let reg = Obs.Registry.create () in
+        Sim.Splitting.export ~convergence:conv r ~into:reg;
+        (match metrics_out with
+        | None -> ()
+        | Some path ->
+            Obs.Registry.write
+              ~extra:[ ("convergence", Obs.Convergence.to_json conv) ]
+              path reg;
+            Format.printf "  [metrics snapshot: %s]@." path);
+        match convergence_csv with
+        | None -> ()
+        | Some path ->
+            Obs.Convergence.write_csv path conv;
+            Format.printf "  [convergence csv: %s]@." path);
     Ok ()
   in
   Cmd.v
@@ -487,7 +613,8 @@ let rare_cmd =
         (const run $ domains_arg $ hosts_arg $ apps_arg $ reps_per_app_arg
         $ policy_arg $ multiplier_arg $ spread_arg $ scale_arg $ horizon_arg
         $ seed_arg $ cores_arg $ levels_arg $ clones_arg $ initial_arg
-        $ measure_arg $ app_arg $ json_arg $ csv_arg))
+        $ measure_arg $ app_arg $ json_arg $ csv_arg $ metrics_out_arg
+        $ convergence_csv_arg))
 
 (* --- explain --- *)
 
@@ -707,15 +834,17 @@ let check_cmd =
 (* --- mtta (exact, tiny configurations) --- *)
 
 let mtta_cmd =
-  let run multiplier scale =
+  let run multiplier scale metrics_out =
     (* Only forced-choice configurations are analytically explorable. *)
     let p =
       params_of 1 1 1 1 Itua.Params.Domain_exclusion multiplier 1.0 scale
     in
     let h = Itua.Model.build p in
+    let obs = Option.map (fun _ -> Obs.Registry.create ()) metrics_out in
+    let profile = Option.map (fun _ -> Obs.Profile.create ()) metrics_out in
     Format.printf
       "Exact CTMC analysis of the 1-domain/1-host/1-app/1-replica system@.";
-    (match Ctmc.Explore.explore h.Itua.Model.model with
+    (match Ctmc.Explore.explore ?obs ?profile h.Itua.Model.model with
     | c ->
         Format.printf "  states: %d@." (Ctmc.Explore.n_states c);
         Format.printf "  mean time to full degradation: %.4f hours@."
@@ -725,7 +854,13 @@ let mtta_cmd =
             Format.printf "  unreliability [0,%g]: %.6f@." t
               (Ctmc.Measure.ever c ~until:t (fun m ->
                    Itua.Model.improper h 0 m)))
-          [ 5.0; 10.0; 24.0 ]
+          [ 5.0; 10.0; 24.0 ];
+        (match (metrics_out, obs) with
+        | Some path, Some reg ->
+            Option.iter (fun pr -> Obs.Profile.export pr ~into:reg) profile;
+            Obs.Registry.write path reg;
+            Format.printf "  [metrics snapshot: %s]@." path
+        | _ -> ())
     | exception Ctmc.Explore.Non_markovian msg ->
         Format.eprintf "model is not Markovian: %s@." msg;
         exit 1)
@@ -733,7 +868,7 @@ let mtta_cmd =
   Cmd.v
     (Cmd.info "mtta"
        ~doc:"Exact mean time to full degradation of the minimal system")
-    Term.(const run $ multiplier_arg $ scale_arg)
+    Term.(const run $ multiplier_arg $ scale_arg $ metrics_out_arg)
 
 (* --- structure --- *)
 

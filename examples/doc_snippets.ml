@@ -119,6 +119,32 @@ let _observability_trace ~model ~config ~stream () =
   in
   ()
 
+let _observability_registry () =
+  let reg = Obs.Registry.create () in
+  let engine = Obs.Registry.scope reg "engine" in
+  let events = Obs.Registry.counter engine "events" in
+  Obs.Registry.add events 1;
+  let depth = Obs.Registry.histogram engine "heap_depth" in
+  Obs.Registry.observe depth 12.0;
+  Obs.Registry.write "metrics.json" reg
+
+let _observability_snapshot ~model ~spec () =
+  let metrics = Sim.Metrics.create ~model in
+  let profile = Obs.Profile.create () in
+  let convergence = Obs.Convergence.create () in
+  let results =
+    Sim.Runner.run ~metrics ~profile ~convergence ~seed:42L ~reps:10_000 spec
+  in
+  let reg = Obs.Registry.create () in
+  Sim.Metrics.export metrics ~into:reg;
+  Obs.Profile.export profile ~into:reg;
+  Obs.Registry.write
+    ~extra:[ ("convergence", Obs.Convergence.to_json convergence) ]
+    "metrics.json" reg
+
+let _observability_convergence_csv convergence =
+  Obs.Convergence.write_csv "convergence.csv" convergence
+
 let _observability_forensics ~seed ~spec () =
   let h = Itua.Model.build Itua.Params.default in
   let sink =

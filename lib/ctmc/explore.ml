@@ -24,7 +24,11 @@ let resolve_vanishing model m =
   try Walker.resolve_vanishing model m
   with Walker.Bad_weights msg -> raise (Non_markovian msg)
 
-let explore ?(max_states = 200_000) ?(canon = fun k -> k) model =
+let explore ?(max_states = 200_000) ?(canon = fun k -> k) ?obs ?profile model
+    =
+  (match profile with
+  | None -> ()
+  | Some p -> Obs.Profile.enter p Obs.Profile.Ctmc_explore);
   let pool = Walker.Pool.create () in
   let frontier = Queue.create () in
   let intern k =
@@ -98,6 +102,16 @@ let explore ?(max_states = 200_000) ?(canon = fun k -> k) model =
   let exit_rates =
     Array.map (List.fold_left (fun acc (_, r) -> acc +. r) 0.0) merged
   in
+  (match obs with
+  | None -> ()
+  | Some reg ->
+      let module R = Obs.Registry in
+      let s = R.scope reg "ctmc" in
+      R.add (R.counter s "explore_states") n;
+      R.add
+        (R.counter s "explore_transitions")
+        (Array.fold_left (fun acc ts -> acc + List.length ts) 0 merged));
+  (match profile with None -> () | Some p -> Obs.Profile.leave p);
   {
     model;
     states = Array.init n (Walker.Pool.get pool);

@@ -27,9 +27,16 @@ type t
 val explore :
   ?max_states:int ->
   ?canon:(int array * float array -> int array * float array) ->
+  ?obs:Obs.Registry.t ->
+  ?profile:Obs.Profile.t ->
   San.Model.t ->
   t
 (** Builds the CTMC. Default [max_states] is 200_000.
+
+    [obs] receives the explored state and (merged) transition counts in
+    scope ["ctmc"]; [profile] attributes the exploration to the
+    [Ctmc_explore] phase (the phase is left open on an exploration
+    exception, which aborts the analysis anyway).
 
     [canon], when supplied, maps every stable state key to a canonical
     representative before interning — the hook for exact lumping: when

@@ -1,10 +1,30 @@
-let distribution ?(tol = 1e-12) ?(max_iter = 1_000_000) c =
+(* Power iteration on the uniformized DTMC, with optional telemetry:
+   the whole solve is one [Ctmc_solve] profiler phase, the iteration
+   count and final residual land in the registry's "ctmc" scope, and
+   the L1-delta trajectory (sampled at power-of-two iterations plus the
+   final one) goes to the convergence recorder — the solver's analogue
+   of a CI-half-width-vs-reps curve. *)
+let in_solve profile f =
+  match profile with
+  | None -> f ()
+  | Some p -> Obs.Profile.span p Obs.Profile.Ctmc_solve f
+
+let distribution ?(tol = 1e-12) ?(max_iter = 1_000_000) ?obs ?convergence
+    ?profile c =
+  in_solve profile @@ fun () ->
   let lambda = Float.max (Explore.max_exit_rate c) 1e-9 *. 1.05 in
   let n = Explore.n_states c in
   let v = ref (Array.make n 0.0) in
   List.iter (fun (i, p) -> !v.(i) <- !v.(i) +. p) (Explore.initial_dist c);
   let delta = ref infinity in
   let iter = ref 0 in
+  let record_delta () =
+    match convergence with
+    | None -> ()
+    | Some conv ->
+        Obs.Convergence.record conv ~measure:"ctmc_steady_delta" ~n:!iter
+          ~value:!delta
+  in
   while !delta > tol && !iter < max_iter do
     incr iter;
     let w = Array.make n 0.0 in
@@ -23,8 +43,20 @@ let distribution ?(tol = 1e-12) ?(max_iter = 1_000_000) c =
       d := !d +. Float.abs (w.(i) -. !v.(i))
     done;
     delta := !d;
-    v := w
+    v := w;
+    if !iter land (!iter - 1) = 0 then record_delta ()
   done;
+  (* The loop records powers of two; the stopping iteration is usually
+     not one, so close the trajectory with the final residual. *)
+  if !iter > 0 && !iter land (!iter - 1) <> 0 then record_delta ();
+  (match obs with
+  | None -> ()
+  | Some reg ->
+      let module R = Obs.Registry in
+      let s = R.scope reg "ctmc" in
+      R.add (R.counter s "steady_iterations") !iter;
+      R.set (R.gauge s "steady_lambda") lambda;
+      R.set (R.gauge s "steady_delta") !delta);
   if !delta > tol then
     failwith
       (Printf.sprintf "Ctmc.Steady: no convergence after %d iterations \

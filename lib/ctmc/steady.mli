@@ -7,7 +7,19 @@
     exclusion dynamics are absorbing. *)
 
 val distribution :
-  ?tol:float -> ?max_iter:int -> Explore.t -> float array
+  ?tol:float ->
+  ?max_iter:int ->
+  ?obs:Obs.Registry.t ->
+  ?convergence:Obs.Convergence.t ->
+  ?profile:Obs.Profile.t ->
+  Explore.t ->
+  float array
 (** [distribution c] iterates until the L1 change per step falls below
     [tol] (default 1e-12) or [max_iter] (default 1_000_000) steps.
-    Raises [Failure] if not converged. *)
+    Raises [Failure] if not converged.
+
+    [obs] receives the iteration count, uniformization rate and final
+    residual in scope ["ctmc"]; [convergence] receives the L1-delta
+    trajectory (measure ["ctmc_steady_delta"], one point per
+    power-of-two iteration plus the final one); [profile] attributes
+    the whole solve to the [Ctmc_solve] phase. *)

@@ -41,13 +41,31 @@ let poisson_weights ~mu ~epsilon =
 let check_time t =
   if t < 0.0 then invalid_arg "Ctmc.Transient: negative time"
 
-let probabilities ?(epsilon = 1e-12) c ~t =
+(* Telemetry shared by both solvers: the truncated Poisson support size
+   is the number of uniformized DTMC steps actually taken. *)
+let in_solve profile f =
+  match profile with
+  | None -> f ()
+  | Some p -> Obs.Profile.span p Obs.Profile.Ctmc_solve f
+
+let export_obs obs ~lambda ~steps =
+  match obs with
+  | None -> ()
+  | Some reg ->
+      let module R = Obs.Registry in
+      let s = R.scope reg "ctmc" in
+      R.add (R.counter s "uniformization_steps") steps;
+      R.set (R.gauge s "uniformization_lambda") lambda
+
+let probabilities ?(epsilon = 1e-12) ?obs ?profile c ~t =
   check_time t;
+  in_solve profile @@ fun () ->
   let v0 = initial_vector c in
   if t = 0.0 then v0
   else begin
     let lambda = Float.max (Explore.max_exit_rate c) 1e-9 *. 1.02 in
     let weights = poisson_weights ~mu:(lambda *. t) ~epsilon in
+    export_obs obs ~lambda ~steps:(Array.length weights);
     let n = Array.length v0 in
     let result = Array.make n 0.0 in
     let v = ref v0 in
@@ -61,13 +79,15 @@ let probabilities ?(epsilon = 1e-12) c ~t =
     result
   end
 
-let accumulated ?(epsilon = 1e-12) c ~t =
+let accumulated ?(epsilon = 1e-12) ?obs ?profile c ~t =
   check_time t;
+  in_solve profile @@ fun () ->
   let n = Explore.n_states c in
   if t = 0.0 then Array.make n 0.0
   else begin
     let lambda = Float.max (Explore.max_exit_rate c) 1e-9 *. 1.02 in
     let weights = poisson_weights ~mu:(lambda *. t) ~epsilon in
+    export_obs obs ~lambda ~steps:(Array.length weights);
     (* L(t) = (1/lambda) sum_k (1 - sum_{j<=k} w_j) v_k, truncated where the
        survivor weight is below epsilon relative mass; the truncation error
        is folded in by computing survivors against the renormalized sum. *)

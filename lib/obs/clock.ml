@@ -1,0 +1,5 @@
+let now_ns () = Monotonic_clock.now ()
+let ns_to_s ns = Int64.to_float ns *. 1e-9
+
+let seconds_since t0 =
+  Float.max 0.0 (ns_to_s (Int64.sub (now_ns ()) t0))

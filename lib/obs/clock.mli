@@ -1,0 +1,18 @@
+(** Monotonic wall-clock readings for duration measurement.
+
+    Every duration in the telemetry stack is computed from this clock
+    (CLOCK_MONOTONIC via the bechamel stubs), never from
+    [Unix.gettimeofday]: a wall-time step (NTP adjustment, suspend)
+    must not produce negative or wildly wrong elapsed times in
+    events/sec figures or profiler self-times. *)
+
+val now_ns : unit -> int64
+(** Nanoseconds on the monotonic clock. Only differences are
+    meaningful; the epoch is unspecified (typically boot time). *)
+
+val seconds_since : int64 -> float
+(** [seconds_since t0] is the elapsed seconds between [t0] (an earlier
+    {!now_ns} reading) and now; never negative. *)
+
+val ns_to_s : int64 -> float
+(** Convert a nanosecond duration to seconds. *)

@@ -1,0 +1,260 @@
+(* Buckets cover upper bounds 2^0 .. 2^(n_buckets-1); anything larger
+   lands in the last bucket. 63 buckets reach 2^62, past any count or
+   nanosecond total the engine can produce. *)
+let n_buckets = 63
+
+type hist_state = {
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+  h_counts : int array;
+}
+
+type value =
+  | Counter of int ref
+  | Gauge of { mutable g : float; g_merge : [ `Sum | `Max | `Min ] }
+  | Histogram of hist_state
+
+type metric = { m_name : string; m_volatile : bool; m_value : value }
+type scope = { s_name : string; s_metrics : (string, metric) Hashtbl.t }
+type t = { scopes : (string, scope) Hashtbl.t }
+type counter = int ref
+type gauge = value
+type histogram = hist_state
+
+let create () = { scopes = Hashtbl.create 8 }
+
+let scope t name =
+  match Hashtbl.find_opt t.scopes name with
+  | Some s -> s
+  | None ->
+      let s = { s_name = name; s_metrics = Hashtbl.create 16 } in
+      Hashtbl.add t.scopes name s;
+      s
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+let register s ~name ~volatile ~make ~cast =
+  match Hashtbl.find_opt s.s_metrics name with
+  | Some m -> cast m.m_value
+  | None ->
+      let v = make () in
+      Hashtbl.add s.s_metrics name
+        { m_name = name; m_volatile = volatile; m_value = v };
+      cast v
+
+let counter ?(volatile = false) s name =
+  register s ~name ~volatile
+    ~make:(fun () -> Counter (ref 0))
+    ~cast:(function
+      | Counter r -> r
+      | v ->
+          invalid_arg
+            (Printf.sprintf "Obs.Registry: %s.%s is a %s, not a counter"
+               s.s_name name (kind_name v)))
+
+let gauge ?(volatile = false) ?(merge = `Max) s name =
+  register s ~name ~volatile
+    ~make:(fun () -> Gauge { g = nan; g_merge = merge })
+    ~cast:(function
+      | Gauge _ as v -> v
+      | v ->
+          invalid_arg
+            (Printf.sprintf "Obs.Registry: %s.%s is a %s, not a gauge"
+               s.s_name name (kind_name v)))
+
+let fresh_hist () =
+  {
+    h_count = 0;
+    h_sum = 0.0;
+    h_min = infinity;
+    h_max = neg_infinity;
+    h_counts = Array.make n_buckets 0;
+  }
+
+let histogram ?(volatile = false) s name =
+  register s ~name ~volatile
+    ~make:(fun () -> Histogram (fresh_hist ()))
+    ~cast:(function
+      | Histogram h -> h
+      | v ->
+          invalid_arg
+            (Printf.sprintf "Obs.Registry: %s.%s is a %s, not a histogram"
+               s.s_name name (kind_name v)))
+
+let incr c = Stdlib.incr c
+let add c n = c := !c + n
+let counter_value c = !c
+
+let set g v = match g with Gauge g -> g.g <- v | _ -> assert false
+
+let gauge_add g v =
+  match g with
+  | Gauge g -> g.g <- (if Float.is_nan g.g then v else g.g +. v)
+  | _ -> assert false
+
+let gauge_value g = match g with Gauge g -> g.g | _ -> assert false
+
+(* First bucket whose upper bound 2^i covers v; non-positive values in
+   bucket 0. *)
+let bucket_of v =
+  if not (v > 1.0) then 0
+  else begin
+    let i = ref 0 in
+    let bound = ref 1.0 in
+    while !bound < v && !i < n_buckets - 1 do
+      incr i;
+      bound := !bound *. 2.0
+    done;
+    !i
+  end
+
+let observe h v =
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum +. v;
+  if v < h.h_min then h.h_min <- v;
+  if v > h.h_max then h.h_max <- v;
+  let b = bucket_of v in
+  h.h_counts.(b) <- h.h_counts.(b) + 1
+
+let observe_raw h ~counts ~n ~sum ~min_ ~max_ =
+  if n > 0 then begin
+    h.h_count <- h.h_count + n;
+    h.h_sum <- h.h_sum +. sum;
+    if min_ < h.h_min then h.h_min <- min_;
+    if max_ > h.h_max then h.h_max <- max_;
+    Array.iteri
+      (fun i c ->
+        let i = Int.min i (n_buckets - 1) in
+        h.h_counts.(i) <- h.h_counts.(i) + c)
+      counts
+  end
+
+let merge_value ~where into src =
+  match (into, src) with
+  | Counter a, Counter b -> a := !a + !b
+  | Gauge a, Gauge b ->
+      if not (Float.is_nan b.g) then
+        a.g <-
+          (if Float.is_nan a.g then b.g
+           else
+             match a.g_merge with
+             | `Sum -> a.g +. b.g
+             | `Max -> Float.max a.g b.g
+             | `Min -> Float.min a.g b.g)
+  | Histogram a, Histogram b ->
+      observe_raw a ~counts:b.h_counts ~n:b.h_count ~sum:b.h_sum ~min_:b.h_min
+        ~max_:b.h_max
+  | _ ->
+      invalid_arg
+        (Printf.sprintf "Obs.Registry.merge: %s registered as %s and %s" where
+           (kind_name into) (kind_name src))
+
+let merge ~into src =
+  Hashtbl.iter
+    (fun sname (s : scope) ->
+      let dst = scope into sname in
+      Hashtbl.iter
+        (fun mname m ->
+          match Hashtbl.find_opt dst.s_metrics mname with
+          | Some m' ->
+              merge_value ~where:(sname ^ "." ^ mname) m'.m_value m.m_value
+          | None ->
+              let copy =
+                match m.m_value with
+                | Counter r -> Counter (ref !r)
+                | Gauge g -> Gauge { g = g.g; g_merge = g.g_merge }
+                | Histogram h ->
+                    Histogram
+                      {
+                        h_count = h.h_count;
+                        h_sum = h.h_sum;
+                        h_min = h.h_min;
+                        h_max = h.h_max;
+                        h_counts = Array.copy h.h_counts;
+                      }
+              in
+              Hashtbl.add dst.s_metrics mname
+                { m_name = mname; m_volatile = m.m_volatile; m_value = copy })
+        s.s_metrics)
+    src.scopes
+
+let sorted_bindings tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let num_or_null v =
+  if Float.is_finite v then Report.Json.Num v else Report.Json.Null
+
+let metric_to_json m =
+  let module J = Report.Json in
+  let base = [ ("name", J.Str m.m_name); ("kind", J.Str (kind_name m.m_value)) ] in
+  let payload =
+    match m.m_value with
+    | Counter r -> [ ("value", J.int !r) ]
+    | Gauge g -> [ ("value", num_or_null g.g) ]
+    | Histogram h ->
+        let buckets = ref [] in
+        for i = n_buckets - 1 downto 0 do
+          if h.h_counts.(i) > 0 then
+            buckets :=
+              J.Obj
+                [
+                  ("le", J.Num (Float.pow 2.0 (float_of_int i)));
+                  ("count", J.int h.h_counts.(i));
+                ]
+              :: !buckets
+        done;
+        [
+          ("count", J.int h.h_count);
+          ("sum", num_or_null h.h_sum);
+          ("min", if h.h_count = 0 then J.Null else num_or_null h.h_min);
+          ("max", if h.h_count = 0 then J.Null else num_or_null h.h_max);
+          ("buckets", J.Arr !buckets);
+        ]
+  in
+  let volatile = if m.m_volatile then [ ("volatile", J.Bool true) ] else [] in
+  J.Obj (base @ payload @ volatile)
+
+let to_json ?(volatile = true) ?(extra = []) t =
+  let module J = Report.Json in
+  let scopes =
+    sorted_bindings t.scopes
+    |> List.filter_map (fun (sname, s) ->
+           let metrics =
+             sorted_bindings s.s_metrics
+             |> List.filter_map (fun (_, m) ->
+                    if m.m_volatile && not volatile then None
+                    else Some (metric_to_json m))
+           in
+           if metrics = [] then None
+           else
+             Some
+               (J.Obj [ ("scope", J.Str sname); ("metrics", J.Arr metrics) ]))
+  in
+  J.Obj
+    ([ ("schema", J.Str "itua-metrics/1"); ("scopes", J.Arr scopes) ] @ extra)
+
+let write ?volatile ?extra path t =
+  Report.write_jsonl path [ to_json ?volatile ?extra t ]
+
+let pp ppf t =
+  List.iter
+    (fun (sname, s) ->
+      Format.fprintf ppf "%s:@." sname;
+      List.iter
+        (fun (_, m) ->
+          match m.m_value with
+          | Counter r -> Format.fprintf ppf "  %-32s %d@." m.m_name !r
+          | Gauge g -> Format.fprintf ppf "  %-32s %.6g@." m.m_name g.g
+          | Histogram h ->
+              Format.fprintf ppf "  %-32s n=%d sum=%.6g min=%.6g max=%.6g@."
+                m.m_name h.h_count h.h_sum
+                (if h.h_count = 0 then nan else h.h_min)
+                (if h.h_count = 0 then nan else h.h_max))
+        (sorted_bindings s.s_metrics))
+    (sorted_bindings t.scopes)

@@ -38,6 +38,7 @@ type state = {
   model : San.Model.t;
   cfg : config;
   stream : Prng.Stream.t;
+  prof : Obs.Profile.t option;
   marking : San.Marking.t;
   heap : Event_heap.t;
   versions : int array;  (* per activity: current scheduling version *)
@@ -65,15 +66,29 @@ type state = {
   mutable max_depth : int;
 }
 
+(* Phase-profiler shims: a single option match when profiling is off —
+   the only cost the hot path pays for the instrumentation. *)
+let[@inline] penter st ph =
+  match st.prof with None -> () | Some p -> Obs.Profile.enter p ph
+
+let[@inline] pleave st =
+  match st.prof with None -> () | Some p -> Obs.Profile.leave p
+
 let sample_delay st (a : San.Activity.t) =
   match a.timing with
   | San.Activity.Instantaneous -> assert false
-  | San.Activity.Timed { dist; _ } -> Dist.sample (dist st.marking) st.stream
+  | San.Activity.Timed { dist; _ } ->
+      penter st Obs.Profile.Sample;
+      let d = Dist.sample (dist st.marking) st.stream in
+      pleave st;
+      d
 
 let schedule st (a : San.Activity.t) =
   let delay = sample_delay st a in
+  penter st Obs.Profile.Heap_push;
   Event_heap.push st.heap ~time:(st.now +. delay) ~act:a.id
     ~version:st.versions.(a.id);
+  pleave st;
   st.scheduled.(a.id) <- true
 
 let cancel st id =
@@ -123,6 +138,7 @@ let fire st (a : San.Activity.t) case =
    bumping [gen] invalidates every stamp at once, so the only per-event
    cost is the activities actually visited. *)
 let propagate st (fired : San.Activity.t option) changed =
+  penter st Obs.Profile.Propagate;
   st.gen <- st.gen + 1;
   let g = st.gen in
   (match fired with
@@ -140,7 +156,8 @@ let propagate st (fired : San.Activity.t option) changed =
           reevaluate st a
         end
       done)
-    changed
+    changed;
+  pleave st
 
 let enabled_instantaneous st =
   Array.fold_left
@@ -154,6 +171,7 @@ let enabled_instantaneous st =
    uniformly among the enabled set at each step.  [notify] is None during
    t = 0 setup (observers do not see setup firings). *)
 let stabilize st ~notify =
+  penter st Obs.Profile.Stabilize;
   let steps = ref 0 in
   let rec loop () =
     match enabled_instantaneous st with
@@ -182,12 +200,13 @@ let stabilize st ~notify =
     st.chains <- st.chains + 1;
     st.chain_steps <- st.chain_steps + !steps;
     if !steps > st.max_chain then st.max_chain <- !steps
-  end
+  end;
+  pleave st
 
 (* Build executor state: fresh from the model's initial marking, or a
    private copy of a checkpoint (so several clones can resume from the
    same checkpoint, concurrently, without sharing mutable state). *)
-let make_state ~model ~cfg ~stream ~from_ =
+let make_state ~model ~cfg ~stream ~prof ~from_ =
   let acts = San.Model.activities model in
   let n = Array.length acts in
   let inst_ids =
@@ -211,16 +230,24 @@ let make_state ~model ~cfg ~stream ~from_ =
     | Some cp ->
         if Array.length cp.cp_versions <> n then
           invalid_arg "Executor: checkpoint is from a different model";
-        ( San.Marking.copy cp.cp_marking,
-          Event_heap.copy cp.cp_heap,
-          Array.copy cp.cp_versions,
-          Array.copy cp.cp_scheduled,
-          cp.cp_now )
+        (match prof with
+        | None -> ()
+        | Some p -> Obs.Profile.enter p Obs.Profile.Checkpoint);
+        let cloned =
+          ( San.Marking.copy cp.cp_marking,
+            Event_heap.copy cp.cp_heap,
+            Array.copy cp.cp_versions,
+            Array.copy cp.cp_scheduled,
+            cp.cp_now )
+        in
+        (match prof with None -> () | Some p -> Obs.Profile.leave p);
+        cloned
   in
   {
     model;
     cfg;
     stream;
+    prof;
     marking;
     heap;
     versions;
@@ -246,13 +273,18 @@ let make_state ~model ~cfg ~stream ~from_ =
   }
 
 let checkpoint_of st =
-  {
-    cp_marking = San.Marking.copy st.marking;
-    cp_heap = Event_heap.copy st.heap;
-    cp_versions = Array.copy st.versions;
-    cp_scheduled = Array.copy st.scheduled;
-    cp_now = st.now;
-  }
+  penter st Obs.Profile.Checkpoint;
+  let cp =
+    {
+      cp_marking = San.Marking.copy st.marking;
+      cp_heap = Event_heap.copy st.heap;
+      cp_versions = Array.copy st.versions;
+      cp_scheduled = Array.copy st.scheduled;
+      cp_now = st.now;
+    }
+  in
+  pleave st;
+  cp
 
 (* The shared engine behind [run], [resume] and [run_to_level].
 
@@ -262,9 +294,9 @@ let checkpoint_of st =
    true halts the run with a checkpoint of the current state; the
    horizon advance and [on_finish] are then *not* reported, because the
    trajectory is not finished — a clone will continue it. *)
-let exec ?metrics ?from_ ?cross ?check_invariants ~model ~config:cfg ~stream
-    ~observer:(observer : Observer.t) () =
-  let st = make_state ~model ~cfg ~stream ~from_ in
+let exec ?metrics ?profile ?from_ ?cross ?check_invariants ~model ~config:cfg
+    ~stream ~observer:(observer : Observer.t) () =
+  let st = make_state ~model ~cfg ~stream ~prof:profile ~from_ in
   let guard () =
     match check_invariants with None -> () | Some f -> f st.marking
   in
@@ -307,7 +339,10 @@ let exec ?metrics ?from_ ?cross ?check_invariants ~model ~config:cfg ~stream
   let last_event_time = ref st.now in
   while not !finished do
     let depth = Event_heap.size st.heap in
-    match Event_heap.pop st.heap with
+    penter st Obs.Profile.Heap_pop;
+    let popped = Event_heap.pop st.heap in
+    pleave st;
+    match popped with
     | None -> finished := true
     | Some entry ->
         st.pops <- st.pops + 1;
@@ -376,18 +411,20 @@ let finished_exn = function
   | Finished o -> o
   | Crossed _ -> assert false (* no [cross] predicate was given *)
 
-let run ?metrics ?check_invariants ~model ~config ~stream ~observer () =
+let run ?metrics ?profile ?check_invariants ~model ~config ~stream ~observer
+    () =
   finished_exn
-    (exec ?metrics ?check_invariants ~model ~config ~stream ~observer ())
+    (exec ?metrics ?profile ?check_invariants ~model ~config ~stream ~observer
+       ())
 
-let resume ?metrics ?check_invariants ~model ~config ~stream ~observer
-    checkpoint =
+let resume ?metrics ?profile ?check_invariants ~model ~config ~stream
+    ~observer checkpoint =
   finished_exn
-    (exec ?metrics ?check_invariants ~from_:checkpoint ~model ~config ~stream
-       ~observer ())
+    (exec ?metrics ?profile ?check_invariants ~from_:checkpoint ~model ~config
+       ~stream ~observer ())
 
-let run_to_level ?metrics ?from_ ?check_invariants ~model ~config ~stream
-    ~observer ~importance ~threshold () =
-  exec ?metrics ?from_ ?check_invariants
+let run_to_level ?metrics ?profile ?from_ ?check_invariants ~model ~config
+    ~stream ~observer ~importance ~threshold () =
+  exec ?metrics ?profile ?from_ ?check_invariants
     ~cross:(fun m -> importance m >= threshold)
     ~model ~config ~stream ~observer ()

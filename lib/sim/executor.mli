@@ -37,6 +37,7 @@ type outcome = {
 
 val run :
   ?metrics:Metrics.t ->
+  ?profile:Obs.Profile.t ->
   ?check_invariants:(San.Marking.t -> unit) ->
   model:San.Model.t ->
   config:config ->
@@ -49,6 +50,13 @@ val run :
     stabilization-chain and event-heap statistics — see {!Metrics});
     without it the run pays no instrumentation cost beyond a handful of
     run-local integer bumps.
+
+    [profile], when given, attributes monotonic wall-clock self-time to
+    the engine phases of {!Obs.Profile.phase} (delay sampling, heap push
+    and pop, propagation, stabilization, checkpoint cloning). Without it
+    each instrumented site costs a single option match. The profiler is
+    not domain-safe: give each domain its own ({!Obs.Profile.fork}) and
+    merge afterwards, as {!Runner} does.
 
     [check_invariants], when given, is the opt-in invariant-guard mode:
     it is called on every {e stable} marking — once after t = 0 setup
@@ -92,6 +100,7 @@ type split_outcome =
 
 val run_to_level :
   ?metrics:Metrics.t ->
+  ?profile:Obs.Profile.t ->
   ?from_:checkpoint ->
   ?check_invariants:(San.Marking.t -> unit) ->
   model:San.Model.t ->
@@ -119,6 +128,7 @@ val run_to_level :
 
 val resume :
   ?metrics:Metrics.t ->
+  ?profile:Obs.Profile.t ->
   ?check_invariants:(San.Marking.t -> unit) ->
   model:San.Model.t ->
   config:config ->

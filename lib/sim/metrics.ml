@@ -14,7 +14,26 @@ type t = {
   mutable depth_sum : int;
   mutable max_depth : int;
   mutable wall_seconds : float;
+  run_events : int array;
+  mutable min_run_events : int;
+  mutable max_run_events : int;
 }
+
+(* Base-2 log buckets of the per-run event count, sized to match the
+   registry's histogram layout (observe_raw clamps anyway). *)
+let hist_buckets = 63
+
+let bucket_of_int v =
+  if v <= 1 then 0
+  else begin
+    let i = ref 0 in
+    let bound = ref 1 in
+    while !bound < v && !i < hist_buckets - 1 do
+      incr i;
+      bound := !bound * 2
+    done;
+    !i
+  end
 
 let create ~model =
   let acts = San.Model.activities model in
@@ -35,6 +54,9 @@ let create ~model =
     depth_sum = 0;
     max_depth = 0;
     wall_seconds = 0.0;
+    run_events = Array.make hist_buckets 0;
+    min_run_events = max_int;
+    max_run_events = 0;
   }
 
 let reset m =
@@ -51,7 +73,10 @@ let reset m =
   m.stale_pops <- 0;
   m.depth_sum <- 0;
   m.max_depth <- 0;
-  m.wall_seconds <- 0.0
+  m.wall_seconds <- 0.0;
+  Array.fill m.run_events 0 hist_buckets 0;
+  m.min_run_events <- max_int;
+  m.max_run_events <- 0
 
 let add_arrays dst src =
   Array.iteri (fun i v -> dst.(i) <- dst.(i) + v) src
@@ -72,7 +97,10 @@ let merge ~into src =
   into.stale_pops <- into.stale_pops + src.stale_pops;
   into.depth_sum <- into.depth_sum + src.depth_sum;
   into.max_depth <- Int.max into.max_depth src.max_depth;
-  into.wall_seconds <- into.wall_seconds +. src.wall_seconds
+  into.wall_seconds <- into.wall_seconds +. src.wall_seconds;
+  add_arrays into.run_events src.run_events;
+  into.min_run_events <- Int.min into.min_run_events src.min_run_events;
+  into.max_run_events <- Int.max into.max_run_events src.max_run_events
 
 let add_wall m s = m.wall_seconds <- m.wall_seconds +. s
 
@@ -90,12 +118,23 @@ let record_run m ~firings ~cancellations ~resamples ~events ~setup_events
   m.pops <- m.pops + pops;
   m.stale_pops <- m.stale_pops + stale_pops;
   m.depth_sum <- m.depth_sum + depth_sum;
-  m.max_depth <- Int.max m.max_depth max_depth
+  m.max_depth <- Int.max m.max_depth max_depth;
+  let b = bucket_of_int events in
+  m.run_events.(b) <- m.run_events.(b) + 1;
+  m.min_run_events <- Int.min m.min_run_events events;
+  m.max_run_events <- Int.max m.max_run_events events
 
 let ratio num den = if den = 0 then nan else float_of_int num /. float_of_int den
 
+(* Below a microsecond of recorded wall time the quotient is timer
+   noise, not a throughput: report undefined (nan), which every snapshot
+   writer renders as null, rather than inf or a garbage figure. *)
+let min_wall_seconds = 1e-6
+
 let events_per_sec m =
-  if m.wall_seconds > 0.0 then float_of_int m.events /. m.wall_seconds else nan
+  if m.wall_seconds >= min_wall_seconds then
+    float_of_int m.events /. m.wall_seconds
+  else nan
 
 let mean_chain_length m = ratio m.chain_steps m.chains
 let mean_heap_depth m = ratio m.depth_sum m.pops
@@ -174,3 +213,37 @@ let pp_activities ?limit ppf m =
       Format.fprintf ppf "%d activities never fired: %s%s@." n
         (String.concat " " sample)
         (if n > List.length sample then " ..." else "")
+
+(* Registry export: deterministic engine counters into the "engine"
+   scope, per-activity counters into "activity", and wall-derived
+   figures as volatile gauges (excluded from the deterministic core of
+   a snapshot). Idempotent targets: exporting two sinks into the same
+   registry adds them, matching [merge]. *)
+let export m ~into =
+  let module R = Obs.Registry in
+  let e = R.scope into "engine" in
+  R.add (R.counter e "runs") m.runs;
+  R.add (R.counter e "events") m.events;
+  R.add (R.counter e "setup_events") m.setup_events;
+  R.add (R.counter e "chains") m.chains;
+  R.add (R.counter e "chain_steps") m.chain_steps;
+  R.add (R.counter e "heap_pops") m.pops;
+  R.add (R.counter e "heap_stale_pops") m.stale_pops;
+  R.add (R.counter e "heap_depth_sum") m.depth_sum;
+  R.set (R.gauge e "max_chain") (float_of_int m.max_chain);
+  R.set (R.gauge e "max_heap_depth") (float_of_int m.max_depth);
+  R.observe_raw
+    (R.histogram e "events_per_run")
+    ~counts:m.run_events ~n:m.runs
+    ~sum:(float_of_int m.events)
+    ~min_:(float_of_int m.min_run_events)
+    ~max_:(float_of_int m.max_run_events);
+  R.set (R.gauge ~volatile:true ~merge:`Sum e "wall_seconds") m.wall_seconds;
+  R.set (R.gauge ~volatile:true e "events_per_sec") (events_per_sec m);
+  let a = R.scope into "activity" in
+  Array.iteri
+    (fun i name ->
+      R.add (R.counter a (name ^ ".firings")) m.firings.(i);
+      R.add (R.counter a (name ^ ".cancellations")) m.cancellations.(i);
+      R.add (R.counter a (name ^ ".resamples")) m.resamples.(i))
+    m.names

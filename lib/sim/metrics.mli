@@ -40,6 +40,10 @@ type t = {
   mutable depth_sum : int;  (** sum over pops of the pre-pop heap size *)
   mutable max_depth : int;  (** largest pre-pop heap size seen *)
   mutable wall_seconds : float;  (** wall time added via {!add_wall} *)
+  run_events : int array;
+      (** base-2 log-bucketed histogram of per-run event counts *)
+  mutable min_run_events : int;  (** smallest per-run event count *)
+  mutable max_run_events : int;  (** largest per-run event count *)
 }
 
 val create : model:San.Model.t -> t
@@ -75,7 +79,9 @@ val record_run :
     rarely useful directly. *)
 
 val events_per_sec : t -> float
-(** [events / wall_seconds]; [nan] while no wall time was added. *)
+(** [events / wall_seconds]; [nan] while no wall time was added, and
+    [nan] (never [inf] or timer garbage) when the recorded wall time is
+    below a microsecond — snapshot writers render that as [null]. *)
 
 val mean_chain_length : t -> float
 (** Mean instantaneous steps per non-empty stabilization chain; [nan]
@@ -110,3 +116,10 @@ val pp_activities : ?limit:int -> Format.formatter -> t -> unit
 (** Per-activity table sorted by firing count (descending), activities
     that never fired summarized on a final line. [limit] caps the number
     of table rows (default: all). *)
+
+val export : t -> into:Obs.Registry.t -> unit
+(** Dump the sink into a metrics registry: deterministic engine
+    counters and the per-run event histogram into scope ["engine"],
+    per-activity counters into scope ["activity"], and wall-derived
+    throughput figures as volatile gauges. Exporting several sinks into
+    one registry accumulates, mirroring {!merge}. *)

@@ -38,9 +38,11 @@ type progress = {
   cis : (string * Stats.Ci.t) list;
 }
 
-let now () = Unix.gettimeofday ()
+(* Durations come from the monotonic clock: a wall-time step must not
+   corrupt elapsed/eta figures or the wall time fed to Metrics. *)
+let now () = Obs.Clock.ns_to_s (Obs.Clock.now_ns ())
 
-let run_one ?metrics ?record s stream =
+let run_one ?metrics ?profile ?record s stream =
   let instances = List.map Reward.instantiate s.rewards in
   let observers =
     List.map Reward.observer instances
@@ -54,7 +56,7 @@ let run_one ?metrics ?record s stream =
     Executor.config ~max_events:s.max_events ?stop:s.stop ~horizon:s.horizon ()
   in
   let (_ : Executor.outcome) =
-    Executor.run ?metrics ~model:s.model ~config:cfg ~stream
+    Executor.run ?metrics ?profile ~model:s.model ~config:cfg ~stream
       ~observer:(Observer.combine observers) ()
   in
   (match record with
@@ -73,12 +75,15 @@ let record_segment = 64
 
 (* Run replications [first, first+count) accumulating Welford state and
    defined-counts per reward, plus an optional per-block metrics sink
-   (one per block, so domains never share one) and per-segment trajectory
-   sinks (forked from [record], returned in segment order). *)
-let run_block s ~root ~first ~count ~with_metrics ~record =
+   and profiler fork (one each per block, so domains never share one)
+   and per-segment trajectory sinks (forked from [record], returned in
+   segment order). GC deltas are captured here, inside the domain that
+   owns the fork, before the block result crosses back. *)
+let run_block s ~root ~first ~count ~with_metrics ~profile ~tid ~record =
   let metrics =
     if with_metrics then Some (Metrics.create ~model:s.model) else None
   in
+  let prof = Option.map (fun p -> Obs.Profile.fork ~tid p) profile in
   let sinks = ref [] in
   let record_for rep =
     match record with
@@ -102,7 +107,7 @@ let run_block s ~root ~first ~count ~with_metrics ~record =
   for i = 0 to count - 1 do
     if i > 0 then base := Prng.Stream.successor !base;
     let values =
-      run_one ?metrics
+      run_one ?metrics ?profile:prof
         ?record:(record_for (first + i))
         s
         (Prng.Stream.substream !base 0)
@@ -115,7 +120,8 @@ let run_block s ~root ~first ~count ~with_metrics ~record =
         end)
       values
   done;
-  (accs, defined, metrics, List.rev_map snd !sinks)
+  Option.iter Obs.Profile.gc_capture prof;
+  (accs, defined, metrics, prof, List.rev_map snd !sinks)
 
 let default_domains () =
   Int.max 1 (Int.min 8 (Domain.recommended_domain_count ()))
@@ -142,16 +148,17 @@ let blocks_of_aligned ~domains ~first ~count =
       let hi = lo + base + if i < extra then 1 else 0 in
       (first + (lo * seg), Int.min count (hi * seg) - (lo * seg)))
 
-let run_blocks s ~root ~with_metrics ~record blocks =
+let run_blocks s ~root ~with_metrics ~profile ~record blocks =
   match blocks with
   | [ (first, count) ] ->
-      [ run_block s ~root ~first ~count ~with_metrics ~record ]
+      [ run_block s ~root ~first ~count ~with_metrics ~profile ~tid:0 ~record ]
   | _ ->
       let handles =
-        List.map
-          (fun (first, count) ->
+        List.mapi
+          (fun tid (first, count) ->
             Domain.spawn (fun () ->
-                run_block s ~root ~first ~count ~with_metrics ~record))
+                run_block s ~root ~first ~count ~with_metrics ~profile ~tid
+                  ~record))
           blocks
       in
       List.map Domain.join handles
@@ -159,9 +166,9 @@ let run_blocks s ~root ~with_metrics ~record blocks =
 (* Fold one run_blocks result into the shared accumulators (and the
    caller's metrics and trajectory sinks), preserving block order so
    estimates — and recorded occupancy sums — stay deterministic. *)
-let consume ~accs ~defined ~metrics ~record results =
+let consume ~accs ~defined ~metrics ~profile ~record results =
   List.iter
-    (fun (block_accs, block_defined, block_metrics, block_sinks) ->
+    (fun (block_accs, block_defined, block_metrics, block_prof, block_sinks) ->
       Array.iteri
         (fun j acc ->
           accs.(j) <- Stats.Welford.merge accs.(j) acc;
@@ -169,6 +176,9 @@ let consume ~accs ~defined ~metrics ~record results =
         block_accs;
       (match (metrics, block_metrics) with
       | Some m, Some bm -> Metrics.merge ~into:m bm
+      | (Some _ | None), _ -> ());
+      (match (profile, block_prof) with
+      | Some p, Some bp -> Obs.Profile.merge ~into:p bp
       | (Some _ | None), _ -> ());
       match record with
       | Some sink ->
@@ -218,6 +228,21 @@ let emit_progress ~progress ~confidence ~rewards ~accs ~t0 ~completed ~target
           cis;
         }
 
+(* One convergence point per reward after each merged chunk/batch:
+   recorded from the coordinating thread on the merged accumulators, so
+   the trajectory is the deterministic sequence of published estimates. *)
+let record_convergence ~convergence ~confidence ~rewards ~accs ~completed =
+  match convergence with
+  | None -> ()
+  | Some conv ->
+      List.iteri
+        (fun j (r : Reward.spec) ->
+          let ci = Stats.Ci.of_welford ~confidence accs.(j) in
+          Obs.Convergence.record conv ~measure:r.Reward.name ~n:completed
+            ~value:ci.Stats.Ci.mean ~half_width:ci.Stats.Ci.half_width
+            ~confidence)
+        rewards
+
 let results_of ~confidence ~rewards ~accs ~defined ~n_runs =
   List.mapi
     (fun j (r : Reward.spec) ->
@@ -230,8 +255,8 @@ let results_of ~confidence ~rewards ~accs ~defined ~n_runs =
       })
     rewards
 
-let run ?(domains = 1) ?(confidence = 0.95) ?metrics ?progress ?record ~seed
-    ~reps s =
+let run ?(domains = 1) ?(confidence = 0.95) ?metrics ?profile ?convergence
+    ?progress ?record ~seed ~reps s =
   if reps <= 0 then invalid_arg "Runner.run: reps must be >= 1";
   if domains <= 0 then invalid_arg "Runner.run: domains must be >= 1";
   let t0 = now () in
@@ -241,18 +266,18 @@ let run ?(domains = 1) ?(confidence = 0.95) ?metrics ?progress ?record ~seed
   let accs = Array.init n_rewards (fun _ -> Stats.Welford.create ()) in
   let defined = Array.make n_rewards 0 in
   let with_metrics = Option.is_some metrics in
-  (* With a progress callback, replications run in ~20 chunks so the
-     caller hears from us; substream-per-replication keeps the estimates
-     identical either way. Recording rounds chunks up to whole segments
-     so chunking cannot change how segments are formed. *)
+  (* With a progress callback or a convergence recorder, replications
+     run in ~20 chunks so the caller hears from us (and the recorder
+     sees a trajectory, not one point); substream-per-replication keeps
+     the estimates identical either way. Recording rounds chunks up to
+     whole segments so chunking cannot change how segments are formed. *)
   let chunk =
-    match progress with
-    | None -> reps
-    | Some _ ->
-        let c = Int.max domains ((reps + 19) / 20) in
-        if Option.is_some record then
-          (c + record_segment - 1) / record_segment * record_segment
-        else c
+    if Option.is_none progress && Option.is_none convergence then reps
+    else
+      let c = Int.max domains ((reps + 19) / 20) in
+      if Option.is_some record then
+        (c + record_segment - 1) / record_segment * record_segment
+      else c
   in
   let completed = ref 0 in
   while !completed < reps do
@@ -263,9 +288,11 @@ let run ?(domains = 1) ?(confidence = 0.95) ?metrics ?progress ?record ~seed
         blocks_of_aligned ~domains:d ~first:!completed ~count
       else blocks_of ~domains:d ~first:!completed ~count
     in
-    let results = run_blocks s ~root ~with_metrics ~record blocks in
-    consume ~accs ~defined ~metrics ~record results;
+    let results = run_blocks s ~root ~with_metrics ~profile ~record blocks in
+    consume ~accs ~defined ~metrics ~profile ~record results;
     completed := !completed + count;
+    record_convergence ~convergence ~confidence ~rewards:s.rewards ~accs
+      ~completed:!completed;
     emit_progress ~progress ~confidence ~rewards:s.rewards ~accs ~t0
       ~completed:!completed ~target:reps ~estimated:reps
   done;
@@ -275,7 +302,8 @@ let run ?(domains = 1) ?(confidence = 0.95) ?metrics ?progress ?record ~seed
   results_of ~confidence ~rewards:s.rewards ~accs ~defined ~n_runs:reps
 
 let run_until ?(domains = 1) ?(confidence = 0.95) ?(batch = 500)
-    ?(max_reps = 100_000) ?metrics ?progress ?record ~rel_precision ~seed s =
+    ?(max_reps = 100_000) ?metrics ?profile ?convergence ?progress ?record
+    ~rel_precision ~seed s =
   if not (rel_precision > 0.0) then
     invalid_arg "Runner.run_until: rel_precision must be > 0";
   if batch <= 0 then invalid_arg "Runner.run_until: batch must be > 0";
@@ -316,9 +344,11 @@ let run_until ?(domains = 1) ?(confidence = 0.95) ?(batch = 500)
         blocks_of_aligned ~domains:d ~first:!total ~count
       else blocks_of ~domains:d ~first:!total ~count
     in
-    let results = run_blocks s ~root ~with_metrics ~record blocks in
-    consume ~accs ~defined ~metrics ~record results;
+    let results = run_blocks s ~root ~with_metrics ~profile ~record blocks in
+    consume ~accs ~defined ~metrics ~profile ~record results;
     total := !total + count;
+    record_convergence ~convergence ~confidence ~rewards:s.rewards ~accs
+      ~completed:!total;
     emit_progress ~progress ~confidence ~rewards:s.rewards ~accs ~t0
       ~completed:!total ~target:max_reps ~estimated:(estimated_total ())
   done;

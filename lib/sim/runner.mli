@@ -60,6 +60,7 @@ type progress = {
 
 val run_one :
   ?metrics:Metrics.t ->
+  ?profile:Obs.Profile.t ->
   ?record:Trajectory.sink * int ->
   spec ->
   Prng.Stream.t ->
@@ -73,6 +74,8 @@ val run :
   ?domains:int ->
   ?confidence:float ->
   ?metrics:Metrics.t ->
+  ?profile:Obs.Profile.t ->
+  ?convergence:Obs.Convergence.t ->
   ?progress:(progress -> unit) ->
   ?record:Trajectory.sink ->
   seed:int64 ->
@@ -85,10 +88,17 @@ val run :
 
     [metrics] accumulates engine telemetry over every replication (each
     domain counts into its own sink; they are merged here, and the
-    call's wall-clock time is added — see {!Metrics}). [progress] is
-    called after each chunk of replications; requesting progress chunks
-    the work (~20 chunks) but does not change the estimates, since
-    replication [i] always runs on substream [i].
+    call's wall-clock time is added — see {!Metrics}). [profile]
+    attributes phase self-times the same way: each domain block runs on
+    its own {!Obs.Profile.fork} (spans labelled with the block's worker
+    index), captures its GC deltas inside the owning domain, and the
+    forks merge back in block order. [convergence] records, per reward
+    and per merged chunk, the running estimate and CI half-width into
+    the given recorder — and, like [progress], forces chunked execution
+    so a trajectory exists. [progress] is called after each chunk of
+    replications; requesting progress chunks the work (~20 chunks) but
+    does not change the estimates, since replication [i] always runs on
+    substream [i].
 
     [record] collects trajectories and occupancy statistics into the
     given {!Trajectory.sink}. Recording is {e bit-deterministic} in the
@@ -104,6 +114,8 @@ val run_until :
   ?batch:int ->
   ?max_reps:int ->
   ?metrics:Metrics.t ->
+  ?profile:Obs.Profile.t ->
+  ?convergence:Obs.Convergence.t ->
   ?progress:(progress -> unit) ->
   ?record:Trajectory.sink ->
   rel_precision:float ->
@@ -116,9 +128,11 @@ val run_until :
     batch are judged by absolute half-width against [rel_precision]), or
     [max_reps] (default 100_000) is reached. Replication [i] still uses
     substream [i], so a [run_until] result is a deterministic function of
-    the seed and the batch/precision parameters. [metrics] and
-    [progress] behave as in {!run}, with [progress] called after every
-    batch. [record] behaves as in {!run}, except that it rounds the batch
+    the seed and the batch/precision parameters. [metrics], [profile],
+    [convergence] and [progress] behave as in {!run}, with [progress]
+    called (and convergence points recorded) after every batch — the
+    recorded trajectory is exactly the audit trail of the stopping rule.
+    [record] behaves as in {!run}, except that it rounds the batch
     size up to a whole number of recording segments (so the stopping
     point can differ from an unrecorded run with the same batch). *)
 

@@ -125,3 +125,42 @@ let run ?(domains = 1) ?(confidence = 0.95) ?(max_stage_trials = 1 lsl 20)
     levels;
     clones;
   }
+
+(* Registry export plus the per-stage convergence trajectory. Stage
+   counts and the final estimate are deterministic functions of the
+   seed, so nothing here is volatile. The trajectory replays the run:
+   point [k] is the estimate the first [k] stages support, with the
+   delta-method half-width at that prefix — a zero-hit stage can only
+   be the last one, so every proper prefix is a valid stage array. *)
+let export ?convergence ?(confidence = 0.95) r ~into =
+  let module R = Obs.Registry in
+  let stages = r.estimate.Stats.Splitting.stages in
+  let s = R.scope into "splitting" in
+  R.add (R.counter s "stages") (Array.length stages);
+  R.add (R.counter s "trials") r.total_trials;
+  R.add (R.counter s "events") r.total_events;
+  R.set (R.gauge s "levels") (float_of_int r.levels);
+  R.set (R.gauge s "clones") (float_of_int r.clones);
+  R.set (R.gauge s "probability") r.estimate.Stats.Splitting.probability;
+  R.set (R.gauge s "rel_variance") r.estimate.Stats.Splitting.rel_variance;
+  Array.iteri
+    (fun k (st : Stats.Splitting.stage) ->
+      let name = Printf.sprintf "stage%03d" (k + 1) in
+      R.add (R.counter s (name ^ ".trials")) st.Stats.Splitting.trials;
+      R.add (R.counter s (name ^ ".hits")) st.Stats.Splitting.hits)
+    stages;
+  match convergence with
+  | None -> ()
+  | Some conv ->
+      let cumulative = ref 0 in
+      Array.iteri
+        (fun k (st : Stats.Splitting.stage) ->
+          cumulative := !cumulative + st.Stats.Splitting.trials;
+          let prefix =
+            Stats.Splitting.estimate ~confidence (Array.sub stages 0 (k + 1))
+          in
+          Obs.Convergence.record conv ~measure:"splitting" ~n:!cumulative
+            ~value:prefix.Stats.Splitting.probability
+            ~half_width:prefix.Stats.Splitting.ci.Stats.Ci.half_width
+            ~confidence)
+        stages

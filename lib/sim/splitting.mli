@@ -70,3 +70,19 @@ val run :
     which is the classic RESTART failure mode.
 
     Raises like {!Executor.run} on model errors. *)
+
+val export :
+  ?convergence:Obs.Convergence.t ->
+  ?confidence:float ->
+  result ->
+  into:Obs.Registry.t ->
+  unit
+(** Dump a finished run into a metrics registry: scope ["splitting"]
+    gets total trials/events, per-stage trial and hit counters
+    ([stageNNN.trials], [stageNNN.hits]) and the final estimate —
+    everything a deterministic function of the seed, so none of it is
+    volatile. [convergence], when given, receives the per-stage
+    trajectory of measure ["splitting"]: point [k] is the estimate and
+    delta-method half-width (at [confidence], default 0.95) supported by
+    the first [k] stages, with [n] the cumulative trial count — how the
+    tail-probability estimate sharpened as the run climbed levels. *)
