@@ -197,6 +197,61 @@ let run_throughput () =
     records;
   records
 
+(* --- compiled-IR propagate speedup --- *)
+
+type ir_bench = {
+  ib_runs : int;
+  ib_events : int;
+  ib_closure_wall : float;
+  ib_compiled_wall : float;
+}
+
+(* Same model, same seeds, the only difference being the executor's
+   effect path: interpreted IR terms (closure dispatch per node) vs the
+   compiled flat delta programs ([San.Effect.run_prog]). Trajectories
+   are pinned bit-identical by the test suite; here we record the
+   speedup so later engine work is judged against it. *)
+let run_ir_speedup () =
+  let handles = Itua.Model.build Itua.Params.default in
+  let model = handles.Itua.Model.model in
+  let runs = 50 in
+  let measure ~compile =
+    let config =
+      Sim.Executor.config ~compile_effects:compile ~horizon:10.0 ()
+    in
+    let events = ref 0 in
+    let t0 = now () in
+    for i = 1 to runs do
+      let out =
+        Sim.Executor.run ~model ~config
+          ~stream:(Prng.Stream.create ~seed:(Int64.of_int i))
+          ~observer:Sim.Observer.nop ()
+      in
+      events := !events + out.Sim.Executor.events
+    done;
+    (now () -. t0, !events)
+  in
+  let closure_wall, ev_closure = measure ~compile:false in
+  let compiled_wall, ev_compiled = measure ~compile:true in
+  if ev_closure <> ev_compiled then
+    Format.eprintf
+      "  [warn] ir-speedup event counts differ: %d interpreted vs %d \
+       compiled@."
+      ev_closure ev_compiled;
+  Format.printf
+    "@.Compiled-IR effect path (ITUA default, %d runs to 10h):@." runs;
+  Format.printf "  %-45s %10.3fs@." "interpreted (closure dispatch)"
+    closure_wall;
+  Format.printf "  %-45s %10.3fs (%.2fx)@." "compiled (flat delta arrays)"
+    compiled_wall
+    (closure_wall /. compiled_wall);
+  {
+    ib_runs = runs;
+    ib_events = ev_compiled;
+    ib_closure_wall = closure_wall;
+    ib_compiled_wall = compiled_wall;
+  }
+
 (* --- rare-event tail: crude MC vs importance splitting --- *)
 
 type rare_bench = {
@@ -399,7 +454,7 @@ let json_escape s = Printf.sprintf "%S" s
 let json_num (fmt : (float -> string, unit, string) format) v =
   if Float.is_finite v then Printf.sprintf fmt v else "null"
 
-let write_bench_json ~reps ~micro ~throughput ~rare ~lumping ~figures =
+let write_bench_json ~reps ~micro ~throughput ~ir ~rare ~lumping ~figures =
   let buf = Buffer.create 2048 in
   let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   let add_list xs render =
@@ -430,6 +485,15 @@ let write_bench_json ~reps ~micro ~throughput ~rare ~lumping ~figures =
         (json_num "%.4f" (Sim.Metrics.stale_fraction m))
         (json_num "%.2f" (Sim.Metrics.mean_heap_depth m)));
   addf "\n  ],\n";
+  addf "  \"ir_compilation\": {\n";
+  addf "    \"model\": \"itua_default_10h\",\n";
+  addf "    \"runs\": %d,\n" ir.ib_runs;
+  addf "    \"events\": %d,\n" ir.ib_events;
+  addf "    \"closure_wall_seconds\": %.4f,\n" ir.ib_closure_wall;
+  addf "    \"compiled_wall_seconds\": %.4f,\n" ir.ib_compiled_wall;
+  addf "    \"speedup\": %s\n"
+    (json_num "%.3f" (ir.ib_closure_wall /. ir.ib_compiled_wall));
+  addf "  },\n";
   (match rare with
   | None -> ()
   | Some r ->
@@ -543,6 +607,7 @@ let () =
      to empty arrays (the CI gate rejects such a record). *)
   let micro = run_perf () in
   let throughput = run_throughput () in
+  let ir = run_ir_speedup () in
   if List.mem "rare" args then
     print_panels (timed "fig4b_rare" (Itua.Study.fig4b_rare ~config:cfg));
   let rare =
@@ -560,8 +625,8 @@ let () =
     fig3_point_times ~reps:point_reps ~seed:cfg.Itua.Study.seed
       ~domains:cfg.Itua.Study.domains
   in
-  write_bench_json ~reps:cfg.Itua.Study.reps ~micro ~throughput ~rare ~lumping
-    ~figures:(!figure_times @ fig3_points);
+  write_bench_json ~reps:cfg.Itua.Study.reps ~micro ~throughput ~ir ~rare
+    ~lumping ~figures:(!figure_times @ fig3_points);
   (* Record-completeness gate: an empty micro-benchmark or throughput
      array means the record is useless as a perf baseline. *)
   if micro = [] || throughput = [] then begin

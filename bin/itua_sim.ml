@@ -796,8 +796,16 @@ let check_strict_arg =
   Arg.(value & flag & info [ "strict" ]
          ~doc:"Exit nonzero on warnings too, not just errors.")
 
+let check_ir_dump_arg =
+  Arg.(value & flag & info [ "ir-dump" ]
+         ~doc:"Print the compiled effect IR: per-activity guard reads, \
+               static read/write sets, and the exact per-case delta \
+               rows the incidence analysis is built from. With \
+               $(b,--json), the dump is embedded in the report under \
+               the $(b,ir_dump) key.")
+
 let check_run domains hosts apps replicas policy multiplier
-    spread scale invariants strict json =
+    spread scale invariants strict ir_dump json =
   let p = params_of domains hosts apps replicas policy multiplier spread scale in
   let h = Itua.Model.build p in
   let report =
@@ -809,10 +817,23 @@ let check_run domains hosts apps replicas policy multiplier
   if invariants then
     Format.printf "@.%a" Analysis.Structure.pp
       report.Analysis.Check.structure;
+  let dump =
+    if ir_dump then Some (Analysis.Ir_dump.dump h.Itua.Model.model) else None
+  in
+  (match dump with
+  | Some d -> Format.printf "@.%a" Analysis.Ir_dump.pp d
+  | None -> ());
   (match json with
   | None -> ()
   | Some path ->
-      Report.write_jsonl path [ Analysis.Check.to_json report ];
+      let obj =
+        match (Analysis.Check.to_json report, dump) with
+        | Report.Json.Obj fields, Some d ->
+            Report.Json.Obj
+              (fields @ [ ("ir_dump", Analysis.Ir_dump.to_json d) ])
+        | j, _ -> j
+      in
+      Report.write_jsonl path [ obj ];
       Format.printf "JSON report written to %s@." path);
   exit (Analysis.Check.exit_code ~strict report)
 
@@ -829,7 +850,7 @@ let check_cmd =
       const check_run $ domains_arg $ hosts_arg $ apps_arg
       $ reps_per_app_arg $ policy_arg $ multiplier_arg $ spread_arg
       $ scale_arg $ check_invariants_arg $ check_strict_arg
-      $ check_json_arg)
+      $ check_ir_dump_arg $ check_json_arg)
 
 (* --- mtta (exact, tiny configurations) --- *)
 

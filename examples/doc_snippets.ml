@@ -200,6 +200,30 @@ let _analysis_guard ~config ~stream ~observer () =
   in
   ()
 
+let _analysis_ir_migration b =
+  let working = San.Model.Builder.int_place b ~init:2 "working" in
+  (* before: opaque closure — analysis can only observe it *)
+  San.Model.Builder.timed_exp b ~name:"fail"
+    ~rate:(fun _ -> 0.1)
+    ~enabled:(fun m -> San.Marking.get m working > 0)
+    ~reads:[ San.Place.P working ]
+    (fun _ctx m -> San.Marking.add m working (-1));
+  (* after: declarative IR — guard and delta read off the syntax tree *)
+  San.Model.Builder.timed_exp_ir b ~name:"fail"
+    ~rate:(fun _ -> 0.1)
+    ~guard:San.Effect.(Cmp (Mark working, Gt, Int 0))
+    ~reads:[ San.Place.P working ]
+    San.Effect.(Ops [ Inc (working, Int (-1)) ])
+
+let _analysis_ir_checked working =
+  San.Effect.Checked
+    {
+      ir = San.Effect.(Ops [ Inc (working, Int (-1)) ]);
+      reference =
+        { oname = "fail/legacy";
+          run = (fun _ctx m -> San.Marking.add m working (-1)) };
+    }
+
 (* --- doc/RARE_EVENTS.md --- *)
 
 let _rare_library params =

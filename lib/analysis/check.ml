@@ -7,6 +7,10 @@ type t = {
   fallback : string option;
   diagnostics : Diagnostic.t list;
   structure : Structure.t;
+  incidence : string;  (** ["exact"] or ["observed"] *)
+  sampled_fallbacks : string list;
+      (** {!Structure.sampled_fallbacks}: empty iff the incidence and
+          every law verdict are exact *)
 }
 
 let run ?composition ?laws ?max_states ?runs ?horizon ?max_markings ?seed
@@ -29,6 +33,11 @@ let run ?composition ?laws ?max_states ?runs ?horizon ?max_markings ?seed
     fallback = space.Space.fallback;
     diagnostics;
     structure;
+    incidence =
+      (match structure.Structure.incidence with
+      | Structure.Exact -> "exact"
+      | Structure.Observed -> "observed");
+    sampled_fallbacks = Structure.sampled_fallbacks structure;
   }
 
 let count sev t =
@@ -55,10 +64,14 @@ let pp ppf t =
         Printf.sprintf "sampled, %d distinct markings%s" t.n_stable
           (if t.truncated then ", truncated" else "")
   in
-  Format.fprintf ppf "model %S: %s@." t.model_name coverage;
+  Format.fprintf ppf "model %S: %s; incidence %s@." t.model_name coverage
+    t.incidence;
   (match t.fallback with
   | Some why -> Format.fprintf ppf "  (exhaustive walk unavailable: %s)@." why
   | None -> ());
+  List.iter
+    (fun why -> Format.fprintf ppf "  sampled fallback: %s@." why)
+    t.sampled_fallbacks;
   List.iter
     (fun d -> Format.fprintf ppf "  %a@." Diagnostic.pp d)
     t.diagnostics;
@@ -82,6 +95,9 @@ let to_json t =
       ("stable_markings", int t.n_stable);
       ("vanishing_markings", int t.n_vanishing);
       ("truncated", Bool t.truncated);
+      ("incidence", Str t.incidence);
+      ( "sampled_fallbacks",
+        Arr (List.map (fun s -> Str s) t.sampled_fallbacks) );
       ( "fallback",
         match t.fallback with None -> Null | Some why -> Str why );
       ( "summary",

@@ -77,6 +77,10 @@ let unused_shared_place = "A009-unused-shared-place"
 let unbounded_place = "A010-unbounded-place"
 let dead_effect = "A011-dead-effect"
 let invariant_violated = "A012-invariant-violated"
+let ir_mismatch = "A013-ir-declaration-mismatch"
+let dead_branch = "A014-dead-branch"
+let negative_capable = "A015-negative-capable-delta"
+let ir_divergence = "A016-ir-divergence"
 
 let catalogue =
   [
@@ -97,4 +101,16 @@ let catalogue =
       "no covering P-semiflow and exploration could not bound the place" );
     (dead_effect, "a fired activity never changes the marking");
     (invariant_violated, "an effect breaks a declared conservation law");
+    ( ir_mismatch,
+      "an IR activity's declared reads/writes disagree with its effect \
+       syntax (exact; subsumes A001/A002 for IR effects)" );
+    ( dead_branch,
+      "an If/Pick branch is statically dead under the dominating guards \
+       (informational: guarded cascade helpers legitimately specialize)" );
+    ( negative_capable,
+      "a resolved IR delta can drive a place negative under its \
+       guard-pinned value or structural bound" );
+    ( ir_divergence,
+      "a Checked effect's IR and reference closure disagree on some \
+       marking (differential replay)" );
   ]

@@ -64,6 +64,10 @@ val unused_shared_place : string
 val unbounded_place : string
 val dead_effect : string
 val invariant_violated : string
+val ir_mismatch : string
+val dead_branch : string
+val negative_capable : string
+val ir_divergence : string
 
 val catalogue : (string * string) list
 (** Every code with a one-line description, in code order. *)

@@ -43,6 +43,23 @@ val negative_writes : facts -> Diagnostic.t list
     from {!San.Marking.set}) on a visited marking where the executor
     could have fired it. Always [Error]. *)
 
+val ir_decls : facts -> Diagnostic.t list
+(** [A013]: exact declaration checking for IR activities, subsuming
+    A001/A002 where the syntax tree is available. A guard reading an
+    undeclared place and an IR write that cannot wake an undeclaring
+    reader are [Error]s; effect reads beyond the declared list are one
+    aggregated [Info] per activity (firing-time reads cannot miss
+    wake-ups). For these activities the corresponding sampled A001/A002
+    findings are suppressed. *)
+
+val checked_divergence : facts -> Diagnostic.t list
+(** [A016]: differential replay of [San.Effect.Checked] nodes. On every
+    collected marking where the activity is enabled, the case effect
+    runs once with IR semantics and once with each [Checked] node
+    replaced by its reference closure, both driven by fresh same-seeded
+    streams; any marking difference or one-sided exception is an
+    [Error], at most one per (activity, case). *)
+
 val liveness : facts -> Diagnostic.t list
 (** [A004] dead activity (never enabled), [A005] never-written place,
     [A006] never-read place. [Warning] in exhaustive mode — over the

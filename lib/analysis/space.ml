@@ -67,8 +67,8 @@ let sampled ~runs ~horizon ~max_markings ~seed ~fallback ~loop model =
     fallback = Some fallback;
   }
 
-let build ?(max_states = 200_000) ?(runs = 3) ?(horizon = 10.0)
-    ?(max_markings = 500) ?(seed = 7L) model =
+let build ?(max_states = 200_000) ?(max_work = 25_000) ?(runs = 3)
+    ?(horizon = 10.0) ?(max_markings = 500) ?(seed = 7L) model =
   let vanishing = ref [] in
   let n_vanishing = ref 0 in
   let seen_vanishing = Hashtbl.create 64 in
@@ -85,7 +85,7 @@ let build ?(max_states = 200_000) ?(runs = 3) ?(horizon = 10.0)
   let fall fallback loop =
     sampled ~runs ~horizon ~max_markings ~seed ~fallback ~loop model
   in
-  match Ctmc.Walker.reachable ~max_states ~on_vanishing model with
+  match Ctmc.Walker.reachable ~max_states ~max_work ~on_vanishing model with
   | keys ->
       let stable =
         Array.to_list (Array.map (Ctmc.Walker.restore model) keys)
@@ -105,6 +105,11 @@ let build ?(max_states = 200_000) ?(runs = 3) ?(horizon = 10.0)
       fall (Printf.sprintf "an effect draws randomness (%s)" msg) None
   | exception Ctmc.Walker.Too_many_states n ->
       fall (Printf.sprintf "state space exceeds %d markings" n) None
+  | exception Ctmc.Walker.Work_budget n ->
+      fall
+        (Printf.sprintf
+           "exhaustive walk exceeded its work budget (%d marking visits)" n)
+        None
   | exception Ctmc.Walker.Vanishing_loop msg -> fall msg (Some msg)
 
 let describe t =

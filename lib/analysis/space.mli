@@ -50,6 +50,7 @@ type t = {
 
 val build :
   ?max_states:int ->
+  ?max_work:int ->
   ?runs:int ->
   ?horizon:float ->
   ?max_markings:int ->
@@ -57,7 +58,11 @@ val build :
   San.Model.t ->
   t
 (** [build model] tries the exhaustive walk (bounded by [max_states],
-    default 200_000) and falls back to sampling: [runs] (default 3)
+    default 200_000, and by [max_work] vanishing-resolution visits,
+    default 25_000 — a deliberately tight effort bound, because the
+    checker would rather sample than spend minutes enumerating a model
+    whose per-state resolution cost explodes; see
+    {!Ctmc.Walker.Work_budget}) and falls back to sampling: [runs] (default 3)
     runs to [horizon] (default 10.0) with root seed [seed] (default
     7), keeping at most [max_markings] (default 500) distinct
     markings. Sampling tolerates per-run [Stabilization_diverged]

@@ -1,3 +1,5 @@
+type incidence = Exact | Observed
+
 type law = {
   law_name : string;
   law_terms : (San.Place.t * int) list;
@@ -20,9 +22,12 @@ type law_report = {
   lr_terms : (int * int) list;
   lr_value : int;
   lr_violations : (string * int * int) list;
+  lr_how : string;
+  lr_unproven : (string * int * string) list;
 }
 
 type t = {
+  incidence : incidence;
   space_mode : Space.mode;
   n_markings : int;
   n_int : int;
@@ -41,6 +46,8 @@ type t = {
   laws : law_report list;
   observed_max : int array;
   structural_bound : int option array;
+  unresolved : int list;
+  ir_diags : Diagnostic.t list;
 }
 
 exception Invariant_violation of string
@@ -78,17 +85,29 @@ let extract_modes (space : Space.t) =
             Array.iteri
               (fun case (c : San.Activity.case) ->
                 if weights.(case) > 0.0 then begin
+                  let record m' =
+                    fired.(a.id) <- true;
+                    let delta = San.Marking.diff ~before:m m' in
+                    let fd = San.Marking.float_changed ~before:m m' in
+                    Hashtbl.replace seen (a.id, case, delta, fd) ()
+                  in
                   let mc = San.Marking.copy m in
-                  match c.effect ctx mc with
-                  | () ->
-                      fired.(a.id) <- true;
-                      let delta = San.Marking.diff ~before:m mc in
-                      let fd = San.Marking.float_changed ~before:m mc in
-                      Hashtbl.replace seen (a.id, case, delta, fd) ()
+                  match
+                    San.Effect.outcomes ~ctx c.San.Activity.effect mc
+                  with
+                  | outs -> List.iter (fun (_, m') -> record m') outs
                   | exception Invalid_argument _ ->
                       (* Negative marking: an A003, reported by the
                          negative-write pass; no mode to record. *)
                       ()
+                  | exception San.Effect.Too_many_outcomes -> (
+                      (* Fork tree too wide to enumerate: record the one
+                         outcome a sampled application produces. *)
+                      let mc = San.Marking.copy m in
+                      match San.Effect.apply ctx c.San.Activity.effect mc with
+                      | () -> record mc
+                      | exception Invalid_argument _ -> ()
+                      | exception Failure _ -> ())
                 end)
               a.cases
           end)
@@ -139,6 +158,102 @@ let extract_modes (space : Space.t) =
   in
   (Array.of_list modes, fired)
 
+(* {2 Exact mode extraction}
+
+   For pure-IR models the delta rows are read off the effect syntax
+   trees: one row per guard-specialized [Ops] block ([Symbolic.read_case]).
+   No marking is fired. Alongside the rows we collect everything the
+   traversal proves statically: unresolved places, per-row completeness
+   (for T-semiflow soundness), dead branches (A014) and resolved
+   decrements (A015 input, judged later once bounds are known). *)
+
+type exact_extra = {
+  ex_unresolved : int list;  (** ascending place indexes *)
+  ex_incomplete : bool array;  (** by mode position *)
+  ex_dead : Diagnostic.t list;  (** A014 *)
+  ex_decs : (string * int * int * int * int option) list;
+      (** activity, case, place, delta < 0, guard-pinned prior *)
+}
+
+let extract_modes_exact (space : Space.t) =
+  let model = space.Space.model in
+  let acts = San.Model.activities model in
+  let n_int =
+    Array.length (San.Marking.int_snapshot (San.Model.initial_marking model))
+  in
+  let fired = Array.make (Array.length acts) false in
+  let modes = ref [] in
+  let incomplete = ref [] in
+  let unresolved = Hashtbl.create 8 in
+  let dead = ref [] in
+  let decs = ref [] in
+  Array.iter
+    (fun (a : San.Activity.t) ->
+      let n_cases = Array.length a.San.Activity.cases in
+      if n_cases > 0 then fired.(a.San.Activity.id) <- true;
+      Array.iteri
+        (fun case (c : San.Activity.case) ->
+          let ci =
+            Symbolic.read_case ~n_int ~guard:a.San.Activity.guard
+              c.San.Activity.effect
+          in
+          List.iter
+            (fun i -> Hashtbl.replace unresolved i ())
+            ci.Symbolic.ci_unresolved;
+          List.iter
+            (fun msg ->
+              dead :=
+                Diagnostic.v ~code:Diagnostic.dead_branch
+                  ~severity:Diagnostic.Info
+                  ~source:(Diagnostic.Activity a.San.Activity.name)
+                  (Printf.sprintf "case %d: %s is statically dead" case msg)
+                :: !dead)
+            ci.Symbolic.ci_dead;
+          List.iter
+            (fun (i, d, prior) ->
+              decs := (a.San.Activity.name, case, i, d, prior) :: !decs)
+            ci.Symbolic.ci_decs;
+          let base = a.San.Activity.name in
+          let base =
+            if n_cases > 1 then Printf.sprintf "%s/c%d" base case else base
+          in
+          let rows =
+            match ci.Symbolic.ci_deltas with
+            | [] -> [ [] ]  (* keep an empty row so A011 can see the case *)
+            | rows -> rows
+          in
+          let multi = List.length rows > 1 in
+          List.iteri
+            (fun k delta ->
+              let label =
+                if multi then Printf.sprintf "%s/a%d" base k else base
+              in
+              modes :=
+                {
+                  act_id = a.San.Activity.id;
+                  activity = a.San.Activity.name;
+                  case;
+                  label;
+                  delta;
+                  float_delta = ci.Symbolic.ci_float;
+                }
+                :: !modes;
+              incomplete := (ci.Symbolic.ci_unresolved <> []) :: !incomplete)
+            rows)
+        a.San.Activity.cases)
+    acts;
+  let extra =
+    {
+      ex_unresolved =
+        Hashtbl.fold (fun i () acc -> i :: acc) unresolved []
+        |> List.sort Int.compare;
+      ex_incomplete = Array.of_list (List.rev !incomplete);
+      ex_dead = List.rev !dead;
+      ex_decs = List.rev !decs;
+    }
+  in
+  (Array.of_list (List.rev !modes), fired, extra)
+
 (* {2 Rank and rational nullspace basis}
 
    Sparse rational Gaussian elimination over the mode rows. Rows are
@@ -164,7 +279,7 @@ let normalize_row = function
   | [] -> []
   | (_, lead) :: _ as row -> List.map (fun (i, x) -> (i, Rat.div x lead)) row
 
-let rank_and_basis ~max_basis_places ~active modes =
+let rank_and_basis ~max_basis_places ~active rows =
   let pivots = Hashtbl.create 64 in
   let rank = ref 0 in
   let rec reduce row =
@@ -177,10 +292,10 @@ let rank_and_basis ~max_basis_places ~active modes =
             Hashtbl.add pivots j (normalize_row row);
             incr rank)
   in
-  Array.iter
-    (fun md ->
-      reduce (List.map (fun (i, d) -> (i, Rat.of_int d)) md.delta))
-    modes;
+  List.iter
+    (fun delta ->
+      reduce (List.map (fun (i, d) -> (i, Rat.of_int d)) delta))
+    rows;
   let rank = !rank in
   let basis =
     if List.length active > max_basis_places then None
@@ -212,7 +327,8 @@ let rank_and_basis ~max_basis_places ~active modes =
                  | None -> ()
                  | Some e -> terms := (p, Rat.neg e) :: !terms)
                pcols;
-             List.sort (fun (a, _) (b, _) -> Int.compare a b) !terms)
+             ( f,
+               List.sort (fun (a, _) (b, _) -> Int.compare a b) !terms ))
            free)
     end
   in
@@ -342,7 +458,20 @@ let farkas ~n_cols ~max_rows rows =
 let analyse ?(laws = []) ?(max_flow_modes = 512) ?(max_flow_rows = 4096)
     ?(max_basis_places = 64) (space : Space.t) =
   let model = space.Space.model in
-  let modes, fired = extract_modes space in
+  let exact = San.Model.pure_ir model in
+  let modes, fired, extra =
+    if exact then extract_modes_exact space
+    else
+      let modes, fired = extract_modes space in
+      ( modes,
+        fired,
+        {
+          ex_unresolved = [];
+          ex_incomplete = Array.make (Array.length modes) false;
+          ex_dead = [];
+          ex_decs = [];
+        } )
+  in
   let initial =
     San.Marking.int_snapshot (San.Model.initial_marking model)
   in
@@ -355,6 +484,9 @@ let analyse ?(laws = []) ?(max_flow_modes = 512) ?(max_flow_rows = 4096)
   Array.iter
     (fun md -> List.iter (fun (i, _) -> touched.(i) <- true) md.delta)
     modes;
+  (* A statically unresolved write touches its place even though it
+     contributes no delta row — it must count as active. *)
+  List.iter (fun i -> touched.(i) <- true) extra.ex_unresolved;
   let active = ref [] and constant = ref [] in
   for i = n_int - 1 downto 0 do
     if touched.(i) then active := i :: !active else constant := i :: !constant
@@ -370,9 +502,19 @@ let analyse ?(laws = []) ?(max_flow_modes = 512) ?(max_flow_rows = 4096)
         (fun i v -> if v > observed_max.(i) then observed_max.(i) <- v)
         snap)
     snapshots;
-  let rank, p_basis = rank_and_basis ~max_basis_places ~active modes in
+  (* Unresolved places get a synthetic unit row: it enters the rank and
+     (as an extra incidence column) the Farkas enumeration, forcing
+     every P-semiflow and basis invariant to zero coefficient there —
+     the sound reading of "we cannot say how this place moves". *)
+  let synthetic = List.map (fun i -> [ (i, 1) ]) extra.ex_unresolved in
+  let rank, tagged_basis =
+    rank_and_basis ~max_basis_places ~active
+      (Array.to_list (Array.map (fun md -> md.delta) modes) @ synthetic)
+  in
+  let p_basis = Option.map (List.map snd) tagged_basis in
   let n_active = List.length active in
   let n_modes = Array.length modes in
+  let n_unres = List.length extra.ex_unresolved in
   let flows_skipped, p_semiflows, t_semiflows =
     if n_modes > max_flow_modes then
       ( Some
@@ -389,27 +531,33 @@ let analyse ?(laws = []) ?(max_flow_modes = 512) ?(max_flow_rows = 4096)
     else begin
       let col_of = Array.make n_int (-1) in
       List.iteri (fun j i -> col_of.(i) <- j) active;
-      (* P-semiflows: one row per active place over the mode columns. *)
+      (* P-semiflows: one row per active place, over the mode columns
+         plus one synthetic column per unresolved place. *)
       let prows =
         List.map
           (fun i ->
-            let c = Array.make n_modes 0 in
+            let c = Array.make (n_modes + n_unres) 0 in
             Array.iteri
               (fun j md ->
                 match List.assoc_opt i md.delta with
                 | Some d -> c.(j) <- d
                 | None -> ())
               modes;
+            List.iteri
+              (fun k u -> if u = i then c.(n_modes + k) <- 1)
+              extra.ex_unresolved;
             { c; y = [ (i, 1) ] })
           active
       in
       (* T-semiflows: one row per marking-changing mode over the active
-         place columns (modes with an empty delta are trivially
-         repetitive and excluded as noise). *)
+         place columns. Modes with an empty delta are trivially
+         repetitive and excluded as noise; in exact mode, rows of a
+         case with unresolved writes are incomplete and excluded —
+         a firing-count claim over them would be unsound. *)
       let trows = ref [] in
       Array.iteri
         (fun pos md ->
-          if md.delta <> [] then begin
+          if md.delta <> [] && not extra.ex_incomplete.(pos) then begin
             let c = Array.make n_active 0 in
             List.iter (fun (i, d) -> c.(col_of.(i)) <- d) md.delta;
             trows := { c; y = [ (pos, 1) ] } :: !trows
@@ -417,7 +565,7 @@ let analyse ?(laws = []) ?(max_flow_modes = 512) ?(max_flow_rows = 4096)
         modes;
       let trows = List.rev !trows in
       match
-        ( farkas ~n_cols:n_modes ~max_rows:max_flow_rows prows,
+        ( farkas ~n_cols:(n_modes + n_unres) ~max_rows:max_flow_rows prows,
           farkas ~n_cols:n_active ~max_rows:max_flow_rows trows )
       with
       | Ok ps, Ok ts ->
@@ -433,60 +581,214 @@ let analyse ?(laws = []) ?(max_flow_modes = 512) ?(max_flow_rows = 4096)
                 })
               ps
           in
-          (* Under sampling the observed modes may be incomplete, so a
-             computed semiflow can be spurious: require every flow to
+          (* Under observed sampling the mode set may be incomplete, so
+             a computed semiflow can be spurious: require every flow to
              hold on every collected (reachable) marking, which refutes
-             and drops the spurious ones. Exhaustively extracted flows
-             pass by construction. *)
+             and drops the spurious ones. Exact rows cover every firing
+             by construction, so exact-mode flows need no filtering. *)
           let flows =
-            List.filter
-              (fun f ->
-                List.for_all
-                  (fun snap ->
-                    List.fold_left
-                      (fun s (i, k) -> s + (k * snap.(i)))
-                      0 f.flow_terms
-                    = f.flow_value)
-                  snapshots)
-              flows
+            if exact then flows
+            else
+              List.filter
+                (fun f ->
+                  List.for_all
+                    (fun snap ->
+                      List.fold_left
+                        (fun s (i, k) -> s + (k * snap.(i)))
+                        0 f.flow_terms
+                      = f.flow_value)
+                    snapshots)
+                flows
           in
           (None, flows, ts)
       | Error why, _ | _, Error why -> (Some why, [], [])
     end
   in
+  (* {3 Declared laws}
+
+     Exact path: a law already implied by the computed invariant basis
+     needs no second pass (satellite fix — the certificate says so);
+     otherwise the symbolic drift interpreter proves it per case, and
+     only if some case defeats the interpreter do we fall back to
+     validating on the space's markings. Observed path: the historical
+     per-mode drift check. *)
+  let law_terms_of l =
+    List.map (fun (p, k) -> (San.Place.index p, k)) l.law_terms
+    |> List.sort Stdlib.compare
+  in
+  let implied_by_basis terms =
+    match tagged_basis with
+    | None -> false
+    | Some basis ->
+        let law_active =
+          List.filter (fun (i, _) -> List.mem i active) terms
+        in
+        let coeff i =
+          Rat.of_int (Option.value ~default:0 (List.assoc_opt i law_active))
+        in
+        (* Each basis vector has its free column with coefficient 1 and
+           zero in every other vector, so membership in the span has a
+           closed form: the candidate combination scaled by the law's
+           free-column coefficients must reproduce the law exactly. *)
+        let acc = Hashtbl.create 16 in
+        List.iter
+          (fun (f, bterms) ->
+            let c = coeff f in
+            if not (Rat.is_zero c) then
+              List.iter
+                (fun (i, r) ->
+                  let cur =
+                    Option.value ~default:Rat.zero (Hashtbl.find_opt acc i)
+                  in
+                  Hashtbl.replace acc i (Rat.add cur (Rat.mul c r)))
+                bterms)
+          basis;
+        let candidate =
+          Hashtbl.fold
+            (fun i r l -> if Rat.is_zero r then l else (i, r) :: l)
+            acc []
+          |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+        in
+        let law_rat =
+          List.filter_map
+            (fun (i, k) -> if k = 0 then None else Some (i, Rat.of_int k))
+            law_active
+        in
+        List.length candidate = List.length law_rat
+        && List.for_all2
+             (fun (i, a) (j, b) -> i = j && Rat.equal a b)
+             candidate law_rat
+  in
   let laws =
-    List.map
-      (fun l ->
-        let terms =
-          List.map (fun (p, k) -> (San.Place.index p, k)) l.law_terms
-          |> List.sort Stdlib.compare
-        in
-        let value =
-          List.fold_left (fun s (i, k) -> s + (k * initial.(i))) 0 terms
-        in
-        let violations =
-          Array.fold_left
-            (fun acc md ->
-              let drift =
-                List.fold_left
-                  (fun s (i, d) ->
-                    match List.assoc_opt i terms with
-                    | Some k -> s + (k * d)
-                    | None -> s)
-                  0 md.delta
-              in
-              if drift = 0 then acc
-              else (md.activity, md.case, drift) :: acc)
-            [] modes
-          |> List.sort_uniq Stdlib.compare
-        in
-        {
-          lr_name = l.law_name;
-          lr_terms = terms;
-          lr_value = value;
-          lr_violations = violations;
-        })
-      laws
+    if exact then begin
+      let reports =
+        List.map
+          (fun l ->
+            let terms = law_terms_of l in
+            let value =
+              List.fold_left (fun s (i, k) -> s + (k * initial.(i))) 0 terms
+            in
+            (l, terms, value, implied_by_basis terms))
+          laws
+      in
+      (* One symbolic sweep proves every not-yet-implied law at once. *)
+      let pending =
+        List.filter (fun (_, _, _, implied) -> not implied) reports
+      in
+      let pending_terms =
+        Array.of_list (List.map (fun (_, t, _, _) -> t) pending)
+      in
+      let violations = Array.make (List.length pending) [] in
+      let unproven = Array.make (List.length pending) [] in
+      if pending <> [] then
+        Array.iter
+          (fun (a : San.Activity.t) ->
+            Array.iteri
+              (fun case (c : San.Activity.case) ->
+                let verdicts =
+                  Symbolic.case_drifts ~n_int ~guard:a.San.Activity.guard
+                    pending_terms c.San.Activity.effect
+                in
+                Array.iteri
+                  (fun li v ->
+                    match v with
+                    | Symbolic.Proven -> ()
+                    | Symbolic.Drift d ->
+                        violations.(li) <-
+                          (a.San.Activity.name, case, d) :: violations.(li)
+                    | Symbolic.Unproven why ->
+                        unproven.(li) <-
+                          (a.San.Activity.name, case, why) :: unproven.(li))
+                  verdicts)
+              a.San.Activity.cases)
+          (San.Model.activities model);
+      let li = ref (-1) in
+      List.map
+        (fun (l, terms, value, implied) ->
+          if implied then
+            {
+              lr_name = l.law_name;
+              lr_terms = terms;
+              lr_value = value;
+              lr_violations = [];
+              lr_how = "implied by the invariant basis; re-validation skipped";
+              lr_unproven = [];
+            }
+          else begin
+            incr li;
+            let vs = List.rev violations.(!li) in
+            let unp = List.rev unproven.(!li) in
+            let vs, how =
+              if unp = [] then
+                (vs, "proven symbolically over the effect IR")
+              else begin
+                (* Backstop: the symbolic engine gave up on some case —
+                   validate the law on every collected marking so a
+                   plainly broken law is still reported. *)
+                let marking_bad =
+                  List.exists
+                    (fun snap ->
+                      List.fold_left
+                        (fun s (i, k) -> s + (k * snap.(i)))
+                        0 terms
+                      <> value)
+                    snapshots
+                in
+                ( (if marking_bad then vs @ [ ("(marking)", 0, 0) ] else vs),
+                  Printf.sprintf
+                    "symbolic proof incomplete; validated on %d markings"
+                    (List.length snapshots) )
+              end
+            in
+            {
+              lr_name = l.law_name;
+              lr_terms = terms;
+              lr_value = value;
+              lr_violations = vs;
+              lr_how = how;
+              lr_unproven = unp;
+            }
+          end)
+        reports
+    end
+    else
+      List.map
+        (fun l ->
+          let terms = law_terms_of l in
+          let value =
+            List.fold_left (fun s (i, k) -> s + (k * initial.(i))) 0 terms
+          in
+          let violations =
+            Array.fold_left
+              (fun acc md ->
+                let drift =
+                  List.fold_left
+                    (fun s (i, d) ->
+                      match List.assoc_opt i terms with
+                      | Some k -> s + (k * d)
+                      | None -> s)
+                    0 md.delta
+                in
+                if drift = 0 then acc
+                else (md.activity, md.case, drift) :: acc)
+              [] modes
+            |> List.sort_uniq Stdlib.compare
+          in
+          {
+            lr_name = l.law_name;
+            lr_terms = terms;
+            lr_value = value;
+            lr_violations = violations;
+            lr_how =
+              (match space.Space.mode with
+              | Space.Exhaustive -> "proven over the exhaustive mode set"
+              | Space.Sampled ->
+                  Printf.sprintf "validated against modes observed on %d \
+                                  markings"
+                    (List.length snapshots));
+            lr_unproven = [];
+          })
+        laws
   in
   let structural_bound = Array.make n_int None in
   let apply_flow terms value =
@@ -506,11 +808,53 @@ let analyse ?(laws = []) ?(max_flow_modes = 512) ?(max_flow_rows = 4096)
   List.iter
     (fun lr ->
       if
-        lr.lr_violations = []
+        lr.lr_violations = [] && lr.lr_unproven = []
         && List.for_all (fun (_, k) -> k >= 0) lr.lr_terms
       then apply_flow lr.lr_terms lr.lr_value)
     laws;
+  if exact then
+    Array.iteri
+      (fun i b ->
+        match b with
+        | None -> ()
+        | Some b ->
+            structural_bound.(i) <-
+              Some
+                (match structural_bound.(i) with
+                | None -> b
+                | Some x -> min x b))
+      (Symbolic.set_only_bounds model);
+  (* A015: a resolved decrement that provably under-runs its place —
+     the guard-pinned prior already goes negative, or the delta exceeds
+     what the structural bound allows the place to hold. *)
+  let a015 =
+    List.filter_map
+      (fun (act, case, i, d, prior) ->
+        let fire, why =
+          match prior with
+          | Some pv ->
+              ( pv + d < 0,
+                Printf.sprintf "guard pins it at %d and the delta is %d" pv d )
+          | None -> (
+              match structural_bound.(i) with
+              | Some b ->
+                  ( b < -d,
+                    Printf.sprintf
+                      "the delta is %d but its structural bound is %d" d b )
+              | None -> (false, ""))
+        in
+        if fire then
+          Some
+            (Diagnostic.v ~code:Diagnostic.negative_capable
+               ~severity:Diagnostic.Warning
+               ~source:(Diagnostic.Place place_names.(i))
+               (Printf.sprintf "%s case %d can drive it negative: %s" act case
+                  why))
+        else None)
+      extra.ex_decs
+  in
   {
+    incidence = (if exact then Exact else Observed);
     space_mode = space.Space.mode;
     n_markings = Space.n_markings space;
     n_int;
@@ -529,13 +873,17 @@ let analyse ?(laws = []) ?(max_flow_modes = 512) ?(max_flow_rows = 4096)
     laws;
     observed_max;
     structural_bound;
+    unresolved = extra.ex_unresolved;
+    ir_diags = extra.ex_dead @ a015;
   }
 
 let verified_nonneg lr =
-  lr.lr_violations = [] && List.for_all (fun (_, k) -> k >= 0) lr.lr_terms
+  lr.lr_violations = [] && lr.lr_unproven = []
+  && List.for_all (fun (_, k) -> k >= 0) lr.lr_terms
 
 let covered t i =
   (not (List.mem i t.active))
+  || t.structural_bound.(i) <> None
   || List.exists (fun f -> List.mem_assoc i f.flow_terms) t.p_semiflows
   || List.exists
        (fun lr ->
@@ -544,6 +892,24 @@ let covered t i =
             | Some k -> k > 0
             | None -> false)
        t.laws
+
+let sampled_fallbacks t =
+  let incid =
+    match t.incidence with
+    | Exact -> []
+    | Observed ->
+        [ "incidence observed by firing closure effects on sampled markings" ]
+  in
+  incid
+  @ List.filter_map
+      (fun lr ->
+        if lr.lr_unproven = [] then None
+        else
+          Some
+            (Printf.sprintf
+               "law %S: symbolic proof incomplete, validated on markings only"
+               lr.lr_name))
+      t.laws
 
 (* {2 Diagnostics} *)
 
@@ -582,24 +948,51 @@ let diagnostics t =
             :: !out)
         lr.lr_violations)
     t.laws;
+  (* A010: never in exhaustive space mode — the walk itself bounds
+     every place. In exact mode an uncovered place warns only when the
+     IR proves an increasing delta; a place that is merely written with
+     an unresolved delta gets an informational note. *)
   if t.space_mode = Space.Sampled && t.flows_skipped = None then
     List.iter
       (fun i ->
-        let increasing =
-          Array.exists
-            (fun md -> List.exists (fun (j, d) -> j = i && d > 0) md.delta)
-            t.modes
-        in
-        if increasing && not (covered t i) then
-          out :=
-            Diagnostic.v ~code:Diagnostic.unbounded_place
-              ~severity:Diagnostic.Warning
-              ~source:(Diagnostic.Place t.place_names.(i))
-              "no covering P-semiflow and some effect increases it; sampled \
-               exploration cannot bound it (potentially unbounded)"
-            :: !out)
+        if not (covered t i) then begin
+          let increasing =
+            Array.exists
+              (fun md -> List.exists (fun (j, d) -> j = i && d > 0) md.delta)
+              t.modes
+          in
+          match t.incidence with
+          | Observed ->
+              if increasing then
+                out :=
+                  Diagnostic.v ~code:Diagnostic.unbounded_place
+                    ~severity:Diagnostic.Warning
+                    ~source:(Diagnostic.Place t.place_names.(i))
+                    "no covering P-semiflow and some effect increases it; \
+                     sampled exploration cannot bound it (potentially \
+                     unbounded)"
+                  :: !out
+          | Exact ->
+              if increasing then
+                out :=
+                  Diagnostic.v ~code:Diagnostic.unbounded_place
+                    ~severity:Diagnostic.Warning
+                    ~source:(Diagnostic.Place t.place_names.(i))
+                    "no covering P-semiflow or structural bound and the \
+                     effect IR shows an increasing delta (potentially \
+                     unbounded)"
+                  :: !out
+              else if List.mem i t.unresolved then
+                out :=
+                  Diagnostic.v ~code:Diagnostic.unbounded_place
+                    ~severity:Diagnostic.Info
+                    ~source:(Diagnostic.Place t.place_names.(i))
+                    "written with a statically unresolved delta and not \
+                     covered by any semiflow or bound; boundedness unknown"
+                  :: !out
+        end)
       t.active;
-  !out
+  t.ir_diags @ !out
 
 (* {2 Rendering} *)
 
@@ -612,13 +1005,28 @@ let pp_terms ppf (names, terms) =
     terms
 
 let pp ppf t =
-  let mode_s, verb =
-    match t.space_mode with
-    | Space.Exhaustive -> ("exhaustive", "proven over all")
-    | Space.Sampled -> ("sampled", "validated on")
-  in
-  Format.fprintf ppf "structural certificate (%s: incidence %s %d markings)@."
-    mode_s verb t.n_markings;
+  (match t.incidence with
+  | Exact ->
+      Format.fprintf ppf
+        "structural certificate (exact: incidence derived symbolically \
+         from the effect IR; %d markings sampled for validation)@."
+        t.n_markings
+  | Observed ->
+      let mode_s, verb =
+        match t.space_mode with
+        | Space.Exhaustive -> ("exhaustive", "proven over all")
+        | Space.Sampled -> ("sampled", "validated on")
+      in
+      Format.fprintf ppf
+        "structural certificate (%s: incidence %s %d markings)@." mode_s verb
+        t.n_markings);
+  (match t.unresolved with
+  | [] -> ()
+  | us ->
+      Format.fprintf ppf
+        "  statically unresolved places (excluded from semiflows):";
+      List.iter (fun i -> Format.fprintf ppf " %s" t.place_names.(i)) us;
+      Format.fprintf ppf "@.");
   Format.fprintf ppf
     "  int places: %d (%d active, %d constant); modes: %d; rank %d; \
      independent P-invariants: %d@."
@@ -666,10 +1074,10 @@ let pp ppf t =
       List.iter
         (fun lr ->
           if lr.lr_violations = [] then
-            Format.fprintf ppf "    %s: %a = %d — holds across all %d modes@."
-              lr.lr_name pp_terms
+            Format.fprintf ppf "    %s: %a = %d — holds (%s)@." lr.lr_name
+              pp_terms
               (t.place_names, lr.lr_terms)
-              lr.lr_value (Array.length t.modes)
+              lr.lr_value lr.lr_how
           else begin
             Format.fprintf ppf "    %s: VIOLATED@." lr.lr_name;
             List.iter
@@ -677,7 +1085,12 @@ let pp ppf t =
                 Format.fprintf ppf "      %s (case %d) drifts it by %+d@." act
                   case drift)
               lr.lr_violations
-          end)
+          end;
+          List.iter
+            (fun (act, case, why) ->
+              Format.fprintf ppf "      unproven for %s (case %d): %s@." act
+                case why)
+            lr.lr_unproven)
         laws);
   let bounded =
     List.filter (fun i -> t.structural_bound.(i) <> None) t.active
@@ -716,12 +1129,17 @@ let to_json t =
   let labels = Array.map (fun md -> md.label) t.modes in
   Obj
     [
+      ( "incidence",
+        Str (match t.incidence with Exact -> "exact" | Observed -> "observed")
+      );
       ( "mode",
         Str
           (match t.space_mode with
           | Space.Exhaustive -> "exhaustive"
           | Space.Sampled -> "sampled") );
       ("markings", int t.n_markings);
+      ( "unresolved_places",
+        Arr (List.map (fun i -> Str t.place_names.(i)) t.unresolved) );
       ("int_places", int t.n_int);
       ("active_places", int (List.length t.active));
       ("constant_places", int (List.length t.constant));
@@ -771,6 +1189,18 @@ let to_json t =
                    ("terms", terms_json t.place_names lr.lr_terms);
                    ("value", int lr.lr_value);
                    ("holds", Bool (lr.lr_violations = []));
+                   ("how", Str lr.lr_how);
+                   ( "unproven",
+                     Arr
+                       (List.map
+                          (fun (act, case, why) ->
+                            Obj
+                              [
+                                ("activity", Str act);
+                                ("case", int case);
+                                ("reason", Str why);
+                              ])
+                          lr.lr_unproven) );
                    ( "violations",
                      Arr
                        (List.map

@@ -1,16 +1,31 @@
 (** Structural (incidence-based) analysis: P/T-semiflows, conservation
     certificates, boundedness.
 
-    Classic Petri-net structure theory applied to SAN models. Effects
-    are opaque OCaml closures, so the incidence matrix cannot be read
-    off a syntax tree; instead it is {e observed}: every enabled
-    (activity, case) pair is fired on a copy of every marking in a
-    {!Space.t} and the distinct net marking changes — the {e modes} of
-    the high-level net — are collected via {!San.Marking.diff}. On an
-    {!Space.Exhaustive} space the mode set is complete for the
-    reachable behavior, so every certificate below is a proof over the
-    reachable space; on a {!Space.Sampled} space certificates are
-    validated against the observed sample only, and the report says so.
+    Classic Petri-net structure theory applied to SAN models. The
+    incidence matrix is obtained one of two ways, recorded in
+    {!incidence}:
+
+    {ul
+    {- {b Exact} — for {!San.Model.pure_ir} models the delta rows are
+       read off the effect IR syntax trees by {!Symbolic.read_case}:
+       one row per guard-specialized [Ops] block, covering {e every}
+       marking change any firing can produce, with no marking
+       enumeration and no sampling. Places whose delta cannot be
+       resolved statically are listed in [unresolved] and receive a
+       synthetic unit row, which soundly forces their coefficient to
+       zero in every semiflow. Declared laws are verified symbolically
+       ({!Symbolic.case_drifts}) or recognized as implied by the
+       computed invariant basis, in which case the redundant
+       re-validation pass is skipped and the certificate says so.}
+    {- {b Observed} — models containing [Opaque] closure effects fall
+       back to the historical scheme: every enabled (activity, case)
+       pair is fired on a copy of every marking in a {!Space.t} and
+       the distinct net marking changes — the {e modes} of the
+       high-level net — are collected via {!San.Marking.diff}. On an
+       {!Space.Exhaustive} space the mode set is complete for the
+       reachable behavior; on a {!Space.Sampled} space certificates
+       are validated against the observed sample only, and the report
+       says so.}}
 
     From the mode matrix [C] (places x modes) the analysis computes:
 
@@ -38,6 +53,10 @@
     [flows_skipped]) when the mode matrix exceeds the configured
     caps; declared-law verification and rank are cheap and always
     run. *)
+
+type incidence =
+  | Exact  (** delta rows read symbolically off the effect IR *)
+  | Observed  (** delta rows observed by firing effects on markings *)
 
 type law = {
   law_name : string;
@@ -78,12 +97,21 @@ type law_report = {
   lr_terms : (int * int) list;  (** [(int place index, coefficient)] *)
   lr_value : int;  (** weighted sum at the initial marking *)
   lr_violations : (string * int * int) list;
-      (** [(activity, case, drift)] for every mode that changes the
-          weighted sum; empty means the law holds across every
-          observed mode *)
+      (** [(activity, case, drift)] for every mode (or, exactly, every
+          symbolically derived constant drift) that changes the
+          weighted sum; empty means the law holds *)
+  lr_how : string;
+      (** how the verdict was reached: symbolic proof, implication by
+          the invariant basis (re-validation skipped), exhaustive mode
+          check, or sampled validation *)
+  lr_unproven : (string * int * string) list;
+      (** [(activity, case, reason)] for cases the symbolic engine
+          could not decide; such laws fall back to marking validation
+          and are excluded from structural bounds *)
 }
 
 type t = {
+  incidence : incidence;
   space_mode : Space.mode;
   n_markings : int;  (** markings the modes were extracted from *)
   n_int : int;  (** int places (marking-array slots) *)
@@ -111,7 +139,15 @@ type t = {
       (** by int place index: max value over the space's markings *)
   structural_bound : int option array;
       (** by int place index: best bound [flow_value / coeff] over
-          covering semiflows and verified non-negative declared laws *)
+          covering semiflows, verified non-negative declared laws and
+          (exact mode) {!Symbolic.set_only_bounds} *)
+  unresolved : int list;
+      (** exact mode: ascending int place indexes written with a
+          statically unresolvable delta; always [[]] in observed mode *)
+  ir_diags : Diagnostic.t list;
+      (** exact mode: A014 (statically dead branch) and A015
+          (negative-capable delta) findings, returned by
+          {!diagnostics} *)
 }
 
 val analyse :
@@ -121,29 +157,45 @@ val analyse :
   ?max_basis_places:int ->
   Space.t ->
   t
-(** [analyse space] extracts the modes and computes every certificate.
-    Firing discipline matches the executor (and {!Passes.gather}):
-    timed activities fire at stable markings, instantaneous ones at
-    vanishing markings, cases with non-positive weight are skipped,
-    and effects raising [Invalid_argument] (negative marking — an
-    A003) contribute no mode. Semiflow enumeration is skipped when
-    there are more than [max_flow_modes] (default 512) modes or when
-    Farkas' elimination exceeds [max_flow_rows] (default 4096) rows;
-    the rational basis is computed when at most [max_basis_places]
-    (default 64) places are active. Deterministic for a fixed space. *)
+(** [analyse space] extracts the delta rows and computes every
+    certificate. {!San.Model.pure_ir} models take the exact path
+    ({!Symbolic.read_case}); others fall back to observed extraction,
+    whose firing discipline matches the executor (and
+    {!Passes.gather}): timed activities fire at stable markings,
+    instantaneous ones at vanishing markings, cases with non-positive
+    weight are skipped, and effects raising [Invalid_argument]
+    (negative marking — an A003) contribute no mode. Semiflow
+    enumeration is skipped when there are more than [max_flow_modes]
+    (default 512) rows or when Farkas' elimination exceeds
+    [max_flow_rows] (default 4096) rows; the rational basis is
+    computed when at most [max_basis_places] (default 64) places are
+    active. Deterministic for a fixed space. *)
 
 val covered : t -> int -> bool
 (** [covered t i]: int place [i] is conserved or bounded by the
     computed structure — it is constant, in the support of a
-    P-semiflow, or in a verified declared law with non-negative
-    coefficients. Meaningful only when [flows_skipped = None]. *)
+    P-semiflow, in a verified declared law with non-negative
+    coefficients, or carries a structural bound. Meaningful only when
+    [flows_skipped = None]. *)
+
+val sampled_fallbacks : t -> string list
+(** The exactness gate: every way this certificate falls short of a
+    symbolic proof — observed incidence (closure effects), and
+    declared laws whose symbolic proof was incomplete. Cap aborts
+    ([flows_skipped]) and a sampled marking space do {e not} count:
+    they limit optional enumeration and liveness coverage, not the
+    exactness of the incidence or law verdicts. Empty for a fully
+    exact certificate. *)
 
 val diagnostics : t -> Diagnostic.t list
-(** The structural diagnostics: A010 (potentially unbounded place,
-    sampled mode only — an exhaustive walk is itself a boundedness
-    proof), A011 (dead effect: a fired activity whose every observed
-    mode changes nothing), A012 (an effect violates a declared
-    conservation law). Unsorted; {!Check.run} merges and sorts. *)
+(** The structural diagnostics: A010 (potentially unbounded place —
+    never in exhaustive space mode, where the walk itself is a
+    boundedness proof; in exact mode an uncovered place with a proven
+    increasing delta warns while an unresolved-delta-only place is
+    informational), A011 (dead effect: a fired activity whose every
+    delta row changes nothing), A012 (an effect violates a declared
+    conservation law), plus the stashed exact-mode A014/A015 findings.
+    Unsorted; {!Check.run} merges and sorts. *)
 
 val pp : Format.formatter -> t -> unit
 (** The human-readable certificate: coverage, rank, semiflows with

@@ -1,0 +1,77 @@
+(** Exact symbolic reading of {!San.Effect} IR terms.
+
+    For closure-free (pure-IR) models the incidence structure does not
+    have to be observed by firing effects on sampled markings: it can be
+    read off the IR syntax tree. This module provides the three exact
+    readings {!Structure} builds its certificates from:
+
+    {ul
+    {- {b Atoms} ({!read_case}): every [Ops] block of a case effect,
+       specialized by the guard conditions dominating it, yields one
+       exact delta row. The set of atom rows spans every net marking
+       change any firing of the case can produce, so semiflows computed
+       against them are sound for {e all} reachable behavior — no
+       marking enumeration. Deltas that depend on the marking in a way
+       guard pinning cannot resolve (e.g. [Set p e] with unknown prior
+       value, or [Inc p e] with a non-constant [e]) mark the place
+       {e unresolved}; {!Structure} adds a synthetic unit row for such a
+       place, which soundly forces its coefficient to zero in every
+       semiflow.}
+    {- {b Law drifts} ({!case_drifts}): a small abstract interpreter
+       over canonical polynomials (in the pre-firing marking and
+       indicator atoms [Ind c]) proves that a firing leaves a weighted
+       sum [sum k_p . p] unchanged — for {e every} marking and {e every}
+       random choice, including effects whose per-branch deltas only
+       cancel in combination (conditional increments against a
+       guard-summed counter). This is what makes declared-law
+       verification exact for IR models.}
+    {- {b Branch liveness and range data}: statically dead [If]/[Pick]
+       branches (diagnostic A014) and negative increments with their
+       guard-pinned priors (input to A015) fall out of the same
+       traversal.}} *)
+
+type verdict =
+  | Proven  (** drift is identically zero for every marking and path *)
+  | Drift of int  (** drift is the same nonzero constant on every path *)
+  | Unproven of string  (** the interpreter could not decide; why *)
+
+val case_drifts :
+  n_int:int ->
+  guard:San.Effect.cond option ->
+  (int * int) list array ->
+  San.Effect.t ->
+  verdict array
+(** [case_drifts ~n_int ~guard laws eff] symbolically executes [eff]
+    (guard refinements applied first) and returns one verdict per law.
+    Each law is a sorted [(int place index, coefficient)] list. *)
+
+type case_ir = {
+  ci_deltas : (int * int) list list;
+      (** exact atom delta rows: sorted [(place index, delta)] lists,
+          zero entries dropped, empty rows dropped *)
+  ci_unresolved : int list;
+      (** sorted indexes of places written with a statically
+          unresolvable delta *)
+  ci_float : bool;  (** the effect writes some float place *)
+  ci_dead : string list;
+      (** one message per statically dead non-[Skip] branch (A014) *)
+  ci_decs : (int * int * int option) list;
+      (** [(place index, negative delta, guard-pinned prior value)] for
+          every resolved decrement — A015 input *)
+}
+
+val read_case :
+  n_int:int -> guard:San.Effect.cond option -> San.Effect.t -> case_ir
+(** Exact atom extraction for one case effect. Callers should only rely
+    on the result when the effect {!San.Effect.is_pure}; [Opaque] nodes
+    make every place unresolvable and are reported as a dead end in
+    [ci_unresolved] by the caller's own means. *)
+
+val set_only_bounds : San.Model.t -> int option array
+(** Per int place index: an upper bound valid in every reachable
+    marking, derived purely from write shapes — a place whose every
+    write anywhere in the model is [Set p (Int k)] can never exceed
+    [max(initial, max k)]. [None] where no such bound exists (any
+    increment, computed set, or opaque closure that could write it).
+    Exact only for {!San.Model.pure_ir} models; on mixed models every
+    entry is [None]. *)

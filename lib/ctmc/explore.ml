@@ -65,17 +65,17 @@ let explore ?(max_states = 200_000) ?(canon = fun k -> k) ?obs ?profile model
                 let weights = normalized_weights a m in
                 Array.iteri
                   (fun case w ->
-                    if w > 0.0 then begin
-                      let m' = San.Marking.copy m in
-                      a.cases.(case).San.Activity.effect Walker.default_ctx m';
-                      List.iter
-                        (fun (k, p) ->
-                          let j = intern k in
-                          if j <> i then
-                            transitions :=
-                              (i, j, rate *. w *. p) :: !transitions)
-                        (resolve_vanishing model m')
-                    end)
+                    if w > 0.0 then
+                      Walker.case_outcomes a case (San.Marking.copy m)
+                      |> List.iter (fun (wo, m') ->
+                             List.iter
+                               (fun (k, p) ->
+                                 let j = intern k in
+                                 if j <> i then
+                                   transitions :=
+                                     (i, j, rate *. w *. wo *. p)
+                                     :: !transitions)
+                               (resolve_vanishing model m')))
                   weights
               end
             end)

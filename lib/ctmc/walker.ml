@@ -1,5 +1,6 @@
 exception Vanishing_loop of string
 exception Too_many_states of int
+exception Work_budget of int
 exception Bad_weights of string
 
 type key = int array * float array
@@ -37,14 +38,27 @@ let normalized_weights (a : San.Activity.t) m =
          (Printf.sprintf "activity %s: case weights sum to %g" a.name total));
   Array.map (fun x -> x /. total) w
 
+(* Apply one case's effect analytically: a [Pick] in the effect IR forks
+   into its feasible branches with uniform weights instead of drawing
+   randomness. Consumes [m]; a fan-out past [max_outcomes] becomes
+   {!Too_many_states} so callers fall back like any other blow-up. *)
+let case_outcomes ?(ctx = default_ctx) ?(max_outcomes = 4096)
+    (a : San.Activity.t) case m =
+  try San.Effect.outcomes ~ctx ~max_outcomes a.cases.(case).San.Activity.effect m
+  with San.Effect.Too_many_outcomes -> raise (Too_many_states max_outcomes)
+
 (* Resolve a marking into its stable-marking distribution by eliminating
    chains of instantaneous firings: uniform choice among the enabled
    instantaneous activities, case probabilities within each.  A cycle of
    vanishing markings shows up as unbounded recursion depth. *)
-let resolve_vanishing ?(ctx = default_ctx) ?(max_depth = 10_000) ?on_vanishing
-    model m0 =
+let resolve_vanishing ?(ctx = default_ctx) ?(max_depth = 10_000)
+    ?(max_width = 50_000) ?(charge = fun () -> ()) ?on_vanishing model m0 =
   let acc = Hashtbl.create 8 in
+  let width = ref 0 in
   let rec go m prob depth =
+    incr width;
+    charge ();
+    if !width > max_width then raise (Too_many_states max_width);
     if depth > max_depth then
       raise
         (Vanishing_loop
@@ -64,11 +78,10 @@ let resolve_vanishing ?(ctx = default_ctx) ?(max_depth = 10_000) ?on_vanishing
             let weights = normalized_weights a m in
             Array.iteri
               (fun case w ->
-                if w > 0.0 then begin
-                  let m' = San.Marking.copy m in
-                  a.cases.(case).San.Activity.effect ctx m';
-                  go m' (p_act *. w) (depth + 1)
-                end)
+                if w > 0.0 then
+                  List.iter
+                    (fun (wo, m') -> go m' (p_act *. w *. wo) (depth + 1))
+                    (case_outcomes ~ctx a case (San.Marking.copy m)))
               weights)
           enabled
   in
@@ -109,10 +122,20 @@ module Pool = struct
   let get p i = p.arr.(i)
 end
 
-let reachable ?(max_states = 200_000) ?(ctx = default_ctx) ?on_vanishing model
-    =
+let reachable ?(max_states = 200_000) ?(max_work = 10_000_000)
+    ?(ctx = default_ctx) ?on_vanishing model =
   let pool = Pool.create () in
   let frontier = Queue.create () in
+  (* Deterministic effort bound: one unit per vanishing-resolution visit
+     (the expensive step — an [enabled_instantaneous] scan plus effect
+     forks). Models whose per-state cost is pathological trip it long
+     before [max_states], so callers can fall back to sampling in
+     seconds rather than minutes. *)
+  let work = ref 0 in
+  let charge () =
+    incr work;
+    if !work > max_work then raise (Work_budget max_work)
+  in
   let intern k =
     let i, fresh = Pool.intern pool ~max_states k in
     if fresh then Queue.add i frontier
@@ -121,16 +144,16 @@ let reachable ?(max_states = 200_000) ?(ctx = default_ctx) ?on_vanishing model
      broken weight function degrades to exploring every case. *)
   let successors_of_case m (a : San.Activity.t) case =
     match
-      let m' = San.Marking.copy m in
-      a.cases.(case).San.Activity.effect ctx m';
-      resolve_vanishing ~ctx ?on_vanishing model m'
+      case_outcomes ~ctx a case (San.Marking.copy m)
+      |> List.concat_map (fun (_, m') ->
+             resolve_vanishing ~ctx ~charge ?on_vanishing model m')
     with
     | keys -> List.iter (fun (k, _) -> intern k) keys
     | exception Invalid_argument _ -> ()
   in
   List.iter
     (fun (k, _) -> intern k)
-    (resolve_vanishing ~ctx ?on_vanishing model
+    (resolve_vanishing ~ctx ~charge ?on_vanishing model
        (San.Model.initial_marking model));
   while not (Queue.is_empty frontier) do
     let i = Queue.pop frontier in

@@ -24,6 +24,12 @@ exception Vanishing_loop of string
 exception Too_many_states of int
 (** Enumeration exceeded the caller's state bound. *)
 
+exception Work_budget of int
+(** {!reachable} exceeded its [max_work] effort bound before exhausting
+    the space — the per-state cost, not the state count, is the
+    blow-up. Callers fall back to sampling exactly as for
+    {!Too_many_states}. *)
+
 exception Bad_weights of string
 (** Some activity's case weights did not sum to a positive number. *)
 
@@ -47,22 +53,43 @@ val normalized_weights : San.Activity.t -> San.Marking.t -> float array
 (** Case probabilities normalized to sum to 1; raises {!Bad_weights} if
     the weights sum to zero or less. *)
 
+val case_outcomes :
+  ?ctx:San.Activity.ctx ->
+  ?max_outcomes:int ->
+  San.Activity.t ->
+  int ->
+  San.Marking.t ->
+  (float * San.Marking.t) list
+(** [case_outcomes a case m] applies case [case]'s effect analytically:
+    an {!San.Effect.Pick} forks into its feasible branches with uniform
+    weights instead of drawing randomness, so IR effects never need a
+    stream. Consumes [m]. A fan-out beyond [max_outcomes] (default
+    4096) raises {!Too_many_states}; an [Opaque] closure that draws
+    randomness still raises [Failure] via [stream_exn]. *)
+
 val resolve_vanishing :
   ?ctx:San.Activity.ctx ->
   ?max_depth:int ->
+  ?max_width:int ->
+  ?charge:(unit -> unit) ->
   ?on_vanishing:(San.Marking.t -> San.Activity.t list -> unit) ->
   San.Model.t ->
   San.Marking.t ->
   (key * float) list
 (** [resolve_vanishing model m] eliminates chains of instantaneous
     firings starting from [m] (uniform choice among the enabled set,
-    case probabilities within each activity) and returns the resulting
-    distribution over stable markings. [on_vanishing] is called on
-    every visited vanishing marking with its enabled instantaneous
-    set (two or more entries is the tie an executor resolves by a
-    coin flip); the marking must not be retained without copying.
-    Raises {!Vanishing_loop} past [max_depth] (default 10_000) firings
-    on one path. [m] is not modified. *)
+    case probabilities within each activity, {!San.Effect.Pick} forks
+    with uniform weights) and returns the resulting distribution over
+    stable markings. [charge] (default a no-op) is invoked once per
+    visited marking — {!reachable} uses it to meter its work budget.
+    [on_vanishing] is called on every visited
+    vanishing marking with its enabled instantaneous set (two or more
+    entries is the tie an executor resolves by a coin flip); the
+    marking must not be retained without copying. Raises
+    {!Vanishing_loop} past [max_depth] (default 10_000) firings on one
+    path, and {!Too_many_states} past [max_width] (default 50_000)
+    visited markings in one resolution — the symptom of a
+    combinatorial [Pick] cascade. [m] is not modified. *)
 
 (** Growable interning pool of state keys. *)
 module Pool : sig
@@ -79,6 +106,7 @@ end
 
 val reachable :
   ?max_states:int ->
+  ?max_work:int ->
   ?ctx:San.Activity.ctx ->
   ?on_vanishing:(San.Marking.t -> San.Activity.t list -> unit) ->
   San.Model.t ->
@@ -92,4 +120,9 @@ val reachable :
     [on_vanishing] is forwarded to every {!resolve_vanishing} the walk
     performs, so a caller sees each vanishing marking encountered
     anywhere in the reachable space. Default [max_states] is
-    200_000. *)
+    200_000. The walk also meters its total vanishing-resolution
+    visits and raises {!Work_budget} past [max_work] (default
+    10_000_000): a model whose {e per-state} resolution cost explodes
+    (deep instantaneous cascades over hundreds of activities) is
+    abandoned deterministically instead of grinding for minutes toward
+    the state cap. *)

@@ -1,5 +1,6 @@
 module P = San.Place
 module M = San.Marking
+module E = San.Effect
 module B = San.Model.Builder
 
 type slot_places = {
@@ -78,7 +79,7 @@ let nh sk = sk.p.Params.hosts_per_domain
 let host_places_of sk g = sk.s_domains.(g / nh sk).hosts.(g mod nh sk)
 let domain_idx sk g = g / nh sk
 
-(* --- state predicates --- *)
+(* --- state predicates (marking closures, public API) --- *)
 
 let dom_group_ok sk d m =
   let dp = sk.s_domains.(d) in
@@ -92,125 +93,225 @@ let app_improper sk a m =
   let corrupt = M.get m ap.rep_corr_undetected in
   corrupt > 0 && 3 * corrupt >= M.get m ap.replicas_running
 
-(* --- effect helpers (the exclusion cascade) --- *)
+(* --- IR condition vocabulary ---
 
-let check_byzantine sk a m =
-  if app_improper sk a m then M.set m sk.s_apps.(a).rep_grp_failure 1
+   The same predicates as declarative {!San.Effect.cond} terms, so both
+   activity guards and effect branches are exactly readable by
+   structural analysis. *)
 
-let kill_replica sk a r m =
+let pe p k = E.Cmp (E.Mark p, E.Eq, E.Int k)
+let pgt p k = E.Cmp (E.Mark p, E.Gt, E.Int k)
+
+let sum_exprs = function
+  | [] -> E.Int 0
+  | e :: es -> List.fold_left (fun a b -> E.Add (a, b)) e es
+
+let dom_group_ok_c sk d =
+  let dp = sk.s_domains.(d) in
+  E.Cmp
+    (E.Mul (E.Int 3, E.Mark dp.dom_mgrs_corrupt), E.Lt, E.Mark dp.dom_mgrs_running)
+
+let quorum_ok_c sk =
+  E.Cmp (E.Mul (E.Int 3, E.Mark sk.s_undetected), E.Lt, E.Mark sk.s_mgrs_running)
+
+let app_improper_c sk a =
+  let ap = sk.s_apps.(a) in
+  E.All
+    [
+      pgt ap.rep_corr_undetected 0;
+      E.Cmp
+        ( E.Mul (E.Int 3, E.Mark ap.rep_corr_undetected),
+          E.Ge,
+          E.Mark ap.replicas_running );
+    ]
+
+let host_is_corrupt_c sk g =
+  let hp = host_places_of sk g in
+  E.Any [ pgt hp.attacked 0; pe hp.mgr_corrupt 1; pe hp.mgr_detected 1 ]
+
+(* --- effect IR helpers (the exclusion cascade) ---
+
+   Op order inside every helper reproduces the historical closure
+   effects write-for-write: the marking journal is first-change-ordered
+   and drives both dependency propagation and [Resample] re-draws, so
+   preserving write order preserves bit-identical trajectories. *)
+
+let check_byzantine_e sk a =
+  E.If
+    ( app_improper_c sk a,
+      E.Ops [ E.Set (sk.s_apps.(a).rep_grp_failure, E.Int 1) ],
+      E.Skip )
+
+(* Kill the replica in slot [r] of app [a], known to run on host [g]. *)
+let kill_replica_e sk a r g =
   let ap = sk.s_apps.(a) in
   let sl = ap.slots.(r) in
-  let g = M.get m sl.on_host - 1 in
-  assert (g >= 0);
-  M.set m sl.running 0;
-  M.add m ap.replicas_running (-1);
-  if M.get m sl.corrupt = 1 then begin
-    M.set m sl.corrupt 0;
-    M.add m ap.rep_corr_undetected (-1)
-  end;
-  M.set m sl.convicted 0;
-  M.set m sl.convicted_by_ids 0;
-  M.set m sl.id_missed 0;
-  M.set m sl.on_host 0;
-  M.add m (host_places_of sk g).num_replicas (-1);
-  M.set m sk.s_domains.(domain_idx sk g).has_app.(a) 0;
-  M.add m ap.need_recovery 1;
-  check_byzantine sk a m
+  E.Seq
+    [
+      E.Ops [ E.Set (sl.running, E.Int 0); E.Inc (ap.replicas_running, E.Int (-1)) ];
+      E.If
+        ( pe sl.corrupt 1,
+          E.Ops
+            [
+              E.Set (sl.corrupt, E.Int 0);
+              E.Inc (ap.rep_corr_undetected, E.Int (-1));
+            ],
+          E.Skip );
+      E.Ops
+        [
+          E.Set (sl.convicted, E.Int 0);
+          E.Set (sl.convicted_by_ids, E.Int 0);
+          E.Set (sl.id_missed, E.Int 0);
+          E.Set (sl.on_host, E.Int 0);
+          E.Inc ((host_places_of sk g).num_replicas, E.Int (-1));
+          E.Set (sk.s_domains.(domain_idx sk g).has_app.(a), E.Int 0);
+          E.Inc (ap.need_recovery, E.Int 1);
+        ];
+      check_byzantine_e sk a;
+    ]
 
-let host_is_corrupt sk g m =
-  let hp = host_places_of sk g in
-  M.get m hp.attacked > 0
-  || M.get m hp.mgr_corrupt = 1
-  || M.get m hp.mgr_detected = 1
-
-let kill_host sk g m =
+let kill_host_e sk g =
   let hp = host_places_of sk g in
   let d = domain_idx sk g in
-  (* Kill every replica running on this host. *)
-  Array.iteri
-    (fun a ap ->
-      Array.iteri
-        (fun r sl ->
-          if M.get m sl.running = 1 && M.get m sl.on_host = g + 1 then
-            kill_replica sk a r m)
-        ap.slots)
-    sk.s_apps;
-  (* Remove the manager from both group counts. *)
-  if M.get m hp.mgr_running = 1 then begin
-    M.add m sk.s_mgrs_running (-1);
-    M.add m sk.s_domains.(d).dom_mgrs_running (-1);
-    if M.get m hp.mgr_corrupt = 1 then begin
-      M.add m sk.s_undetected (-1);
-      M.add m sk.s_domains.(d).dom_mgrs_corrupt (-1)
-    end;
-    M.set m hp.mgr_running 0
-  end;
-  M.set m hp.alive 0;
-  M.set m hp.attacked 0;
-  M.set m hp.mgr_corrupt 0;
-  M.set m hp.host_detected 0;
-  M.set m hp.host_id_missed 0;
-  M.set m hp.mgr_detected 0;
-  M.set m hp.mgr_id_missed 0
-
-let exclude_domain sk d m =
   let dp = sk.s_domains.(d) in
-  if M.get m dp.excluded = 0 then begin
-    (* Measure accounting first: fraction of corrupt hosts at exclusion. *)
-    let alive_count = ref 0 and corrupt_count = ref 0 in
-    Array.iteri
-      (fun h hp ->
-        if M.get m hp.alive = 1 then begin
-          incr alive_count;
-          let g = (d * nh sk) + h in
-          if host_is_corrupt sk g m then incr corrupt_count
-        end)
-      dp.hosts;
-    M.add m sk.s_excl_domains 1;
-    M.add m sk.s_excl_hosts !alive_count;
-    M.add m sk.s_excl_corrupt !corrupt_count;
-    if !alive_count > 0 then
-      M.fadd m sk.s_excl_frac
-        (float_of_int !corrupt_count /. float_of_int !alive_count);
-    Array.iteri
-      (fun h hp ->
-        if M.get m hp.alive = 1 then kill_host sk ((d * nh sk) + h) m)
-      dp.hosts;
-    M.set m dp.excluded 1
-  end
+  (* Kill every replica running on this host. *)
+  let kill_reps =
+    Array.to_list
+      (Array.mapi
+         (fun a ap ->
+           Array.to_list
+             (Array.mapi
+                (fun r sl ->
+                  E.If
+                    ( E.All [ pe sl.running 1; pe sl.on_host (g + 1) ],
+                      kill_replica_e sk a r g,
+                      E.Skip ))
+                ap.slots))
+         sk.s_apps)
+    |> List.concat
+  in
+  (* Remove the manager from both group counts, then clear the host. *)
+  E.Seq
+    (kill_reps
+    @ [
+        E.If
+          ( pe hp.mgr_running 1,
+            E.Seq
+              [
+                E.Ops
+                  [
+                    E.Inc (sk.s_mgrs_running, E.Int (-1));
+                    E.Inc (dp.dom_mgrs_running, E.Int (-1));
+                  ];
+                E.If
+                  ( pe hp.mgr_corrupt 1,
+                    E.Ops
+                      [
+                        E.Inc (sk.s_undetected, E.Int (-1));
+                        E.Inc (dp.dom_mgrs_corrupt, E.Int (-1));
+                      ],
+                    E.Skip );
+                E.Ops [ E.Set (hp.mgr_running, E.Int 0) ];
+              ],
+            E.Skip );
+        E.Ops
+          [
+            E.Set (hp.alive, E.Int 0);
+            E.Set (hp.attacked, E.Int 0);
+            E.Set (hp.mgr_corrupt, E.Int 0);
+            E.Set (hp.host_detected, E.Int 0);
+            E.Set (hp.host_id_missed, E.Int 0);
+            E.Set (hp.mgr_detected, E.Int 0);
+            E.Set (hp.mgr_id_missed, E.Int 0);
+          ];
+      ])
 
-let exclude_host sk g m =
+let exclude_domain_e sk d =
+  let dp = sk.s_domains.(d) in
+  (* Measure accounting first: fraction of corrupt hosts at exclusion,
+     counted by indicator sums evaluated before any host is killed. *)
+  let alive_cnt =
+    sum_exprs
+      (Array.to_list (Array.map (fun hp -> E.Ind (pe hp.alive 1)) dp.hosts))
+  in
+  let corrupt_cnt =
+    sum_exprs
+      (Array.to_list
+         (Array.mapi
+            (fun h hp ->
+              E.Ind
+                (E.All [ pe hp.alive 1; host_is_corrupt_c sk ((d * nh sk) + h) ]))
+            dp.hosts))
+  in
+  E.If
+    ( pe dp.excluded 0,
+      E.Seq
+        ([
+           E.Ops
+             [
+               E.Inc (sk.s_excl_domains, E.Int 1);
+               E.Inc (sk.s_excl_hosts, alive_cnt);
+               E.Inc (sk.s_excl_corrupt, corrupt_cnt);
+             ];
+           E.If
+             ( E.Cmp (alive_cnt, E.Gt, E.Int 0),
+               E.Ops
+                 [
+                   E.FInc
+                     ( sk.s_excl_frac,
+                       E.FDiv (E.OfInt corrupt_cnt, E.OfInt alive_cnt) );
+                 ],
+               E.Skip );
+         ]
+        @ Array.to_list
+            (Array.mapi
+               (fun h hp ->
+                 E.If (pe hp.alive 1, kill_host_e sk ((d * nh sk) + h), E.Skip))
+               dp.hosts)
+        @ [ E.Ops [ E.Set (dp.excluded, E.Int 1) ] ]),
+      E.Skip )
+
+let exclude_host_e sk g =
   let hp = host_places_of sk g in
-  if M.get m hp.alive = 1 then begin
-    M.add m sk.s_excl_hosts 1;
-    if host_is_corrupt sk g m then M.add m sk.s_excl_corrupt 1;
-    kill_host sk g m
-  end
+  E.If
+    ( pe hp.alive 1,
+      E.Seq
+        [
+          E.Ops [ E.Inc (sk.s_excl_hosts, E.Int 1) ];
+          E.If
+            ( host_is_corrupt_c sk g,
+              E.Ops [ E.Inc (sk.s_excl_corrupt, E.Int 1) ],
+              E.Skip );
+          kill_host_e sk g;
+        ],
+      E.Skip )
 
 (* Management response to a detection concerning host [g]. *)
-let respond sk g m =
+let respond_e sk g =
   match sk.p.Params.policy with
-  | Params.Domain_exclusion -> exclude_domain sk (domain_idx sk g) m
-  | Params.Host_exclusion -> exclude_host sk g m
+  | Params.Domain_exclusion -> exclude_domain_e sk (domain_idx sk g)
+  | Params.Host_exclusion -> exclude_host_e sk g
 
-(* Start one replica of application [a] on host [g], choosing a free slot
-   uniformly at random (slots are exchangeable; the paper's enable_rep
-   race does the same).  [pick] chooses uniformly from a non-empty list,
-   consuming randomness only when there is an actual choice. *)
-let start_replica sk a g pick m =
+(* Start one replica of application [a] on host [g]: a [Pick] over the
+   free slots (uniform; slots are exchangeable, and a single free slot
+   consumes no randomness — the paper's enable_rep race does the same). *)
+let start_replica_e sk a g =
   let ap = sk.s_apps.(a) in
-  let free = ref [] in
-  Array.iteri
-    (fun r sl -> if M.get m sl.running = 0 then free := r :: !free)
-    ap.slots;
-  let r = pick (List.rev !free) in
-  let sl = ap.slots.(r) in
-  M.set m sl.running 1;
-  M.set m sl.on_host (g + 1);
-  M.add m ap.replicas_running 1;
-  M.add m (host_places_of sk g).num_replicas 1;
-  M.set m sk.s_domains.(domain_idx sk g).has_app.(a) 1;
-  M.add m ap.to_start (-1)
+  E.Pick
+    (Array.to_list
+       (Array.mapi
+          (fun _r sl ->
+            ( pe sl.running 0,
+              E.Ops
+                [
+                  E.Set (sl.running, E.Int 1);
+                  E.Set (sl.on_host, E.Int (g + 1));
+                  E.Inc (ap.replicas_running, E.Int 1);
+                  E.Inc ((host_places_of sk g).num_replicas, E.Int 1);
+                  E.Set (sk.s_domains.(domain_idx sk g).has_app.(a), E.Int 1);
+                  E.Inc (ap.to_start, E.Int (-1));
+                ] ))
+          ap.slots))
 
 (* --- model construction --- *)
 
@@ -371,11 +472,10 @@ let build params =
                  *. p.Params.ids_decision_rate;
         }
   in
-  let ids_cases b ~name ~enabled ~reads cases =
-    B.timed b ~name ~dist:(fun _ -> ids_latency_dist) ~enabled ~reads
+  let ids_cases b ~name ~guard ~reads cases =
+    B.timed_ir b ~name ~dist:(fun _ -> ids_latency_dist) ~guard ~reads
       (List.map
-         (fun (w, effect) ->
-           { San.Activity.case_weight = (fun _ -> w); effect })
+         (fun (w, eff) -> San.Activity.make_case ~weight:(fun _ -> w) eff)
          cases)
   in
   let slot_host_corrupt sl m =
@@ -387,13 +487,50 @@ let build params =
   (* [by_ids] records whether the conviction came from the host's IDS
      (an infiltration detected on the host itself) or from the replication
      group; under host exclusion only the former takes the host down. *)
-  let convict ~by_ids a sl m =
-    M.set m sl.convicted 1;
-    if by_ids then M.set m sl.convicted_by_ids 1;
-    if M.get m sl.corrupt = 1 then begin
-      M.set m sl.corrupt 0;
-      M.add m apps.(a).rep_corr_undetected (-1)
-    end
+  let convict_e ~by_ids a sl =
+    E.Seq
+      [
+        E.Ops
+          (E.Set (sl.convicted, E.Int 1)
+          :: (if by_ids then [ E.Set (sl.convicted_by_ids, E.Int 1) ] else []));
+        E.If
+          ( pe sl.corrupt 1,
+            E.Ops
+              [
+                E.Set (sl.corrupt, E.Int 0);
+                E.Inc (apps.(a).rep_corr_undetected, E.Int (-1));
+              ],
+            E.Skip );
+      ]
+  in
+  (* The miss branch of an IDS decision latches [id_missed] only when
+     misses are sticky — otherwise the decision is retried. *)
+  let miss_e pl =
+    if p.Params.ids_misses_sticky then E.Ops [ E.Set (pl, E.Int 1) ] else E.Skip
+  in
+  (* Dispatch on the (dynamic) host a replica runs on: an if-else chain
+     over [on_host], which structural analysis reads as guarded branches
+     with statically known deltas. *)
+  let dispatch_host sl eff_of_g =
+    let rec chain g =
+      if g >= nd * nhosts then E.Skip
+      else E.If (pe sl.on_host (g + 1), eff_of_g g, chain (g + 1))
+    in
+    chain 0
+  in
+  let on_host_in_domain sl d =
+    E.All
+      [
+        E.Cmp (E.Mark sl.on_host, E.Ge, E.Int ((d * nhosts) + 1));
+        E.Cmp (E.Mark sl.on_host, E.Le, E.Int ((d + 1) * nhosts));
+      ]
+  in
+  let dispatch_domain sl eff_of_d =
+    let rec chain d =
+      if d >= nd then E.Skip
+      else E.If (on_host_in_domain sl d, eff_of_d d, chain (d + 1))
+    in
+    chain 0
   in
 
   (* --- Replica submodel activities --- *)
@@ -407,151 +544,157 @@ let build params =
           in
           (* attack_rep: successful attack on the replica; faster when its
              host is corrupt. *)
-          B.timed_exp b
+          B.timed_exp_ir b
             ~name:(replica_name a r "attack_rep")
             ~rate:(fun m ->
               Params.replica_attack_rate p
               *.
               if slot_host_corrupt sl m then p.Params.corruption_multiplier
               else 1.0)
-            ~enabled:(fun m ->
-              M.get m sl.running = 1
-              && M.get m sl.corrupt = 0
-              && M.get m sl.convicted = 0)
+            ~guard:(E.All [ pe sl.running 1; pe sl.corrupt 0; pe sl.convicted 0 ])
             ~reads:(slot_reads @ all_attacked)
-            (fun _ m ->
-              M.set m sl.corrupt 1;
-              M.add m ap.rep_corr_undetected 1;
-              check_byzantine sk a m);
+            (E.Seq
+               [
+                 E.Ops
+                   [
+                     E.Set (sl.corrupt, E.Int 1);
+                     E.Inc (ap.rep_corr_undetected, E.Int 1);
+                   ];
+                 check_byzantine_e sk a;
+               ]);
           (* valid_ID: the host IDS decides; a miss is final. *)
           ids_cases b
             ~name:(replica_name a r "valid_ID")
-            ~enabled:(fun m ->
-              M.get m sl.corrupt = 1
-              && M.get m sl.convicted = 0
-              && M.get m sl.id_missed = 0)
+            ~guard:
+              (E.All [ pe sl.corrupt 1; pe sl.convicted 0; pe sl.id_missed 0 ])
             ~reads:[ P.P sl.corrupt; P.P sl.convicted; P.P sl.id_missed ]
             [
-              (p.Params.p_detect_replica, fun _ m -> convict ~by_ids:true a sl m);
-              ( 1.0 -. p.Params.p_detect_replica,
-                fun _ m ->
-                  if p.Params.ids_misses_sticky then M.set m sl.id_missed 1 );
+              (p.Params.p_detect_replica, convict_e ~by_ids:true a sl);
+              (1.0 -. p.Params.p_detect_replica, miss_e sl.id_missed);
             ];
           (* rep_misbehave: anomalous behaviour during group communication
              is always caught while the group can reach agreement. *)
           if p.Params.misbehave_rate > 0.0 then
-            B.timed_exp b
+            B.timed_exp_ir b
               ~name:(replica_name a r "rep_misbehave")
               ~rate:(fun _ -> p.Params.misbehave_rate)
-              ~enabled:(fun m ->
-                M.get m sl.corrupt = 1
-                && M.get m sl.convicted = 0
-                && 3 * M.get m ap.rep_corr_undetected
-                   < M.get m ap.replicas_running)
+              ~guard:
+                (E.All
+                   [
+                     pe sl.corrupt 1;
+                     pe sl.convicted 0;
+                     E.Cmp
+                       ( E.Mul (E.Int 3, E.Mark ap.rep_corr_undetected),
+                         E.Lt,
+                         E.Mark ap.replicas_running );
+                   ])
               ~reads:
                 [
                   P.P sl.corrupt; P.P sl.convicted;
                   P.P ap.rep_corr_undetected; P.P ap.replicas_running;
                 ]
-              (fun _ m -> convict ~by_ids:false a sl m);
+              (convict_e ~by_ids:false a sl);
           (* false_ID: per the paper this activity is enabled only once
              the replica has been intruded — an additional, unconditional
              IDS flagging channel for corrupt replicas (it can catch one
              that valid_ID missed).  Host-level false alarms, by contrast,
              really do hit clean hosts; see false_ID on the Host SAN. *)
           if Params.replica_false_alarm_rate p > 0.0 then
-            B.timed_exp b
+            B.timed_exp_ir b
               ~name:(replica_name a r "false_ID")
               ~rate:(fun _ -> Params.replica_false_alarm_rate p)
-              ~enabled:(fun m ->
-                M.get m sl.corrupt = 1 && M.get m sl.convicted = 0)
+              ~guard:(E.All [ pe sl.corrupt 1; pe sl.convicted 0 ])
               ~reads:[ P.P sl.corrupt; P.P sl.convicted ]
-              (fun _ m -> convict ~by_ids:true a sl m);
-          (* The managers respond to the conviction once enough of them are
-             trustworthy, excluding the domain (or host). *)
+              (convict_e ~by_ids:true a sl);
           (* Response to a conviction.  Domain exclusion always convicts
              the domain that had the corrupt replica; host exclusion takes
              the host down only when the infiltration was detected on it
              (IDS conviction) and otherwise just kills and replaces the
              convicted replica. *)
-          B.instantaneous b
+          B.instantaneous_ir b
             ~name:(replica_name a r "respond_conviction")
-            ~enabled:(fun m ->
-              M.get m sl.convicted = 1
-              && M.get m sl.running = 1
-              &&
-              let d = domain_idx sk (M.get m sl.on_host - 1) in
-              dom_group_ok sk d m || quorum_ok sk m)
+            ~guard:
+              (E.All
+                 [
+                   pe sl.convicted 1;
+                   pe sl.running 1;
+                   E.Any
+                     (quorum_ok_c sk
+                     :: List.init nd (fun d ->
+                            E.All [ on_host_in_domain sl d; dom_group_ok_c sk d ]));
+                 ])
             ~reads:(slot_reads @ mgr_group_reads)
-            (fun _ m ->
-              let g = M.get m sl.on_host - 1 in
-              match p.Params.policy with
-              | Params.Domain_exclusion -> exclude_domain sk (domain_idx sk g) m
-              | Params.Host_exclusion ->
-                  if M.get m sl.convicted_by_ids = 1 then exclude_host sk g m
-                  else kill_replica sk a r m))
+            (match p.Params.policy with
+            | Params.Domain_exclusion ->
+                dispatch_domain sl (fun d -> exclude_domain_e sk d)
+            | Params.Host_exclusion ->
+                E.If
+                  ( pe sl.convicted_by_ids 1,
+                    dispatch_host sl (fun g -> exclude_host_e sk g),
+                    dispatch_host sl (fun g -> kill_replica_e sk a r g) )))
         ap.slots)
     apps;
 
   (* --- Management submodel activities (one per application) --- *)
   Array.iteri
     (fun a ap ->
-      B.timed_exp b
+      ignore a;
+      B.timed_exp_ir b
         ~name:(Printf.sprintf "app[%d].management.recovery" a)
         ~rate:(fun _ -> p.Params.recovery_rate)
-        ~enabled:(fun m ->
-          M.get m ap.need_recovery > 0
-          && ((not p.Params.quorum_gates_recovery) || quorum_ok sk m))
+        ~guard:
+          (if p.Params.quorum_gates_recovery then
+             E.All [ pgt ap.need_recovery 0; quorum_ok_c sk ]
+           else pgt ap.need_recovery 0)
         ~reads:(P.P ap.need_recovery :: mgr_group_reads)
-        (fun _ m ->
-          M.add m ap.need_recovery (-1);
-          M.add m ap.to_start 1))
+        (E.Ops
+           [ E.Inc (ap.need_recovery, E.Int (-1)); E.Inc (ap.to_start, E.Int 1) ]))
     apps;
 
   (* --- Replica placement (the Host SANs' start_replica race) --- *)
-  let domain_qualifies m d a =
+  let domain_qualifies_c d a =
     let dp = domains.(d) in
-    M.get m dp.excluded = 0
-    && M.get m dp.has_app.(a) = 0
-    && Array.exists (fun hp -> M.get m hp.alive = 1) dp.hosts
+    E.All
+      [
+        pe dp.excluded 0;
+        pe dp.has_app.(a) 0;
+        E.Any (Array.to_list (Array.map (fun hp -> pe hp.alive 1) dp.hosts));
+      ]
   in
-  B.instantaneous b ~name:"place_replicas"
-    ~enabled:(fun m ->
-      Array.exists
-        (fun a ->
-          M.get m apps.(a).to_start > 0
-          && Array.exists (fun d -> domain_qualifies m d a) (Array.init nd Fun.id))
-        (Array.init na Fun.id))
+  (* Pick a qualifying domain uniformly, a live host within it uniformly,
+     then start a replica there for every application with a pending
+     replica and no replica in that domain.  Forced choices (singleton
+     [Pick] branches) consume no randomness, so configurations whose
+     placement is deterministic (e.g. one domain with one host) remain
+     explorable by the analytical CTMC path. *)
+  B.instantaneous_ir b ~name:"place_replicas"
+    ~guard:
+      (E.Any
+         (List.init na (fun a ->
+              E.All
+                [
+                  pgt apps.(a).to_start 0;
+                  E.Any (List.init nd (fun d -> domain_qualifies_c d a));
+                ])))
     ~reads:placement_reads
-    (fun ctx m ->
-      (* Sampling is avoided when a choice is forced, so configurations
-         whose placement is deterministic (e.g. one domain with one host)
-         remain explorable by the analytical CTMC path. *)
-      let pick = function
-        | [ only ] -> only
-        | choices -> Prng.Stream.choose_list (San.Activity.stream_exn ctx) choices
-      in
-      let pending =
-        List.filter
-          (fun a -> M.get m apps.(a).to_start > 0)
-          (List.init na Fun.id)
-      in
-      let qualifying =
-        List.filter
-          (fun d -> List.exists (fun a -> domain_qualifies m d a) pending)
-          (List.init nd Fun.id)
-      in
-      let d = pick qualifying in
-      let live_hosts =
-        List.filter
-          (fun h -> M.get m domains.(d).hosts.(h).alive = 1)
-          (List.init nhosts Fun.id)
-      in
-      let h = pick live_hosts in
-      let g = (d * nhosts) + h in
-      List.iter
-        (fun a -> if domain_qualifies m d a then start_replica sk a g pick m)
-        pending);
+    (E.Pick
+       (List.init nd (fun d ->
+            ( E.Any
+                (List.init na (fun a ->
+                     E.All [ pgt apps.(a).to_start 0; domain_qualifies_c d a ])),
+              E.Pick
+                (List.init nhosts (fun h ->
+                     ( pe domains.(d).hosts.(h).alive 1,
+                       E.Seq
+                         (List.init na (fun a ->
+                              E.If
+                                ( E.All
+                                    [
+                                      pgt apps.(a).to_start 0;
+                                      domain_qualifies_c d a;
+                                    ],
+                                  start_replica_e sk a ((d * nhosts) + h),
+                                  E.Skip )))) )) ))));
 
   (* --- Host submodel activities --- *)
   let host_name g s = Printf.sprintf "domain[%d].host[%d].%s" (g / nhosts) (g mod nhosts) s in
@@ -561,17 +704,17 @@ let build params =
     let hp = host_places_of sk g in
     (* attack_host: three attack classes; the rate grows linearly with the
        accumulated intra-domain and system-wide spread. *)
-    B.timed_exp_cases b
+    B.timed_exp_cases_ir b
       ~name:(host_name g "attack_host")
       ~rate:(fun m ->
         Params.host_attack_rate p
         +. Params.host_spread_slope p
            *. (M.fget m dp.spread +. M.fget m spread_sys))
-      ~enabled:(fun m -> M.get m hp.alive = 1 && M.get m hp.attacked = 0)
+      ~guard:(E.All [ pe hp.alive 1; pe hp.attacked 0 ])
       ~reads:[ P.P hp.alive; P.P hp.attacked; P.F dp.spread; P.F spread_sys ]
-      (let corrupt_as cls _ m =
-         M.set m hp.attacked cls;
-         M.set m hp.ever_attacked 1
+      (let corrupt_as cls =
+         E.Ops
+           [ E.Set (hp.attacked, E.Int cls); E.Set (hp.ever_attacked, E.Int 1) ]
        in
        [
          (p.Params.frac_script, corrupt_as 1);
@@ -583,50 +726,56 @@ let build params =
        attacker's knowledge gained from the successful intrusion, which
        excluding the compromised host does not erase. *)
     if p.Params.spread_rate_domain > 0.0 then
-      B.timed_exp b
+      B.timed_exp_ir b
         ~name:(host_name g "propagate_domain")
         ~rate:(fun _ -> p.Params.spread_rate_domain)
-        ~enabled:(fun m ->
-          M.get m hp.ever_attacked = 1
-          && M.get m hp.prop_dom_done = 0
-          && (p.Params.spread_outlives_host || M.get m hp.alive = 1))
+        ~guard:
+          (let base = [ pe hp.ever_attacked 1; pe hp.prop_dom_done 0 ] in
+           E.All
+             (if p.Params.spread_outlives_host then base
+              else base @ [ pe hp.alive 1 ]))
         ~reads:[ P.P hp.ever_attacked; P.P hp.prop_dom_done; P.P hp.alive ]
-        (fun _ m ->
-          M.fadd m dp.spread p.Params.spread_effect_domain;
-          M.set m hp.prop_dom_done 1);
+        (E.Ops
+           [
+             E.FInc (dp.spread, E.Flt p.Params.spread_effect_domain);
+             E.Set (hp.prop_dom_done, E.Int 1);
+           ]);
     if p.Params.spread_rate_system > 0.0 then
-      B.timed_exp b
+      B.timed_exp_ir b
         ~name:(host_name g "propagate_sys")
         ~rate:(fun _ -> p.Params.spread_rate_system)
-        ~enabled:(fun m ->
-          M.get m hp.ever_attacked = 1
-          && M.get m hp.prop_sys_done = 0
-          && (p.Params.spread_outlives_host || M.get m hp.alive = 1))
+        ~guard:
+          (let base = [ pe hp.ever_attacked 1; pe hp.prop_sys_done 0 ] in
+           E.All
+             (if p.Params.spread_outlives_host then base
+              else base @ [ pe hp.alive 1 ]))
         ~reads:[ P.P hp.ever_attacked; P.P hp.prop_sys_done; P.P hp.alive ]
-        (fun _ m ->
-          M.fadd m spread_sys p.Params.spread_effect_system;
-          M.set m hp.prop_sys_done 1);
+        (E.Ops
+           [
+             E.FInc (spread_sys, E.Flt p.Params.spread_effect_system);
+             E.Set (hp.prop_sys_done, E.Int 1);
+           ]);
     (* Host-level IDS, one activity per attack class. *)
     List.iter
       (fun (suffix, cls, prob) ->
         ids_cases b
           ~name:(host_name g suffix)
-          ~enabled:(fun m ->
-            M.get m hp.alive = 1
-            && M.get m hp.attacked = cls
-            && M.get m hp.host_id_missed = 0
-            && M.get m hp.host_detected = 0)
+          ~guard:
+            (E.All
+               [
+                 pe hp.alive 1;
+                 pe hp.attacked cls;
+                 pe hp.host_id_missed 0;
+                 pe hp.host_detected 0;
+               ])
           ~reads:
             [
               P.P hp.alive; P.P hp.attacked; P.P hp.host_id_missed;
               P.P hp.host_detected;
             ]
           [
-            (prob, fun _ m -> M.set m hp.host_detected 1);
-            ( 1.0 -. prob,
-              fun _ m ->
-                if p.Params.ids_misses_sticky then
-                  M.set m hp.host_id_missed 1 );
+            (prob, E.Ops [ E.Set (hp.host_detected, E.Int 1) ]);
+            (1.0 -. prob, miss_e hp.host_id_missed);
           ])
       [
         ("valid_ID_scp", 1, p.Params.p_detect_script);
@@ -635,63 +784,77 @@ let build params =
       ];
     (* False alarms of host/manager infiltration. *)
     if Params.host_false_alarm_rate p > 0.0 then
-      B.timed_exp b
+      B.timed_exp_ir b
         ~name:(host_name g "false_ID")
         ~rate:(fun _ -> Params.host_false_alarm_rate p)
-        ~enabled:(fun m ->
-          M.get m hp.alive = 1
-          && M.get m hp.attacked = 0
-          && M.get m hp.mgr_corrupt = 0
-          && M.get m hp.host_detected = 0)
+        ~guard:
+          (E.All
+             [
+               pe hp.alive 1;
+               pe hp.attacked 0;
+               pe hp.mgr_corrupt 0;
+               pe hp.host_detected 0;
+             ])
         ~reads:
           [
             P.P hp.alive; P.P hp.attacked; P.P hp.mgr_corrupt;
             P.P hp.host_detected;
           ]
-        (fun _ m -> M.set m hp.host_detected 1);
+        (E.Ops [ E.Set (hp.host_detected, E.Int 1) ]);
     (* Response to a host-level detection requires a trustworthy local
        manager and domain manager group (Section 3.4). *)
-    B.instantaneous b
+    B.instantaneous_ir b
       ~name:(host_name g "respond_host_detect")
-      ~enabled:(fun m ->
-        M.get m hp.host_detected = 1
-        && M.get m hp.alive = 1
-        && M.get m hp.mgr_corrupt = 0
-        && dom_group_ok sk d m)
+      ~guard:
+        (E.All
+           [
+             pe hp.host_detected 1;
+             pe hp.alive 1;
+             pe hp.mgr_corrupt 0;
+             dom_group_ok_c sk d;
+           ])
       ~reads:
         ([ P.P hp.host_detected; P.P hp.alive; P.P hp.mgr_corrupt ]
         @ mgr_group_reads)
-      (fun _ m -> respond sk g m);
+      (respond_e sk g);
     (* attack_mgmt: attacks against the manager on this host. *)
-    B.timed_exp b
+    B.timed_exp_ir b
       ~name:(host_name g "attack_mgmt")
       ~rate:(fun m ->
         Params.manager_attack_rate p
         *.
         if M.get m hp.attacked > 0 then p.Params.corruption_multiplier
         else 1.0)
-      ~enabled:(fun m ->
-        M.get m hp.alive = 1
-        && M.get m hp.mgr_running = 1
-        && M.get m hp.mgr_corrupt = 0
-        && M.get m hp.mgr_detected = 0)
+      ~guard:
+        (E.All
+           [
+             pe hp.alive 1;
+             pe hp.mgr_running 1;
+             pe hp.mgr_corrupt 0;
+             pe hp.mgr_detected 0;
+           ])
       ~reads:
         [
           P.P hp.alive; P.P hp.attacked; P.P hp.mgr_running;
           P.P hp.mgr_corrupt; P.P hp.mgr_detected;
         ]
-      (fun _ m ->
-        M.set m hp.mgr_corrupt 1;
-        M.add m undetected 1;
-        M.add m dp.dom_mgrs_corrupt 1);
+      (E.Ops
+         [
+           E.Set (hp.mgr_corrupt, E.Int 1);
+           E.Inc (undetected, E.Int 1);
+           E.Inc (dp.dom_mgrs_corrupt, E.Int 1);
+         ]);
     (* valid_ID_mgr: IDS detection of manager infiltration. *)
     ids_cases b
       ~name:(host_name g "valid_ID_mgr")
-      ~enabled:(fun m ->
-        M.get m hp.alive = 1
-        && M.get m hp.mgr_corrupt = 1
-        && M.get m hp.mgr_id_missed = 0
-        && M.get m hp.mgr_detected = 0)
+      ~guard:
+        (E.All
+           [
+             pe hp.alive 1;
+             pe hp.mgr_corrupt 1;
+             pe hp.mgr_id_missed 0;
+             pe hp.mgr_detected 0;
+           ])
       ~reads:
         [
           P.P hp.alive; P.P hp.mgr_corrupt; P.P hp.mgr_id_missed;
@@ -699,25 +862,28 @@ let build params =
         ]
       [
         ( p.Params.p_detect_manager,
-          fun _ m ->
-            M.set m hp.mgr_detected 1;
-            M.set m hp.mgr_corrupt 0;
-            M.add m undetected (-1);
-            M.add m dp.dom_mgrs_corrupt (-1) );
-        ( 1.0 -. p.Params.p_detect_manager,
-          fun _ m ->
-            if p.Params.ids_misses_sticky then M.set m hp.mgr_id_missed 1 );
+          E.Ops
+            [
+              E.Set (hp.mgr_detected, E.Int 1);
+              E.Set (hp.mgr_corrupt, E.Int 0);
+              E.Inc (undetected, E.Int (-1));
+              E.Inc (dp.dom_mgrs_corrupt, E.Int (-1));
+            ] );
+        (1.0 -. p.Params.p_detect_manager, miss_e hp.mgr_id_missed);
       ];
     (* Response to a detected corrupt manager: the replication/management
        groups know, so the domain group or the global quorum suffices. *)
-    B.instantaneous b
+    B.instantaneous_ir b
       ~name:(host_name g "respond_mgr_detect")
-      ~enabled:(fun m ->
-        M.get m hp.mgr_detected = 1
-        && M.get m hp.alive = 1
-        && (dom_group_ok sk d m || quorum_ok sk m))
+      ~guard:
+        (E.All
+           [
+             pe hp.mgr_detected 1;
+             pe hp.alive 1;
+             E.Any [ dom_group_ok_c sk d; quorum_ok_c sk ];
+           ])
       ~reads:([ P.P hp.mgr_detected; P.P hp.alive ] @ mgr_group_reads)
-      (fun _ m -> respond sk g m)
+      (respond_e sk g)
   done;
 
   let model = B.build b in

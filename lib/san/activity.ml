@@ -1,12 +1,6 @@
-type ctx = { time : float; stream : Prng.Stream.t option }
+type ctx = Effect.ctx = { time : float; stream : Prng.Stream.t option }
 
-let stream_exn ctx =
-  match ctx.stream with
-  | Some s -> s
-  | None ->
-      failwith
-        "Activity.stream_exn: effect requires randomness; this model cannot \
-         be explored analytically"
+let stream_exn = Effect.stream_exn
 
 type policy = Keep | Resample
 
@@ -16,7 +10,8 @@ type timing =
 
 type case = {
   case_weight : Marking.t -> float;
-  effect : ctx -> Marking.t -> unit;
+  effect : Effect.t;
+  prog : Effect.prog;
 }
 
 type t = {
@@ -24,12 +19,22 @@ type t = {
   name : string;
   timing : timing;
   enabled : Marking.t -> bool;
+  guard : Effect.cond option;
   reads : Place.any list;
   cases : case array;
 }
 
+let make_case ?(weight = fun _ -> 1.0) effect =
+  { case_weight = weight; effect; prog = Effect.compile effect }
+
+let closure_case ?weight ~name run =
+  make_case ?weight (Effect.Opaque { Effect.oname = name; run })
+
 let is_instantaneous a =
   match a.timing with Instantaneous -> true | Timed _ -> false
+
+let pure_ir a =
+  Array.for_all (fun c -> Effect.is_pure c.effect) a.cases
 
 let pp ppf a =
   Format.fprintf ppf "%s(%s)" a.name

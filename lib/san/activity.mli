@@ -5,8 +5,9 @@
     after a random delay drawn from a marking-dependent distribution;
     {e instantaneous} activities fire in zero time and have priority over
     all timed activities. An activity completes through one of its
-    {e cases}, chosen with marking-dependent weights; the case's effect
-    function (input + output gate functions) transforms the marking.
+    {e cases}, chosen with marking-dependent weights; the case's effect —
+    a declarative {!Effect.t} term (input + output gate functions in SAN
+    terms) — transforms the marking.
 
     Semantics implemented by the executor, stated here because the model
     author must know them:
@@ -25,12 +26,8 @@
        picks one uniformly at random, matching the "equally likely to fire
        first" convention used throughout the ITUA paper.}} *)
 
-type ctx = { time : float; stream : Prng.Stream.t option }
-(** Firing context passed to effect functions: current simulation time and,
-    in simulation mode, the replication's random stream. Analytical
-    (CTMC) exploration passes [None]; an effect that needs randomness must
-    obtain it via {!stream_exn}, which makes non-enumerable models fail
-    loudly rather than silently linearize. *)
+type ctx = Effect.ctx = { time : float; stream : Prng.Stream.t option }
+(** Re-export of {!Effect.ctx} (historical home of the type). *)
 
 val stream_exn : ctx -> Prng.Stream.t
 (** The context's random stream; raises [Failure] in analytical mode. *)
@@ -47,7 +44,11 @@ type case = {
   case_weight : Marking.t -> float;
       (** Non-negative, marking-dependent; normalized over the activity's
           cases at firing time. *)
-  effect : ctx -> Marking.t -> unit;
+  effect : Effect.t;
+  prog : Effect.prog;
+      (** [effect] compiled once at construction time; the executor's hot
+          path runs this instead of interpreting [effect]. Keep the two
+          in sync by building cases with {!make_case}. *)
 }
 
 type t = {
@@ -55,13 +56,30 @@ type t = {
   name : string;
   timing : timing;
   enabled : Marking.t -> bool;
+  guard : Effect.cond option;
+      (** When present, the declarative form of [enabled] (the two must
+          agree on every marking; builders derive [enabled] from the
+          guard). [None] marks a closure-only enabling predicate, which
+          structural analysis can only observe. *)
   reads : Place.any list;
       (** Every place whose marking can influence [enabled], the firing
           distribution, or the case weights. Omissions make the executor
-          miss wake-ups; the model checker ([Analysis.Check], diagnostic
-          A001) detects them. *)
+          miss wake-ups; the model checker ([Analysis.Check], diagnostics
+          A001/A013) detects them. *)
   cases : case array;
 }
 
+val make_case : ?weight:(Marking.t -> float) -> Effect.t -> case
+(** Build a case, compiling the effect. [weight] defaults to
+    [fun _ -> 1.0]. *)
+
+val closure_case :
+  ?weight:(Marking.t -> float) -> name:string -> (ctx -> Marking.t -> unit) -> case
+(** Escape hatch: a case whose effect is an {!Effect.Opaque} closure. *)
+
 val is_instantaneous : t -> bool
+
+val pure_ir : t -> bool
+(** Every case effect is closure-free IR (see {!Effect.is_pure}). *)
+
 val pp : Format.formatter -> t -> unit

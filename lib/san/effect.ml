@@ -1,0 +1,491 @@
+type ctx = { time : float; stream : Prng.Stream.t option }
+
+let stream_exn ctx =
+  match ctx.stream with
+  | Some s -> s
+  | None ->
+      failwith
+        "Effect.stream_exn: effect requires randomness; this model cannot \
+         be explored analytically"
+
+let null_ctx = { time = 0.0; stream = None }
+
+type rel = Eq | Ne | Lt | Le | Gt | Ge
+
+type iexpr =
+  | Int of int
+  | Mark of Place.t
+  | Add of iexpr * iexpr
+  | Sub of iexpr * iexpr
+  | Mul of iexpr * iexpr
+  | Ind of cond
+
+and cond =
+  | Const of bool
+  | Cmp of iexpr * rel * iexpr
+  | All of cond list
+  | Any of cond list
+  | Not of cond
+
+type fexpr =
+  | Flt of float
+  | FMark of Place.fl
+  | OfInt of iexpr
+  | FAdd of fexpr * fexpr
+  | FSub of fexpr * fexpr
+  | FMul of fexpr * fexpr
+  | FDiv of fexpr * fexpr
+
+type op =
+  | Set of Place.t * iexpr
+  | Inc of Place.t * iexpr
+  | FSet of Place.fl * fexpr
+  | FInc of Place.fl * fexpr
+
+type opaque = { oname : string; run : ctx -> Marking.t -> unit }
+
+type t =
+  | Skip
+  | Ops of op list
+  | Seq of t list
+  | If of cond * t * t
+  | Pick of (cond * t) list
+  | Opaque of opaque
+  | Checked of { ir : t; reference : opaque }
+
+(* Evaluation *)
+
+let rel_holds rel a b =
+  match rel with
+  | Eq -> a = b
+  | Ne -> a <> b
+  | Lt -> a < b
+  | Le -> a <= b
+  | Gt -> a > b
+  | Ge -> a >= b
+
+let rec eval m = function
+  | Int k -> k
+  | Mark p -> Marking.get m p
+  | Add (a, b) -> eval m a + eval m b
+  | Sub (a, b) -> eval m a - eval m b
+  | Mul (a, b) -> eval m a * eval m b
+  | Ind c -> if holds m c then 1 else 0
+
+and holds m = function
+  | Const b -> b
+  | Cmp (a, rel, b) -> rel_holds rel (eval m a) (eval m b)
+  | All cs -> List.for_all (holds m) cs
+  | Any cs -> List.exists (holds m) cs
+  | Not c -> not (holds m c)
+
+let rec feval m = function
+  | Flt x -> x
+  | FMark p -> Marking.fget m p
+  | OfInt e -> float_of_int (eval m e)
+  | FAdd (a, b) -> feval m a +. feval m b
+  | FSub (a, b) -> feval m a -. feval m b
+  | FMul (a, b) -> feval m a *. feval m b
+  | FDiv (a, b) -> feval m a /. feval m b
+
+let apply_op m = function
+  | Set (p, e) -> Marking.set m p (eval m e)
+  | Inc (p, e) -> Marking.add m p (eval m e)
+  | FSet (p, e) -> Marking.fset m p (feval m e)
+  | FInc (p, e) -> Marking.fadd m p (feval m e)
+
+let rec apply ctx eff m =
+  match eff with
+  | Skip -> ()
+  | Ops ops -> List.iter (apply_op m) ops
+  | Seq es -> List.iter (fun e -> apply ctx e m) es
+  | If (c, a, b) -> if holds m c then apply ctx a m else apply ctx b m
+  | Pick branches -> (
+      let feasible =
+        List.filter_map
+          (fun (c, e) -> if holds m c then Some e else None)
+          branches
+      in
+      match feasible with
+      | [] -> failwith "Effect.apply: Pick with no feasible branch"
+      | [ only ] -> apply ctx only m
+      | choices ->
+          apply ctx (Prng.Stream.choose_list (stream_exn ctx) choices) m)
+  | Opaque o -> o.run ctx m
+  | Checked { ir; _ } -> apply ctx ir m
+
+exception Too_many_outcomes
+
+let outcomes ?(ctx = null_ctx) ?(max_outcomes = 4096) eff m =
+  let count = ref 1 in
+  let rec go eff (w, m) =
+    match eff with
+    | Skip -> [ (w, m) ]
+    | Ops ops ->
+        List.iter (apply_op m) ops;
+        [ (w, m) ]
+    | Seq es ->
+        List.fold_left
+          (fun acc e -> List.concat_map (fun wm -> go e wm) acc)
+          [ (w, m) ] es
+    | If (c, a, b) -> if holds m c then go a (w, m) else go b (w, m)
+    | Pick branches -> (
+        let feasible =
+          List.filter_map
+            (fun (c, e) -> if holds m c then Some e else None)
+            branches
+        in
+        match feasible with
+        | [] -> failwith "Effect.outcomes: Pick with no feasible branch"
+        | [ only ] -> go only (w, m)
+        | choices ->
+            let k = List.length choices in
+            count := !count + k - 1;
+            if !count > max_outcomes then raise Too_many_outcomes;
+            let wk = w /. float_of_int k in
+            List.concat_map
+              (fun e -> go e (wk, Marking.copy m))
+              (List.tl choices)
+            @ go (List.hd choices) (wk, m))
+    | Opaque o ->
+        o.run ctx m;
+        [ (w, m) ]
+    | Checked { ir; _ } -> go ir (w, m)
+  in
+  go eff (1.0, m)
+
+(* Static structure *)
+
+let rec is_pure = function
+  | Skip | Ops _ -> true
+  | Seq es -> List.for_all is_pure es
+  | If (_, a, b) -> is_pure a && is_pure b
+  | Pick bs -> List.for_all (fun (_, e) -> is_pure e) bs
+  | Opaque _ -> false
+  | Checked _ -> true
+
+module Uids = Set.Make (Int)
+
+let rec iexpr_reads acc = function
+  | Int _ -> acc
+  | Mark p -> Uids.add (Place.uid p) acc
+  | Add (a, b) | Sub (a, b) | Mul (a, b) -> iexpr_reads (iexpr_reads acc a) b
+  | Ind c -> cond_reads_acc acc c
+
+and cond_reads_acc acc = function
+  | Const _ -> acc
+  | Cmp (a, _, b) -> iexpr_reads (iexpr_reads acc a) b
+  | All cs | Any cs -> List.fold_left cond_reads_acc acc cs
+  | Not c -> cond_reads_acc acc c
+
+let rec fexpr_reads acc = function
+  | Flt _ -> acc
+  | FMark p -> Uids.add (Place.fuid p) acc
+  | OfInt e -> iexpr_reads acc e
+  | FAdd (a, b) | FSub (a, b) | FMul (a, b) | FDiv (a, b) ->
+      fexpr_reads (fexpr_reads acc a) b
+
+let cond_reads c = Uids.elements (cond_reads_acc Uids.empty c)
+
+(* An increment reads its target (Marking.add = get + set), a set does
+   not — matching what the dynamic read/write tracer observes. *)
+let op_reads acc = function
+  | Set (_, e) -> iexpr_reads acc e
+  | Inc (p, e) -> iexpr_reads (Uids.add (Place.uid p) acc) e
+  | FSet (_, e) -> fexpr_reads acc e
+  | FInc (p, e) -> fexpr_reads (Uids.add (Place.fuid p) acc) e
+
+let op_writes acc = function
+  | Set (p, _) | Inc (p, _) -> Uids.add (Place.uid p) acc
+  | FSet (p, _) | FInc (p, _) -> Uids.add (Place.fuid p) acc
+
+exception Opaque_found
+
+let static_sets per_op eff =
+  let rec go acc = function
+    | Skip -> acc
+    | Ops ops -> List.fold_left per_op acc ops
+    | Seq es -> List.fold_left go acc es
+    | If (c, a, b) -> go (go (cond_reads_acc acc c) a) b
+    | Pick bs ->
+        List.fold_left (fun acc (c, e) -> go (cond_reads_acc acc c) e) acc bs
+    | Opaque _ -> raise Opaque_found
+    | Checked { ir; _ } -> go acc ir
+  in
+  match go Uids.empty eff with
+  | s -> Some (Uids.elements s)
+  | exception Opaque_found -> None
+
+let static_reads eff = static_sets op_reads eff
+
+let static_writes eff =
+  (* write sets must not pick up guard reads *)
+  let rec strip = function
+    | (Skip | Ops _ | Opaque _) as e -> e
+    | Seq es -> Seq (List.map strip es)
+    | If (_, a, b) -> If (Const true, strip a, strip b)
+    | Pick bs -> Pick (List.map (fun (_, e) -> (Const true, strip e)) bs)
+    | Checked { ir; reference } -> Checked { ir = strip ir; reference }
+  in
+  static_sets (fun acc op -> op_writes acc op) (strip eff)
+
+(* Compilation *)
+
+type cop =
+  | CAdd of Place.t * int
+  | CSet of Place.t * int
+  | CAddE of Place.t * iexpr
+  | CSetE of Place.t * iexpr
+  | CFSet of Place.fl * fexpr
+  | CFAdd of Place.fl * fexpr
+
+type pcond =
+  | KConst of bool
+  | KCmpc of Place.t * rel * int
+  | KGen of cond
+
+type prog =
+  | PSkip
+  | PAddc of (Place.t * int) array
+  | POps of cop array
+  | PSeq of prog array
+  | PIf of pcond * prog * prog
+  | PPick of (pcond * prog) array
+  | PRun of opaque
+
+let rec const_iexpr = function
+  | Int k -> Some k
+  | Mark _ -> None
+  | Add (a, b) -> (
+      match (const_iexpr a, const_iexpr b) with
+      | Some x, Some y -> Some (x + y)
+      | _ -> None)
+  | Sub (a, b) -> (
+      match (const_iexpr a, const_iexpr b) with
+      | Some x, Some y -> Some (x - y)
+      | _ -> None)
+  | Mul (a, b) -> (
+      match (const_iexpr a, const_iexpr b) with
+      | Some x, Some y -> Some (x * y)
+      | _ -> None)
+  | Ind _ -> None
+
+let compile_op op =
+  match op with
+  | Set (p, e) -> (
+      match const_iexpr e with
+      | Some k -> CSet (p, k)
+      | None -> CSetE (p, e))
+  | Inc (p, e) -> (
+      match const_iexpr e with
+      | Some k -> CAdd (p, k)
+      | None -> CAddE (p, e))
+  | FSet (p, e) -> CFSet (p, e)
+  | FInc (p, e) -> CFAdd (p, e)
+
+let compile_cond c =
+  match c with
+  | Const b -> KConst b
+  | Cmp (Mark p, rel, e) -> (
+      match const_iexpr e with Some k -> KCmpc (p, rel, k) | None -> KGen c)
+  | _ -> KGen c
+
+let rec compile eff =
+  match eff with
+  | Skip -> PSkip
+  | Ops ops -> (
+      let cops = List.map compile_op ops in
+      let all_addc =
+        List.for_all (function CAdd _ -> true | _ -> false) cops
+      in
+      if all_addc && cops <> [] then
+        PAddc
+          (Array.of_list
+             (List.map (function CAdd (p, k) -> (p, k) | _ -> assert false)
+                cops))
+      else
+        match cops with [] -> PSkip | _ -> POps (Array.of_list cops))
+  | Seq es -> (
+      let progs =
+        List.concat_map
+          (fun e ->
+            match compile e with
+            | PSkip -> []
+            | PSeq ps -> Array.to_list ps
+            | p -> [ p ])
+          es
+      in
+      match progs with
+      | [] -> PSkip
+      | [ p ] -> p
+      | ps -> PSeq (Array.of_list ps))
+  | If (c, a, b) -> (
+      match compile_cond c with
+      | KConst true -> compile a
+      | KConst false -> compile b
+      | k -> PIf (k, compile a, compile b))
+  | Pick bs ->
+      PPick
+        (Array.of_list (List.map (fun (c, e) -> (compile_cond c, compile e)) bs))
+  | Opaque o -> PRun o
+  | Checked { ir; _ } -> compile ir
+
+let pcond_holds m = function
+  | KConst b -> b
+  | KCmpc (p, rel, k) -> rel_holds rel (Marking.get m p) k
+  | KGen c -> holds m c
+
+let run_cop m = function
+  | CAdd (p, k) -> Marking.add m p k
+  | CSet (p, k) -> Marking.set m p k
+  | CAddE (p, e) -> Marking.add m p (eval m e)
+  | CSetE (p, e) -> Marking.set m p (eval m e)
+  | CFSet (p, e) -> Marking.fset m p (feval m e)
+  | CFAdd (p, e) -> Marking.fadd m p (feval m e)
+
+let rec run_prog ctx prog m =
+  match prog with
+  | PSkip -> ()
+  | PAddc arcs ->
+      for i = 0 to Array.length arcs - 1 do
+        let p, k = Array.unsafe_get arcs i in
+        Marking.add m p k
+      done
+  | POps cops ->
+      for i = 0 to Array.length cops - 1 do
+        run_cop m (Array.unsafe_get cops i)
+      done
+  | PSeq ps ->
+      for i = 0 to Array.length ps - 1 do
+        run_prog ctx (Array.unsafe_get ps i) m
+      done
+  | PIf (c, a, b) ->
+      if pcond_holds m c then run_prog ctx a m else run_prog ctx b m
+  | PPick branches -> (
+      let feasible = ref [] in
+      for i = Array.length branches - 1 downto 0 do
+        let c, p = Array.unsafe_get branches i in
+        if pcond_holds m c then feasible := p :: !feasible
+      done;
+      match !feasible with
+      | [] -> failwith "Effect.run_prog: Pick with no feasible branch"
+      | [ only ] -> run_prog ctx only m
+      | choices ->
+          run_prog ctx (Prng.Stream.choose_list (stream_exn ctx) choices) m)
+  | PRun o -> o.run ctx m
+
+(* Guards sit on the executor's re-evaluation hot path, so compile the
+   condition tree to nested closures instead of interpreting it: small
+   conjunctions/disjunctions become direct [&&]/[||] chains, leaf
+   comparisons specialize per relation. *)
+let rec cond_fn c =
+  match c with
+  | Const b -> fun _ -> b
+  | Cmp (Mark p, rel, Int k) -> (
+      match rel with
+      | Eq -> fun m -> Marking.get m p = k
+      | Ne -> fun m -> Marking.get m p <> k
+      | Lt -> fun m -> Marking.get m p < k
+      | Le -> fun m -> Marking.get m p <= k
+      | Gt -> fun m -> Marking.get m p > k
+      | Ge -> fun m -> Marking.get m p >= k)
+  | Cmp (a, rel, b) -> fun m -> rel_holds rel (eval m a) (eval m b)
+  | All cs -> (
+      match List.map cond_fn cs with
+      | [] -> fun _ -> true
+      | [ f ] -> f
+      | [ f; g ] -> fun m -> f m && g m
+      | [ f; g; h ] -> fun m -> f m && g m && h m
+      | [ f; g; h; i ] -> fun m -> f m && g m && h m && i m
+      | fs -> fun m -> List.for_all (fun f -> f m) fs)
+  | Any cs -> (
+      match List.map cond_fn cs with
+      | [] -> fun _ -> false
+      | [ f ] -> f
+      | [ f; g ] -> fun m -> f m || g m
+      | [ f; g; h ] -> fun m -> f m || g m || h m
+      | fs -> fun m -> List.exists (fun f -> f m) fs)
+  | Not c ->
+      let f = cond_fn c in
+      fun m -> not (f m)
+
+(* Pretty-printing *)
+
+let pp_rel ppf rel =
+  Format.pp_print_string ppf
+    (match rel with
+    | Eq -> "="
+    | Ne -> "!="
+    | Lt -> "<"
+    | Le -> "<="
+    | Gt -> ">"
+    | Ge -> ">=")
+
+let rec pp_iexpr ppf = function
+  | Int k -> Format.pp_print_int ppf k
+  | Mark p -> Format.pp_print_string ppf (Place.name p)
+  | Add (a, b) -> Format.fprintf ppf "(%a + %a)" pp_iexpr a pp_iexpr b
+  | Sub (a, b) -> Format.fprintf ppf "(%a - %a)" pp_iexpr a pp_iexpr b
+  | Mul (a, b) -> Format.fprintf ppf "(%a * %a)" pp_iexpr a pp_iexpr b
+  | Ind c -> Format.fprintf ppf "[%a]" pp_cond c
+
+and pp_cond ppf = function
+  | Const b -> Format.pp_print_bool ppf b
+  | Cmp (a, rel, b) ->
+      Format.fprintf ppf "%a %a %a" pp_iexpr a pp_rel rel pp_iexpr b
+  | All cs ->
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " && ")
+           pp_cond)
+        cs
+  | Any cs ->
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " || ")
+           pp_cond)
+        cs
+  | Not c -> Format.fprintf ppf "!%a" pp_cond c
+
+let rec pp_fexpr ppf = function
+  | Flt x -> Format.fprintf ppf "%g" x
+  | FMark p -> Format.pp_print_string ppf (Place.fname p)
+  | OfInt e -> Format.fprintf ppf "float(%a)" pp_iexpr e
+  | FAdd (a, b) -> Format.fprintf ppf "(%a +. %a)" pp_fexpr a pp_fexpr b
+  | FSub (a, b) -> Format.fprintf ppf "(%a -. %a)" pp_fexpr a pp_fexpr b
+  | FMul (a, b) -> Format.fprintf ppf "(%a *. %a)" pp_fexpr a pp_fexpr b
+  | FDiv (a, b) -> Format.fprintf ppf "(%a /. %a)" pp_fexpr a pp_fexpr b
+
+let pp_op ppf = function
+  | Set (p, e) -> Format.fprintf ppf "%s := %a" (Place.name p) pp_iexpr e
+  | Inc (p, Int k) when k < 0 ->
+      Format.fprintf ppf "%s -= %d" (Place.name p) (-k)
+  | Inc (p, e) -> Format.fprintf ppf "%s += %a" (Place.name p) pp_iexpr e
+  | FSet (p, e) -> Format.fprintf ppf "%s := %a" (Place.fname p) pp_fexpr e
+  | FInc (p, e) -> Format.fprintf ppf "%s += %a" (Place.fname p) pp_fexpr e
+
+let rec pp ppf = function
+  | Skip -> Format.pp_print_string ppf "skip"
+  | Ops ops ->
+      Format.pp_print_list
+        ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+        pp_op ppf ops
+  | Seq es ->
+      Format.pp_print_list
+        ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+        pp ppf es
+  | If (c, a, Skip) ->
+      Format.fprintf ppf "@[<v 2>if %a {@ %a@]@ }" pp_cond c pp a
+  | If (c, a, b) ->
+      Format.fprintf ppf "@[<v 2>if %a {@ %a@]@ @[<v 2>} else {@ %a@]@ }"
+        pp_cond c pp a pp b
+  | Pick bs ->
+      Format.fprintf ppf "@[<v 2>pick {@ %a@]@ }"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf "@ | ")
+           (fun ppf (c, e) ->
+             Format.fprintf ppf "@[<hv 2>%a ->@ %a@]" pp_cond c pp e))
+        bs
+  | Opaque o -> Format.fprintf ppf "<opaque:%s>" o.oname
+  | Checked { ir; reference } ->
+      Format.fprintf ppf "@[<v 2>checked(%s) {@ %a@]@ }" reference.oname pp ir

@@ -1,0 +1,176 @@
+(** Declarative effect IR.
+
+    Activity effects were historically opaque OCaml closures
+    [ctx -> Marking.t -> unit]. Closures can only be {e observed}: the
+    analysis layer had to fire every (activity, case) pair on copies of
+    every visited marking and degrade to sampled fallbacks whenever an
+    effect drew randomness. This module replaces them with a small
+    declarative IR — integer/float expressions over the marking,
+    set/increment ops, marking-guarded branches, and uniform picks — that
+
+    {ul
+    {- the executor compiles to flat arc/delta arrays applied without
+       closure dispatch ({!compile}, {!run_prog});}
+    {- structural analysis reads {e exactly} (symbolic incidence, no
+       marking enumeration, no sampled modes);}
+    {- analytical exploration enumerates without randomness: a [Pick]
+       forks into its feasible branches with uniform weights
+       ({!outcomes}).}}
+
+    Closures remain available as an explicit {!Opaque} escape hatch (the
+    model keeps simulating, but analysis falls back to observation for
+    that effect), and [Checked] pairs an IR term with a reference closure
+    so the analysis layer can replay both and report divergence (A016). *)
+
+type ctx = { time : float; stream : Prng.Stream.t option }
+(** Firing context: current simulation time and, in simulation mode, the
+    replication's random stream. Analytical (CTMC) exploration passes
+    [None]; an effect that needs randomness must obtain it via
+    {!stream_exn}, which makes non-enumerable models fail loudly rather
+    than silently linearize. *)
+
+val stream_exn : ctx -> Prng.Stream.t
+(** The context's random stream; raises [Failure] in analytical mode. *)
+
+val null_ctx : ctx
+(** [{ time = 0.; stream = None }] — for analytical evaluation. *)
+
+type rel = Eq | Ne | Lt | Le | Gt | Ge
+
+type iexpr =
+  | Int of int
+  | Mark of Place.t  (** current marking of an int place *)
+  | Add of iexpr * iexpr
+  | Sub of iexpr * iexpr
+  | Mul of iexpr * iexpr
+  | Ind of cond  (** 1 when the condition holds, else 0 *)
+
+and cond =
+  | Const of bool
+  | Cmp of iexpr * rel * iexpr
+  | All of cond list  (** conjunction; [All []] is true *)
+  | Any of cond list  (** disjunction; [Any []] is false *)
+  | Not of cond
+
+type fexpr =
+  | Flt of float
+  | FMark of Place.fl
+  | OfInt of iexpr
+  | FAdd of fexpr * fexpr
+  | FSub of fexpr * fexpr
+  | FMul of fexpr * fexpr
+  | FDiv of fexpr * fexpr
+
+type op =
+  | Set of Place.t * iexpr  (** [p := e]; raises if the value is negative *)
+  | Inc of Place.t * iexpr  (** [p := p + e]; reads and writes [p] *)
+  | FSet of Place.fl * fexpr
+  | FInc of Place.fl * fexpr
+
+type opaque = { oname : string; run : ctx -> Marking.t -> unit }
+(** Escape hatch: a named closure. Analysis treats it as unobservable
+    and degrades to observation for the enclosing effect. *)
+
+type t =
+  | Skip
+  | Ops of op list  (** executed in order (journal order matters) *)
+  | Seq of t list
+  | If of cond * t * t
+  | Pick of (cond * t) list
+      (** Uniform choice among the branches whose condition holds in the
+          current marking. No feasible branch is an error. Exactly one
+          feasible branch short-circuits without consuming randomness
+          (matching the historical [choose_list] idiom); otherwise one
+          random draw selects uniformly among the feasible branches. *)
+  | Opaque of opaque
+  | Checked of { ir : t; reference : opaque }
+      (** Semantics of [ir]; [reference] is a closure the analysis layer
+          replays differentially against [ir] (diagnostic A016). The
+          executor runs only [ir]. *)
+
+(** {1 Evaluation} *)
+
+val eval : Marking.t -> iexpr -> int
+val holds : Marking.t -> cond -> bool
+val feval : Marking.t -> fexpr -> float
+
+val apply : ctx -> t -> Marking.t -> unit
+(** Interpret the effect on the marking. [Pick] with zero feasible
+    branches and negative [Set] values raise, mirroring closure-effect
+    error behaviour. *)
+
+exception Too_many_outcomes
+
+val outcomes :
+  ?ctx:ctx -> ?max_outcomes:int -> t -> Marking.t -> (float * Marking.t) list
+(** [outcomes t m] applies [t] analytically, forking at every [Pick] with
+    more than one feasible branch (uniform weights). The input marking is
+    consumed (it becomes one of the results); forked branches work on
+    copies whose journals do not extend the input's journal. Weights sum
+    to 1. [Opaque] closures run with [ctx] (default {!null_ctx}).
+    Raises {!Too_many_outcomes} when the fork tree exceeds
+    [max_outcomes] (default 4096). *)
+
+(** {1 Static structure} *)
+
+val is_pure : t -> bool
+(** No [Opaque] anywhere ([Checked] counts as pure: its executable
+    semantics is the IR term). *)
+
+val cond_reads : cond -> int list
+(** Sorted uids of places the condition reads. *)
+
+val static_reads : t -> int list option
+(** Sorted uids of places the effect can read (guards, expressions, and
+    [Inc]/[FInc] targets — an increment reads its target, matching the
+    dynamic trace semantics). [None] when the effect contains an
+    [Opaque] closure. *)
+
+val static_writes : t -> int list option
+(** Sorted uids of places the effect can write. [None] on [Opaque]. *)
+
+(** {1 Compilation} *)
+
+type cop =
+  | CAdd of Place.t * int
+  | CSet of Place.t * int
+  | CAddE of Place.t * iexpr
+  | CSetE of Place.t * iexpr
+  | CFSet of Place.fl * fexpr
+  | CFAdd of Place.fl * fexpr
+
+type pcond =
+  | KConst of bool
+  | KCmpc of Place.t * rel * int  (** [m(p) rel k] — the common guard *)
+  | KGen of cond
+
+type prog =
+  | PSkip
+  | PAddc of (Place.t * int) array
+      (** flat constant-increment arc array — the hot path *)
+  | POps of cop array
+  | PSeq of prog array
+  | PIf of pcond * prog * prog
+  | PPick of (pcond * prog) array
+  | PRun of opaque
+
+val compile : t -> prog
+(** Compile once at model-build time; constant expressions are folded and
+    all-constant-increment op lists become flat {!PAddc} arc arrays. *)
+
+val run_prog : ctx -> prog -> Marking.t -> unit
+(** Execute a compiled program. Equivalent to {!apply} on the source term
+    (bit-identical marking trajectory and random-stream consumption). *)
+
+val cond_fn : cond -> Marking.t -> bool
+(** Compile a guard condition to a predicate closure (for
+    [Activity.enabled]). *)
+
+(** {1 Pretty-printing} *)
+
+val pp_rel : Format.formatter -> rel -> unit
+val pp_iexpr : Format.formatter -> iexpr -> unit
+val pp_cond : Format.formatter -> cond -> unit
+val pp_fexpr : Format.formatter -> fexpr -> unit
+val pp_op : Format.formatter -> op -> unit
+val pp : Format.formatter -> t -> unit

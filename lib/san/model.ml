@@ -61,7 +61,7 @@ module Builder = struct
     b.floats <- (p, init) :: b.floats;
     p
 
-  let activity b ~name ~timing ~enabled ~reads cases =
+  let add_activity b ~name ~timing ~enabled ~guard ~reads cases =
     check_fresh b "activity" b.act_names name;
     if cases = [] then
       invalid_arg
@@ -73,34 +73,44 @@ module Builder = struct
         name;
         timing;
         enabled;
+        guard;
         reads;
         cases = Array.of_list cases;
       }
     in
     b.acts <- act :: b.acts
 
+  let activity b ~name ~timing ~enabled ~reads cases =
+    add_activity b ~name ~timing ~enabled ~guard:None ~reads cases
+
   let timed b ~name ?(policy = Activity.Resample) ~dist ~enabled ~reads cases
       =
     activity b ~name ~timing:(Activity.Timed { dist; policy }) ~enabled ~reads
       cases
 
-  let one_case effect =
-    [ { Activity.case_weight = (fun _ -> 1.0); effect } ]
+  let opaque_case ?weight ~act_name run =
+    Activity.closure_case ?weight ~name:(act_name ^ ".effect") run
+
+  let one_case ~act_name effect = [ opaque_case ~act_name effect ]
 
   let timed_exp b ~name ?policy ~rate ~enabled ~reads effect =
     timed b ~name ?policy
       ~dist:(fun m -> Dist.Exponential { rate = rate m })
-      ~enabled ~reads (one_case effect)
+      ~enabled ~reads
+      (one_case ~act_name:name effect)
+
+  let check_weight name w =
+    if w < 0.0 then
+      invalid_arg
+        (Printf.sprintf
+           "Model.Builder: activity %S has negative case probability" name)
 
   let timed_exp_cases b ~name ?policy ~rate ~enabled ~reads cases =
     let cases =
       List.map
         (fun (w, effect) ->
-          if w < 0.0 then
-            invalid_arg
-              (Printf.sprintf "Model.Builder: activity %S has negative case \
-                               probability" name);
-          { Activity.case_weight = (fun _ -> w); effect })
+          check_weight name w;
+          opaque_case ~weight:(fun _ -> w) ~act_name:name effect)
         cases
     in
     timed b ~name ?policy
@@ -109,7 +119,42 @@ module Builder = struct
 
   let instantaneous b ~name ~enabled ~reads effect =
     activity b ~name ~timing:Activity.Instantaneous ~enabled ~reads
-      (one_case effect)
+      (one_case ~act_name:name effect)
+
+  (* IR entry points: the enabling predicate is a declarative guard
+     (compiled to the [enabled] closure) and effects are [Effect.t]
+     terms, so structural analysis reads the activity exactly. *)
+
+  let activity_ir b ~name ~timing ~guard ~reads cases =
+    add_activity b ~name ~timing ~enabled:(Effect.cond_fn guard)
+      ~guard:(Some guard) ~reads cases
+
+  let timed_ir b ~name ?(policy = Activity.Resample) ~dist ~guard ~reads cases
+      =
+    activity_ir b ~name ~timing:(Activity.Timed { dist; policy }) ~guard
+      ~reads cases
+
+  let timed_exp_ir b ~name ?policy ~rate ~guard ~reads effect =
+    timed_ir b ~name ?policy
+      ~dist:(fun m -> Dist.Exponential { rate = rate m })
+      ~guard ~reads
+      [ Activity.make_case effect ]
+
+  let timed_exp_cases_ir b ~name ?policy ~rate ~guard ~reads cases =
+    let cases =
+      List.map
+        (fun (w, effect) ->
+          check_weight name w;
+          Activity.make_case ~weight:(fun _ -> w) effect)
+        cases
+    in
+    timed_ir b ~name ?policy
+      ~dist:(fun m -> Dist.Exponential { rate = rate m })
+      ~guard ~reads cases
+
+  let instantaneous_ir b ~name ~guard ~reads effect =
+    activity_ir b ~name ~timing:Activity.Instantaneous ~guard ~reads
+      [ Activity.make_case effect ]
 
   let build b =
     if b.built then invalid_arg "Model.Builder.build: already built";
@@ -190,6 +235,8 @@ let dependents m uid =
   if uid < 0 || uid >= Array.length m.dependents then []
   else
     Array.to_list (Array.map (fun id -> m.activities.(id)) m.dependents.(uid))
+
+let pure_ir m = Array.for_all Activity.pure_ir m.activities
 
 let all_exponential m =
   let mk = initial_marking m in

@@ -80,6 +80,61 @@ module Builder : sig
     unit
   (** Single-case instantaneous activity. *)
 
+  (** {2 Declarative (IR) activities}
+
+      These variants take an {!Effect.cond} guard instead of an enabling
+      closure (the closure is compiled from the guard) and {!Effect.t}
+      effects, making the activity fully readable by structural
+      analysis. Prefer them; the closure entry points above remain as
+      the escape hatch (their effects are wrapped in {!Effect.Opaque}). *)
+
+  val activity_ir :
+    t ->
+    name:string ->
+    timing:Activity.timing ->
+    guard:Effect.cond ->
+    reads:Place.any list ->
+    Activity.case list ->
+    unit
+
+  val timed_ir :
+    t ->
+    name:string ->
+    ?policy:Activity.policy ->
+    dist:(Marking.t -> Dist.t) ->
+    guard:Effect.cond ->
+    reads:Place.any list ->
+    Activity.case list ->
+    unit
+
+  val timed_exp_ir :
+    t ->
+    name:string ->
+    ?policy:Activity.policy ->
+    rate:(Marking.t -> float) ->
+    guard:Effect.cond ->
+    reads:Place.any list ->
+    Effect.t ->
+    unit
+
+  val timed_exp_cases_ir :
+    t ->
+    name:string ->
+    ?policy:Activity.policy ->
+    rate:(Marking.t -> float) ->
+    guard:Effect.cond ->
+    reads:Place.any list ->
+    (float * Effect.t) list ->
+    unit
+
+  val instantaneous_ir :
+    t ->
+    name:string ->
+    guard:Effect.cond ->
+    reads:Place.any list ->
+    Effect.t ->
+    unit
+
   val build : t -> model
   (** Freezes the builder. The builder must not be reused afterwards. *)
 end
@@ -107,6 +162,10 @@ val initial_marking : t -> Marking.t
 val dependents : t -> int -> Activity.t list
 (** [dependents model uid] lists the activities that declared the place
     with uid [uid] in their [reads]. *)
+
+val pure_ir : t -> bool
+(** Every case effect of every activity is closure-free IR, i.e. the
+    incidence structure of the whole model is exactly readable. *)
 
 val all_exponential : t -> bool
 (** True when every timed activity's distribution is exponential in every

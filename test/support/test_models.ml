@@ -3,16 +3,16 @@ type two_state = { ts_model : San.Model.t; up : San.Place.t }
 let two_state ~lambda ~mu =
   let b = San.Model.Builder.create "two_state" in
   let up = San.Model.Builder.int_place b ~init:1 "up" in
-  San.Model.Builder.timed_exp b ~name:"fail"
+  San.Model.Builder.timed_exp_ir b ~name:"fail"
     ~rate:(fun _ -> lambda)
-    ~enabled:(fun m -> San.Marking.get m up = 1)
+    ~guard:San.Effect.(Cmp (Mark up, Eq, Int 1))
     ~reads:[ San.Place.P up ]
-    (fun _ m -> San.Marking.set m up 0);
-  San.Model.Builder.timed_exp b ~name:"repair"
+    San.Effect.(Ops [ Set (up, Int 0) ]);
+  San.Model.Builder.timed_exp_ir b ~name:"repair"
     ~rate:(fun _ -> mu)
-    ~enabled:(fun m -> San.Marking.get m up = 0)
+    ~guard:San.Effect.(Cmp (Mark up, Eq, Int 0))
     ~reads:[ San.Place.P up ]
-    (fun _ m -> San.Marking.set m up 1);
+    San.Effect.(Ops [ Set (up, Int 1) ]);
   { ts_model = San.Model.Builder.build b; up }
 
 let two_state_availability ~lambda ~mu t =
@@ -24,16 +24,16 @@ type queue = { q_model : San.Model.t; q_len : San.Place.t }
 let mm1k ~lambda ~mu ~k =
   let b = San.Model.Builder.create "mm1k" in
   let q_len = San.Model.Builder.int_place b "customers" in
-  San.Model.Builder.timed_exp b ~name:"arrive"
+  San.Model.Builder.timed_exp_ir b ~name:"arrive"
     ~rate:(fun _ -> lambda)
-    ~enabled:(fun m -> San.Marking.get m q_len < k)
+    ~guard:San.Effect.(Cmp (Mark q_len, Lt, Int k))
     ~reads:[ San.Place.P q_len ]
-    (fun _ m -> San.Marking.add m q_len 1);
-  San.Model.Builder.timed_exp b ~name:"serve"
+    San.Effect.(Ops [ Inc (q_len, Int 1) ]);
+  San.Model.Builder.timed_exp_ir b ~name:"serve"
     ~rate:(fun _ -> mu)
-    ~enabled:(fun m -> San.Marking.get m q_len > 0)
+    ~guard:San.Effect.(Cmp (Mark q_len, Gt, Int 0))
     ~reads:[ San.Place.P q_len ]
-    (fun _ m -> San.Marking.add m q_len (-1));
+    San.Effect.(Ops [ Inc (q_len, Int (-1)) ]);
   { q_model = San.Model.Builder.build b; q_len }
 
 let mm1k_steady ~lambda ~mu ~k =
@@ -47,16 +47,16 @@ type tandem = { td_model : San.Model.t; stage : San.Place.t }
 let tandem ~r1 ~r2 =
   let b = San.Model.Builder.create "tandem" in
   let stage = San.Model.Builder.int_place b "stage" in
-  San.Model.Builder.timed_exp b ~name:"step1"
+  San.Model.Builder.timed_exp_ir b ~name:"step1"
     ~rate:(fun _ -> r1)
-    ~enabled:(fun m -> San.Marking.get m stage = 0)
+    ~guard:San.Effect.(Cmp (Mark stage, Eq, Int 0))
     ~reads:[ San.Place.P stage ]
-    (fun _ m -> San.Marking.set m stage 1);
-  San.Model.Builder.timed_exp b ~name:"step2"
+    San.Effect.(Ops [ Set (stage, Int 1) ]);
+  San.Model.Builder.timed_exp_ir b ~name:"step2"
     ~rate:(fun _ -> r2)
-    ~enabled:(fun m -> San.Marking.get m stage = 1)
+    ~guard:San.Effect.(Cmp (Mark stage, Eq, Int 1))
     ~reads:[ San.Place.P stage ]
-    (fun _ m -> San.Marking.set m stage 2);
+    San.Effect.(Ops [ Set (stage, Int 2) ]);
   { td_model = San.Model.Builder.build b; stage }
 
 let tandem_absorbed ~r1 ~r2 t =
@@ -92,10 +92,10 @@ let gong () =
   let g_state = San.Model.Builder.int_place b "state" in
   List.iter
     (fun (src, dst, rate, label) ->
-      San.Model.Builder.timed_exp b ~name:label
+      San.Model.Builder.timed_exp_ir b ~name:label
         ~rate:(fun _ -> rate)
-        ~enabled:(fun m -> San.Marking.get m g_state = src)
+        ~guard:San.Effect.(Cmp (Mark g_state, Eq, Int src))
         ~reads:[ San.Place.P g_state ]
-        (fun _ m -> San.Marking.set m g_state dst))
+        San.Effect.(Ops [ Set (g_state, Int dst) ]))
     gong_transitions;
   { g_model = San.Model.Builder.build b; g_state }

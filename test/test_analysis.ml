@@ -102,14 +102,11 @@ let test_a001_weight () =
     ~enabled:(fun m -> M.get m fired = 0)
     ~reads:[ San.Place.P fired ]
     [
-      {
-        San.Activity.case_weight = (fun m -> float_of_int (M.get m bias));
-        effect = (fun _ m -> M.set m fired 1);
-      };
-      {
-        San.Activity.case_weight = (fun _ -> 1.0);
-        effect = (fun _ m -> M.set m fired 1);
-      };
+      San.Activity.make_case
+        ~weight:(fun m -> float_of_int (M.get m bias))
+        (San.Effect.Ops [ San.Effect.Set (fired, San.Effect.Int 1) ]);
+      San.Activity.make_case
+        (San.Effect.Ops [ San.Effect.Set (fired, San.Effect.Int 1) ]);
     ];
   let r = check (B.build b) in
   Alcotest.(check bool) "weight violation reported" true

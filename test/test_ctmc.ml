@@ -57,10 +57,8 @@ let test_non_markovian_rejected () =
     ~enabled:(fun m -> San.Marking.get m p = 0)
     ~reads:[ San.Place.P p ]
     [
-      {
-        San.Activity.case_weight = (fun _ -> 1.0);
-        effect = (fun _ m -> San.Marking.set m p 1);
-      };
+      San.Activity.make_case ~weight:(fun _ -> 1.0)
+        (San.Effect.Ops [ San.Effect.Set (p, San.Effect.Int 1) ]);
     ];
   let model = San.Model.Builder.build b in
   Alcotest.(check bool) "raises Non_markovian" true
@@ -114,14 +112,10 @@ let branching_model () =
     ~enabled:(fun m -> San.Marking.get m fired = 1 && San.Marking.get m sort = 0)
     ~reads:[ San.Place.P fired; San.Place.P sort ]
     [
-      {
-        San.Activity.case_weight = (fun _ -> 0.25);
-        effect = (fun _ m -> San.Marking.set m sort 1);
-      };
-      {
-        San.Activity.case_weight = (fun _ -> 0.75);
-        effect = (fun _ m -> San.Marking.set m sort 2);
-      };
+      San.Activity.make_case ~weight:(fun _ -> 0.25)
+        (San.Effect.Ops [ San.Effect.Set (sort, San.Effect.Int 1) ]);
+      San.Activity.make_case ~weight:(fun _ -> 0.75)
+        (San.Effect.Ops [ San.Effect.Set (sort, San.Effect.Int 2) ]);
     ];
   (San.Model.Builder.build b, sort)
 

@@ -136,7 +136,7 @@ let test_all_exponential_false () =
     ~dist:(fun _ -> Dist.Deterministic { value = 1.0 })
     ~enabled:(fun _ -> true)
     ~reads:[ San.Place.P p ]
-    [ { San.Activity.case_weight = (fun _ -> 1.0); effect = (fun _ _ -> ()) } ];
+    [ San.Activity.make_case San.Effect.Skip ];
   let model = San.Model.Builder.build b in
   Alcotest.(check bool) "deterministic detected" false
     (San.Model.all_exponential model)

@@ -70,10 +70,8 @@ let clock_model ~period =
     ~enabled:(fun _ -> true)
     ~reads:[]
     [
-      {
-        San.Activity.case_weight = (fun _ -> 1.0);
-        effect = (fun _ m -> San.Marking.add m count 1);
-      };
+      San.Activity.make_case ~weight:(fun _ -> 1.0)
+        (San.Effect.Ops [ San.Effect.Inc (count, San.Effect.Int 1) ]);
     ];
   (San.Model.Builder.build b, count)
 
@@ -115,10 +113,8 @@ let test_instantaneous_chain () =
     ~enabled:(fun m -> San.Marking.get m trigger = 0)
     ~reads:[ San.Place.P trigger ]
     [
-      {
-        San.Activity.case_weight = (fun _ -> 1.0);
-        effect = (fun _ m -> San.Marking.set m trigger 1);
-      };
+      San.Activity.make_case ~weight:(fun _ -> 1.0)
+        (San.Effect.Ops [ San.Effect.Set (trigger, San.Effect.Int 1) ]);
     ];
   San.Model.Builder.instantaneous b ~name:"step1"
     ~enabled:(fun m -> San.Marking.get m trigger = 1 && San.Marking.get m s1 = 0)
@@ -177,20 +173,16 @@ let policy_model ~policy =
     ~enabled:(fun m -> San.Marking.get m kick = 0)
     ~reads:[ San.Place.P kick ]
     [
-      {
-        San.Activity.case_weight = (fun _ -> 1.0);
-        effect = (fun _ m -> San.Marking.set m kick 1);
-      };
+      San.Activity.make_case ~weight:(fun _ -> 1.0)
+        (San.Effect.Ops [ San.Effect.Set (kick, San.Effect.Int 1) ]);
     ];
   San.Model.Builder.timed b ~name:"slow" ~policy
     ~dist:(fun _ -> Dist.Deterministic { value = 2.0 })
     ~enabled:(fun m -> San.Marking.get m done_ = 0)
     ~reads:[ San.Place.P kick; San.Place.P done_ ]
     [
-      {
-        San.Activity.case_weight = (fun _ -> 1.0);
-        effect = (fun _ m -> San.Marking.set m done_ 1);
-      };
+      San.Activity.make_case ~weight:(fun _ -> 1.0)
+        (San.Effect.Ops [ San.Effect.Set (done_, San.Effect.Int 1) ]);
     ];
   (San.Model.Builder.build b, done_)
 
@@ -265,20 +257,16 @@ let test_disabling_aborts () =
     ~enabled:(fun m -> San.Marking.get m blocked = 0)
     ~reads:[ San.Place.P blocked ]
     [
-      {
-        San.Activity.case_weight = (fun _ -> 1.0);
-        effect = (fun _ m -> San.Marking.set m blocked 1);
-      };
+      San.Activity.make_case ~weight:(fun _ -> 1.0)
+        (San.Effect.Ops [ San.Effect.Set (blocked, San.Effect.Int 1) ]);
     ];
   San.Model.Builder.timed b ~name:"victim"
     ~dist:(fun _ -> Dist.Deterministic { value = 2.0 })
     ~enabled:(fun m -> San.Marking.get m blocked = 0)
     ~reads:[ San.Place.P blocked ]
     [
-      {
-        San.Activity.case_weight = (fun _ -> 1.0);
-        effect = (fun _ m -> San.Marking.add m fired 1);
-      };
+      San.Activity.make_case ~weight:(fun _ -> 1.0)
+        (San.Effect.Ops [ San.Effect.Inc (fired, San.Effect.Int 1) ]);
     ];
   let model = San.Model.Builder.build b in
   let outcome = run_simple model ~horizon:10.0 ~seed:6 ~observer:Sim.Observer.nop in
@@ -477,10 +465,8 @@ let test_erlang_first_passage_distribution () =
     ~enabled:(fun m -> San.Marking.get m done_ = 0)
     ~reads:[ San.Place.P done_ ]
     [
-      {
-        San.Activity.case_weight = (fun _ -> 1.0);
-        effect = (fun _ m -> San.Marking.set m done_ 1);
-      };
+      San.Activity.make_case ~weight:(fun _ -> 1.0)
+        (San.Effect.Ops [ San.Effect.Set (done_, San.Effect.Int 1) ]);
     ];
   let model = San.Model.Builder.build b in
   let spec =
@@ -737,20 +723,16 @@ let test_metrics_cancellations_and_never_fired () =
     ~enabled:(fun m -> San.Marking.get m blocked = 0)
     ~reads:[ San.Place.P blocked ]
     [
-      {
-        San.Activity.case_weight = (fun _ -> 1.0);
-        effect = (fun _ m -> San.Marking.set m blocked 1);
-      };
+      San.Activity.make_case ~weight:(fun _ -> 1.0)
+        (San.Effect.Ops [ San.Effect.Set (blocked, San.Effect.Int 1) ]);
     ];
   San.Model.Builder.timed b ~name:"victim"
     ~dist:(fun _ -> Dist.Deterministic { value = 2.0 })
     ~enabled:(fun m -> San.Marking.get m blocked = 0)
     ~reads:[ San.Place.P blocked ]
     [
-      {
-        San.Activity.case_weight = (fun _ -> 1.0);
-        effect = (fun _ m -> San.Marking.add m fired 1);
-      };
+      San.Activity.make_case ~weight:(fun _ -> 1.0)
+        (San.Effect.Ops [ San.Effect.Inc (fired, San.Effect.Int 1) ]);
     ];
   let model = San.Model.Builder.build b in
   let metrics = Sim.Metrics.create ~model in
