@@ -7,7 +7,13 @@
      study      regenerate the paper's figures (tables + CSV)
      structure  show the composed-model structure, optionally DOT export
      check      run every model-checking pass
-     mtta       exact CTMC analysis of the minimal configuration *)
+     mtta       exact CTMC analysis of the minimal configuration
+     save       export the model as a versioned itua-model/1 JSON file
+     load       validate a model file and report on it
+     diff       structural diff between two model files
+
+   run/rare/check/mtta accept --model FILE to operate on a saved model
+   instead of building one in-process; see doc/FORMAT.md. *)
 
 open Cmdliner
 
@@ -90,6 +96,40 @@ let params_of domains hosts apps replicas policy multiplier spread scale =
   | Error msg ->
       Format.eprintf "invalid parameters: %s@." msg;
       exit 2
+
+(* --- model files (save / load / diff / --model) --- *)
+
+let model_arg =
+  Arg.(value & opt (some file) None & info [ "model" ] ~docv:"FILE"
+         ~doc:"Operate on the itua-model/1 file $(docv) (written by \
+               $(b,itua-sim save)) instead of building the model \
+               in-process. The file must carry the \"params\" annotation; \
+               the topology and rate flags are ignored in its favor.")
+
+(* Load a model file, recover its parameter block from the "params"
+   annotation, and rebind the ITUA handles by place-name lookup — the
+   reloaded model then flows through the executor, the measures, the
+   checker, and the splitting estimator exactly like a built one. *)
+let handles_of_file path =
+  let ( let* ) = Result.bind in
+  let* l = Serial.load path in
+  let* composition =
+    match l.Serial.composition with
+    | Some c -> Ok c
+    | None -> Error (path ^ ": file embeds no composition tree")
+  in
+  let* params_json =
+    match List.assoc_opt "params" l.Serial.annotations with
+    | Some j -> Ok j
+    | None -> Error (path ^ ": file carries no \"params\" annotation")
+  in
+  let* p =
+    Result.map_error (fun e -> path ^ ": " ^ e)
+      (Itua.Params.of_json params_json)
+  in
+  match Itua.Model.rebind p ~model:l.Serial.model ~composition with
+  | h -> Ok (p, h)
+  | exception Invalid_argument msg -> Error (path ^ ": " ^ msg)
 
 (* --- run --- *)
 
@@ -203,8 +243,8 @@ let policy_string = function
   | Itua.Params.Host_exclusion -> "host"
 
 let run_cmd =
-  let run domains hosts apps replicas policy multiplier spread scale horizon
-      reps seed cores telemetry telemetry_csv progress rel_precision
+  let run domains hosts apps replicas policy multiplier spread scale model
+      horizon reps seed cores telemetry telemetry_csv progress rel_precision
       record_failures record_max dot_heat metrics_out metrics_interval
       trace_spans convergence_csv =
     let ( let* ) = Result.bind in
@@ -240,8 +280,17 @@ let run_cmd =
         (match record_max with Some k -> k > 0 | None -> true)
         "--record-max must be >= 1"
     in
-    let p = params_of domains hosts apps replicas policy multiplier spread scale in
-    let h = Itua.Model.build p in
+    let* p, h =
+      match model with
+      | None ->
+          let p =
+            params_of domains hosts apps replicas policy multiplier spread
+              scale
+          in
+          Ok (p, Itua.Model.build p)
+      | Some path ->
+          Result.map_error (fun e -> `Msg e) (handles_of_file path)
+    in
     Format.printf "%a@.@." Itua.Params.pp p;
     let spec =
       Sim.Runner.spec ~model:h.Itua.Model.model ~horizon
@@ -374,14 +423,15 @@ let run_cmd =
               ( "params",
                 J.Obj
                   [
-                    ("num_domains", J.int domains);
-                    ("hosts_per_domain", J.int hosts);
-                    ("num_apps", J.int apps);
-                    ("num_reps", J.int replicas);
-                    ("policy", J.Str (policy_string policy));
-                    ("corruption_multiplier", J.Num multiplier);
-                    ("spread", J.Num spread);
-                    ("rate_scale", J.Num scale);
+                    ("num_domains", J.int p.Itua.Params.num_domains);
+                    ("hosts_per_domain", J.int p.Itua.Params.hosts_per_domain);
+                    ("num_apps", J.int p.Itua.Params.num_apps);
+                    ("num_reps", J.int p.Itua.Params.num_reps);
+                    ("policy", J.Str (policy_string p.Itua.Params.policy));
+                    ( "corruption_multiplier",
+                      J.Num p.Itua.Params.corruption_multiplier );
+                    ("spread", J.Num p.Itua.Params.spread_rate_domain);
+                    ("rate_scale", J.Num p.Itua.Params.rate_scale);
                   ] );
               ("occupancy", T.occupancy_to_json occupancy);
             ]
@@ -420,11 +470,11 @@ let run_cmd =
     Term.(
       term_result
         (const run $ domains_arg $ hosts_arg $ apps_arg $ reps_per_app_arg
-        $ policy_arg $ multiplier_arg $ spread_arg $ scale_arg $ horizon_arg
-        $ n_reps_arg $ seed_arg $ cores_arg $ telemetry_arg $ telemetry_csv_arg
-        $ progress_arg $ precision_arg $ record_arg $ record_max_arg
-        $ dot_heat_arg $ metrics_out_arg $ metrics_interval_arg
-        $ trace_spans_arg $ convergence_csv_arg))
+        $ policy_arg $ multiplier_arg $ spread_arg $ scale_arg $ model_arg
+        $ horizon_arg $ n_reps_arg $ seed_arg $ cores_arg $ telemetry_arg
+        $ telemetry_csv_arg $ progress_arg $ precision_arg $ record_arg
+        $ record_max_arg $ dot_heat_arg $ metrics_out_arg
+        $ metrics_interval_arg $ trace_spans_arg $ convergence_csv_arg))
 
 (* --- rare --- *)
 
@@ -472,26 +522,39 @@ let rare_cmd =
            ~doc:"Write the per-stage table (level, trials, hits, ratio) to \
                  $(docv) as CSV.")
   in
-  let run domains hosts apps replicas policy multiplier spread scale horizon
-      seed cores levels clones initial measure app json csv metrics_out
-      convergence_csv =
+  let run domains hosts apps replicas policy multiplier spread scale model
+      horizon seed cores levels clones initial measure app json csv
+      metrics_out convergence_csv =
     let ( let* ) = Result.bind in
     let check cond msg = if cond then Ok () else Error (`Msg msg) in
     let* () = check (cores >= 1) "--cores must be >= 1" in
     let* () = check (levels >= 1) "--levels must be >= 1" in
     let* () = check (clones >= 1) "--clones must be >= 1" in
     let* () = check (initial >= 2) "--initial must be >= 2" in
-    let* () =
-      check (app >= 0 && app < apps) "--app must name an application"
+    let* p, handles =
+      match model with
+      | None ->
+          Ok
+            ( params_of domains hosts apps replicas policy multiplier spread
+                scale,
+              None )
+      | Some path ->
+          Result.map_error
+            (fun e -> `Msg e)
+            (Result.map (fun (p, h) -> (p, Some h)) (handles_of_file path))
     in
-    let p = params_of domains hosts apps replicas policy multiplier spread scale in
+    let* () =
+      check
+        (app >= 0 && app < p.Itua.Params.num_apps)
+        "--app must name an application"
+    in
     Format.printf "%a@.@." Itua.Params.pp p;
     let config = { Itua.Study.reps = initial; seed; domains = cores } in
     let r =
       try
         Ok
           (Itua.Study.rare_point ~config ~levels ~clones ~initial ~measure
-             ~app ~params:p ~until:horizon ())
+             ~app ?handles ~params:p ~until:horizon ())
       with Invalid_argument msg -> Error (`Msg msg)
     in
     let* r = r in
@@ -564,14 +627,16 @@ let rare_cmd =
                 ( "params",
                   J.Obj
                     [
-                      ("num_domains", J.int domains);
-                      ("hosts_per_domain", J.int hosts);
-                      ("num_apps", J.int apps);
-                      ("num_reps", J.int replicas);
-                      ("policy", J.Str (policy_string policy));
-                      ("corruption_multiplier", J.Num multiplier);
-                      ("spread", J.Num spread);
-                      ("rate_scale", J.Num scale);
+                      ("num_domains", J.int p.Itua.Params.num_domains);
+                      ( "hosts_per_domain",
+                        J.int p.Itua.Params.hosts_per_domain );
+                      ("num_apps", J.int p.Itua.Params.num_apps);
+                      ("num_reps", J.int p.Itua.Params.num_reps);
+                      ("policy", J.Str (policy_string p.Itua.Params.policy));
+                      ( "corruption_multiplier",
+                        J.Num p.Itua.Params.corruption_multiplier );
+                      ("spread", J.Num p.Itua.Params.spread_rate_domain);
+                      ("rate_scale", J.Num p.Itua.Params.rate_scale);
                     ] );
                 ("stages", stages);
                 ("probability", J.Num est.Stats.Splitting.probability);
@@ -611,10 +676,10 @@ let rare_cmd =
     Term.(
       term_result
         (const run $ domains_arg $ hosts_arg $ apps_arg $ reps_per_app_arg
-        $ policy_arg $ multiplier_arg $ spread_arg $ scale_arg $ horizon_arg
-        $ seed_arg $ cores_arg $ levels_arg $ clones_arg $ initial_arg
-        $ measure_arg $ app_arg $ json_arg $ csv_arg $ metrics_out_arg
-        $ convergence_csv_arg))
+        $ policy_arg $ multiplier_arg $ spread_arg $ scale_arg $ model_arg
+        $ horizon_arg $ seed_arg $ cores_arg $ levels_arg $ clones_arg
+        $ initial_arg $ measure_arg $ app_arg $ json_arg $ csv_arg
+        $ metrics_out_arg $ convergence_csv_arg))
 
 (* --- explain --- *)
 
@@ -805,9 +870,20 @@ let check_ir_dump_arg =
                the $(b,ir_dump) key.")
 
 let check_run domains hosts apps replicas policy multiplier
-    spread scale invariants strict ir_dump json =
-  let p = params_of domains hosts apps replicas policy multiplier spread scale in
-  let h = Itua.Model.build p in
+    spread scale model invariants strict ir_dump json =
+  let h =
+    match model with
+    | None ->
+        Itua.Model.build
+          (params_of domains hosts apps replicas policy multiplier spread
+             scale)
+    | Some path -> (
+        match handles_of_file path with
+        | Ok (_, h) -> h
+        | Error e ->
+            Format.eprintf "%s@." e;
+            exit 2)
+  in
   let report =
     Analysis.Check.run ~composition:h.Itua.Model.composition
       ~laws:(Itua.Invariant.conservation_laws h)
@@ -849,18 +925,27 @@ let check_cmd =
     Term.(
       const check_run $ domains_arg $ hosts_arg $ apps_arg
       $ reps_per_app_arg $ policy_arg $ multiplier_arg $ spread_arg
-      $ scale_arg $ check_invariants_arg $ check_strict_arg
+      $ scale_arg $ model_arg $ check_invariants_arg $ check_strict_arg
       $ check_ir_dump_arg $ check_json_arg)
 
 (* --- mtta (exact, tiny configurations) --- *)
 
 let mtta_cmd =
-  let run multiplier scale metrics_out =
+  let run multiplier scale model metrics_out =
     (* Only forced-choice configurations are analytically explorable. *)
-    let p =
-      params_of 1 1 1 1 Itua.Params.Domain_exclusion multiplier 1.0 scale
+    let h =
+      match model with
+      | None ->
+          Itua.Model.build
+            (params_of 1 1 1 1 Itua.Params.Domain_exclusion multiplier 1.0
+               scale)
+      | Some path -> (
+          match handles_of_file path with
+          | Ok (_, h) -> h
+          | Error e ->
+              Format.eprintf "%s@." e;
+              exit 2)
     in
-    let h = Itua.Model.build p in
     let obs = Option.map (fun _ -> Obs.Registry.create ()) metrics_out in
     let profile = Option.map (fun _ -> Obs.Profile.create ()) metrics_out in
     Format.printf
@@ -889,7 +974,7 @@ let mtta_cmd =
   Cmd.v
     (Cmd.info "mtta"
        ~doc:"Exact mean time to full degradation of the minimal system")
-    Term.(const run $ multiplier_arg $ scale_arg $ metrics_out_arg)
+    Term.(const run $ multiplier_arg $ scale_arg $ model_arg $ metrics_out_arg)
 
 (* --- structure --- *)
 
@@ -916,6 +1001,133 @@ let structure_cmd =
       const run $ domains_arg $ hosts_arg $ apps_arg $ reps_per_app_arg
       $ policy_arg $ multiplier_arg $ spread_arg $ scale_arg $ dot_arg)
 
+(* --- save / load / diff --- *)
+
+let save_cmd =
+  let out_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
+           ~doc:"Destination path of the itua-model/1 JSON document.")
+  in
+  let run domains hosts apps replicas policy multiplier spread scale out =
+    let p =
+      params_of domains hosts apps replicas policy multiplier spread scale
+    in
+    let h = Itua.Model.build p in
+    let doc =
+      Serial.to_json ~composition:h.Itua.Model.composition
+        ~annotations:[ ("params", Itua.Params.to_json p) ]
+        h.Itua.Model.model
+    in
+    Serial.save out doc;
+    Format.printf "%a@." San.Model.pp_summary h.Itua.Model.model;
+    Format.printf "model written to %s@." out
+  in
+  Cmd.v
+    (Cmd.info "save"
+       ~doc:"Export the configured ITUA model as a versioned, deterministic \
+             itua-model/1 JSON file (see doc/FORMAT.md). The parameter \
+             block rides along as the \"params\" annotation, so \
+             $(b,--model) can rebuild the measures around the file.")
+    Term.(
+      const run $ domains_arg $ hosts_arg $ apps_arg $ reps_per_app_arg
+      $ policy_arg $ multiplier_arg $ spread_arg $ scale_arg $ out_arg)
+
+let load_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"An itua-model/1 file.")
+  in
+  let run file =
+    match Serial.load file with
+    | Error e -> Error (`Msg e)
+    | Ok l ->
+        Format.printf "%a@." San.Model.pp_summary l.Serial.model;
+        (match l.Serial.composition with
+        | Some c ->
+            Format.printf "@.Composition tree:@.%s" (Compose.render_info c)
+        | None -> Format.printf "@.(no composition tree embedded)@.");
+        (match List.assoc_opt "params" l.Serial.annotations with
+        | None -> ()
+        | Some j -> (
+            match Itua.Params.of_json j with
+            | Ok p -> Format.printf "@.%a@." Itua.Params.pp p
+            | Error e ->
+                Format.printf "@.(unreadable \"params\" annotation: %s)@." e));
+        (* Stability gate: re-emitting the reloaded model must reproduce
+           the file byte for byte (modulo the trailing newline). *)
+        let reemitted =
+          Serial.emit ?composition:l.Serial.composition
+            ~bounds:l.Serial.bounds ~annotations:l.Serial.annotations
+            l.Serial.model
+        in
+        let original =
+          let ic = open_in_bin file in
+          Fun.protect
+            ~finally:(fun () -> close_in ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+        in
+        if String.trim original = reemitted then begin
+          Format.printf "@.re-emits byte-identically: yes@.";
+          Ok ()
+        end
+        else Error (`Msg (file ^ ": re-emission differs from the file"))
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:"Parse and validate a model file: summarize it, render its \
+             composition tree and parameters, and verify that re-emitting \
+             the reloaded model reproduces the file byte for byte.")
+    Term.(term_result (const run $ file_arg))
+
+let diff_cmd =
+  let a_arg =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"A" ~doc:"First model file.")
+  in
+  let b_arg =
+    Arg.(required & pos 1 (some file) None
+         & info [] ~docv:"B" ~doc:"Second model file.")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
+           ~doc:"Write the machine-readable diff report to $(docv).")
+  in
+  let run a b json =
+    let ( let* ) = Result.bind in
+    let read path =
+      let contents =
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      Result.map_error (fun e -> `Msg (path ^ ": " ^ e))
+        (Report.Json.of_string contents)
+    in
+    let* ja = read a in
+    let* jb = read b in
+    let entries = Serial.Diff.diff ja jb in
+    (match json with
+    | None -> ()
+    | Some path ->
+        Report.write_jsonl path [ Serial.Diff.to_json entries ];
+        Format.printf "[diff json: %s]@." path);
+    match entries with
+    | [] ->
+        Format.printf "models are structurally identical@.";
+        Ok ()
+    | es ->
+        Format.printf "%a" Serial.Diff.pp es;
+        Format.printf "%d difference(s)@." (List.length es);
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:"Structural diff between two model files: per-place and \
+             per-activity changes, matched by name. Exits 1 when the \
+             models differ.")
+    Term.(term_result (const run $ a_arg $ b_arg $ json_arg))
+
 let () =
   let doc =
     "probabilistic validation of the ITUA intrusion-tolerant replication \
@@ -927,5 +1139,5 @@ let () =
        (Cmd.group info
           [
             run_cmd; rare_cmd; explain_cmd; study_cmd; structure_cmd;
-            check_cmd; mtta_cmd;
+            check_cmd; mtta_cmd; save_cmd; load_cmd; diff_cmd;
           ]))

@@ -224,6 +224,44 @@ let _analysis_ir_checked working =
           run = (fun _ctx m -> San.Marking.add m working (-1)) };
     }
 
+(* --- doc/FORMAT.md --- *)
+
+let _format_save ~params () =
+  let h = Itua.Model.build params in
+  let doc =
+    Serial.to_json
+      ~composition:h.Itua.Model.composition
+      ~annotations:[ ("params", Itua.Params.to_json params) ]
+      h.Itua.Model.model
+  in
+  Serial.save "itua.model.json" doc
+
+let _format_load () =
+  match Serial.load "itua.model.json" with
+  | Error e -> prerr_endline e; exit 2
+  | Ok l ->
+      let model = l.Serial.model in
+      ignore model
+
+let _format_mini () =
+  let b = San.Model.Builder.create "two_state" in
+  let up = San.Model.Builder.int_place b ~init:1 "up" in
+  San.Model.Builder.timed_exp_rate_ir b ~name:"fail"
+    ~rate:(San.Effect.RConst 0.2)
+    ~guard:San.Effect.(Cmp (Mark up, Eq, Int 1))
+    ~reads:[ San.Place.P up ]
+    San.Effect.(Ops [ Set (up, Int 0) ]);
+  San.Model.Builder.timed_exp_rate_ir b ~name:"repair"
+    ~rate:(San.Effect.RConst 1.0)
+    ~guard:San.Effect.(Cmp (Mark up, Eq, Int 0))
+    ~reads:[ San.Place.P up ]
+    San.Effect.(Ops [ Set (up, Int 1) ]);
+  print_string (Serial.emit (San.Model.Builder.build b))
+
+let _format_diff ~doc_a ~doc_b () =
+  let entries = Serial.Diff.diff doc_a doc_b in
+  Format.printf "%a" Serial.Diff.pp entries
+
 (* --- doc/RARE_EVENTS.md --- *)
 
 let _rare_library params =

@@ -92,7 +92,7 @@ let info ctx =
       rep_copies = (match node.kind with Rep n -> Some n | _ -> None);
       places = List.rev node.node_places;
       activities = List.rev node.node_activities;
-      children = List.rev_map (of_node rev_path) node.children |> List.rev;
+      children = List.rev_map (of_node rev_path) node.children;
     }
   in
   of_node [] ctx.Ctx.node
@@ -118,35 +118,39 @@ let rep_families (n : info) =
     n.children;
   List.rev_map (fun f -> (f, List.rev (Hashtbl.find tbl f))) !order
 
-let structure ctx =
+(* Render from the [info] snapshot so a tree parsed back from disk
+   ([Serial]) prints identically to one built in-process. *)
+let render_info (top : info) =
   let buf = Buffer.create 256 in
-  let rec render indent (node : node) =
+  let fam_of label =
+    match String.index_opt label '[' with
+    | Some i -> String.sub label 0 i
+    | None -> label
+  in
+  let rec render indent ~root (n : info) =
     let prefix = String.make indent ' ' in
     let suffix =
-      match node.kind with
-      | Root -> ""
-      | Rep n -> Printf.sprintf " (Rep, %d copies)" n
-      | Join_branch -> " (Join branch)"
+      if root then ""
+      else
+        match n.rep_copies with
+        | Some c -> Printf.sprintf " (Rep, %d copies)" c
+        | None -> " (Join branch)"
     in
-    Buffer.add_string buf (prefix ^ node.label ^ suffix ^ "\n");
+    Buffer.add_string buf (prefix ^ n.label ^ suffix ^ "\n");
     (* Collapse structurally identical Rep siblings: print the first copy
        of each label family and note the count. *)
-    let children = List.rev node.children in
     let seen = Hashtbl.create 8 in
     List.iter
-      (fun (c : node) ->
-        let family =
-          match String.index_opt c.label '[' with
-          | Some i -> String.sub c.label 0 i
-          | None -> c.label
-        in
-        match c.kind with
-        | Rep _ when Hashtbl.mem seen family -> ()
-        | Rep _ ->
-            Hashtbl.add seen family ();
-            render (indent + 2) c
-        | Root | Join_branch -> render (indent + 2) c)
-      children
+      (fun (c : info) ->
+        match c.rep_copies with
+        | Some _ when Hashtbl.mem seen (fam_of c.label) -> ()
+        | Some _ ->
+            Hashtbl.add seen (fam_of c.label) ();
+            render (indent + 2) ~root:false c
+        | None -> render (indent + 2) ~root:false c)
+      n.children
   in
-  render 0 ctx.Ctx.node;
+  render 0 ~root:true top;
   Buffer.contents buf
+
+let structure ctx = render_info (info ctx)

@@ -113,6 +113,12 @@ val info : Ctx.t -> info
 (** Snapshot of the tree rooted at this node, reflecting the
     [replicate]/[join] calls and declarations performed so far. *)
 
+val render_info : info -> string
+(** The {!structure} rendering, computed from an {!info} snapshot. The
+    top node renders as the root; [structure ctx] is
+    [render_info (info ctx)], so a composition tree reloaded from disk
+    ([Serial]) prints identically to one built in-process. *)
+
 val rep_families : info -> (string * info list) list
 (** [rep_families n] groups the {e direct} Rep children of [n] into
     label families, in first-appearance order: one [replicate] call

@@ -463,25 +463,28 @@ let build params =
      mean 1/ids_decision_rate (exponential when stages = 1). *)
   let ids_latency_dist =
     if p.Params.ids_latency_stages = 1 then
-      Dist.Exponential { rate = p.Params.ids_decision_rate }
+      San.Activity.DExp (E.RConst p.Params.ids_decision_rate)
     else
-      Dist.Erlang
-        {
-          k = p.Params.ids_latency_stages;
-          rate = float_of_int p.Params.ids_latency_stages
-                 *. p.Params.ids_decision_rate;
-        }
+      San.Activity.DErlang
+        ( p.Params.ids_latency_stages,
+          E.RConst
+            (float_of_int p.Params.ids_latency_stages
+            *. p.Params.ids_decision_rate) )
   in
   let ids_cases b ~name ~guard ~reads cases =
-    B.timed_ir b ~name ~dist:(fun _ -> ids_latency_dist) ~guard ~reads
+    B.timed_dist_ir b ~name ~dist:ids_latency_dist ~guard ~reads
       (List.map
-         (fun (w, eff) -> San.Activity.make_case ~weight:(fun _ -> w) eff)
+         (fun (w, eff) -> San.Activity.make_case ~weight_ir:(E.RConst w) eff)
          cases)
   in
-  let slot_host_corrupt sl m =
-    (* Is the replica's host corrupt?  Only meaningful while running. *)
-    let g = M.get m sl.on_host - 1 in
-    g >= 0 && M.get m (host_places_of sk g).attacked > 0
+  (* Is the replica's host corrupt?  Only meaningful while running.  The
+     disjunction short-circuits host by host, reading the same places as
+     the historical closure [on_host matches before attacked is read]. *)
+  let slot_host_corrupt_c sl =
+    E.Any
+      (List.init (nd * nhosts) (fun g ->
+           E.All
+             [ pe sl.on_host (g + 1); pgt (host_places_of sk g).attacked 0 ]))
   in
 
   (* [by_ids] records whether the conviction came from the host's IDS
@@ -544,13 +547,14 @@ let build params =
           in
           (* attack_rep: successful attack on the replica; faster when its
              host is corrupt. *)
-          B.timed_exp_ir b
+          B.timed_exp_rate_ir b
             ~name:(replica_name a r "attack_rep")
-            ~rate:(fun m ->
-              Params.replica_attack_rate p
-              *.
-              if slot_host_corrupt sl m then p.Params.corruption_multiplier
-              else 1.0)
+            ~rate:
+              (let base = Params.replica_attack_rate p in
+               E.RIf
+                 ( slot_host_corrupt_c sl,
+                   E.RConst (base *. p.Params.corruption_multiplier),
+                   E.RConst (base *. 1.0) ))
             ~guard:(E.All [ pe sl.running 1; pe sl.corrupt 0; pe sl.convicted 0 ])
             ~reads:(slot_reads @ all_attacked)
             (E.Seq
@@ -575,9 +579,9 @@ let build params =
           (* rep_misbehave: anomalous behaviour during group communication
              is always caught while the group can reach agreement. *)
           if p.Params.misbehave_rate > 0.0 then
-            B.timed_exp_ir b
+            B.timed_exp_rate_ir b
               ~name:(replica_name a r "rep_misbehave")
-              ~rate:(fun _ -> p.Params.misbehave_rate)
+              ~rate:(E.RConst p.Params.misbehave_rate)
               ~guard:
                 (E.All
                    [
@@ -600,9 +604,9 @@ let build params =
              that valid_ID missed).  Host-level false alarms, by contrast,
              really do hit clean hosts; see false_ID on the Host SAN. *)
           if Params.replica_false_alarm_rate p > 0.0 then
-            B.timed_exp_ir b
+            B.timed_exp_rate_ir b
               ~name:(replica_name a r "false_ID")
-              ~rate:(fun _ -> Params.replica_false_alarm_rate p)
+              ~rate:(E.RConst (Params.replica_false_alarm_rate p))
               ~guard:(E.All [ pe sl.corrupt 1; pe sl.convicted 0 ])
               ~reads:[ P.P sl.corrupt; P.P sl.convicted ]
               (convict_e ~by_ids:true a sl);
@@ -639,9 +643,9 @@ let build params =
   Array.iteri
     (fun a ap ->
       ignore a;
-      B.timed_exp_ir b
+      B.timed_exp_rate_ir b
         ~name:(Printf.sprintf "app[%d].management.recovery" a)
-        ~rate:(fun _ -> p.Params.recovery_rate)
+        ~rate:(E.RConst p.Params.recovery_rate)
         ~guard:
           (if p.Params.quorum_gates_recovery then
              E.All [ pgt ap.need_recovery 0; quorum_ok_c sk ]
@@ -704,12 +708,15 @@ let build params =
     let hp = host_places_of sk g in
     (* attack_host: three attack classes; the rate grows linearly with the
        accumulated intra-domain and system-wide spread. *)
-    B.timed_exp_cases_ir b
+    B.timed_exp_cases_rate_ir b
       ~name:(host_name g "attack_host")
-      ~rate:(fun m ->
-        Params.host_attack_rate p
-        +. Params.host_spread_slope p
-           *. (M.fget m dp.spread +. M.fget m spread_sys))
+      ~rate:
+        (E.RExpr
+           (E.FAdd
+              ( E.Flt (Params.host_attack_rate p),
+                E.FMul
+                  ( E.Flt (Params.host_spread_slope p),
+                    E.FAdd (E.FMark dp.spread, E.FMark spread_sys) ) )))
       ~guard:(E.All [ pe hp.alive 1; pe hp.attacked 0 ])
       ~reads:[ P.P hp.alive; P.P hp.attacked; P.F dp.spread; P.F spread_sys ]
       (let corrupt_as cls =
@@ -726,9 +733,9 @@ let build params =
        attacker's knowledge gained from the successful intrusion, which
        excluding the compromised host does not erase. *)
     if p.Params.spread_rate_domain > 0.0 then
-      B.timed_exp_ir b
+      B.timed_exp_rate_ir b
         ~name:(host_name g "propagate_domain")
-        ~rate:(fun _ -> p.Params.spread_rate_domain)
+        ~rate:(E.RConst p.Params.spread_rate_domain)
         ~guard:
           (let base = [ pe hp.ever_attacked 1; pe hp.prop_dom_done 0 ] in
            E.All
@@ -741,9 +748,9 @@ let build params =
              E.Set (hp.prop_dom_done, E.Int 1);
            ]);
     if p.Params.spread_rate_system > 0.0 then
-      B.timed_exp_ir b
+      B.timed_exp_rate_ir b
         ~name:(host_name g "propagate_sys")
-        ~rate:(fun _ -> p.Params.spread_rate_system)
+        ~rate:(E.RConst p.Params.spread_rate_system)
         ~guard:
           (let base = [ pe hp.ever_attacked 1; pe hp.prop_sys_done 0 ] in
            E.All
@@ -784,9 +791,9 @@ let build params =
       ];
     (* False alarms of host/manager infiltration. *)
     if Params.host_false_alarm_rate p > 0.0 then
-      B.timed_exp_ir b
+      B.timed_exp_rate_ir b
         ~name:(host_name g "false_ID")
-        ~rate:(fun _ -> Params.host_false_alarm_rate p)
+        ~rate:(E.RConst (Params.host_false_alarm_rate p))
         ~guard:
           (E.All
              [
@@ -818,13 +825,14 @@ let build params =
         @ mgr_group_reads)
       (respond_e sk g);
     (* attack_mgmt: attacks against the manager on this host. *)
-    B.timed_exp_ir b
+    B.timed_exp_rate_ir b
       ~name:(host_name g "attack_mgmt")
-      ~rate:(fun m ->
-        Params.manager_attack_rate p
-        *.
-        if M.get m hp.attacked > 0 then p.Params.corruption_multiplier
-        else 1.0)
+      ~rate:
+        (let base = Params.manager_attack_rate p in
+         E.RIf
+           ( pgt hp.attacked 0,
+             E.RConst (base *. p.Params.corruption_multiplier),
+             E.RConst (base *. 1.0) ))
       ~guard:
         (E.All
            [
@@ -901,6 +909,103 @@ let build params =
     excl_frac_sum = excl_frac;
     structure;
     composition = Compose.info root;
+  }
+
+(* --- rebinding a deserialized model --- *)
+
+(* [build] names every place deterministically from its position in the
+   composition tree, so a model reloaded from disk (same parameters) can
+   have its handles reconstructed by pure name lookup: the descriptors
+   found in the reloaded model carry that model's indices, and every
+   measure/predicate works on it unchanged. *)
+let rebind params ~model ~composition =
+  let p = Params.check params in
+  let nd = p.Params.num_domains in
+  let nhosts = p.Params.hosts_per_domain in
+  let na = p.Params.num_apps in
+  let nr = p.Params.num_reps in
+  let ip name =
+    match San.Model.find_place_opt model name with
+    | Some pl -> pl
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Itua.Model.rebind: model has no int place %S" name)
+  in
+  let fp name =
+    match San.Model.find_float_place_opt model name with
+    | Some pl -> pl
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Itua.Model.rebind: model has no float place %S"
+             name)
+  in
+  let slot a r =
+    let n field = Printf.sprintf "apps.app[%d].replica[%d].%s" a r field in
+    {
+      running = ip (n "running");
+      corrupt = ip (n "corrupt");
+      convicted = ip (n "convicted");
+      convicted_by_ids = ip (n "convicted_by_ids");
+      id_missed = ip (n "id_missed");
+      on_host = ip (n "on_host");
+    }
+  in
+  let app a =
+    let n field = Printf.sprintf "apps.app[%d].%s" a field in
+    {
+      replicas_running = ip (n "replicas_running");
+      rep_corr_undetected = ip (n "rep_corr_undetected");
+      rep_grp_failure = ip (n "rep_grp_failure");
+      need_recovery = ip (n "need_recovery");
+      to_start = ip (n "to_start");
+      slots = Array.init nr (slot a);
+    }
+  in
+  let host d h =
+    let n field =
+      Printf.sprintf "security_domains.domain[%d].host[%d].%s" d h field
+    in
+    {
+      alive = ip (n "alive");
+      attacked = ip (n "attacked");
+      ever_attacked = ip (n "ever_attacked");
+      host_id_missed = ip (n "host_id_missed");
+      host_detected = ip (n "host_detected");
+      mgr_running = ip (n "mgr_running");
+      mgr_corrupt = ip (n "mgr_corrupt");
+      mgr_id_missed = ip (n "mgr_id_missed");
+      mgr_detected = ip (n "mgr_detected");
+      num_replicas = ip (n "num_replicas");
+      prop_dom_done = ip (n "prop_dom_done");
+      prop_sys_done = ip (n "prop_sys_done");
+    }
+  in
+  let domain d =
+    let n field = Printf.sprintf "security_domains.domain[%d].%s" d field in
+    {
+      excluded = ip (n "excluded");
+      spread = fp (n "attack_spread_domain");
+      dom_mgrs_running = ip (n "dom_mgrs_running");
+      dom_mgrs_corrupt = ip (n "dom_mgrs_corrupt");
+      has_app =
+        Array.init na (fun a -> ip (n (Printf.sprintf "has_app[%d]" a)));
+      hosts = Array.init nhosts (host d);
+    }
+  in
+  {
+    params = p;
+    model;
+    apps = Array.init na app;
+    domains = Array.init nd domain;
+    mgrs_running = ip "mgrs_running";
+    undetected_corr_mgrs = ip "undetected_corr_mgrs";
+    spread_system = fp "attack_spread_system";
+    excl_domains = ip "excluded_domains";
+    excl_hosts = ip "excluded_hosts";
+    excl_corrupt_hosts = ip "excluded_corrupt_hosts";
+    excl_frac_sum = fp "excluded_corrupt_fraction_sum";
+    structure = Compose.render_info composition;
+    composition;
   }
 
 (* --- public predicates on handles --- *)

@@ -108,6 +108,16 @@ type handles = {
 
 val build : Params.t -> handles
 
+val rebind : Params.t -> model:San.Model.t -> composition:Compose.info -> handles
+(** Reconstruct {!handles} for a model {e reloaded from disk} ([Serial],
+    [itua_sim --model]) instead of built in-process. [build] names every
+    place deterministically from its position in the composition tree,
+    so pure name lookup recovers every shared-place descriptor; the
+    measures and predicates then work on the reloaded model unchanged.
+    [params] must be the parameter set the file was built with (carried
+    in its ["params"] annotation) — a place expected by that topology
+    but missing from [model] raises [Invalid_argument]. *)
+
 (* Derived state predicates used by measures and studies. *)
 
 val improper : handles -> int -> San.Marking.t -> bool

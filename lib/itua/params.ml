@@ -174,6 +174,128 @@ let replica_false_alarm_rate p =
   *. (1.0 -. p.false_alarm_share_host)
   /. reference_replicas
 
+(* JSON round trip, used by [itua_sim save]/[--model] to carry the
+   parameter block inside a serialized model's annotations.  Field order
+   follows the record so equal parameter sets emit equal bytes. *)
+
+let to_json p =
+  let module J = Report.Json in
+  J.Obj
+    [
+      ("num_domains", J.int p.num_domains);
+      ("hosts_per_domain", J.int p.hosts_per_domain);
+      ("num_apps", J.int p.num_apps);
+      ("num_reps", J.int p.num_reps);
+      ( "policy",
+        J.Str
+          (match p.policy with
+          | Domain_exclusion -> "domain"
+          | Host_exclusion -> "host") );
+      ("attack_rate_system", J.Num p.attack_rate_system);
+      ("attack_share_host", J.Num p.attack_share_host);
+      ("attack_share_replica", J.Num p.attack_share_replica);
+      ("attack_share_manager", J.Num p.attack_share_manager);
+      ("frac_script", J.Num p.frac_script);
+      ("frac_exploratory", J.Num p.frac_exploratory);
+      ("frac_innovative", J.Num p.frac_innovative);
+      ("corruption_multiplier", J.Num p.corruption_multiplier);
+      ("spread_rate_domain", J.Num p.spread_rate_domain);
+      ("spread_effect_domain", J.Num p.spread_effect_domain);
+      ("spread_rate_system", J.Num p.spread_rate_system);
+      ("spread_effect_system", J.Num p.spread_effect_system);
+      ("spread_slope", J.Num p.spread_slope);
+      ("false_alarm_rate_system", J.Num p.false_alarm_rate_system);
+      ("false_alarm_share_host", J.Num p.false_alarm_share_host);
+      ("p_detect_script", J.Num p.p_detect_script);
+      ("p_detect_exploratory", J.Num p.p_detect_exploratory);
+      ("p_detect_innovative", J.Num p.p_detect_innovative);
+      ("p_detect_replica", J.Num p.p_detect_replica);
+      ("p_detect_manager", J.Num p.p_detect_manager);
+      ("ids_decision_rate", J.Num p.ids_decision_rate);
+      ("ids_latency_stages", J.int p.ids_latency_stages);
+      ("ids_misses_sticky", J.Bool p.ids_misses_sticky);
+      ("misbehave_rate", J.Num p.misbehave_rate);
+      ("recovery_rate", J.Num p.recovery_rate);
+      ("quorum_gates_recovery", J.Bool p.quorum_gates_recovery);
+      ("spread_outlives_host", J.Bool p.spread_outlives_host);
+      ("rate_scale", J.Num p.rate_scale);
+    ]
+
+let of_json j =
+  let module J = Report.Json in
+  let exception Bad of string in
+  try
+    let kvs =
+      match j with
+      | J.Obj kvs -> kvs
+      | _ -> raise (Bad "expected an object")
+    in
+    let get k =
+      match List.assoc_opt k kvs with
+      | Some v -> v
+      | None -> raise (Bad (Printf.sprintf "missing field %S" k))
+    in
+    let num k =
+      match get k with
+      | J.Num x -> x
+      | _ -> raise (Bad (Printf.sprintf "field %S must be a number" k))
+    in
+    let int k =
+      let x = num k in
+      if Float.is_integer x then int_of_float x
+      else raise (Bad (Printf.sprintf "field %S must be an integer" k))
+    in
+    let bool k =
+      match get k with
+      | J.Bool b -> b
+      | _ -> raise (Bad (Printf.sprintf "field %S must be a boolean" k))
+    in
+    let policy =
+      match get "policy" with
+      | J.Str "domain" -> Domain_exclusion
+      | J.Str "host" -> Host_exclusion
+      | _ -> raise (Bad "field \"policy\" must be \"domain\" or \"host\"")
+    in
+    let p =
+      {
+        num_domains = int "num_domains";
+        hosts_per_domain = int "hosts_per_domain";
+        num_apps = int "num_apps";
+        num_reps = int "num_reps";
+        policy;
+        attack_rate_system = num "attack_rate_system";
+        attack_share_host = num "attack_share_host";
+        attack_share_replica = num "attack_share_replica";
+        attack_share_manager = num "attack_share_manager";
+        frac_script = num "frac_script";
+        frac_exploratory = num "frac_exploratory";
+        frac_innovative = num "frac_innovative";
+        corruption_multiplier = num "corruption_multiplier";
+        spread_rate_domain = num "spread_rate_domain";
+        spread_effect_domain = num "spread_effect_domain";
+        spread_rate_system = num "spread_rate_system";
+        spread_effect_system = num "spread_effect_system";
+        spread_slope = num "spread_slope";
+        false_alarm_rate_system = num "false_alarm_rate_system";
+        false_alarm_share_host = num "false_alarm_share_host";
+        p_detect_script = num "p_detect_script";
+        p_detect_exploratory = num "p_detect_exploratory";
+        p_detect_innovative = num "p_detect_innovative";
+        p_detect_replica = num "p_detect_replica";
+        p_detect_manager = num "p_detect_manager";
+        ids_decision_rate = num "ids_decision_rate";
+        ids_latency_stages = int "ids_latency_stages";
+        ids_misses_sticky = bool "ids_misses_sticky";
+        misbehave_rate = num "misbehave_rate";
+        recovery_rate = num "recovery_rate";
+        quorum_gates_recovery = bool "quorum_gates_recovery";
+        spread_outlives_host = bool "spread_outlives_host";
+        rate_scale = num "rate_scale";
+      }
+    in
+    match validate p with Ok () -> Ok p | Error msg -> Error msg
+  with Bad msg -> Error msg
+
 let pp ppf p =
   Format.fprintf ppf
     "@[<v>ITUA parameters:@,\

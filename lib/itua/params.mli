@@ -142,4 +142,14 @@ val manager_attack_rate : t -> float
 val host_false_alarm_rate : t -> float
 val replica_false_alarm_rate : t -> float
 
+val to_json : t -> Report.Json.t
+(** Every field, in record order (deterministic bytes under
+    [Report.Json.to_string]); [policy] renders as ["domain"]/["host"].
+    Carried in a serialized model's annotations so [itua_sim --model]
+    can rebind the handles ({!Model.rebind}). *)
+
+val of_json : Report.Json.t -> (t, string) result
+(** Inverse of {!to_json}. Every field is required; the result is
+    {!validate}d. *)
+
 val pp : Format.formatter -> t -> unit

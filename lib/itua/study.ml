@@ -293,10 +293,10 @@ let trajectory ?(config = default_config) () =
 type rare_measure = Unreliability | Unavailability
 
 let rare_point ?(config = default_config) ?(levels = Rare.default_levels)
-    ?(clones = 4) ?initial ?(measure = Unreliability) ?(app = 0) ~params
-    ~until () =
+    ?(clones = 4) ?initial ?(measure = Unreliability) ?(app = 0) ?handles
+    ~params ~until () =
   let initial = Option.value initial ~default:config.reps in
-  let h = Model.build params in
+  let h = match handles with Some h -> h | None -> Model.build params in
   let importance =
     match measure with
     | Unreliability -> Rare.unreliability ~app h ~levels

@@ -82,6 +82,7 @@ val rare_point :
   ?initial:int ->
   ?measure:rare_measure ->
   ?app:int ->
+  ?handles:Model.handles ->
   params:Params.t ->
   until:float ->
   unit ->
@@ -93,7 +94,10 @@ val rare_point :
     exchangeability over applications this equals the mean the crude-MC
     panels report (see {!Rare.unreliability}). Defaults: [levels] from
     {!Rare.default_levels}, [clones] 4, [initial] = [config.reps], seed
-    and OCaml domains from [config]. *)
+    and OCaml domains from [config]. [handles] simulates that prebuilt
+    model — e.g. one reloaded from disk ([itua_sim rare --model]) —
+    instead of building one from [params]; the two must describe the
+    same configuration. *)
 
 val fig4b_rare :
   ?config:config ->

@@ -36,14 +36,48 @@ type policy =
   | Keep  (** hold the sampled time while continuously enabled *)
   | Resample  (** re-draw whenever a dependency changes (see above) *)
 
+(** Declarative timing distribution: a {!Dist.t} shape whose parameters
+    are {!Effect.rexpr} rate expressions. This is the serializable
+    counterpart of the [Marking.t -> Dist.t] closure; {!dist_fn}
+    compiles it back to one (folding all-constant parameters into a
+    single preallocated distribution record). *)
+type dist_ir =
+  | DExp of Effect.rexpr  (** exponential, by rate *)
+  | DDet of Effect.rexpr  (** deterministic delay *)
+  | DUniform of Effect.rexpr * Effect.rexpr  (** lo, hi *)
+  | DErlang of int * Effect.rexpr  (** k stages, per-stage rate *)
+  | DGamma of Effect.rexpr * Effect.rexpr  (** shape, rate *)
+  | DWeibull of Effect.rexpr * Effect.rexpr  (** shape, scale *)
+  | DLognormal of Effect.rexpr * Effect.rexpr  (** mu, sigma *)
+  | DNormal of Effect.rexpr * Effect.rexpr  (** mean, stddev *)
+
+val dist_fn : dist_ir -> Marking.t -> Dist.t
+(** Compile a declarative distribution to the closure form the executor
+    samples from. Evaluates each parameter with {!Effect.rexpr_fn}, so
+    a ported closure rate yields bit-identical samples. *)
+
+val dist_ir_reads : dist_ir -> int list
+(** Sorted uids of places the distribution's parameters can read. *)
+
 type timing =
   | Instantaneous
-  | Timed of { dist : Marking.t -> Dist.t; policy : policy }
+  | Timed of {
+      dist : Marking.t -> Dist.t;
+      policy : policy;
+      dist_ir : dist_ir option;
+          (** When present, the declarative form of [dist] (builders
+              derive [dist] from it via {!dist_fn}). [None] marks a
+              closure-only distribution, which serialization rejects. *)
+    }
 
 type case = {
   case_weight : Marking.t -> float;
       (** Non-negative, marking-dependent; normalized over the activity's
           cases at firing time. *)
+  weight_ir : Effect.rexpr option;
+      (** When present, the declarative form of [case_weight] (builders
+          derive [case_weight] from it). [None] marks a closure-only
+          weight, which serialization rejects. *)
   effect : Effect.t;
   prog : Effect.prog;
       (** [effect] compiled once at construction time; the executor's hot
@@ -69,9 +103,13 @@ type t = {
   cases : case array;
 }
 
-val make_case : ?weight:(Marking.t -> float) -> Effect.t -> case
-(** Build a case, compiling the effect. [weight] defaults to
-    [fun _ -> 1.0]. *)
+val make_case :
+  ?weight:(Marking.t -> float) -> ?weight_ir:Effect.rexpr -> Effect.t -> case
+(** Build a case, compiling the effect. With [weight_ir] (and no
+    [weight]) the closure weight is derived from it; with neither, the
+    weight is the constant 1.0 (recorded declaratively). An explicit
+    [weight] closure wins and leaves [weight_ir] as passed (default
+    [None], i.e. non-portable). *)
 
 val closure_case :
   ?weight:(Marking.t -> float) -> name:string -> (ctx -> Marking.t -> unit) -> case

@@ -36,6 +36,11 @@ type fexpr =
   | FMul of fexpr * fexpr
   | FDiv of fexpr * fexpr
 
+type rexpr =
+  | RConst of float
+  | RExpr of fexpr
+  | RIf of cond * rexpr * rexpr
+
 type op =
   | Set of Place.t * iexpr
   | Inc of Place.t * iexpr
@@ -87,6 +92,11 @@ let rec feval m = function
   | FSub (a, b) -> feval m a -. feval m b
   | FMul (a, b) -> feval m a *. feval m b
   | FDiv (a, b) -> feval m a /. feval m b
+
+let rec reval m = function
+  | RConst x -> x
+  | RExpr e -> feval m e
+  | RIf (c, a, b) -> if holds m c then reval m a else reval m b
 
 let apply_op m = function
   | Set (p, e) -> Marking.set m p (eval m e)
@@ -186,6 +196,14 @@ let rec fexpr_reads acc = function
       fexpr_reads (fexpr_reads acc a) b
 
 let cond_reads c = Uids.elements (cond_reads_acc Uids.empty c)
+
+let rec rexpr_reads_acc acc = function
+  | RConst _ -> acc
+  | RExpr e -> fexpr_reads acc e
+  | RIf (c, a, b) ->
+      rexpr_reads_acc (rexpr_reads_acc (cond_reads_acc acc c) a) b
+
+let rexpr_reads r = Uids.elements (rexpr_reads_acc Uids.empty r)
 
 (* An increment reads its target (Marking.add = get + set), a set does
    not — matching what the dynamic read/write tracer observes. *)
@@ -409,6 +427,18 @@ let rec cond_fn c =
       let f = cond_fn c in
       fun m -> not (f m)
 
+(* Rate expressions compile the same way: constants become constant
+   closures (the builder then folds them into preallocated [Dist.t]
+   records), branches reuse [cond_fn]. [rexpr_fn r m = reval m r]
+   bit-for-bit: both arms perform the identical float operations in the
+   identical order. *)
+let rec rexpr_fn = function
+  | RConst x -> fun _ -> x
+  | RExpr e -> fun m -> feval m e
+  | RIf (c, a, b) ->
+      let c = cond_fn c and a = rexpr_fn a and b = rexpr_fn b in
+      fun m -> if c m then a m else b m
+
 (* Pretty-printing *)
 
 let pp_rel ppf rel =
@@ -455,6 +485,13 @@ let rec pp_fexpr ppf = function
   | FSub (a, b) -> Format.fprintf ppf "(%a -. %a)" pp_fexpr a pp_fexpr b
   | FMul (a, b) -> Format.fprintf ppf "(%a *. %a)" pp_fexpr a pp_fexpr b
   | FDiv (a, b) -> Format.fprintf ppf "(%a /. %a)" pp_fexpr a pp_fexpr b
+
+let rec pp_rexpr ppf = function
+  | RConst x -> Format.fprintf ppf "%g" x
+  | RExpr e -> pp_fexpr ppf e
+  | RIf (c, a, b) ->
+      Format.fprintf ppf "(if %a then %a else %a)" pp_cond c pp_rexpr a
+        pp_rexpr b
 
 let pp_op ppf = function
   | Set (p, e) -> Format.fprintf ppf "%s := %a" (Place.name p) pp_iexpr e

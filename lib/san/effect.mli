@@ -61,6 +61,19 @@ type fexpr =
   | FMul of fexpr * fexpr
   | FDiv of fexpr * fexpr
 
+type rexpr =
+  | RConst of float  (** a constant rate/weight/parameter *)
+  | RExpr of fexpr  (** a marking-dependent expression *)
+  | RIf of cond * rexpr * rexpr
+      (** marking-dependent branch. Unlike an arithmetic encoding
+          ([base * (1 + (mult-1)*ind)]), a branch keeps the exact float
+          of each arm, so closure rates of the form
+          [if c then base *. mult else base] port bit-identically. *)
+(** Declarative rate expression: the marking-dependent scalar feeding a
+    timing distribution's parameter or a case weight. This is the
+    serializable counterpart of the historical [Marking.t -> float]
+    closures. *)
+
 type op =
   | Set of Place.t * iexpr  (** [p := e]; raises if the value is negative *)
   | Inc of Place.t * iexpr  (** [p := p + e]; reads and writes [p] *)
@@ -94,6 +107,10 @@ val eval : Marking.t -> iexpr -> int
 val holds : Marking.t -> cond -> bool
 val feval : Marking.t -> fexpr -> float
 
+val reval : Marking.t -> rexpr -> float
+(** Evaluate a rate expression; performs the same float operations in
+    the same order as {!rexpr_fn}. *)
+
 val apply : ctx -> t -> Marking.t -> unit
 (** Interpret the effect on the marking. [Pick] with zero feasible
     branches and negative [Set] values raise, mirroring closure-effect
@@ -119,6 +136,10 @@ val is_pure : t -> bool
 
 val cond_reads : cond -> int list
 (** Sorted uids of places the condition reads. *)
+
+val rexpr_reads : rexpr -> int list
+(** Sorted uids of (int and float) places the rate expression can
+    read. *)
 
 val static_reads : t -> int list option
 (** Sorted uids of places the effect can read (guards, expressions, and
@@ -166,11 +187,16 @@ val cond_fn : cond -> Marking.t -> bool
 (** Compile a guard condition to a predicate closure (for
     [Activity.enabled]). *)
 
+val rexpr_fn : rexpr -> Marking.t -> float
+(** Compile a rate expression to a closure. [rexpr_fn r m = reval m r]
+    bit-for-bit; [RConst] compiles to a constant function. *)
+
 (** {1 Pretty-printing} *)
 
 val pp_rel : Format.formatter -> rel -> unit
 val pp_iexpr : Format.formatter -> iexpr -> unit
 val pp_cond : Format.formatter -> cond -> unit
 val pp_fexpr : Format.formatter -> fexpr -> unit
+val pp_rexpr : Format.formatter -> rexpr -> unit
 val pp_op : Format.formatter -> op -> unit
 val pp : Format.formatter -> t -> unit

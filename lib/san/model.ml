@@ -85,8 +85,9 @@ module Builder = struct
 
   let timed b ~name ?(policy = Activity.Resample) ~dist ~enabled ~reads cases
       =
-    activity b ~name ~timing:(Activity.Timed { dist; policy }) ~enabled ~reads
-      cases
+    activity b ~name
+      ~timing:(Activity.Timed { dist; policy; dist_ir = None })
+      ~enabled ~reads cases
 
   let opaque_case ?weight ~act_name run =
     Activity.closure_case ?weight ~name:(act_name ^ ".effect") run
@@ -131,8 +132,9 @@ module Builder = struct
 
   let timed_ir b ~name ?(policy = Activity.Resample) ~dist ~guard ~reads cases
       =
-    activity_ir b ~name ~timing:(Activity.Timed { dist; policy }) ~guard
-      ~reads cases
+    activity_ir b ~name
+      ~timing:(Activity.Timed { dist; policy; dist_ir = None })
+      ~guard ~reads cases
 
   let timed_exp_ir b ~name ?policy ~rate ~guard ~reads effect =
     timed_ir b ~name ?policy
@@ -151,6 +153,35 @@ module Builder = struct
     timed_ir b ~name ?policy
       ~dist:(fun m -> Dist.Exponential { rate = rate m })
       ~guard ~reads cases
+
+  (* Fully-declarative entry points: the timing distribution (and case
+     weights) are data, so the activity serializes. The derived
+     closures evaluate the same float operations in the same order as a
+     hand-written closure, keeping trajectories bit-identical when a
+     model is ported (or reloaded from disk). *)
+
+  let timed_dist_ir b ~name ?(policy = Activity.Resample) ~dist ~guard ~reads
+      cases =
+    activity_ir b ~name
+      ~timing:
+        (Activity.Timed
+           { dist = Activity.dist_fn dist; policy; dist_ir = Some dist })
+      ~guard ~reads cases
+
+  let timed_exp_rate_ir b ~name ?policy ~rate ~guard ~reads effect =
+    timed_dist_ir b ~name ?policy ~dist:(Activity.DExp rate) ~guard ~reads
+      [ Activity.make_case effect ]
+
+  let timed_exp_cases_rate_ir b ~name ?policy ~rate ~guard ~reads cases =
+    let cases =
+      List.map
+        (fun (w, effect) ->
+          check_weight name w;
+          Activity.make_case ~weight_ir:(Effect.RConst w) effect)
+        cases
+    in
+    timed_dist_ir b ~name ?policy ~dist:(Activity.DExp rate) ~guard ~reads
+      cases
 
   let instantaneous_ir b ~name ~guard ~reads effect =
     activity_ir b ~name ~timing:Activity.Instantaneous ~guard ~reads

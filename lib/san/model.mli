@@ -135,6 +135,47 @@ module Builder : sig
     Effect.t ->
     unit
 
+  (** {2 Fully-declarative activities}
+
+      These variants additionally take the timing distribution as
+      {!Activity.dist_ir} data (and case weights as {!Effect.rexpr}),
+      so the whole activity — guard, timing, weights, effects — is
+      serializable ([Serial], [itua_sim save]). The derived sampling
+      closures are bit-identical to hand-written ones. *)
+
+  val timed_dist_ir :
+    t ->
+    name:string ->
+    ?policy:Activity.policy ->
+    dist:Activity.dist_ir ->
+    guard:Effect.cond ->
+    reads:Place.any list ->
+    Activity.case list ->
+    unit
+
+  val timed_exp_rate_ir :
+    t ->
+    name:string ->
+    ?policy:Activity.policy ->
+    rate:Effect.rexpr ->
+    guard:Effect.cond ->
+    reads:Place.any list ->
+    Effect.t ->
+    unit
+  (** Single-case exponential activity with a declarative rate. *)
+
+  val timed_exp_cases_rate_ir :
+    t ->
+    name:string ->
+    ?policy:Activity.policy ->
+    rate:Effect.rexpr ->
+    guard:Effect.cond ->
+    reads:Place.any list ->
+    (float * Effect.t) list ->
+    unit
+  (** Exponential activity with constant-probability cases; each weight
+      is recorded declaratively as [Effect.RConst]. *)
+
   val build : t -> model
   (** Freezes the builder. The builder must not be reused afterwards. *)
 end

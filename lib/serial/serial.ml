@@ -1,0 +1,710 @@
+module J = Report.Json
+
+let schema = "itua-model/1"
+
+exception Unportable of string
+
+let unportable act what =
+  raise (Unportable (Printf.sprintf "activity %S: %s" act what))
+
+(* ------------------------------------------------------------------ *)
+(* Emission.  Key order is fixed so equal models produce equal bytes. *)
+(* ------------------------------------------------------------------ *)
+
+let rel_str = function
+  | San.Effect.Eq -> "="
+  | San.Effect.Ne -> "!="
+  | San.Effect.Lt -> "<"
+  | San.Effect.Le -> "<="
+  | San.Effect.Gt -> ">"
+  | San.Effect.Ge -> ">="
+
+let rec iexpr_json = function
+  | San.Effect.Int n -> J.int n
+  | San.Effect.Mark p -> J.Obj [ ("mark", J.Str (San.Place.name p)) ]
+  | San.Effect.Add (a, b) -> J.Arr [ J.Str "+"; iexpr_json a; iexpr_json b ]
+  | San.Effect.Sub (a, b) -> J.Arr [ J.Str "-"; iexpr_json a; iexpr_json b ]
+  | San.Effect.Mul (a, b) -> J.Arr [ J.Str "*"; iexpr_json a; iexpr_json b ]
+  | San.Effect.Ind c -> J.Arr [ J.Str "ind"; cond_json c ]
+
+and cond_json = function
+  | San.Effect.Const b -> J.Bool b
+  | San.Effect.Cmp (a, r, b) ->
+      J.Arr [ J.Str (rel_str r); iexpr_json a; iexpr_json b ]
+  | San.Effect.All cs -> J.Arr (J.Str "all" :: List.map cond_json cs)
+  | San.Effect.Any cs -> J.Arr (J.Str "any" :: List.map cond_json cs)
+  | San.Effect.Not c -> J.Arr [ J.Str "not"; cond_json c ]
+
+let rec fexpr_json = function
+  | San.Effect.Flt x -> J.Num x
+  | San.Effect.FMark p -> J.Obj [ ("fmark", J.Str (San.Place.fname p)) ]
+  | San.Effect.OfInt e -> J.Arr [ J.Str "of_int"; iexpr_json e ]
+  | San.Effect.FAdd (a, b) -> J.Arr [ J.Str "+."; fexpr_json a; fexpr_json b ]
+  | San.Effect.FSub (a, b) -> J.Arr [ J.Str "-."; fexpr_json a; fexpr_json b ]
+  | San.Effect.FMul (a, b) -> J.Arr [ J.Str "*."; fexpr_json a; fexpr_json b ]
+  | San.Effect.FDiv (a, b) -> J.Arr [ J.Str "/."; fexpr_json a; fexpr_json b ]
+
+(* [RExpr (Flt x)] and [RConst x] both emit as a bare number and parse
+   back as [RConst x]; the two evaluate and compile identically, so the
+   normalization is invisible to simulation and analysis. *)
+let rec rexpr_json = function
+  | San.Effect.RConst x -> J.Num x
+  | San.Effect.RExpr e -> fexpr_json e
+  | San.Effect.RIf (c, a, b) ->
+      J.Arr [ J.Str "if"; cond_json c; rexpr_json a; rexpr_json b ]
+
+let op_json = function
+  | San.Effect.Set (p, e) ->
+      J.Arr [ J.Str "set"; J.Str (San.Place.name p); iexpr_json e ]
+  | San.Effect.Inc (p, e) ->
+      J.Arr [ J.Str "inc"; J.Str (San.Place.name p); iexpr_json e ]
+  | San.Effect.FSet (p, e) ->
+      J.Arr [ J.Str "fset"; J.Str (San.Place.fname p); fexpr_json e ]
+  | San.Effect.FInc (p, e) ->
+      J.Arr [ J.Str "finc"; J.Str (San.Place.fname p); fexpr_json e ]
+
+let rec effect_json ~act = function
+  | San.Effect.Skip -> J.Str "skip"
+  | San.Effect.Ops ops -> J.Obj [ ("ops", J.Arr (List.map op_json ops)) ]
+  | San.Effect.Seq es ->
+      J.Obj [ ("seq", J.Arr (List.map (effect_json ~act) es)) ]
+  | San.Effect.If (c, t, San.Effect.Skip) ->
+      J.Obj [ ("if", cond_json c); ("then", effect_json ~act t) ]
+  | San.Effect.If (c, t, e) ->
+      J.Obj
+        [
+          ("if", cond_json c);
+          ("then", effect_json ~act t);
+          ("else", effect_json ~act e);
+        ]
+  | San.Effect.Pick branches ->
+      J.Obj
+        [
+          ( "pick",
+            J.Arr
+              (List.map
+                 (fun (c, e) -> J.Arr [ cond_json c; effect_json ~act e ])
+                 branches) );
+        ]
+  | San.Effect.Checked { ir; _ } ->
+      J.Obj [ ("checked", effect_json ~act ir) ]
+  | San.Effect.Opaque { oname; _ } ->
+      unportable act (Printf.sprintf "opaque effect %S" oname)
+
+let dist_json d =
+  let kind k fields = J.Obj (("kind", J.Str k) :: fields) in
+  match d with
+  | San.Activity.DExp r -> kind "exponential" [ ("rate", rexpr_json r) ]
+  | San.Activity.DDet r -> kind "deterministic" [ ("delay", rexpr_json r) ]
+  | San.Activity.DUniform (lo, hi) ->
+      kind "uniform" [ ("lo", rexpr_json lo); ("hi", rexpr_json hi) ]
+  | San.Activity.DErlang (k, r) ->
+      kind "erlang" [ ("k", J.int k); ("rate", rexpr_json r) ]
+  | San.Activity.DGamma (a, b) ->
+      kind "gamma" [ ("shape", rexpr_json a); ("rate", rexpr_json b) ]
+  | San.Activity.DWeibull (a, b) ->
+      kind "weibull" [ ("shape", rexpr_json a); ("scale", rexpr_json b) ]
+  | San.Activity.DLognormal (a, b) ->
+      kind "lognormal" [ ("mu", rexpr_json a); ("sigma", rexpr_json b) ]
+  | San.Activity.DNormal (a, b) ->
+      kind "normal" [ ("mean", rexpr_json a); ("stddev", rexpr_json b) ]
+
+let timing_json ~act = function
+  | San.Activity.Instantaneous -> J.Obj [ ("type", J.Str "instantaneous") ]
+  | San.Activity.Timed { dist_ir = None; _ } ->
+      unportable act "closure-only timing distribution"
+  | San.Activity.Timed { dist_ir = Some d; policy; _ } ->
+      J.Obj
+        [
+          ("type", J.Str "timed");
+          ( "policy",
+            J.Str
+              (match policy with
+              | San.Activity.Resample -> "resample"
+              | San.Activity.Keep -> "keep") );
+          ("dist", dist_json d);
+        ]
+
+let activity_json (a : San.Activity.t) =
+  let act = a.name in
+  let guard =
+    match a.guard with
+    | Some g -> cond_json g
+    | None -> unportable act "closure enabling predicate"
+  in
+  let case_json (c : San.Activity.case) =
+    let w =
+      match c.weight_ir with
+      | Some r -> rexpr_json r
+      | None -> unportable act "closure case weight"
+    in
+    J.Obj [ ("weight", w); ("effect", effect_json ~act c.effect) ]
+  in
+  J.Obj
+    [
+      ("name", J.Str act);
+      ("timing", timing_json ~act a.timing);
+      ("guard", guard);
+      ( "reads",
+        J.Arr (List.map (fun p -> J.Str (San.Place.any_name p)) a.reads) );
+      ("cases", J.Arr (Array.to_list (Array.map case_json a.cases)));
+    ]
+
+(* One array in uid (creation) order, both kinds interleaved: the parser
+   re-creates places through the builder in array order, so the rebuilt
+   model assigns identical uids and indices — a requirement for
+   bit-identical journals and trajectories. *)
+let places_json ~bounds model =
+  let m0 = San.Model.initial_marking model in
+  let ints =
+    Array.to_list
+      (Array.map
+         (fun p ->
+           let name = San.Place.name p in
+           let fields =
+             [
+               ("name", J.Str name);
+               ("kind", J.Str "int");
+               ("init", J.int (San.Marking.get m0 p));
+             ]
+           in
+           let fields =
+             match List.assoc_opt name bounds with
+             | Some b -> fields @ [ ("bound", J.int b) ]
+             | None -> fields
+           in
+           (San.Place.uid p, J.Obj fields))
+         (San.Model.places model))
+  in
+  let floats =
+    Array.to_list
+      (Array.map
+         (fun p ->
+           ( San.Place.fuid p,
+             J.Obj
+               [
+                 ("name", J.Str (San.Place.fname p));
+                 ("kind", J.Str "float");
+                 ("init", J.Num (San.Marking.fget m0 p));
+               ] ))
+         (San.Model.float_places model))
+  in
+  List.sort (fun (a, _) (b, _) -> compare (a : int) b) (ints @ floats)
+  |> List.map snd
+
+let rec info_json (n : Compose.info) =
+  J.Obj
+    ((("label", J.Str n.label)
+      :: (match n.rep_copies with
+         | Some c -> [ ("rep", J.int c) ]
+         | None -> []))
+    @ [
+        ( "places",
+          J.Arr (List.map (fun p -> J.Str (San.Place.any_name p)) n.places) );
+        ("activities", J.Arr (List.map (fun s -> J.Str s) n.activities));
+        ("children", J.Arr (List.map info_json n.children));
+      ])
+
+let to_json ?(bounds = []) ?composition ?(annotations = []) model =
+  List.iter
+    (fun (n, _) ->
+      match San.Model.find_place_opt model n with
+      | Some _ -> ()
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Serial.to_json: bound for unknown int place %S" n))
+    bounds;
+  J.Obj
+    (("schema", J.Str schema)
+     :: ("name", J.Str (San.Model.name model))
+     :: ("places", J.Arr (places_json ~bounds model))
+     :: ( "activities",
+          J.Arr
+            (Array.to_list
+               (Array.map activity_json (San.Model.activities model))) )
+     :: (match composition with
+        | Some c -> [ ("composition", info_json c) ]
+        | None -> [])
+    @ match annotations with [] -> [] | l -> [ ("annotations", J.Obj l) ])
+
+let emit ?bounds ?composition ?annotations model =
+  J.to_string (to_json ?bounds ?composition ?annotations model)
+
+let save path j =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (J.to_string j);
+      output_char oc '\n')
+
+(* ------------------------------------------------------------------ *)
+(* Parsing.  Every error carries a JSON-pointer-style path rooted at   *)
+(* [$], e.g. [$.activities[3].cases[0].effect.ops[1]].                 *)
+(* ------------------------------------------------------------------ *)
+
+exception Parse_error of string
+
+let fail at fmt =
+  Printf.ksprintf (fun s -> raise (Parse_error (at ^ ": " ^ s))) fmt
+
+let key at k = at ^ "." ^ k
+let idx at i = Printf.sprintf "%s[%d]" at i
+
+let short j =
+  let s = J.to_string j in
+  if String.length s > 60 then String.sub s 0 57 ^ "..." else s
+
+let get_obj at = function
+  | J.Obj kvs -> kvs
+  | j -> fail at "expected an object, got %s" (short j)
+
+let get_arr at = function
+  | J.Arr l -> l
+  | j -> fail at "expected an array, got %s" (short j)
+
+let get_str at = function
+  | J.Str s -> s
+  | j -> fail at "expected a string, got %s" (short j)
+
+let get_num at = function
+  | J.Num x -> x
+  | j -> fail at "expected a number, got %s" (short j)
+
+let get_int at j =
+  let x = get_num at j in
+  if Float.is_integer x && Float.abs x <= 1e15 then int_of_float x
+  else fail at "expected an integer, got %s" (short j)
+
+let field at kvs k =
+  match List.assoc_opt k kvs with
+  | Some v -> v
+  | None -> fail at "missing field %S" k
+
+let opt_field kvs k = List.assoc_opt k kvs
+
+let any_place_ref places at name =
+  match Hashtbl.find_opt places name with
+  | Some p -> p
+  | None -> fail at "unknown place %S" name
+
+let int_place_ref places at name =
+  match Hashtbl.find_opt places name with
+  | Some (San.Place.P p) -> p
+  | Some (San.Place.F _) ->
+      fail at "place %S is a float place, expected an int place" name
+  | None -> fail at "unknown place %S" name
+
+let float_place_ref places at name =
+  match Hashtbl.find_opt places name with
+  | Some (San.Place.F p) -> p
+  | Some (San.Place.P _) ->
+      fail at "place %S is an int place, expected a float place" name
+  | None -> fail at "unknown place %S" name
+
+let rel_of at = function
+  | "=" -> San.Effect.Eq
+  | "!=" -> San.Effect.Ne
+  | "<" -> San.Effect.Lt
+  | "<=" -> San.Effect.Le
+  | ">" -> San.Effect.Gt
+  | ">=" -> San.Effect.Ge
+  | s -> fail at "unknown comparison operator %S" s
+
+let rec p_iexpr places at j =
+  match j with
+  | J.Num _ -> San.Effect.Int (get_int at j)
+  | J.Obj [ ("mark", v) ] ->
+      let kat = key at "mark" in
+      San.Effect.Mark (int_place_ref places kat (get_str kat v))
+  | J.Arr [ J.Str "ind"; c ] -> San.Effect.Ind (p_cond places (idx at 1) c)
+  | J.Arr [ J.Str (("+" | "-" | "*") as t); a; b ] ->
+      let a = p_iexpr places (idx at 1) a
+      and b = p_iexpr places (idx at 2) b in
+      (match t with
+      | "+" -> San.Effect.Add (a, b)
+      | "-" -> San.Effect.Sub (a, b)
+      | _ -> San.Effect.Mul (a, b))
+  | j -> fail at "cannot parse integer expression %s" (short j)
+
+and p_cond places at j =
+  match j with
+  | J.Bool b -> San.Effect.Const b
+  | J.Arr (J.Str "all" :: cs) ->
+      San.Effect.All (List.mapi (fun i c -> p_cond places (idx at (i + 1)) c) cs)
+  | J.Arr (J.Str "any" :: cs) ->
+      San.Effect.Any (List.mapi (fun i c -> p_cond places (idx at (i + 1)) c) cs)
+  | J.Arr [ J.Str "not"; c ] -> San.Effect.Not (p_cond places (idx at 1) c)
+  | J.Arr [ J.Str (("=" | "!=" | "<" | "<=" | ">" | ">=") as r); a; b ] ->
+      San.Effect.Cmp
+        (p_iexpr places (idx at 1) a, rel_of at r, p_iexpr places (idx at 2) b)
+  | j -> fail at "cannot parse condition %s" (short j)
+
+let rec p_fexpr places at j =
+  match j with
+  | J.Num x -> San.Effect.Flt x
+  | J.Obj [ ("fmark", v) ] ->
+      let kat = key at "fmark" in
+      San.Effect.FMark (float_place_ref places kat (get_str kat v))
+  | J.Arr [ J.Str "of_int"; e ] -> San.Effect.OfInt (p_iexpr places (idx at 1) e)
+  | J.Arr [ J.Str (("+." | "-." | "*." | "/.") as t); a; b ] ->
+      let a = p_fexpr places (idx at 1) a
+      and b = p_fexpr places (idx at 2) b in
+      (match t with
+      | "+." -> San.Effect.FAdd (a, b)
+      | "-." -> San.Effect.FSub (a, b)
+      | "*." -> San.Effect.FMul (a, b)
+      | _ -> San.Effect.FDiv (a, b))
+  | j -> fail at "cannot parse float expression %s" (short j)
+
+let rec p_rexpr places at j =
+  match j with
+  | J.Num x -> San.Effect.RConst x
+  | J.Arr [ J.Str "if"; c; a; b ] ->
+      San.Effect.RIf
+        ( p_cond places (idx at 1) c,
+          p_rexpr places (idx at 2) a,
+          p_rexpr places (idx at 3) b )
+  | j -> San.Effect.RExpr (p_fexpr places at j)
+
+let p_op places at j =
+  match j with
+  | J.Arr [ J.Str (("set" | "inc") as t); n; e ] ->
+      let p = int_place_ref places (idx at 1) (get_str (idx at 1) n) in
+      let e = p_iexpr places (idx at 2) e in
+      if t = "set" then San.Effect.Set (p, e) else San.Effect.Inc (p, e)
+  | J.Arr [ J.Str (("fset" | "finc") as t); n; e ] ->
+      let p = float_place_ref places (idx at 1) (get_str (idx at 1) n) in
+      let e = p_fexpr places (idx at 2) e in
+      if t = "fset" then San.Effect.FSet (p, e) else San.Effect.FInc (p, e)
+  | j -> fail at "cannot parse marking op %s" (short j)
+
+(* [{"checked": E}] parses to the bare IR: the reference closure cannot
+   be reconstructed from disk, so a reloaded model re-emits the inner
+   effect without the tag (and diagnostic A016 has nothing to replay). *)
+let rec p_effect places at j =
+  match j with
+  | J.Str "skip" -> San.Effect.Skip
+  | J.Obj [ ("ops", v) ] ->
+      let oat = key at "ops" in
+      San.Effect.Ops
+        (List.mapi (fun i o -> p_op places (idx oat i) o) (get_arr oat v))
+  | J.Obj [ ("seq", v) ] ->
+      let sat = key at "seq" in
+      San.Effect.Seq
+        (List.mapi (fun i e -> p_effect places (idx sat i) e) (get_arr sat v))
+  | J.Obj (("if", c) :: rest) -> (
+      let c = p_cond places (key at "if") c in
+      match rest with
+      | [ ("then", t) ] ->
+          San.Effect.If (c, p_effect places (key at "then") t, San.Effect.Skip)
+      | [ ("then", t); ("else", e) ] ->
+          San.Effect.If
+            ( c,
+              p_effect places (key at "then") t,
+              p_effect places (key at "else") e )
+      | _ ->
+          fail at "an \"if\" effect needs \"then\" and an optional \"else\"")
+  | J.Obj [ ("pick", v) ] ->
+      let pat = key at "pick" in
+      San.Effect.Pick
+        (List.mapi
+           (fun i b ->
+             let bat = idx pat i in
+             match b with
+             | J.Arr [ c; e ] ->
+                 (p_cond places (idx bat 0) c, p_effect places (idx bat 1) e)
+             | j -> fail bat "expected a [condition, effect] pair, got %s"
+                      (short j))
+           (get_arr pat v))
+  | J.Obj [ ("checked", v) ] -> p_effect places (key at "checked") v
+  | j -> fail at "cannot parse effect %s" (short j)
+
+let p_dist places at kvs =
+  let r k = p_rexpr places (key at k) (field at kvs k) in
+  match get_str (key at "kind") (field at kvs "kind") with
+  | "exponential" -> San.Activity.DExp (r "rate")
+  | "deterministic" -> San.Activity.DDet (r "delay")
+  | "uniform" -> San.Activity.DUniform (r "lo", r "hi")
+  | "erlang" ->
+      San.Activity.DErlang (get_int (key at "k") (field at kvs "k"), r "rate")
+  | "gamma" -> San.Activity.DGamma (r "shape", r "rate")
+  | "weibull" -> San.Activity.DWeibull (r "shape", r "scale")
+  | "lognormal" -> San.Activity.DLognormal (r "mu", r "sigma")
+  | "normal" -> San.Activity.DNormal (r "mean", r "stddev")
+  | k -> fail (key at "kind") "unknown distribution kind %S" k
+
+let p_timing places at j =
+  let kvs = get_obj at j in
+  match get_str (key at "type") (field at kvs "type") with
+  | "instantaneous" -> San.Activity.Instantaneous
+  | "timed" ->
+      let policy =
+        match get_str (key at "policy") (field at kvs "policy") with
+        | "resample" -> San.Activity.Resample
+        | "keep" -> San.Activity.Keep
+        | s -> fail (key at "policy") "unknown reactivation policy %S" s
+      in
+      let dat = key at "dist" in
+      let d = p_dist places dat (get_obj dat (field at kvs "dist")) in
+      San.Activity.Timed
+        { dist = San.Activity.dist_fn d; policy; dist_ir = Some d }
+  | s -> fail (key at "type") "unknown timing type %S" s
+
+let p_place b places bounds at j =
+  let kvs = get_obj at j in
+  let name = get_str (key at "name") (field at kvs "name") in
+  try
+    match get_str (key at "kind") (field at kvs "kind") with
+    | "int" ->
+        let init =
+          match opt_field kvs "init" with
+          | Some v -> get_int (key at "init") v
+          | None -> 0
+        in
+        let p = San.Model.Builder.int_place b ~init name in
+        Hashtbl.replace places name (San.Place.P p);
+        (match opt_field kvs "bound" with
+        | Some v -> bounds := (name, get_int (key at "bound") v) :: !bounds
+        | None -> ())
+    | "float" ->
+        let init =
+          match opt_field kvs "init" with
+          | Some v -> get_num (key at "init") v
+          | None -> 0.0
+        in
+        let p = San.Model.Builder.float_place b ~init name in
+        Hashtbl.replace places name (San.Place.F p)
+    | k -> fail (key at "kind") "unknown place kind %S" k
+  with Invalid_argument msg -> fail at "%s" msg
+
+let p_activity b places at j =
+  let kvs = get_obj at j in
+  let name = get_str (key at "name") (field at kvs "name") in
+  let timing = p_timing places (key at "timing") (field at kvs "timing") in
+  let guard = p_cond places (key at "guard") (field at kvs "guard") in
+  let rat = key at "reads" in
+  let reads =
+    List.mapi
+      (fun i r -> any_place_ref places (idx rat i) (get_str (idx rat i) r))
+      (get_arr rat (field at kvs "reads"))
+  in
+  let cat = key at "cases" in
+  let cases =
+    List.mapi
+      (fun i c ->
+        let cat = idx cat i in
+        let ckvs = get_obj cat c in
+        let w = p_rexpr places (key cat "weight") (field cat ckvs "weight") in
+        let eff = p_effect places (key cat "effect") (field cat ckvs "effect") in
+        San.Activity.make_case ~weight_ir:w eff)
+      (get_arr cat (field at kvs "cases"))
+  in
+  try San.Model.Builder.activity_ir b ~name ~timing ~guard ~reads cases
+  with Invalid_argument msg -> fail at "%s" msg
+
+let p_composition model places at j =
+  let rec node parent_path ~root at j =
+    let kvs = get_obj at j in
+    let label = get_str (key at "label") (field at kvs "label") in
+    let path =
+      if root then ""
+      else if parent_path = "" then label
+      else parent_path ^ "." ^ label
+    in
+    let rep_copies =
+      match opt_field kvs "rep" with
+      | Some v -> Some (get_int (key at "rep") v)
+      | None -> None
+    in
+    let pat = key at "places" in
+    let node_places =
+      List.mapi
+        (fun i p -> any_place_ref places (idx pat i) (get_str (idx pat i) p))
+        (get_arr pat (field at kvs "places"))
+    in
+    let aat = key at "activities" in
+    let activities =
+      List.mapi
+        (fun i a ->
+          let n = get_str (idx aat i) a in
+          match San.Model.find_activity model n with
+          | _ -> n
+          | exception Not_found -> fail (idx aat i) "unknown activity %S" n)
+        (get_arr aat (field at kvs "activities"))
+    in
+    let chat = key at "children" in
+    let children =
+      List.mapi
+        (fun i c -> node path ~root:false (idx chat i) c)
+        (get_arr chat (field at kvs "children"))
+    in
+    { Compose.path; label; rep_copies; places = node_places; activities;
+      children }
+  in
+  node "" ~root:true at j
+
+type loaded = {
+  model : San.Model.t;
+  composition : Compose.info option;
+  bounds : (string * int) list;
+  annotations : (string * J.t) list;
+}
+
+let of_json j =
+  try
+    let at = "$" in
+    let kvs = get_obj at j in
+    let s = get_str (key at "schema") (field at kvs "schema") in
+    if s <> schema then
+      fail (key at "schema") "unsupported schema %S (this reader reads %S)" s
+        schema;
+    let name = get_str (key at "name") (field at kvs "name") in
+    let b = San.Model.Builder.create name in
+    let places = Hashtbl.create 64 in
+    let bounds = ref [] in
+    let pat = key at "places" in
+    List.iteri
+      (fun i p -> p_place b places bounds (idx pat i) p)
+      (get_arr pat (field at kvs "places"));
+    let aat = key at "activities" in
+    List.iteri
+      (fun i a -> p_activity b places (idx aat i) a)
+      (get_arr aat (field at kvs "activities"));
+    let model = San.Model.Builder.build b in
+    let composition =
+      match opt_field kvs "composition" with
+      | Some c -> Some (p_composition model places (key at "composition") c)
+      | None -> None
+    in
+    let annotations =
+      match opt_field kvs "annotations" with
+      | None -> []
+      | Some (J.Obj l) -> l
+      | Some j -> fail (key at "annotations") "expected an object, got %s"
+                    (short j)
+    in
+    Ok { model; composition; bounds = List.rev !bounds; annotations }
+  with Parse_error msg -> Error msg
+
+let parse s = Result.bind (J.of_string s) of_json
+
+let load path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | s -> parse s
+  | exception Sys_error msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Structural diff.                                                   *)
+(* ------------------------------------------------------------------ *)
+
+module Diff = struct
+  type entry = { at : string; change : string }
+
+  let named at n = Printf.sprintf "%s[%S]" at n
+
+  (* [Some names] when every element is an object with a string "name" —
+     the shape of the places and activities arrays, which then match by
+     name instead of position. *)
+  let named_arr l =
+    let name_of = function
+      | J.Obj kvs -> (
+          match List.assoc_opt "name" kvs with
+          | Some (J.Str s) -> Some s
+          | _ -> None)
+      | _ -> None
+    in
+    let rec go acc = function
+      | [] -> Some (List.rev acc)
+      | x :: tl -> (
+          match name_of x with Some n -> go (n :: acc) tl | None -> None)
+    in
+    go [] l
+
+  let rec walk acc at a b =
+    if a = b then acc
+    else
+      match (a, b) with
+      | J.Obj ka, J.Obj kb ->
+          let acc =
+            List.fold_left
+              (fun acc (k, va) ->
+                match List.assoc_opt k kb with
+                | Some vb -> walk acc (key at k) va vb
+                | None ->
+                    { at = key at k; change = "removed (was " ^ short va ^ ")" }
+                    :: acc)
+              acc ka
+          in
+          List.fold_left
+            (fun acc (k, vb) ->
+              if List.mem_assoc k ka then acc
+              else { at = key at k; change = "added: " ^ short vb } :: acc)
+            acc kb
+      | J.Arr la, J.Arr lb -> (
+          match (named_arr la, named_arr lb) with
+          | Some na, Some nb ->
+              let pa = List.combine na la and pb = List.combine nb lb in
+              let acc =
+                List.fold_left
+                  (fun acc (n, va) ->
+                    match List.assoc_opt n pb with
+                    | Some vb -> walk acc (named at n) va vb
+                    | None ->
+                        {
+                          at = named at n;
+                          change = "removed (was " ^ short va ^ ")";
+                        }
+                        :: acc)
+                  acc pa
+              in
+              let acc =
+                List.fold_left
+                  (fun acc (n, vb) ->
+                    if List.mem_assoc n pa then acc
+                    else { at = named at n; change = "added: " ^ short vb }
+                         :: acc)
+                  acc pb
+              in
+              let ca = List.filter (fun n -> List.mem n nb) na in
+              let cb = List.filter (fun n -> List.mem n na) nb in
+              if ca <> cb then { at; change = "order changed" } :: acc else acc
+          | _ ->
+              let rec go acc i la lb =
+                match (la, lb) with
+                | [], [] -> acc
+                | va :: ta, vb :: tb -> go (walk acc (idx at i) va vb) (i + 1) ta tb
+                | va :: ta, [] ->
+                    go
+                      ({
+                         at = idx at i;
+                         change = "removed (was " ^ short va ^ ")";
+                       }
+                      :: acc)
+                      (i + 1) ta []
+                | [], vb :: tb ->
+                    go
+                      ({ at = idx at i; change = "added: " ^ short vb } :: acc)
+                      (i + 1) [] tb
+              in
+              go acc 0 la lb)
+      | _ ->
+          { at; change = "changed: " ^ short a ^ " -> " ^ short b } :: acc
+
+  let diff a b = List.rev (walk [] "$" a b)
+
+  let pp ppf entries =
+    List.iter (fun e -> Format.fprintf ppf "%s: %s@." e.at e.change) entries
+
+  let to_json entries =
+    J.Arr
+      (List.map
+         (fun e ->
+           J.Obj [ ("path", J.Str e.at); ("change", J.Str e.change) ])
+         entries)
+end

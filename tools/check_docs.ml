@@ -9,6 +9,10 @@
       the build compiles, so documented code cannot drift from the real
       API. A snippet line containing `...` is a wildcard matching any
       number of lines.
+   3. Every ```json fenced snippet under doc/ parses with Report.Json
+      (the parser behind the itua-model/1 and itua-analysis/1 formats),
+      so documented JSON shapes cannot drift into invalid syntax.
+      Snippets with a `...` elision line are skipped.
 
    Usage: dune exec tools/check_docs.exe [ROOT]   (default ROOT = .)
    Exits nonzero listing every failure; CI runs it on every push. *)
@@ -81,6 +85,8 @@ type doc = {
   links : (int * string) list;
   (* ocaml fenced snippets: (first line number, lines) *)
   ocaml_snippets : (int * string list) list;
+  (* json fenced snippets: (first line number, lines) *)
+  json_snippets : (int * string list) list;
 }
 
 (* Link targets on one line: every `](target)` occurrence. *)
@@ -107,8 +113,10 @@ let parse_markdown path =
   let slug_counts = Hashtbl.create 16 in
   let links = ref [] in
   let snippets = ref [] in
+  let json_snips = ref [] in
   let in_fence = ref false in
   let fence_is_ocaml = ref false in
+  let fence_is_json = ref false in
   let fence_buf = ref [] in
   let fence_start = ref 0 in
   List.iteri
@@ -118,17 +126,21 @@ let parse_markdown path =
         if !in_fence then begin
           if !fence_is_ocaml then
             snippets := (!fence_start, List.rev !fence_buf) :: !snippets;
+          if !fence_is_json then
+            json_snips := (!fence_start, List.rev !fence_buf) :: !json_snips;
           in_fence := false
         end
         else begin
           in_fence := true;
           fence_is_ocaml := trim line = "```ocaml";
+          fence_is_json := trim line = "```json";
           fence_buf := [];
           fence_start := lineno + 1
         end
       end
       else if !in_fence then begin
-        if !fence_is_ocaml then fence_buf := line :: !fence_buf
+        if !fence_is_ocaml || !fence_is_json then
+          fence_buf := line :: !fence_buf
       end
       else begin
         if starts_with "#" (trim line) then begin
@@ -158,6 +170,7 @@ let parse_markdown path =
     slugs;
     links = List.rev !links;
     ocaml_snippets = List.rev !snippets;
+    json_snippets = List.rev !json_snips;
   }
 
 (* --- the checks --- *)
@@ -253,12 +266,14 @@ let () =
     end
   in
   let snippets_checked = ref 0 in
+  let json_checked = ref 0 in
   List.iter
     (fun file ->
       let d = doc_of file in
       List.iter (check_link ~file) d.links;
-      (* Snippet mirroring is required for the doc/ guides only. *)
-      if Filename.basename (Filename.dirname file) = "doc" then
+      (* Snippet mirroring and JSON validity are required for the doc/
+         guides only. *)
+      if Filename.basename (Filename.dirname file) = "doc" then begin
         List.iter
           (fun (lineno, snippet) ->
             let norm =
@@ -273,13 +288,29 @@ let () =
                       side to match the other)"
                      lineno mirror_path)
             end)
-          d.ocaml_snippets)
+          d.ocaml_snippets;
+        List.iter
+          (fun (lineno, snippet) ->
+            (* A `...` elision line marks a deliberately partial
+               document; everything else must be valid JSON. *)
+            if not (List.exists (fun l -> contains_sub l "...") snippet)
+            then begin
+              incr json_checked;
+              match Report.Json.of_string (String.concat "\n" snippet) with
+              | Ok _ -> ()
+              | Error e ->
+                  fail file
+                    (Printf.sprintf "line %d: invalid json snippet: %s"
+                       lineno e)
+            end)
+          d.json_snippets
+      end)
     md_files;
   match List.rev !failures with
   | [] ->
       Printf.printf "docs check: %d markdown files, %d relative links, %d \
-                     ocaml snippets — OK\n"
-        (List.length md_files) !links_checked !snippets_checked
+                     ocaml snippets, %d json snippets — OK\n"
+        (List.length md_files) !links_checked !snippets_checked !json_checked
   | fs ->
       List.iter (fun f -> Printf.eprintf "%s\n" f) fs;
       Printf.eprintf "docs check: %d failure(s)\n" (List.length fs);
