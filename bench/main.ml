@@ -136,6 +136,23 @@ let run_perf () =
    step mid-benchmark must not corrupt the recorded timings. *)
 let now () = Obs.Clock.ns_to_s (Obs.Clock.now_ns ())
 
+(* Each row also carries a phase profile; its [itua-metrics/1] snapshot
+   is embedded in BENCH_sim.json so the CI perf gate can show WHERE the
+   time went when a row regresses (tools/perf_gate.py). The profile
+   comes from a SEPARATE pass over the same runs: per-phase clock reads
+   cost ~4x on tight event loops, so profiling the timed loop would
+   corrupt the events/sec number being gated. The phase proportions are
+   what the gate prints; only the gated throughput must be clean. *)
+let profile_pass ~model ~config ~runs =
+  let profile = Obs.Profile.create () in
+  for i = 1 to runs do
+    ignore
+      (Sim.Executor.run ~profile ~model ~config
+         ~stream:(Prng.Stream.create ~seed:(Int64.of_int i))
+         ~observer:Sim.Observer.nop ())
+  done;
+  profile
+
 let measure_throughput ~name ~model ~config ~runs =
   let metrics = Sim.Metrics.create ~model in
   let t0 = now () in
@@ -146,7 +163,7 @@ let measure_throughput ~name ~model ~config ~runs =
          ~observer:Sim.Observer.nop ())
   done;
   Sim.Metrics.add_wall metrics (now () -. t0);
-  (name, metrics)
+  (name, metrics, profile_pass ~model ~config ~runs)
 
 (* Same as [measure_throughput], but with a trajectory recorder attached —
    tracks the observer overhead of [--record-failures]. *)
@@ -168,7 +185,7 @@ let measure_throughput_recording ~name ~handles ~config ~runs =
     Sim.Trajectory.offer sink ~rep:i
   done;
   Sim.Metrics.add_wall metrics (now () -. t0);
-  (name, metrics)
+  (name, metrics, profile_pass ~model ~config ~runs)
 
 let run_throughput () =
   let two_state = bench_two_state () in
@@ -190,7 +207,7 @@ let run_throughput () =
   in
   Format.printf "@.Engine throughput (telemetry on):@.";
   List.iter
-    (fun (name, m) ->
+    (fun (name, m, _profile) ->
       Format.printf "  %-45s %10.3g events/sec (%d events over %.2fs)@." name
         (Sim.Metrics.events_per_sec m)
         m.Sim.Metrics.events m.Sim.Metrics.wall_seconds)
@@ -372,26 +389,28 @@ let fig3_point_times ~reps ~seed ~domains =
 
 (* --- exact-lumping benchmark --- *)
 
-(* Symmetry-driven lumping on the 10x1 study shape: ten exchangeable
-   single-host domains, each a three-state attack cycle (clean ->
-   compromised -> excluded -> clean). The flat chain has 3^10 states;
-   canonical ordering keeps one representative per multiset of host
-   states, so exploration and every solve shrink by ~900x while
-   symmetric measures stay exact (doc/ANALYSIS.md). *)
-let lumping_model ~n =
+(* Orbit-driven lumping on the 10x1 study shape: ten single-host
+   domains, each a three-state attack cycle (clean -> compromised ->
+   excluded -> clean), built from declarative IR so [Analysis.Orbit]
+   can read every guard, rate, and effect. [rate_of] gives the per-copy
+   compromise rate: a constant fleet yields one orbit of ten (the flat
+   3^10 chain lumps ~900x); a heterogeneous fleet splits into partial
+   orbits and the quotient is restricted accordingly (doc/ANALYSIS.md,
+   A017/A018). *)
+let lumping_model ~n ~rate_of =
   let b = San.Model.Builder.create "hosts" in
   let root = Compose.Ctx.root b "hosts" in
   let states =
-    Compose.replicate root "domain" ~n (fun ctx _ ->
+    Compose.replicate root "domain" ~n (fun ctx i ->
+        let module E = San.Effect in
         let s = Compose.Ctx.int_place ctx "state" in
         let step name rate from to_ =
-          Compose.Ctx.timed_exp ctx ~name
-            ~rate:(fun _ -> rate)
-            ~enabled:(fun m -> San.Marking.get m s = from)
+          Compose.Ctx.timed_exp_rate_ir ctx ~name ~rate:(E.RConst rate)
+            ~guard:(E.Cmp (E.Mark s, E.Eq, E.Int from))
             ~reads:[ San.Place.P s ]
-            (fun _ m -> San.Marking.set m s to_)
+            (E.Ops [ E.Set (s, E.Int to_) ])
         in
-        step "compromise" 0.3 0 1;
+        step "compromise" (rate_of i) 0 1;
         step "exclude" 0.8 1 2;
         step "restore" 0.5 2 0;
         s)
@@ -400,6 +419,7 @@ let lumping_model ~n =
 
 type lump_bench = {
   lu_label : string;
+  lu_orbits : int;  (** orbit count of the (single) replicate family *)
   lu_full_states : int;
   lu_full_wall : float;
   lu_lumped_states : int;
@@ -407,10 +427,18 @@ type lump_bench = {
   lu_measure_delta : float;
 }
 
-let run_lumping () =
-  let n = 10 in
-  let model, info, states = lumping_model ~n in
-  let groups = Analysis.Symmetry.detect model info in
+(* One lumping run: orbit analysis, unlumped vs orbit-quotient
+   exploration ([~audit:true] cross-checks the canon's soundness on
+   every merged state), and the symmetric measure E[excluded at t=5]
+   compared between the two chains. *)
+let run_lumping_case ~label ~n ~rate_of () =
+  let model, info, states = lumping_model ~n ~rate_of in
+  let rep = Analysis.Orbit.analyse model info in
+  let orbits =
+    List.fold_left
+      (fun acc f -> acc + List.length f.Analysis.Orbit.fa_orbits)
+      0 rep.Analysis.Orbit.families
+  in
   let excluded m =
     Array.fold_left
       (fun acc s -> if San.Marking.get m s = 2 then acc +. 1.0 else acc)
@@ -422,13 +450,14 @@ let run_lumping () =
   let full_wall = now () -. t0 in
   let t0 = now () in
   let lumped =
-    Ctmc.Explore.explore ~canon:(Analysis.Symmetry.canon groups) model
+    Ctmc.Explore.explore ~canon:(Analysis.Orbit.canon rep) ~audit:true model
   in
   let lumped_at5 = Ctmc.Measure.instant lumped ~at:5.0 excluded in
   let lumped_wall = now () -. t0 in
   let r =
     {
-      lu_label = Printf.sprintf "%dx1 hosts, 3-state attack cycle" n;
+      lu_label = label;
+      lu_orbits = orbits;
       lu_full_states = Ctmc.Explore.n_states full;
       lu_full_wall = full_wall;
       lu_lumped_states = Ctmc.Explore.n_states lumped;
@@ -437,6 +466,7 @@ let run_lumping () =
     }
   in
   Format.printf "@.CTMC lumping (%s):@." r.lu_label;
+  Format.printf "  orbits:   %d over %d copies@." r.lu_orbits n;
   Format.printf "  unlumped: %d states, explore+solve %.2fs@." r.lu_full_states
     r.lu_full_wall;
   Format.printf "  lumped:   %d states, explore+solve %.2fs@."
@@ -444,6 +474,26 @@ let run_lumping () =
   Format.printf "  E[excluded hosts at t=5] differs by %.3g@."
     r.lu_measure_delta;
   r
+
+let run_lumping () =
+  run_lumping_case ~label:"10x1 hosts, 3-state attack cycle" ~n:10
+    ~rate_of:(fun _ -> 0.3)
+    ()
+
+(* The heterogeneous acceptance case: the [Itua.Study.hetero_fleet_params]
+   fleet shape — ten hosts, five at the baseline compromise rate and five
+   "soft" ones at 2.5x. Full-family symmetry is broken; the orbit pass
+   must find the two partial orbits of five and still lump 3^10 = 59049
+   states down to 21^2 = 441 (>=10x, gated below) with the measure exact
+   to solver accuracy. *)
+let run_lumping_hetero () =
+  let p = Itua.Study.hetero_fleet_params () in
+  let mult = p.Itua.Params.host_rate_multipliers in
+  run_lumping_case
+    ~label:"10x1 hosts, heterogeneous: 5 baseline + 5 soft (2.5x)"
+    ~n:(Array.length mult)
+    ~rate_of:(fun i -> 0.3 *. mult.(i))
+    ()
 
 (* --- BENCH_sim.json --- *)
 
@@ -454,7 +504,19 @@ let json_escape s = Printf.sprintf "%S" s
 let json_num (fmt : (float -> string, unit, string) format) v =
   if Float.is_finite v then Printf.sprintf fmt v else "null"
 
-let write_bench_json ~reps ~micro ~throughput ~ir ~rare ~lumping ~figures =
+(* The [itua-metrics/1] snapshot for one throughput row: engine counters
+   and per-activity firings from [Sim.Metrics], phase self-times and GC
+   deltas from the profiler. Embedded verbatim (it is already canonical
+   [Report.Json] text) so tools/perf_gate.py can print the phase
+   breakdown of a regressed row. *)
+let throughput_metrics_json metrics profile =
+  let reg = Obs.Registry.create () in
+  Sim.Metrics.export metrics ~into:reg;
+  Obs.Profile.export profile ~into:reg;
+  Report.Json.to_string (Obs.Registry.to_json reg)
+
+let write_bench_json ~reps ~micro ~throughput ~ir ~rare ~lumping ~lumping_hetero
+    ~figures =
   let buf = Buffer.create 2048 in
   let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   let add_list xs render =
@@ -474,16 +536,17 @@ let write_bench_json ~reps ~micro ~throughput ~ir ~rare ~lumping ~figures =
         (json_num "%.1f" ns));
   addf "\n  ],\n";
   addf "  \"engine_throughput\": [\n";
-  add_list throughput (fun (name, (m : Sim.Metrics.t)) ->
+  add_list throughput (fun (name, (m : Sim.Metrics.t), profile) ->
       addf
         "    { \"name\": %s, \"runs\": %d, \"events\": %d, \"wall_seconds\": \
          %.4f, \"events_per_sec\": %s, \"stale_pop_fraction\": %s, \
-         \"mean_heap_depth\": %s }"
+         \"mean_heap_depth\": %s, \"metrics\": %s }"
         (json_escape name) m.Sim.Metrics.runs m.Sim.Metrics.events
         m.Sim.Metrics.wall_seconds
         (json_num "%.1f" (Sim.Metrics.events_per_sec m))
         (json_num "%.4f" (Sim.Metrics.stale_fraction m))
-        (json_num "%.2f" (Sim.Metrics.mean_heap_depth m)));
+        (json_num "%.2f" (Sim.Metrics.mean_heap_depth m))
+        (throughput_metrics_json m profile));
   addf "\n  ],\n";
   addf "  \"ir_compilation\": {\n";
   addf "    \"model\": \"itua_default_10h\",\n";
@@ -519,19 +582,21 @@ let write_bench_json ~reps ~micro ~throughput ~ir ~rare ~lumping ~figures =
         r.rb_wnv_crude r.rb_wnv_split
         (json_num "%.1f" (r.rb_wnv_crude /. r.rb_wnv_split));
       addf "  },\n");
-  (match lumping with
-  | None -> ()
-  | Some l ->
-      addf "  \"ctmc_lumping\": {\n";
-      addf "    \"config\": %s,\n" (json_escape l.lu_label);
-      addf "    \"unlumped\": { \"states\": %d, \"wall_seconds\": %.4f },\n"
-        l.lu_full_states l.lu_full_wall;
-      addf "    \"lumped\": { \"states\": %d, \"wall_seconds\": %.4f },\n"
-        l.lu_lumped_states l.lu_lumped_wall;
-      addf "    \"state_reduction\": %.1f,\n"
-        (float_of_int l.lu_full_states /. float_of_int l.lu_lumped_states);
-      addf "    \"measure_delta\": %.3g\n" l.lu_measure_delta;
-      addf "  },\n");
+  let lump_record key l =
+    addf "  %s: {\n" (json_escape key);
+    addf "    \"config\": %s,\n" (json_escape l.lu_label);
+    addf "    \"orbits\": %d,\n" l.lu_orbits;
+    addf "    \"unlumped\": { \"states\": %d, \"wall_seconds\": %.4f },\n"
+      l.lu_full_states l.lu_full_wall;
+    addf "    \"lumped\": { \"states\": %d, \"wall_seconds\": %.4f },\n"
+      l.lu_lumped_states l.lu_lumped_wall;
+    addf "    \"state_reduction\": %.1f,\n"
+      (float_of_int l.lu_full_states /. float_of_int l.lu_lumped_states);
+    addf "    \"measure_delta\": %.3g\n" l.lu_measure_delta;
+    addf "  },\n"
+  in
+  Option.iter (lump_record "ctmc_lumping") lumping;
+  Option.iter (lump_record "ctmc_lumping_hetero") lumping_hetero;
   addf "  \"figures\": [\n";
   add_list figures (fun (id, wall) ->
       addf "    { \"id\": %s, \"wall_seconds\": %.2f }" (json_escape id) wall);
@@ -615,9 +680,12 @@ let () =
       Some (timed "rare_tail" (run_rare ~cfg))
     else None
   in
+  let wants_lumping = List.mem "perf" args || List.mem "rare" args in
   let lumping =
-    if List.mem "perf" args || List.mem "rare" args then
-      Some (timed "ctmc_lumping" run_lumping)
+    if wants_lumping then Some (timed "ctmc_lumping" run_lumping) else None
+  in
+  let lumping_hetero =
+    if wants_lumping then Some (timed "ctmc_lumping_hetero" run_lumping_hetero)
     else None
   in
   let point_reps = Int.min cfg.Itua.Study.reps 200 in
@@ -626,7 +694,7 @@ let () =
       ~domains:cfg.Itua.Study.domains
   in
   write_bench_json ~reps:cfg.Itua.Study.reps ~micro ~throughput ~ir ~rare
-    ~lumping ~figures:(!figure_times @ fig3_points);
+    ~lumping ~lumping_hetero ~figures:(!figure_times @ fig3_points);
   (* Record-completeness gate: an empty micro-benchmark or throughput
      array means the record is useless as a perf baseline. *)
   if micro = [] || throughput = [] then begin
@@ -647,16 +715,32 @@ let () =
         (r.rb_wnv_crude /. r.rb_wnv_split);
       exit 1
   | _ -> ());
-  (* Lumping gate: the canonical-ordering quotient must shrink the state
-     space on the replicated 10x1 shape and leave the symmetric measure
-     unchanged to solver accuracy (doc/ANALYSIS.md). *)
-  match lumping with
+  (* Lumping gates: the orbit quotient must shrink the state space and
+     leave the symmetric measure unchanged to solver accuracy
+     (doc/ANALYSIS.md). Homogeneous 10x1 lumps to the full multiset
+     quotient (3^10 = 59049 -> 66); the heterogeneous 5+5 fleet must
+     still find its two partial orbits and shrink >=10x (21^2 = 441). *)
+  (match lumping with
   | Some l
-    when l.lu_lumped_states >= l.lu_full_states
+    when l.lu_full_states <> 59049 || l.lu_lumped_states <> 66
+         || l.lu_orbits <> 1
          || not (l.lu_measure_delta <= 1e-9) ->
       Format.eprintf
-        "ctmc-lumping gate FAILED: %d lumped vs %d full states, measure delta \
-         %.3g@."
-        l.lu_lumped_states l.lu_full_states l.lu_measure_delta;
+        "ctmc-lumping gate FAILED: %d orbit(s), %d lumped vs %d full states \
+         (want 1 orbit, 66 vs 59049), measure delta %.3g@."
+        l.lu_orbits l.lu_lumped_states l.lu_full_states l.lu_measure_delta;
+      exit 1
+  | _ -> ());
+  match lumping_hetero with
+  | Some l
+    when l.lu_orbits <> 2
+         || float_of_int l.lu_full_states
+            < 10.0 *. float_of_int l.lu_lumped_states
+         || not (l.lu_measure_delta <= 1e-9) ->
+      Format.eprintf
+        "ctmc-lumping-hetero gate FAILED: %d orbit(s) (want 2 partial \
+         orbits), %d lumped vs %d full states (want >=10x reduction), \
+         measure delta %.3g@."
+        l.lu_orbits l.lu_lumped_states l.lu_full_states l.lu_measure_delta;
       exit 1
   | _ -> ()

@@ -869,8 +869,17 @@ let check_ir_dump_arg =
                $(b,--json), the dump is embedded in the report under \
                the $(b,ir_dump) key.")
 
+let check_symmetry_arg =
+  Arg.(value & flag & info [ "symmetry" ]
+         ~doc:"Run the orbit pass (partition refinement over the effect \
+               IR): report the automorphism orbits of every replicate \
+               family with generator witnesses (A017), name the \
+               splitting element of any broken symmetry (A018), and \
+               embed the orbit report under the $(b,symmetry) key of \
+               the $(b,--json) document.")
+
 let check_run domains hosts apps replicas policy multiplier
-    spread scale model invariants strict ir_dump json =
+    spread scale model invariants strict ir_dump symmetry json =
   let h =
     match model with
     | None ->
@@ -889,7 +898,30 @@ let check_run domains hosts apps replicas policy multiplier
       ~laws:(Itua.Invariant.conservation_laws h)
       h.Itua.Model.model
   in
+  (* The orbit pass merges into the main report BEFORE printing, so its
+     A017/A018 diagnostics appear in the tally and drive the exit code
+     like any other pass. *)
+  let orbits =
+    if symmetry then
+      Some (Analysis.Orbit.analyse h.Itua.Model.model h.Itua.Model.composition)
+    else None
+  in
+  let report =
+    match orbits with
+    | None -> report
+    | Some rep ->
+        {
+          report with
+          Analysis.Check.diagnostics =
+            List.sort Analysis.Diagnostic.compare
+              (report.Analysis.Check.diagnostics
+              @ Analysis.Orbit.diagnostics rep);
+        }
+  in
   Format.printf "%a" Analysis.Check.pp report;
+  (match orbits with
+  | Some rep -> Format.printf "@.%s@." (Analysis.Orbit.describe rep)
+  | None -> ());
   if invariants then
     Format.printf "@.%a" Analysis.Structure.pp
       report.Analysis.Check.structure;
@@ -902,12 +934,19 @@ let check_run domains hosts apps replicas policy multiplier
   (match json with
   | None -> ()
   | Some path ->
+      let extra =
+        (match orbits with
+        | Some rep -> [ ("symmetry", Analysis.Orbit.to_json rep) ]
+        | None -> [])
+        @
+        match dump with
+        | Some d -> [ ("ir_dump", Analysis.Ir_dump.to_json d) ]
+        | None -> []
+      in
       let obj =
-        match (Analysis.Check.to_json report, dump) with
-        | Report.Json.Obj fields, Some d ->
-            Report.Json.Obj
-              (fields @ [ ("ir_dump", Analysis.Ir_dump.to_json d) ])
-        | j, _ -> j
+        match Analysis.Check.to_json report with
+        | Report.Json.Obj fields -> Report.Json.Obj (fields @ extra)
+        | j -> j
       in
       Report.write_jsonl path [ obj ];
       Format.printf "JSON report written to %s@." path);
@@ -926,12 +965,25 @@ let check_cmd =
       const check_run $ domains_arg $ hosts_arg $ apps_arg
       $ reps_per_app_arg $ policy_arg $ multiplier_arg $ spread_arg
       $ scale_arg $ model_arg $ check_invariants_arg $ check_strict_arg
-      $ check_ir_dump_arg $ check_json_arg)
+      $ check_ir_dump_arg $ check_symmetry_arg $ check_json_arg)
 
 (* --- mtta (exact, tiny configurations) --- *)
 
+let mtta_lump_arg =
+  Arg.(value
+       & opt (enum [ ("auto", `Auto); ("off", `Off); ("full", `Full) ]) `Off
+       & info [ "lump" ] ~docv:"MODE"
+           ~doc:"State-space lumping before the exact solve. $(b,off) \
+                 (default) explores the flat chain. $(b,auto) quotients \
+                 by the automorphism orbits the $(b,check --symmetry) \
+                 pass certifies — sound for heterogeneous fleets, with \
+                 the exploration audit cross-checking every merge \
+                 (raises on an unsound canon). $(b,full) uses the \
+                 whole-family canonical sort, which assumes every \
+                 replicate family is fully exchangeable.")
+
 let mtta_cmd =
-  let run multiplier scale model metrics_out =
+  let run multiplier scale model lump metrics_out =
     (* Only forced-choice configurations are analytically explorable. *)
     let h =
       match model with
@@ -946,11 +998,29 @@ let mtta_cmd =
               Format.eprintf "%s@." e;
               exit 2)
     in
+    let canon, audit =
+      match lump with
+      | `Off -> (None, false)
+      | `Auto ->
+          let rep =
+            Analysis.Orbit.analyse h.Itua.Model.model
+              h.Itua.Model.composition
+          in
+          Format.printf "%s@." (Analysis.Orbit.describe rep);
+          (Some (Analysis.Orbit.canon rep), true)
+      | `Full ->
+          let groups =
+            Analysis.Symmetry.detect h.Itua.Model.model
+              h.Itua.Model.composition
+          in
+          (Some (Analysis.Symmetry.canon groups), false)
+    in
     let obs = Option.map (fun _ -> Obs.Registry.create ()) metrics_out in
     let profile = Option.map (fun _ -> Obs.Profile.create ()) metrics_out in
     Format.printf
       "Exact CTMC analysis of the 1-domain/1-host/1-app/1-replica system@.";
-    (match Ctmc.Explore.explore ?obs ?profile h.Itua.Model.model with
+    (match Ctmc.Explore.explore ?canon ~audit ?obs ?profile h.Itua.Model.model
+     with
     | c ->
         Format.printf "  states: %d@." (Ctmc.Explore.n_states c);
         Format.printf "  mean time to full degradation: %.4f hours@."
@@ -969,12 +1039,16 @@ let mtta_cmd =
         | _ -> ())
     | exception Ctmc.Explore.Non_markovian msg ->
         Format.eprintf "model is not Markovian: %s@." msg;
+        exit 1
+    | exception Ctmc.Explore.Unsound_canon msg ->
+        Format.eprintf "lumping audit failed: %s@." msg;
         exit 1)
   in
   Cmd.v
     (Cmd.info "mtta"
        ~doc:"Exact mean time to full degradation of the minimal system")
-    Term.(const run $ multiplier_arg $ scale_arg $ model_arg $ metrics_out_arg)
+    Term.(const run $ multiplier_arg $ scale_arg $ model_arg $ mtta_lump_arg
+          $ metrics_out_arg)
 
 (* --- structure --- *)
 

@@ -81,6 +81,9 @@ let ir_mismatch = "A013-ir-declaration-mismatch"
 let dead_branch = "A014-dead-branch"
 let negative_capable = "A015-negative-capable-delta"
 let ir_divergence = "A016-ir-divergence"
+let orbit_report = "A017-orbit-report"
+let broken_symmetry = "A018-broken-symmetry"
+let unsound_canon = "A019-unsound-canon"
 
 let catalogue =
   [
@@ -113,4 +116,13 @@ let catalogue =
     ( ir_divergence,
       "a Checked effect's IR and reference closure disagree on some \
        marking (differential replay)" );
+    ( orbit_report,
+      "automorphism-orbit certificate for a Replicate family: the \
+       exchangeable copy classes, with verified transposition witnesses" );
+    ( broken_symmetry,
+      "a Replicate family's copies are not exchangeable; names the \
+       place, activity or rate that splits the orbit" );
+    ( unsound_canon,
+      "a caller-supplied canonicalization merges states the orbit \
+       refinement distinguishes (the quotient would be unsound)" );
   ]

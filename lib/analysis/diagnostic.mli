@@ -68,6 +68,9 @@ val ir_mismatch : string
 val dead_branch : string
 val negative_capable : string
 val ir_divergence : string
+val orbit_report : string
+val broken_symmetry : string
+val unsound_canon : string
 
 val catalogue : (string * string) list
 (** Every code with a one-line description, in code order. *)

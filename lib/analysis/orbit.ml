@@ -1,0 +1,772 @@
+module E = San.Effect
+module A = San.Activity
+module P = San.Place
+module J = Report.Json
+
+type orbit = {
+  ob_members : int list;
+  ob_int_slots : int array array;
+  ob_float_slots : int array array;
+}
+
+type break_ = { bk_copy_a : int; bk_copy_b : int; bk_reason : string }
+
+type family = {
+  fa_path : string;
+  fa_copies : int;
+  fa_depth : int;
+  fa_orbits : orbit list;
+  fa_witnesses : (int * int) list;
+  fa_breaks : break_ list;
+}
+
+type report = {
+  families : family list;
+  pure : bool;
+  blockers : string list;
+  n_int : int;
+  n_float : int;
+}
+
+exception Unverifiable of string
+
+let truncate n s = if String.length s <= n then s else String.sub s 0 n ^ "..."
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let strip_prefix prefix s =
+  let pl = String.length prefix in
+  if String.length s > pl && String.sub s 0 pl = prefix then
+    String.sub s pl (String.length s - pl)
+  else s
+
+(* ------------------------------------------------------------------ *)
+(* Declarative-readability scan: the verification below can only reason
+   about what it can read. One closure anywhere and every certificate
+   would be a guess, so the whole model must be pure IR. *)
+
+let blockers_of model =
+  let out = ref [] in
+  let add name what = out := Printf.sprintf "activity %S: %s" name what :: !out in
+  Array.iter
+    (fun (a : A.t) ->
+      (match a.A.timing with
+      | A.Instantaneous -> ()
+      | A.Timed { dist_ir = None; _ } ->
+          add a.A.name "closure-only timing distribution"
+      | A.Timed { dist_ir = Some _; _ } -> ());
+      (match a.A.guard with
+      | None -> add a.A.name "closure-only enabling predicate"
+      | Some _ -> ());
+      Array.iter
+        (fun (c : A.case) ->
+          (match c.A.weight_ir with
+          | None -> add a.A.name "closure-only case weight"
+          | Some _ -> ());
+          if not (E.is_pure c.A.effect) then add a.A.name "opaque effect closure")
+        a.A.cases)
+    (San.Model.activities model);
+  List.sort_uniq Stdlib.compare !out
+
+(* ------------------------------------------------------------------ *)
+(* Per-copy parameter signature: every Ctx.note binding in the copy's
+   subtree, rendered relative to the copy root. The initial coloring of
+   the refinement — copies with different parameters never share an
+   orbit (and the first differing binding names the A018 reason). *)
+
+let rec params_nodes (n : Compose.info) =
+  List.map (fun (k, v) -> (n.Compose.path, k, v)) n.Compose.params
+  @ List.concat_map params_nodes n.Compose.children
+
+let params_sig (copy : Compose.info) =
+  let prefix = copy.Compose.path ^ "." in
+  List.map
+    (fun (p, k, v) ->
+      let rel = if p = copy.Compose.path then "" else strip_prefix prefix p in
+      Printf.sprintf "%s:%s=%s" rel k v)
+    (params_nodes copy)
+
+(* ------------------------------------------------------------------ *)
+(* Renaming: substitute place descriptors throughout an IR term. The
+   substitution holds only the swapped slots; everything else maps to
+   itself. Renamed descriptors carry the partner copy's names, so the
+   pretty-printed shapes below compare renamed-vs-identity textually. *)
+
+type sub = { si : (int, P.t) Hashtbl.t; sf : (int, P.fl) Hashtbl.t }
+
+let id_sub = { si = Hashtbl.create 1; sf = Hashtbl.create 1 }
+
+let map_ip sub p =
+  match Hashtbl.find_opt sub.si (P.index p) with Some q -> q | None -> p
+
+let map_fp sub p =
+  match Hashtbl.find_opt sub.sf (P.findex p) with Some q -> q | None -> p
+
+let rec r_ie sub (e : E.iexpr) : E.iexpr =
+  match e with
+  | E.Int _ -> e
+  | E.Mark p -> E.Mark (map_ip sub p)
+  | E.Add (a, b) -> E.Add (r_ie sub a, r_ie sub b)
+  | E.Sub (a, b) -> E.Sub (r_ie sub a, r_ie sub b)
+  | E.Mul (a, b) -> E.Mul (r_ie sub a, r_ie sub b)
+  | E.Ind c -> E.Ind (r_cond sub c)
+
+and r_cond sub (c : E.cond) : E.cond =
+  match c with
+  | E.Const _ -> c
+  | E.Cmp (a, rel, b) -> E.Cmp (r_ie sub a, rel, r_ie sub b)
+  | E.All cs -> E.All (List.map (r_cond sub) cs)
+  | E.Any cs -> E.Any (List.map (r_cond sub) cs)
+  | E.Not c -> E.Not (r_cond sub c)
+
+let rec r_fe sub (e : E.fexpr) : E.fexpr =
+  match e with
+  | E.Flt _ -> e
+  | E.FMark p -> E.FMark (map_fp sub p)
+  | E.OfInt i -> E.OfInt (r_ie sub i)
+  | E.FAdd (a, b) -> E.FAdd (r_fe sub a, r_fe sub b)
+  | E.FSub (a, b) -> E.FSub (r_fe sub a, r_fe sub b)
+  | E.FMul (a, b) -> E.FMul (r_fe sub a, r_fe sub b)
+  | E.FDiv (a, b) -> E.FDiv (r_fe sub a, r_fe sub b)
+
+let rec r_re sub (r : E.rexpr) : E.rexpr =
+  match r with
+  | E.RConst _ -> r
+  | E.RExpr f -> E.RExpr (r_fe sub f)
+  | E.RIf (c, a, b) -> E.RIf (r_cond sub c, r_re sub a, r_re sub b)
+
+let r_op sub (op : E.op) : E.op =
+  match op with
+  | E.Set (p, e) -> E.Set (map_ip sub p, r_ie sub e)
+  | E.Inc (p, e) -> E.Inc (map_ip sub p, r_ie sub e)
+  | E.FSet (p, e) -> E.FSet (map_fp sub p, r_fe sub e)
+  | E.FInc (p, e) -> E.FInc (map_fp sub p, r_fe sub e)
+
+let rec r_eff sub (t : E.t) : E.t =
+  match t with
+  | E.Skip -> E.Skip
+  | E.Ops ops -> E.Ops (List.map (r_op sub) ops)
+  | E.Seq ts -> E.Seq (List.map (r_eff sub) ts)
+  | E.If (c, a, b) -> E.If (r_cond sub c, r_eff sub a, r_eff sub b)
+  | E.Pick bs -> E.Pick (List.map (fun (c, t) -> (r_cond sub c, r_eff sub t)) bs)
+  | E.Checked { ir; _ } -> r_eff sub ir
+  | E.Opaque o -> raise (Unverifiable ("opaque effect " ^ o.E.oname))
+
+(* ------------------------------------------------------------------ *)
+(* Normalization: canonicalize commutative structure so that two terms
+   written in different (but equivalent) orders render identically.
+   Only exactly-semantics-preserving rewrites are applied:
+
+   - integer [Add]/[Mul] chains are flattened and sorted (exact);
+   - [All]/[Any] conjunct lists are flattened and sorted (exact);
+   - float [FAdd]/[FMul] swap their two operands into canonical order
+     (IEEE-754 + and * are commutative bit-for-bit) but chains are
+     NEVER reassociated — a verified rate is the bit-identical float
+     program, which the lumped-vs-unlumped measure gates rely on;
+   - [Pick] branches are order-free by semantics and sorted;
+   - [Seq] is flattened and [Skip] dropped;
+   - an [Ops] block is sorted only when its ops are pairwise
+     independent (no op writes a place another op reads or writes) —
+     otherwise journal order matters and is preserved. *)
+
+let rec flat_add e acc =
+  match e with E.Add (a, b) -> flat_add a (flat_add b acc) | e -> e :: acc
+
+let rec flat_mul e acc =
+  match e with E.Mul (a, b) -> flat_mul a (flat_mul b acc) | e -> e :: acc
+
+let rebuild mk = function
+  | [] -> assert false
+  | x :: rest -> List.fold_left mk x rest
+
+let rec n_ie (e : E.iexpr) : E.iexpr =
+  match e with
+  | E.Int _ | E.Mark _ -> e
+  | E.Add _ ->
+      flat_add e [] |> List.map n_ie
+      |> List.sort Stdlib.compare
+      |> rebuild (fun a b -> E.Add (a, b))
+  | E.Mul _ ->
+      flat_mul e [] |> List.map n_ie
+      |> List.sort Stdlib.compare
+      |> rebuild (fun a b -> E.Mul (a, b))
+  | E.Sub (a, b) -> E.Sub (n_ie a, n_ie b)
+  | E.Ind c -> E.Ind (n_cond c)
+
+and n_cond (c : E.cond) : E.cond =
+  let rec flat_all cs =
+    List.concat_map (function E.All cs -> flat_all cs | c -> [ c ]) cs
+  in
+  let rec flat_any cs =
+    List.concat_map (function E.Any cs -> flat_any cs | c -> [ c ]) cs
+  in
+  match c with
+  | E.Const _ -> c
+  | E.Cmp (a, rel, b) -> E.Cmp (n_ie a, rel, n_ie b)
+  | E.All cs -> E.All (flat_all cs |> List.map n_cond |> List.sort Stdlib.compare)
+  | E.Any cs -> E.Any (flat_any cs |> List.map n_cond |> List.sort Stdlib.compare)
+  | E.Not c -> E.Not (n_cond c)
+
+let comm mk a b = if Stdlib.compare a b <= 0 then mk a b else mk b a
+
+let rec n_fe (e : E.fexpr) : E.fexpr =
+  match e with
+  | E.Flt _ | E.FMark _ -> e
+  | E.OfInt i -> E.OfInt (n_ie i)
+  | E.FAdd (a, b) -> comm (fun a b -> E.FAdd (a, b)) (n_fe a) (n_fe b)
+  | E.FMul (a, b) -> comm (fun a b -> E.FMul (a, b)) (n_fe a) (n_fe b)
+  | E.FSub (a, b) -> E.FSub (n_fe a, n_fe b)
+  | E.FDiv (a, b) -> E.FDiv (n_fe a, n_fe b)
+
+let rec n_re (r : E.rexpr) : E.rexpr =
+  match r with
+  | E.RConst _ -> r
+  | E.RExpr f -> E.RExpr (n_fe f)
+  | E.RIf (c, a, b) -> E.RIf (n_cond c, n_re a, n_re b)
+
+let n_op (op : E.op) : E.op =
+  match op with
+  | E.Set (p, e) -> E.Set (p, n_ie e)
+  | E.Inc (p, e) -> E.Inc (p, n_ie e)
+  | E.FSet (p, e) -> E.FSet (p, n_fe e)
+  | E.FInc (p, e) -> E.FInc (p, n_fe e)
+
+let independent_ops ops =
+  let rw op =
+    let t = E.Ops [ op ] in
+    ( Option.value (E.static_reads t) ~default:[],
+      Option.value (E.static_writes t) ~default:[] )
+  in
+  let rws = List.mapi (fun i op -> (i, rw op)) ops in
+  let disjoint a b = List.for_all (fun x -> not (List.mem x b)) a in
+  List.for_all
+    (fun (i, (_, wi)) ->
+      List.for_all
+        (fun (j, (rj, wj)) -> i = j || (disjoint wi rj && disjoint wi wj))
+        rws)
+    rws
+
+let rec n_eff (t : E.t) : E.t =
+  match t with
+  | E.Skip -> E.Skip
+  | E.Ops ops ->
+      let ops = List.map n_op ops in
+      let ops = if independent_ops ops then List.sort Stdlib.compare ops else ops in
+      E.Ops ops
+  | E.Seq ts -> (
+      let parts =
+        List.concat_map
+          (fun t ->
+            match n_eff t with E.Skip -> [] | E.Seq inner -> inner | t -> [ t ])
+          ts
+      in
+      match parts with [] -> E.Skip | [ t ] -> t | parts -> E.Seq parts)
+  | E.If (c, a, b) -> E.If (n_cond c, n_eff a, n_eff b)
+  | E.Pick bs ->
+      E.Pick
+        (List.map (fun (c, t) -> (n_cond c, n_eff t)) bs
+        |> List.sort Stdlib.compare)
+  | E.Checked { ir; _ } -> n_eff ir
+  | E.Opaque o -> raise (Unverifiable ("opaque effect " ^ o.E.oname))
+
+(* ------------------------------------------------------------------ *)
+(* Shapes: an activity's renamed-and-normalized content rendered to
+   labelled component strings (the activity's own name is deliberately
+   excluded; the name correspondence is checked by the partner lookup
+   in [verify]). *)
+
+let render pp v =
+  let buf = Buffer.create 64 in
+  let fmt = Format.formatter_of_buffer buf in
+  Format.pp_set_margin fmt 1_000_000;
+  pp fmt v;
+  Format.pp_print_flush fmt ();
+  Buffer.contents buf
+
+let str_dist sub (d : A.dist_ir) =
+  let r x = render E.pp_rexpr (n_re (r_re sub x)) in
+  match d with
+  | A.DExp x -> "exp(" ^ r x ^ ")"
+  | A.DDet x -> "det(" ^ r x ^ ")"
+  | A.DUniform (a, b) -> "uniform(" ^ r a ^ ", " ^ r b ^ ")"
+  | A.DErlang (k, x) -> Printf.sprintf "erlang(%d, %s)" k (r x)
+  | A.DGamma (a, b) -> "gamma(" ^ r a ^ ", " ^ r b ^ ")"
+  | A.DWeibull (a, b) -> "weibull(" ^ r a ^ ", " ^ r b ^ ")"
+  | A.DLognormal (a, b) -> "lognormal(" ^ r a ^ ", " ^ r b ^ ")"
+  | A.DNormal (a, b) -> "normal(" ^ r a ^ ", " ^ r b ^ ")"
+
+let shape_of sub (a : A.t) : (string * string) list =
+  let timing, dist =
+    match a.A.timing with
+    | A.Instantaneous -> ("instantaneous", "-")
+    | A.Timed { policy; dist_ir = Some d; _ } ->
+        ( (match policy with
+          | A.Keep -> "timed/keep"
+          | A.Resample -> "timed/resample"),
+          str_dist sub d )
+    | A.Timed { dist_ir = None; _ } ->
+        raise (Unverifiable ("closure-only timing of " ^ a.A.name))
+  in
+  let guard =
+    match a.A.guard with
+    | Some g -> render E.pp_cond (n_cond (r_cond sub g))
+    | None -> raise (Unverifiable ("closure-only guard of " ^ a.A.name))
+  in
+  let reads =
+    List.map
+      (function
+        | P.P p -> "I:" ^ P.name (map_ip sub p)
+        | P.F p -> "F:" ^ P.fname (map_fp sub p))
+      a.A.reads
+    |> List.sort_uniq Stdlib.compare
+    |> String.concat ","
+  in
+  let cases =
+    Array.to_list a.A.cases
+    |> List.map (fun (c : A.case) ->
+           let w =
+             match c.A.weight_ir with
+             | Some w -> render E.pp_rexpr (n_re (r_re sub w))
+             | None ->
+                 raise (Unverifiable ("closure-only case weight of " ^ a.A.name))
+           in
+           "w=" ^ w ^ "; eff=" ^ render E.pp (n_eff (r_eff sub c.A.effect)))
+    |> List.sort Stdlib.compare
+    |> String.concat " | "
+  in
+  [
+    ("timing", timing);
+    ("distribution", dist);
+    ("guard", guard);
+    ("reads", reads);
+    ("cases", cases);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Verifying one copy transposition (r c): rename every activity of the
+   whole model under the swap and require each renamed shape to equal
+   the identity shape of its name-mapped partner. Activities under
+   neither copy map to themselves, so a parent-level activity reading
+   the two copies asymmetrically fails here (and is named). Stricter
+   than a bare multiset comparison — the name correspondence is part of
+   the certificate — and never unsound. *)
+
+let verify model id_shapes sub ~rpath ~cpath =
+  let swap_prefix a b name =
+    let ap = a ^ "." in
+    if starts_with ~prefix:ap name then
+      b ^ "." ^ String.sub name (String.length ap) (String.length name - String.length ap)
+    else name
+  in
+  let partner name =
+    let mapped = swap_prefix rpath cpath name in
+    if mapped <> name then mapped else swap_prefix cpath rpath name
+  in
+  let exception Break of string in
+  try
+    Array.iter
+      (fun (a : A.t) ->
+        let pname = partner a.A.name in
+        match Hashtbl.find_opt id_shapes pname with
+        | None ->
+            raise
+              (Break
+                 (Printf.sprintf "activity %S has no counterpart %S" a.A.name
+                    pname))
+        | Some expected ->
+            let got = shape_of sub a in
+            if got <> expected then begin
+              let comp, mine, theirs =
+                match
+                  List.find_opt
+                    (fun ((_, x), (_, y)) -> (x : string) <> y)
+                    (List.combine got expected)
+                with
+                | Some ((k, x), (_, y)) -> (k, x, y)
+                | None -> ("shape", "?", "?")
+              in
+              raise
+                (Break
+                   (Printf.sprintf
+                      "activity %S is not exchangeable with %S: %s differs (%s vs %s)"
+                      a.A.name pname comp (truncate 120 mine)
+                      (truncate 120 theirs)))
+            end)
+      (San.Model.activities model);
+    Ok ()
+  with
+  | Break r -> Error r
+  | Unverifiable r -> Error r
+
+(* ------------------------------------------------------------------ *)
+
+let transposition_sub int_by_index float_by_index (ir, fr) (ic, fc) =
+  let si = Hashtbl.create 16 and sf = Hashtbl.create 16 in
+  Array.iteri
+    (fun k a ->
+      let b = ic.(k) in
+      if a <> b then begin
+        Hashtbl.replace si a (Hashtbl.find int_by_index b);
+        Hashtbl.replace si b (Hashtbl.find int_by_index a)
+      end)
+    ir;
+  Array.iteri
+    (fun k a ->
+      let b = fc.(k) in
+      if a <> b then begin
+        Hashtbl.replace sf a (Hashtbl.find float_by_index b);
+        Hashtbl.replace sf b (Hashtbl.find float_by_index a)
+      end)
+    fr;
+  { si; sf }
+
+let sig_diff_reason pa pb (sa : string list * string list)
+    (sb : string list * string list) =
+  let rec first xs ys =
+    match (xs, ys) with
+    | x :: xs, y :: ys -> if (x : string) = y then first xs ys else Some (x, y)
+    | [], [] -> None
+    | x :: _, [] -> Some (x, "<missing>")
+    | [], y :: _ -> Some ("<missing>", y)
+  in
+  let detail =
+    match first (fst sa) (fst sb) with
+    | Some (x, y) -> Printf.sprintf "place layout differs (%s vs %s)" x y
+    | None -> (
+        match first (snd sa) (snd sb) with
+        | Some (x, y) -> Printf.sprintf "activity set differs (%s vs %s)" x y
+        | None -> "structural signature differs")
+  in
+  Printf.sprintf "copy %s vs %s: %s" pa pb detail
+
+let params_diff_reason pa pb la lb =
+  let rec first xs ys =
+    match (xs, ys) with
+    | x :: xs, y :: ys -> if (x : string) = y then first xs ys else Some (x, y)
+    | [], [] -> None
+    | x :: _, [] -> Some (x, "<missing>")
+    | [], y :: _ -> Some ("<missing>", y)
+  in
+  match first la lb with
+  | Some (x, y) ->
+      Printf.sprintf "copy %s vs %s: parameter differs (%s vs %s)" pa pb x y
+  | None -> Printf.sprintf "copy %s vs %s: parameters differ" pa pb
+
+let analyse model (root : Compose.info) =
+  let blockers = blockers_of model in
+  let pure = blockers = [] in
+  let ints = San.Model.places model in
+  let floats = San.Model.float_places model in
+  let int_by_index = Hashtbl.create 64 in
+  let float_by_index = Hashtbl.create 64 in
+  Array.iter (fun p -> Hashtbl.replace int_by_index (P.index p) p) ints;
+  Array.iter (fun p -> Hashtbl.replace float_by_index (P.findex p) p) floats;
+  let id_shapes = Hashtbl.create 64 in
+  if pure then
+    Array.iter
+      (fun (a : A.t) -> Hashtbl.replace id_shapes a.A.name (shape_of id_sub a))
+      (San.Model.activities model);
+  let families = ref [] in
+  let rec walk depth (n : Compose.info) =
+    List.iter
+      (fun (label, members) ->
+        match members with
+        | [] | [ _ ] -> ()
+        | _ ->
+            let fa_path =
+              if n.Compose.path = "" then label
+              else n.Compose.path ^ "." ^ label
+            in
+            let members = Array.of_list members in
+            let ncopies = Array.length members in
+            let sigs =
+              Array.map (fun c -> Symmetry.copy_signature model c) members
+            in
+            let slots = Array.map Symmetry.copy_slots members in
+            let prms = Array.map params_sig members in
+            let orbits : (int * int list ref) list ref = ref [] in
+            let witnesses = ref [] and breaks = ref [] in
+            for c = 0 to ncopies - 1 do
+              if not pure then orbits := !orbits @ [ (c, ref [ c ]) ]
+              else begin
+                let first_reason = ref None in
+                let rec try_join = function
+                  | [] -> false
+                  | (r, ms) :: rest ->
+                      let fail reason =
+                        if !first_reason = None then
+                          first_reason := Some (r, reason);
+                        try_join rest
+                      in
+                      if sigs.(r) <> sigs.(c) then
+                        fail
+                          (sig_diff_reason members.(r).Compose.path
+                             members.(c).Compose.path sigs.(r) sigs.(c))
+                      else if prms.(r) <> prms.(c) then
+                        fail
+                          (params_diff_reason members.(r).Compose.path
+                             members.(c).Compose.path prms.(r) prms.(c))
+                      else begin
+                        let sub =
+                          transposition_sub int_by_index float_by_index
+                            slots.(r) slots.(c)
+                        in
+                        match
+                          verify model id_shapes sub
+                            ~rpath:members.(r).Compose.path
+                            ~cpath:members.(c).Compose.path
+                        with
+                        | Ok () ->
+                            ms := c :: !ms;
+                            witnesses := (r, c) :: !witnesses;
+                            true
+                        | Error reason -> fail reason
+                      end
+                in
+                if not (try_join !orbits) then begin
+                  orbits := !orbits @ [ (c, ref [ c ]) ];
+                  match !first_reason with
+                  | Some (r, reason) ->
+                      breaks :=
+                        { bk_copy_a = r; bk_copy_b = c; bk_reason = reason }
+                        :: !breaks
+                  | None -> ()
+                end
+              end
+            done;
+            let fa_orbits =
+              List.map
+                (fun (_, ms) ->
+                  let mem = List.sort Int.compare !ms in
+                  {
+                    ob_members = mem;
+                    ob_int_slots =
+                      Array.of_list (List.map (fun c -> fst slots.(c)) mem);
+                    ob_float_slots =
+                      Array.of_list (List.map (fun c -> snd slots.(c)) mem);
+                  })
+                !orbits
+            in
+            families :=
+              {
+                fa_path;
+                fa_copies = ncopies;
+                fa_depth = depth;
+                fa_orbits;
+                fa_witnesses = List.rev !witnesses;
+                fa_breaks = List.rev !breaks;
+              }
+              :: !families)
+      (Compose.rep_families n);
+    List.iter (walk (depth + 1)) n.Compose.children
+  in
+  walk 0 root;
+  let families =
+    List.rev !families
+    |> List.stable_sort (fun a b -> Int.compare b.fa_depth a.fa_depth)
+  in
+  {
+    families;
+    pure;
+    blockers;
+    n_int = Array.length ints;
+    n_float = Array.length floats;
+  }
+
+(* ------------------------------------------------------------------ *)
+
+let canon report (ints0, floats0) =
+  let ints = Array.copy ints0 and floats = Array.copy floats0 in
+  List.iter
+    (fun fam ->
+      List.iter
+        (fun ob ->
+          let k = Array.length ob.ob_int_slots in
+          if k > 1 then begin
+            let subs =
+              Array.init k (fun m ->
+                  ( Array.map (fun i -> ints.(i)) ob.ob_int_slots.(m),
+                    Array.map (fun i -> floats.(i)) ob.ob_float_slots.(m) ))
+            in
+            Array.sort Stdlib.compare subs;
+            Array.iteri
+              (fun m (iv, fv) ->
+                Array.iteri (fun j v -> ints.(ob.ob_int_slots.(m).(j)) <- v) iv;
+                Array.iteri
+                  (fun j v -> floats.(ob.ob_float_slots.(m).(j)) <- v)
+                  fv)
+              subs
+          end)
+        fam.fa_orbits)
+    report.families;
+  (ints, floats)
+
+let trivial report =
+  List.for_all
+    (fun f -> List.for_all (fun o -> List.length o.ob_members < 2) f.fa_orbits)
+    report.families
+
+let members_str ms = String.concat "," (List.map string_of_int ms)
+
+let check_canon report f =
+  let out = ref [] in
+  List.iter
+    (fun fam ->
+      match fam.fa_orbits with
+      | [] | [ _ ] -> ()
+      | o0 :: rest ->
+          let bump o =
+            let ints = Array.make report.n_int 0 in
+            let floats = Array.make report.n_float 0.0 in
+            if Array.length o.ob_int_slots.(0) > 0 then
+              ints.(o.ob_int_slots.(0).(0)) <- 1
+            else if Array.length o.ob_float_slots.(0) > 0 then
+              floats.(o.ob_float_slots.(0).(0)) <- 1.0;
+            (ints, floats)
+          in
+          List.iter
+            (fun ok ->
+              let k0 = bump o0 and k1 = bump ok in
+              if k0 <> k1 && f k0 = f k1 then
+                out :=
+                  Diagnostic.v ~code:Diagnostic.unsound_canon
+                    ~severity:Diagnostic.Error
+                    ~source:(Diagnostic.Composition fam.fa_path)
+                    (Printf.sprintf
+                       "canonicalization merges copy %d (orbit {%s}) with copy %d (orbit {%s}): the orbit refinement distinguishes them, so the quotient would be unsound"
+                       (List.hd o0.ob_members)
+                       (members_str o0.ob_members)
+                       (List.hd ok.ob_members)
+                       (members_str ok.ob_members))
+                  :: !out)
+            rest)
+    report.families;
+  List.sort Diagnostic.compare !out
+
+(* ------------------------------------------------------------------ *)
+
+let diagnostics report =
+  let ds =
+    List.concat_map
+      (fun fam ->
+        let orbit_str =
+          String.concat " "
+            (List.map (fun o -> "{" ^ members_str o.ob_members ^ "}") fam.fa_orbits)
+        in
+        let wit =
+          match fam.fa_witnesses with
+          | [] -> ""
+          | ws ->
+              "; witnesses "
+              ^ String.concat ""
+                  (List.map (fun (a, b) -> Printf.sprintf "(%d %d)" a b) ws)
+        in
+        let n = List.length fam.fa_orbits in
+        let head =
+          Diagnostic.v ~code:Diagnostic.orbit_report ~severity:Diagnostic.Info
+            ~source:(Diagnostic.Composition fam.fa_path)
+            (Printf.sprintf "%d orbit%s over %d copies: %s%s" n
+               (if n = 1 then "" else "s")
+               fam.fa_copies orbit_str wit)
+        in
+        let breaks =
+          List.map
+            (fun b ->
+              Diagnostic.v ~code:Diagnostic.broken_symmetry
+                ~severity:Diagnostic.Warning
+                ~source:(Diagnostic.Composition fam.fa_path)
+                (Printf.sprintf "copies %d and %d are not exchangeable: %s"
+                   b.bk_copy_a b.bk_copy_b b.bk_reason))
+            fam.fa_breaks
+        in
+        let impure =
+          if report.pure then []
+          else
+            [
+              Diagnostic.v ~code:Diagnostic.broken_symmetry
+                ~severity:Diagnostic.Warning
+                ~source:(Diagnostic.Composition fam.fa_path)
+                (Printf.sprintf
+                   "copies cannot be verified exchangeable: the model is not fully declarative (%s)"
+                   (truncate 200 (String.concat "; " report.blockers)));
+            ]
+        in
+        (head :: breaks) @ impure)
+      report.families
+  in
+  List.sort Diagnostic.compare ds
+
+let describe report =
+  let header =
+    if report.pure then []
+    else
+      "model is not fully declarative; orbits degraded to singletons:"
+      :: List.map (fun b -> "  " ^ b)
+           (List.filteri (fun i _ -> i < 5) report.blockers)
+  in
+  let fams =
+    List.map
+      (fun fam ->
+        let n = List.length fam.fa_orbits in
+        let base =
+          Printf.sprintf "%s: %d copies -> %d orbit%s %s" fam.fa_path
+            fam.fa_copies n
+            (if n = 1 then "" else "s")
+            (String.concat " "
+               (List.map
+                  (fun o -> "{" ^ members_str o.ob_members ^ "}")
+                  fam.fa_orbits))
+        in
+        let breaks =
+          List.map
+            (fun b ->
+              Printf.sprintf "  break (%d,%d): %s" b.bk_copy_a b.bk_copy_b
+                b.bk_reason)
+            fam.fa_breaks
+        in
+        String.concat "\n" (base :: breaks))
+      report.families
+  in
+  String.concat "\n" (header @ fams)
+
+let to_json report =
+  J.Obj
+    [
+      ("schema", J.Str "itua-orbits/1");
+      ("pure", J.Bool report.pure);
+      ("blockers", J.Arr (List.map (fun s -> J.Str s) report.blockers));
+      ( "families",
+        J.Arr
+          (List.map
+             (fun fam ->
+               J.Obj
+                 [
+                   ("family", J.Str fam.fa_path);
+                   ("copies", J.int fam.fa_copies);
+                   ("depth", J.int fam.fa_depth);
+                   ( "orbits",
+                     J.Arr
+                       (List.map
+                          (fun o -> J.Arr (List.map J.int o.ob_members))
+                          fam.fa_orbits) );
+                   ( "witnesses",
+                     J.Arr
+                       (List.map
+                          (fun (a, b) -> J.Arr [ J.int a; J.int b ])
+                          fam.fa_witnesses) );
+                   ( "breaks",
+                     J.Arr
+                       (List.map
+                          (fun b ->
+                            J.Obj
+                              [
+                                ("copy_a", J.int b.bk_copy_a);
+                                ("copy_b", J.int b.bk_copy_b);
+                                ("reason", J.Str b.bk_reason);
+                              ])
+                          fam.fa_breaks) );
+                 ])
+             report.families) );
+    ]

@@ -54,6 +54,9 @@ let slots_of copy =
   ( Array.of_list (List.rev !ints),
     Array.of_list (List.rev !floats) )
 
+let copy_signature model copy = signature (San.Model.initial_marking model) copy
+let copy_slots = slots_of
+
 let detect model (root : Compose.info) =
   let m0 = San.Model.initial_marking model in
   let groups = ref [] in

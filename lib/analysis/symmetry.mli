@@ -34,6 +34,19 @@ type group = {
   depth : int;  (** nesting depth; deeper groups are canonicalized first *)
 }
 
+val copy_signature :
+  San.Model.t -> Compose.info -> string list * string list
+(** A copy's structural signature: relative place renderings (name,
+    kind, initial marking, declaration order) and relative activity
+    names. Two copies with equal signatures hold the same state shape,
+    so their sub-state vectors are comparable slot by slot. Shared by
+    {!detect} and the orbit pass ([Analysis.Orbit]). *)
+
+val copy_slots : Compose.info -> int array * int array
+(** The marking-array indices (int, float) of every place in the copy's
+    subtree, in declaration order — aligned across copies of equal
+    {!copy_signature}. *)
+
 val detect : San.Model.t -> Compose.info -> group list
 (** [detect model root] walks the composition tree and returns every
     Rep family (two or more copies) whose copies are structurally

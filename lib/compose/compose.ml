@@ -4,6 +4,7 @@ type node = {
   mutable children : node list;  (* reversed *)
   mutable node_places : San.Place.any list;  (* reversed *)
   mutable node_activities : string list;  (* reversed *)
+  mutable node_params : (string * string) list;  (* reversed *)
 }
 
 and kind = Root | Rep of int | Join_branch
@@ -12,7 +13,14 @@ module Ctx = struct
   type t = { b : San.Model.Builder.t; path : string list; node : node }
 
   let make_node label kind =
-    { label; kind; children = []; node_places = []; node_activities = [] }
+    {
+      label;
+      kind;
+      children = [];
+      node_places = [];
+      node_activities = [];
+      node_params = [];
+    }
 
   let root b name = { b; path = []; node = make_node name Root }
 
@@ -36,6 +44,12 @@ module Ctx = struct
   let record_activity ctx name =
     ctx.node.node_activities <- name :: ctx.node.node_activities
 
+  let note ctx key value =
+    if List.mem_assoc key ctx.node.node_params then
+      invalid_arg
+        (Printf.sprintf "Compose.Ctx.note: duplicate parameter %S" key);
+    ctx.node.node_params <- (key, value) :: ctx.node.node_params
+
   let timed ctx ~name ?policy ~dist ~enabled ~reads cases =
     let name = qualify ctx name in
     record_activity ctx name;
@@ -58,6 +72,23 @@ module Ctx = struct
     record_activity ctx name;
     San.Model.Builder.instantaneous ctx.b ~name ~enabled ~reads effect
 
+  let timed_exp_rate_ir ctx ~name ?policy ~rate ~guard ~reads effect =
+    let name = qualify ctx name in
+    record_activity ctx name;
+    San.Model.Builder.timed_exp_rate_ir ctx.b ~name ?policy ~rate ~guard
+      ~reads effect
+
+  let timed_exp_cases_rate_ir ctx ~name ?policy ~rate ~guard ~reads cases =
+    let name = qualify ctx name in
+    record_activity ctx name;
+    San.Model.Builder.timed_exp_cases_rate_ir ctx.b ~name ?policy ~rate
+      ~guard ~reads cases
+
+  let instantaneous_ir ctx ~name ~guard ~reads effect =
+    let name = qualify ctx name in
+    record_activity ctx name;
+    San.Model.Builder.instantaneous_ir ctx.b ~name ~guard ~reads effect
+
   let child ctx label kind =
     let node = make_node label kind in
     ctx.node.children <- node :: ctx.node.children;
@@ -78,6 +109,7 @@ type info = {
   rep_copies : int option;
   places : San.Place.any list;
   activities : string list;
+  params : (string * string) list;
   children : info list;
 }
 
@@ -92,6 +124,7 @@ let info ctx =
       rep_copies = (match node.kind with Rep n -> Some n | _ -> None);
       places = List.rev node.node_places;
       activities = List.rev node.node_activities;
+      params = List.rev node.node_params;
       children = List.rev_map (of_node rev_path) node.children;
     }
   in

@@ -78,6 +78,49 @@ module Ctx : sig
     reads:San.Place.any list ->
     (San.Activity.ctx -> San.Marking.t -> unit) ->
     unit
+
+  (** {2 Declarative (IR) activities}
+
+      Namespaced counterparts of the {!San.Model.Builder} IR entry
+      points: guard, rate and effect are declarative data, so composed
+      submodels built through these are serializable and exactly
+      analyzable (including the orbit pass of [Analysis.Orbit]). *)
+
+  val timed_exp_rate_ir :
+    t ->
+    name:string ->
+    ?policy:San.Activity.policy ->
+    rate:San.Effect.rexpr ->
+    guard:San.Effect.cond ->
+    reads:San.Place.any list ->
+    San.Effect.t ->
+    unit
+
+  val timed_exp_cases_rate_ir :
+    t ->
+    name:string ->
+    ?policy:San.Activity.policy ->
+    rate:San.Effect.rexpr ->
+    guard:San.Effect.cond ->
+    reads:San.Place.any list ->
+    (float * San.Effect.t) list ->
+    unit
+
+  val instantaneous_ir :
+    t ->
+    name:string ->
+    guard:San.Effect.cond ->
+    reads:San.Place.any list ->
+    San.Effect.t ->
+    unit
+
+  val note : t -> string -> string -> unit
+  (** [note ctx key value] records a per-copy parameter on this node —
+      e.g. a heterogeneous copy's rate multiplier. Notes surface in
+      {!info} as {!info.params} (declaration order), where the symmetry
+      passes use them to explain why two copies of a Rep family are not
+      exchangeable. Raises [Invalid_argument] on a duplicate [key] for
+      the same node. *)
 end
 
 val replicate : Ctx.t -> string -> n:int -> (Ctx.t -> int -> 'a) -> 'a array
@@ -106,6 +149,9 @@ type info = {
   rep_copies : int option;  (** [Some n] on a Rep child *)
   places : San.Place.any list;  (** created via {!Ctx.int_place}/{!Ctx.float_place} *)
   activities : string list;  (** qualified names, declaration order *)
+  params : (string * string) list;
+      (** per-copy parameters recorded via {!Ctx.note}, declaration
+          order *)
   children : info list;
 }
 

@@ -1,4 +1,5 @@
 exception Non_markovian of string
+exception Unsound_canon of string
 exception Vanishing_loop = Walker.Vanishing_loop
 exception Too_many_states = Walker.Too_many_states
 
@@ -24,15 +25,96 @@ let resolve_vanishing model m =
   try Walker.resolve_vanishing model m
   with Walker.Bad_weights msg -> raise (Non_markovian msg)
 
-let explore ?(max_states = 200_000) ?(canon = fun k -> k) ?obs ?profile model
-    =
+(* One-step expansion of a stable marking: [emit] receives every stable
+   successor key (pre-canon) with its rate contribution. Factored out of
+   the frontier loop so the canon audit below can expand a state without
+   interning anything. *)
+let expand model m emit =
+  Array.iter
+    (fun (a : San.Activity.t) ->
+      match a.San.Activity.timing with
+      | San.Activity.Instantaneous -> ()
+      | San.Activity.Timed { dist; _ } ->
+          if a.enabled m then begin
+            let rate =
+              match Dist.rate_of_exponential (dist m) with
+              | Some r -> r
+              | None ->
+                  raise
+                    (Non_markovian
+                       (Printf.sprintf
+                          "activity %s has non-exponential distribution %s"
+                          a.name
+                          (Format.asprintf "%a" Dist.pp (dist m))))
+            in
+            if rate > 0.0 then begin
+              let weights = normalized_weights a m in
+              Array.iteri
+                (fun case w ->
+                  if w > 0.0 then
+                    Walker.case_outcomes a case (San.Marking.copy m)
+                    |> List.iter (fun (wo, m') ->
+                           List.iter
+                             (fun (k, p) -> emit k (rate *. w *. wo *. p))
+                             (resolve_vanishing model m')))
+                weights
+            end
+          end)
+    (San.Model.activities model)
+
+let explore ?(max_states = 200_000) ?(canon = fun k -> k) ?(audit = false)
+    ?obs ?profile model =
   (match profile with
   | None -> ()
   | Some p -> Obs.Profile.enter p Obs.Profile.Ctmc_explore);
   let pool = Walker.Pool.create () in
   let frontier = Queue.create () in
+  (* Lumpability audit: a sound canon maps a state and its representative
+     to identical one-step behaviour over canonical classes. Checked on
+     every distinct pre-canon key whose representative differs. *)
+  let successors_by_class m =
+    let tbl = Hashtbl.create 16 in
+    expand model m (fun k r ->
+        let c = canon k in
+        let prev = Option.value ~default:0.0 (Hashtbl.find_opt tbl c) in
+        Hashtbl.replace tbl c (prev +. r));
+    tbl
+  in
+  let audited = Hashtbl.create 256 in
+  let audit_key k ck =
+    if not (Hashtbl.mem audited k) then begin
+      Hashtbl.add audited k ();
+      if canon ck <> ck then
+        raise
+          (Unsound_canon
+             "canon is not idempotent on a reachable state's representative");
+      let s1 = successors_by_class (restore model k) in
+      let s2 = successors_by_class (restore model ck) in
+      (* Transitions staying inside the source's class are self-loops of
+         the quotient on both sides; ignore them like the builder does. *)
+      Hashtbl.remove s1 ck;
+      Hashtbl.remove s2 ck;
+      let check a b =
+        Hashtbl.iter
+          (fun c r ->
+            let r' = Option.value ~default:0.0 (Hashtbl.find_opt b c) in
+            let tol = 1e-9 *. Float.max 1.0 (Float.max (abs_float r) (abs_float r')) in
+            if abs_float (r -. r') > tol then
+              raise
+                (Unsound_canon
+                   (Printf.sprintf
+                      "canon merges states with different one-step behaviour: rate to a canonical class differs (%.17g vs %.17g)"
+                      r r')))
+          a
+      in
+      check s1 s2;
+      check s2 s1
+    end
+  in
   let intern k =
-    let i, fresh = Walker.Pool.intern pool ~max_states (canon k) in
+    let ck = canon k in
+    if audit && ck <> k then audit_key k ck;
+    let i, fresh = Walker.Pool.intern pool ~max_states ck in
     if fresh then Queue.add i frontier;
     i
   in
@@ -44,42 +126,9 @@ let explore ?(max_states = 200_000) ?(canon = fun k -> k) ?obs ?profile model
   while not (Queue.is_empty frontier) do
     let i = Queue.pop frontier in
     let m = restore model (Walker.Pool.get pool i) in
-    Array.iter
-      (fun (a : San.Activity.t) ->
-        match a.San.Activity.timing with
-        | San.Activity.Instantaneous -> ()
-        | San.Activity.Timed { dist; _ } ->
-            if a.enabled m then begin
-              let rate =
-                match Dist.rate_of_exponential (dist m) with
-                | Some r -> r
-                | None ->
-                    raise
-                      (Non_markovian
-                         (Printf.sprintf
-                            "activity %s has non-exponential distribution %s"
-                            a.name
-                            (Format.asprintf "%a" Dist.pp (dist m))))
-              in
-              if rate > 0.0 then begin
-                let weights = normalized_weights a m in
-                Array.iteri
-                  (fun case w ->
-                    if w > 0.0 then
-                      Walker.case_outcomes a case (San.Marking.copy m)
-                      |> List.iter (fun (wo, m') ->
-                             List.iter
-                               (fun (k, p) ->
-                                 let j = intern k in
-                                 if j <> i then
-                                   transitions :=
-                                     (i, j, rate *. w *. wo *. p)
-                                     :: !transitions)
-                               (resolve_vanishing model m')))
-                  weights
-              end
-            end)
-      (San.Model.activities model)
+    expand model m (fun k r ->
+        let j = intern k in
+        if j <> i then transitions := (i, j, r) :: !transitions)
   done;
   let n = Walker.Pool.size pool in
   let merged = Array.make n [] in

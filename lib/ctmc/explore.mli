@@ -22,11 +22,17 @@ exception Vanishing_loop of string
 exception Too_many_states of int
 (** Exploration exceeded [max_states]. *)
 
+exception Unsound_canon of string
+(** The [~audit:true] cross-check caught the supplied [canon] merging
+    states with different one-step behaviour (or failing idempotence):
+    the quotient chain would not be a lumping of the full chain. *)
+
 type t
 
 val explore :
   ?max_states:int ->
   ?canon:(int array * float array -> int array * float array) ->
+  ?audit:bool ->
   ?obs:Obs.Registry.t ->
   ?profile:Obs.Profile.t ->
   San.Model.t ->
@@ -44,7 +50,16 @@ val explore :
     model (see [Analysis.Symmetry]), the resulting chain is the lumped
     quotient and every measure over symmetric reward functions is
     preserved. [canon] must be pure and idempotent on its image; the
-    default is the identity. *)
+    default is the identity.
+
+    [audit] (default [false]) cross-checks strong lumpability on the
+    fly: for every distinct pre-canon key whose representative differs,
+    the one-step successor-rate distribution over canonical classes of
+    the key and of its representative must agree within 1e-9 relative
+    tolerance (and [canon] must be idempotent there). Violations raise
+    {!Unsound_canon}. Expanding both sides costs roughly the unlumped
+    exploration on top of the lumped one — intended for validation runs
+    and CI gates, not the hot path. *)
 
 val n_states : t -> int
 

@@ -374,7 +374,7 @@ let build params =
   in
   let domains =
     Compose.join root "security_domains" (fun doms_ctx ->
-        Compose.replicate doms_ctx "domain" ~n:nd (fun d_ctx _d ->
+        Compose.replicate doms_ctx "domain" ~n:nd (fun d_ctx d ->
             let excluded = Compose.Ctx.int_place d_ctx "excluded" in
             let spread = Compose.Ctx.float_place d_ctx "attack_spread_domain" in
             let dom_mgrs_running =
@@ -388,7 +388,15 @@ let build params =
                   Compose.Ctx.int_place d_ctx (Printf.sprintf "has_app[%d]" a))
             in
             let hosts =
-              Compose.replicate d_ctx "host" ~n:nhosts (fun h_ctx _h ->
+              Compose.replicate d_ctx "host" ~n:nhosts (fun h_ctx h ->
+                  (* A heterogeneous fleet is declared per copy: the orbit
+                     pass reads these notes as the copies' coloring, so
+                     hosts split into partial orbits by multiplier instead
+                     of being silently assumed exchangeable. *)
+                  if Array.length p.Params.host_rate_multipliers <> 0 then
+                    Compose.Ctx.note h_ctx "host_rate_multiplier"
+                      (Report.Json.float_to_string
+                         (Params.host_rate_multiplier p ((d * nhosts) + h)));
                   {
                     alive = Compose.Ctx.int_place h_ctx ~init:1 "alive";
                     attacked = Compose.Ctx.int_place h_ctx "attacked";
@@ -713,7 +721,7 @@ let build params =
       ~rate:
         (E.RExpr
            (E.FAdd
-              ( E.Flt (Params.host_attack_rate p),
+              ( E.Flt (Params.host_attack_rate_of p g),
                 E.FMul
                   ( E.Flt (Params.host_spread_slope p),
                     E.FAdd (E.FMark dp.spread, E.FMark spread_sys) ) )))

@@ -34,6 +34,7 @@ type t = {
   quorum_gates_recovery : bool;
   spread_outlives_host : bool;
   rate_scale : float;
+  host_rate_multipliers : float array;
 }
 
 let default =
@@ -71,6 +72,7 @@ let default =
     quorum_gates_recovery = true;
     spread_outlives_host = true;
     rate_scale = 0.4;
+    host_rate_multipliers = [||];
   }
 
 let is_prob x = 0.0 <= x && x <= 1.0
@@ -127,6 +129,17 @@ let validate p =
   else if p.misbehave_rate < 0.0 then err "misbehave_rate must be >= 0"
   else if not (p.recovery_rate > 0.0) then err "recovery_rate must be > 0"
   else if not (p.rate_scale > 0.0) then err "rate_scale must be > 0"
+  else if
+    Array.length p.host_rate_multipliers <> 0
+    && Array.length p.host_rate_multipliers
+       <> p.num_domains * p.hosts_per_domain
+  then err "host_rate_multipliers must be empty or have one entry per host"
+  else if
+    not
+      (Array.for_all
+         (fun x -> x > 0.0 && Float.is_finite x)
+         p.host_rate_multipliers)
+  then err "host_rate_multipliers must be positive and finite"
   else Ok ()
 
 let check p =
@@ -150,6 +163,12 @@ let reference_replicas = 28.0
 let host_attack_rate p =
   p.rate_scale *. p.attack_rate_system *. p.attack_share_host
   /. reference_hosts
+
+let host_rate_multiplier p g =
+  if Array.length p.host_rate_multipliers = 0 then 1.0
+  else p.host_rate_multipliers.(g)
+
+let host_attack_rate_of p g = host_attack_rate p *. host_rate_multiplier p g
 
 let host_spread_slope p =
   p.spread_slope *. p.attack_rate_system /. reference_hosts
@@ -219,6 +238,10 @@ let to_json p =
       ("quorum_gates_recovery", J.Bool p.quorum_gates_recovery);
       ("spread_outlives_host", J.Bool p.spread_outlives_host);
       ("rate_scale", J.Num p.rate_scale);
+      ( "host_rate_multipliers",
+        J.Arr
+          (Array.to_list (Array.map (fun x -> J.Num x) p.host_rate_multipliers))
+      );
     ]
 
 let of_json j =
@@ -249,6 +272,24 @@ let of_json j =
       match get k with
       | J.Bool b -> b
       | _ -> raise (Bad (Printf.sprintf "field %S must be a boolean" k))
+    in
+    (* Optional with default: absent in itua-model/1 files written before
+       heterogeneous fleets existed; emitting it unconditionally keeps
+       to_json deterministic going forward. *)
+    let host_rate_multipliers =
+      match List.assoc_opt "host_rate_multipliers" kvs with
+      | None -> [||]
+      | Some (J.Arr xs) ->
+          Array.of_list
+            (List.map
+               (function
+                 | J.Num x -> x
+                 | _ ->
+                     raise
+                       (Bad "field \"host_rate_multipliers\" must hold numbers"))
+               xs)
+      | Some _ ->
+          raise (Bad "field \"host_rate_multipliers\" must be an array")
     in
     let policy =
       match get "policy" with
@@ -291,6 +332,7 @@ let of_json j =
         quorum_gates_recovery = bool "quorum_gates_recovery";
         spread_outlives_host = bool "spread_outlives_host";
         rate_scale = num "rate_scale";
+        host_rate_multipliers;
       }
     in
     match validate p with Ok () -> Ok p | Error msg -> Error msg

@@ -108,6 +108,15 @@ type t = {
           the Figure 3 curves. The default 0.4 calibrates the exclusion
           rate to the paper's regime; all shape conclusions are insensitive
           to this factor (see EXPERIMENTS.md). *)
+  host_rate_multipliers : float array;
+      (** per-host factors on the base host attack rate, indexed by global
+          host id (domain-major, [num_hosts] entries) — a heterogeneous
+          fleet in which some hosts are harder targets than others. [[||]]
+          (the default) means homogeneous (all 1.0). A non-empty array
+          makes the model builder record each host's multiplier as a
+          per-copy composition parameter ([Compose.Ctx.note]), so the
+          orbit pass ([Analysis.Orbit]) partitions hosts into partial
+          orbits by multiplier instead of assuming full exchangeability. *)
 }
 
 val default : t
@@ -130,6 +139,14 @@ val host_attack_rate : t -> float
 (** Per-host base rate of successful attacks on the host OS/services
     (constant across topologies; see the normalization note above). *)
 
+val host_rate_multiplier : t -> int -> float
+(** [host_rate_multiplier p g] is host [g]'s entry of
+    [host_rate_multipliers], or 1.0 when the array is empty. *)
+
+val host_attack_rate_of : t -> int -> float
+(** [host_attack_rate_of p g = host_attack_rate p *. host_rate_multiplier
+    p g] — the per-host base attack rate of global host [g]. *)
+
 val host_spread_slope : t -> float
 (** Increase of the per-host attack rate per unit of accumulated attack
     spread: [spread_slope · attack_rate_system / num_hosts]. Deliberately
@@ -149,7 +166,8 @@ val to_json : t -> Report.Json.t
     can rebind the handles ({!Model.rebind}). *)
 
 val of_json : Report.Json.t -> (t, string) result
-(** Inverse of {!to_json}. Every field is required; the result is
-    {!validate}d. *)
+(** Inverse of {!to_json}. Every field except [host_rate_multipliers]
+    (absent means [[||]], for files written before it existed) is
+    required; the result is {!validate}d. *)
 
 val pp : Format.formatter -> t -> unit

@@ -48,6 +48,23 @@ val fig5 : ?config:config -> unit -> (string * Report.table) list
 val all : ?config:config -> unit -> (string * Report.table) list
 (** Every panel of every figure, in paper order. *)
 
+val hetero_fleet_params : unit -> Params.t
+(** The heterogeneous validation configuration: 10 domains × 1 host,
+    4 applications × 7 replicas, with five hosts at the baseline attack
+    rate and five "soft" hosts at 2.5× ({!Params.t.host_rate_multipliers}
+    [= [|1;1;1;1;1;2.5;2.5;2.5;2.5;2.5|]]). The orbit pass partitions
+    this fleet into two partial orbits of five hosts each — the
+    configuration the bench's heterogeneous lumping gate and
+    [itua_sim check --symmetry] exercise. *)
+
+val hetero_fleet : ?config:config -> unit -> (string * Report.table) list
+(** Simulation panel for the heterogeneous fleet: homogeneous 10×1
+    baseline (row [x = 0] soft hosts) against the {!hetero_fleet_params}
+    split (row [x = 5]) — unavailability and unreliability over [0,10]
+    and the fraction of domains excluded at t = 10. Softening half the
+    fleet must worsen all three, which full-symmetry lumping would have
+    averaged away. *)
+
 val sensitivity : ?config:config -> unit -> (string * Report.table) list
 (** Parameter-sensitivity sweeps on the Section 4.2 baseline, in the
     spirit of the paper's "we have also tried to explore the system's

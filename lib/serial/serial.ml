@@ -7,6 +7,59 @@ exception Unportable of string
 let unportable act what =
   raise (Unportable (Printf.sprintf "activity %S: %s" act what))
 
+(* Aggregated portability scan, run before any emission: one [Unportable]
+   naming EVERY offending activity with all of its reasons, so a model
+   with several closure escapes is fixed in one round trip instead of
+   one error per attempt. The per-site [unportable] raises in the
+   emitters below remain as backstops but are unreachable after this. *)
+let rec opaque_names (t : San.Effect.t) =
+  match t with
+  | San.Effect.Skip | San.Effect.Ops _ -> []
+  | San.Effect.Seq es -> List.concat_map opaque_names es
+  | San.Effect.If (_, a, b) -> opaque_names a @ opaque_names b
+  | San.Effect.Pick bs -> List.concat_map (fun (_, e) -> opaque_names e) bs
+  | San.Effect.Checked { ir; _ } -> opaque_names ir
+  | San.Effect.Opaque { oname; _ } -> [ oname ]
+
+let check_portable model =
+  let problems =
+    Array.to_list (San.Model.activities model)
+    |> List.filter_map (fun (a : San.Activity.t) ->
+           let ps = ref [] in
+           let add what = ps := what :: !ps in
+           (match a.timing with
+           | San.Activity.Timed { dist_ir = None; _ } ->
+               add "closure-only timing distribution"
+           | _ -> ());
+           (match a.guard with
+           | None -> add "closure enabling predicate"
+           | Some _ -> ());
+           Array.iteri
+             (fun i (c : San.Activity.case) ->
+               (match c.weight_ir with
+               | None -> add (Printf.sprintf "closure weight of case %d" i)
+               | Some _ -> ());
+               List.iter
+                 (fun o ->
+                   add (Printf.sprintf "opaque effect %S in case %d" o i))
+                 (opaque_names c.effect))
+             a.cases;
+           match List.rev !ps with
+           | [] -> None
+           | ps ->
+               Some
+                 (Printf.sprintf "activity %S: %s" a.name
+                    (String.concat ", " ps)))
+  in
+  match problems with
+  | [] -> ()
+  | ps ->
+      raise
+        (Unportable
+           (Printf.sprintf "%d unportable activit%s — %s" (List.length ps)
+              (if List.length ps = 1 then "y" else "ies")
+              (String.concat "; " ps)))
+
 (* ------------------------------------------------------------------ *)
 (* Emission.  Key order is fixed so equal models produce equal bytes. *)
 (* ------------------------------------------------------------------ *)
@@ -202,10 +255,16 @@ let rec info_json (n : Compose.info) =
         ( "places",
           J.Arr (List.map (fun p -> J.Str (San.Place.any_name p)) n.places) );
         ("activities", J.Arr (List.map (fun s -> J.Str s) n.activities));
-        ("children", J.Arr (List.map info_json n.children));
-      ])
+      ]
+    (* Per-copy parameters ([Compose.Ctx.note]); the key is omitted when
+       empty so parameter-free models keep their historical bytes. *)
+    @ (match n.params with
+      | [] -> []
+      | ps -> [ ("params", J.Obj (List.map (fun (k, v) -> (k, J.Str v)) ps)) ])
+    @ [ ("children", J.Arr (List.map info_json n.children)) ])
 
 let to_json ?(bounds = []) ?composition ?(annotations = []) model =
+  check_portable model;
   List.iter
     (fun (n, _) ->
       match San.Model.find_place_opt model n with
@@ -533,6 +592,15 @@ let p_composition model places at j =
           | exception Not_found -> fail (idx aat i) "unknown activity %S" n)
         (get_arr aat (field at kvs "activities"))
     in
+    let params =
+      match opt_field kvs "params" with
+      | None -> []
+      | Some v ->
+          let pat = key at "params" in
+          List.map
+            (fun (k, v) -> (k, get_str (key pat k) v))
+            (get_obj pat v)
+    in
     let chat = key at "children" in
     let children =
       List.mapi
@@ -540,7 +608,7 @@ let p_composition model places at j =
         (get_arr chat (field at kvs "children"))
     in
     { Compose.path; label; rep_copies; places = node_places; activities;
-      children }
+      params; children }
   in
   node "" ~root:true at j
 

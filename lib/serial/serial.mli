@@ -35,7 +35,10 @@ val schema : string
 exception Unportable of string
 (** Raised by {!to_json}/{!emit} when the model contains a closure
     (opaque effect, closure guard/distribution/weight) that cannot be
-    represented in the format. The message names the activity. *)
+    represented in the format. The message aggregates {e every}
+    offending activity with all of its reasons (guard, timing, case
+    weights, opaque effects by name), so one round trip surfaces the
+    full porting worklist rather than the first blocker. *)
 
 val to_json :
   ?bounds:(string * int) list ->

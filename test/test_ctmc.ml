@@ -531,6 +531,278 @@ let test_lumped_measures_agree () =
     (Ctmc.Measure.steady_average full n_up)
     (Ctmc.Measure.steady_average lumped n_up)
 
+(* --- orbit refinement (partial symmetry) --- *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* Like [replicated_farm], but fully declarative (IR guards, rates and
+   effects) so the orbit pass can verify exchangeability — with an
+   optional per-copy failure rate to break it. *)
+let ir_farm ?(rates = fun _ -> 1.0) ?note n =
+  let module E = San.Effect in
+  let b = San.Model.Builder.create "irfarm" in
+  let root = Compose.Ctx.root b "irfarm" in
+  let ups =
+    Compose.replicate root "node" ~n (fun ctx i ->
+        (match note with
+        | None -> ()
+        | Some f -> Compose.Ctx.note ctx "fail_rate" (f i));
+        let up = Compose.Ctx.int_place ctx ~init:1 "up" in
+        Compose.Ctx.timed_exp_rate_ir ctx ~name:"fail"
+          ~rate:(E.RConst (rates i))
+          ~guard:(E.Cmp (E.Mark up, E.Eq, E.Int 1))
+          ~reads:[ San.Place.P up ]
+          (E.Ops [ E.Set (up, E.Int 0) ]);
+        Compose.Ctx.timed_exp_rate_ir ctx ~name:"repair" ~rate:(E.RConst 2.5)
+          ~guard:(E.Cmp (E.Mark up, E.Eq, E.Int 0))
+          ~reads:[ San.Place.P up ]
+          (E.Ops [ E.Set (up, E.Int 1) ]);
+        up)
+  in
+  (San.Model.Builder.build b, Compose.info root, ups)
+
+let test_orbit_full_symmetry () =
+  let n = 6 in
+  let model, info, ups = ir_farm n in
+  let rep = Analysis.Orbit.analyse model info in
+  Alcotest.(check bool) "pure" true rep.Analysis.Orbit.pure;
+  (match rep.Analysis.Orbit.families with
+  | [ f ] ->
+      Alcotest.(check int) "one orbit" 1 (List.length f.Analysis.Orbit.fa_orbits);
+      Alcotest.(check int) "star witnesses" (n - 1)
+        (List.length f.Analysis.Orbit.fa_witnesses);
+      Alcotest.(check int) "no breaks" 0 (List.length f.Analysis.Orbit.fa_breaks)
+  | fs -> Alcotest.failf "expected one family, got %d" (List.length fs));
+  let full = Ctmc.Explore.explore model in
+  let lumped =
+    Ctmc.Explore.explore ~canon:(Analysis.Orbit.canon rep) ~audit:true model
+  in
+  Alcotest.(check int) "full chain: 2^6" 64 (Ctmc.Explore.n_states full);
+  Alcotest.(check int) "lumped chain: n+1" 7 (Ctmc.Explore.n_states lumped);
+  let n_up m =
+    Array.fold_left
+      (fun acc up -> acc +. float_of_int (San.Marking.get m up))
+      0.0 ups
+  in
+  List.iter
+    (fun t ->
+      close ~tol:1e-9
+        (Printf.sprintf "E[up] at t=%g" t)
+        (Ctmc.Measure.instant full ~at:t n_up)
+        (Ctmc.Measure.instant lumped ~at:t n_up))
+    [ 0.3; 1.0; 4.0 ]
+
+let test_orbit_partial_symmetry () =
+  let n = 6 in
+  let rates i = if i < 3 then 1.0 else 4.0 in
+  let model, info, ups = ir_farm ~rates n in
+  let rep = Analysis.Orbit.analyse model info in
+  (match rep.Analysis.Orbit.families with
+  | [ f ] -> (
+      match f.Analysis.Orbit.fa_orbits with
+      | [ a; b ] ->
+          Alcotest.(check (list int))
+            "slow orbit" [ 0; 1; 2 ] a.Analysis.Orbit.ob_members;
+          Alcotest.(check (list int))
+            "fast orbit" [ 3; 4; 5 ] b.Analysis.Orbit.ob_members;
+          (match f.Analysis.Orbit.fa_breaks with
+          | [ bk ] ->
+              Alcotest.(check bool)
+                "break names the differing component" true
+                (contains bk.Analysis.Orbit.bk_reason "differs")
+          | bks -> Alcotest.failf "expected one break, got %d" (List.length bks))
+      | os -> Alcotest.failf "expected two orbits, got %d" (List.length os))
+  | fs -> Alcotest.failf "expected one family, got %d" (List.length fs));
+  let full = Ctmc.Explore.explore model in
+  let lumped =
+    Ctmc.Explore.explore ~canon:(Analysis.Orbit.canon rep) ~audit:true model
+  in
+  Alcotest.(check int) "full chain: 2^6" 64 (Ctmc.Explore.n_states full);
+  Alcotest.(check int) "lumped chain: 4*4" 16 (Ctmc.Explore.n_states lumped);
+  let n_up m =
+    Array.fold_left
+      (fun acc up -> acc +. float_of_int (San.Marking.get m up))
+      0.0 ups
+  in
+  List.iter
+    (fun t ->
+      close ~tol:1e-9
+        (Printf.sprintf "E[up] at t=%g" t)
+        (Ctmc.Measure.instant full ~at:t n_up)
+        (Ctmc.Measure.instant lumped ~at:t n_up))
+    [ 0.3; 1.0; 4.0 ];
+  (* The structural pass cannot see the rate difference, so its
+     whole-family sort is unsound here — A019 names it, and the explore
+     audit refuses to build the quotient. *)
+  let groups = Analysis.Symmetry.detect model info in
+  Alcotest.(check int) "structural detect still groups" 1 (List.length groups);
+  let bad = Analysis.Symmetry.canon groups in
+  (match Analysis.Orbit.check_canon rep bad with
+  | [] -> Alcotest.fail "expected an A019 diagnostic"
+  | d :: _ ->
+      Alcotest.(check string)
+        "code" Analysis.Diagnostic.unsound_canon d.Analysis.Diagnostic.code);
+  Alcotest.(check bool) "sound canon passes check_canon" true
+    (Analysis.Orbit.check_canon rep (Analysis.Orbit.canon rep) = []);
+  Alcotest.(check bool) "audit rejects unsound canon" true
+    (match Ctmc.Explore.explore ~canon:bad ~audit:true model with
+    | (_ : Ctmc.Explore.t) -> false
+    | exception Ctmc.Explore.Unsound_canon _ -> true)
+
+let test_orbit_params_split () =
+  (* Equal rates, but an explicit per-copy parameter note: the coloring
+     splits conservatively and the break names the parameter. *)
+  let n = 4 in
+  let note i = if i = 0 then "gold" else "steel" in
+  let model, info, _ = ir_farm ~note n in
+  let rep = Analysis.Orbit.analyse model info in
+  match rep.Analysis.Orbit.families with
+  | [ f ] -> (
+      match f.Analysis.Orbit.fa_orbits with
+      | [ a; b ] ->
+          Alcotest.(check (list int)) "noted copy alone" [ 0 ]
+            a.Analysis.Orbit.ob_members;
+          Alcotest.(check (list int)) "rest together" [ 1; 2; 3 ]
+            b.Analysis.Orbit.ob_members;
+          (match f.Analysis.Orbit.fa_breaks with
+          | bk :: _ ->
+              Alcotest.(check bool) "break names the parameter" true
+                (contains bk.Analysis.Orbit.bk_reason "fail_rate")
+          | [] -> Alcotest.fail "expected a break")
+      | os -> Alcotest.failf "expected two orbits, got %d" (List.length os))
+  | fs -> Alcotest.failf "expected one family, got %d" (List.length fs)
+
+let test_orbit_impure_degrades () =
+  (* Closure-built copies cannot be verified: singleton orbits, honest
+     blockers, identity canon. *)
+  let model, info, _ = replicated_farm 3 in
+  let rep = Analysis.Orbit.analyse model info in
+  Alcotest.(check bool) "not pure" false rep.Analysis.Orbit.pure;
+  Alcotest.(check bool) "has blockers" true (rep.Analysis.Orbit.blockers <> []);
+  Alcotest.(check bool) "trivial" true (Analysis.Orbit.trivial rep)
+
+let test_symmetry_join_of_replicate () =
+  (* Two Rep families under the branches of a Join: detection must keep
+     them separate — one group per family, each lumpable on its own. *)
+  let module E = San.Effect in
+  let b = San.Model.Builder.create "joined" in
+  let root = Compose.Ctx.root b "joined" in
+  let farm ctx label n =
+    Compose.replicate ctx label ~n (fun ctx _ ->
+        let up = Compose.Ctx.int_place ctx ~init:1 "up" in
+        Compose.Ctx.timed_exp_rate_ir ctx ~name:"toggle" ~rate:(E.RConst 1.0)
+          ~guard:(E.Cmp (E.Mark up, E.Ge, E.Int 0))
+          ~reads:[ San.Place.P up ]
+          (E.Ops [ E.Set (up, E.Sub (E.Int 1, E.Mark up)) ]))
+  in
+  let (_ : unit array) = Compose.join root "left" (fun ctx -> farm ctx "node" 3) in
+  let (_ : unit array) = Compose.join root "right" (fun ctx -> farm ctx "cell" 2) in
+  let model = San.Model.Builder.build b in
+  let info = Compose.info root in
+  let groups = Analysis.Symmetry.detect model info in
+  Alcotest.(check (list int)) "two groups, 3 and 2 copies" [ 2; 3 ]
+    (List.sort compare
+       (List.map (fun g -> g.Analysis.Symmetry.copies) groups));
+  (* The orbit pass agrees: both families are single full orbits. *)
+  let rep = Analysis.Orbit.analyse model info in
+  Alcotest.(check bool) "pure" true rep.Analysis.Orbit.pure;
+  Alcotest.(check (list int)) "one orbit per family" [ 1; 1 ]
+    (List.map
+       (fun f -> List.length f.Analysis.Orbit.fa_orbits)
+       rep.Analysis.Orbit.families);
+  (* Joint quotient: 2^5 = 32 states down to 4 x 3 = 12 multisets. *)
+  let full = Ctmc.Explore.explore model in
+  let lumped =
+    Ctmc.Explore.explore ~canon:(Analysis.Orbit.canon rep) ~audit:true model
+  in
+  Alcotest.(check int) "full chain" 32 (Ctmc.Explore.n_states full);
+  Alcotest.(check int) "lumped chain" 12 (Ctmc.Explore.n_states lumped)
+
+let test_symmetry_nested_replicate () =
+  (* Replicate of Replicate: the outer family and each inner family are
+     all detected; the joint canon lumps multisets of multisets. *)
+  let module E = San.Effect in
+  let b = San.Model.Builder.create "nested" in
+  let root = Compose.Ctx.root b "nested" in
+  let ups = ref [] in
+  let (_ : unit array array) =
+    Compose.replicate root "domain" ~n:2 (fun ctx _ ->
+        Compose.replicate ctx "host" ~n:3 (fun ctx _ ->
+            let up = Compose.Ctx.int_place ctx ~init:1 "up" in
+            ups := up :: !ups;
+            Compose.Ctx.timed_exp_rate_ir ctx ~name:"fail" ~rate:(E.RConst 1.0)
+              ~guard:(E.Cmp (E.Mark up, E.Eq, E.Int 1))
+              ~reads:[ San.Place.P up ]
+              (E.Ops [ E.Set (up, E.Int 0) ]);
+            Compose.Ctx.timed_exp_rate_ir ctx ~name:"repair"
+              ~rate:(E.RConst 2.5)
+              ~guard:(E.Cmp (E.Mark up, E.Eq, E.Int 0))
+              ~reads:[ San.Place.P up ]
+              (E.Ops [ E.Set (up, E.Int 1) ])))
+  in
+  let model = San.Model.Builder.build b in
+  let info = Compose.info root in
+  let groups = Analysis.Symmetry.detect model info in
+  Alcotest.(check (list int)) "outer family + one inner per copy"
+    [ 2; 3; 3 ]
+    (List.sort compare
+       (List.map (fun g -> g.Analysis.Symmetry.copies) groups));
+  let rep = Analysis.Orbit.analyse model info in
+  Alcotest.(check bool) "pure" true rep.Analysis.Orbit.pure;
+  Alcotest.(check (list int)) "full orbits everywhere" [ 1; 1; 1 ]
+    (List.map
+       (fun f -> List.length f.Analysis.Orbit.fa_orbits)
+       rep.Analysis.Orbit.families);
+  (* 2^6 = 64 flat states; sorting hosts within each domain and then the
+     two domain subvectors leaves unordered pairs of host multisets:
+     C(4+1, 2) = 10. *)
+  let full = Ctmc.Explore.explore model in
+  let lumped =
+    Ctmc.Explore.explore ~canon:(Analysis.Orbit.canon rep) ~audit:true model
+  in
+  Alcotest.(check int) "full chain" 64 (Ctmc.Explore.n_states full);
+  Alcotest.(check int) "lumped chain" 10 (Ctmc.Explore.n_states lumped);
+  let n_up m =
+    List.fold_left
+      (fun acc up -> acc +. float_of_int (San.Marking.get m up))
+      0.0 !ups
+  in
+  List.iter
+    (fun t ->
+      close ~tol:1e-9
+        (Printf.sprintf "E[up] at t=%g" t)
+        (Ctmc.Measure.instant full ~at:t n_up)
+        (Ctmc.Measure.instant lumped ~at:t n_up))
+    [ 0.5; 2.0 ]
+
+let test_orbit_report_deterministic () =
+  (* The rendered orbit report — what [check --symmetry --json] embeds —
+     must be byte-identical across repeated analyses and across domains:
+     no hashtable iteration order, wall clock, or domain id may leak. *)
+  let render () =
+    let model, info, _ = ir_farm ~rates:(fun i -> if i < 2 then 1.0 else 3.0) 5 in
+    let rep = Analysis.Orbit.analyse model info in
+    Report.Json.to_string (Analysis.Orbit.to_json rep)
+    ^ "\n" ^ Analysis.Orbit.describe rep
+    ^ String.concat "\n"
+        (List.map
+           (fun d -> Format.asprintf "%a" Analysis.Diagnostic.pp d)
+           (Analysis.Orbit.diagnostics rep))
+  in
+  let reference = render () in
+  Alcotest.(check string) "same bytes on re-analysis" reference (render ());
+  let spawned =
+    Array.init 2 (fun _ -> Domain.spawn (fun () -> render ()))
+  in
+  Array.iter
+    (fun d ->
+      Alcotest.(check string) "same bytes across domains" reference
+        (Domain.join d))
+    spawned
+
 let test_symmetry_detect_rejects_asymmetry () =
   (* Copies that differ structurally (different initial marking) must
      not be reported as exchangeable. *)
@@ -577,6 +849,20 @@ let () =
             test_lumped_measures_agree;
           Alcotest.test_case "asymmetry rejected" `Quick
             test_symmetry_detect_rejects_asymmetry;
+          Alcotest.test_case "orbit: full symmetry" `Quick
+            test_orbit_full_symmetry;
+          Alcotest.test_case "orbit: partial symmetry" `Quick
+            test_orbit_partial_symmetry;
+          Alcotest.test_case "orbit: params split" `Quick
+            test_orbit_params_split;
+          Alcotest.test_case "orbit: impure degrades" `Quick
+            test_orbit_impure_degrades;
+          Alcotest.test_case "join of replicate" `Quick
+            test_symmetry_join_of_replicate;
+          Alcotest.test_case "nested replicate" `Quick
+            test_symmetry_nested_replicate;
+          Alcotest.test_case "orbit report deterministic" `Quick
+            test_orbit_report_deterministic;
         ] );
       ( "transient",
         [

@@ -300,6 +300,51 @@ let test_unportable_closure () =
         (contains msg "opaque_rate")
   | _ -> Alcotest.fail "expected Unportable for a closure-built activity"
 
+(* Several closure escapes of different kinds must surface in ONE
+   aggregated error naming every offending activity with its reasons —
+   not just the first blocker hit during emission. *)
+let test_unportable_aggregates () =
+  let b = B.create "closures" in
+  let p = B.int_place b ~init:1 "p" in
+  let q = B.int_place b ~init:0 "q" in
+  (* Offender 1: closure rate, closure guard, opaque effect. *)
+  B.timed_exp b ~name:"bad_rate"
+    ~rate:(fun _ -> 1.0)
+    ~enabled:(fun m -> M.get m p > 0)
+    ~reads:[ San.Place.P p ]
+    (fun _ m -> M.set m p 0);
+  (* Offender 2: declarative guard/effect but closure-only timing. *)
+  B.timed_exp_ir b ~name:"bad_timing"
+    ~rate:(fun _ -> 2.0)
+    ~guard:(E.Cmp (E.Mark q, E.Eq, E.Int 0))
+    ~reads:[ San.Place.P q ]
+    (E.Ops [ E.Set (q, E.Int 1) ]);
+  (* Fully declarative — must NOT be blamed. *)
+  B.timed_exp_rate_ir b ~name:"fine"
+    ~rate:(E.RConst 0.5)
+    ~guard:(E.Cmp (E.Mark q, E.Eq, E.Int 1))
+    ~reads:[ San.Place.P q ]
+    (E.Ops [ E.Set (q, E.Int 0) ]);
+  let m = B.build b in
+  match Serial.to_json m with
+  | exception Serial.Unportable msg ->
+      List.iter
+        (fun sub ->
+          Alcotest.(check bool)
+            (Printf.sprintf "message mentions %S" sub)
+            true (contains msg sub))
+        [
+          "2 unportable activities";
+          "bad_rate";
+          "bad_timing";
+          "closure enabling predicate";
+          "opaque effect";
+          "closure-only timing distribution";
+        ];
+      Alcotest.(check bool) "portable activity not blamed" false
+        (contains msg "fine")
+  | _ -> Alcotest.fail "expected aggregated Unportable"
+
 let () =
   Alcotest.run "serial"
     [
@@ -341,6 +386,9 @@ let () =
             test_loaded_certificate_identical;
         ] );
       ( "portability",
-        [ Alcotest.test_case "closure rejected" `Quick test_unportable_closure ]
-      );
+        [
+          Alcotest.test_case "closure rejected" `Quick test_unportable_closure;
+          Alcotest.test_case "all offenders aggregated" `Quick
+            test_unportable_aggregates;
+        ] );
     ]
